@@ -1,0 +1,28 @@
+"""Session-scoped environments for the benchmark suite.
+
+Dataset generation and Parcel encoding are paid once per session; each
+benchmarked query run constructs a fresh simulated cluster (that
+construction is part of what a query costs, so it stays inside the
+measured function).
+"""
+
+import pytest
+
+from repro.bench.env import Environment
+from repro.bench.figure5 import build_environment
+from repro.bench.figure6 import build_codec_environment
+
+
+@pytest.fixture(scope="session")
+def figure5_env() -> Environment:
+    """All three evaluation datasets at bench scale."""
+    return build_environment(scale="small")
+
+
+@pytest.fixture(scope="session")
+def codec_envs() -> dict:
+    """Deep Water re-encoded under each codec (Figure 6)."""
+    return {
+        codec: build_codec_environment(codec, scale="small")
+        for codec in ("none", "snappy", "gzip", "zstd")
+    }

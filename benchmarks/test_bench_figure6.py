@@ -1,0 +1,58 @@
+"""Figure 6 benchmarks: compression x pushdown on Deep Water Impact."""
+
+import pytest
+
+from repro.bench.env import RunConfig
+from repro.workloads import DEEPWATER_QUERY
+
+CODECS = ("none", "snappy", "gzip", "zstd")
+CONFIGS = {
+    "filter-only": RunConfig.filter_only(),
+    "all-op": RunConfig.ocs("all-op", "filter", "project", "aggregate"),
+}
+
+
+@pytest.mark.parametrize("codec", CODECS)
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_figure6_cell(benchmark, codec_envs, codec, config_name):
+    env = codec_envs[codec]
+
+    def run():
+        return env.run(DEEPWATER_QUERY, CONFIGS[config_name], schema="hpc")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["codec"] = codec
+    benchmark.extra_info["simulated_seconds"] = result.execution_seconds
+    benchmark.extra_info["data_moved_bytes"] = result.data_moved_bytes
+    assert result.rows > 0
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_figure6_allop_beats_filter_only(benchmark, codec_envs, codec):
+    """Paper Q3: within every codec, all-operator pushdown wins."""
+    env = codec_envs[codec]
+
+    def run():
+        f = env.run(DEEPWATER_QUERY, CONFIGS["filter-only"], schema="hpc")
+        a = env.run(DEEPWATER_QUERY, CONFIGS["all-op"], schema="hpc")
+        return f.execution_seconds, a.execution_seconds
+
+    filter_s, allop_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = filter_s / allop_s
+    assert allop_s < filter_s
+
+
+def test_figure6_compression_helps(benchmark, codec_envs):
+    """Paper Q3: compressed runs beat uncompressed in both configurations."""
+
+    def run():
+        out = {}
+        for codec in ("none", "zstd"):
+            out[codec] = codec_envs[codec].run(
+                DEEPWATER_QUERY, CONFIGS["filter-only"], schema="hpc"
+            ).execution_seconds
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["zstd_saving_fraction"] = 1 - times["zstd"] / times["none"]
+    assert times["zstd"] < times["none"]

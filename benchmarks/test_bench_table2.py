@@ -1,0 +1,34 @@
+"""Table 2 benchmark: query selectivity measurement per dataset."""
+
+import pytest
+
+from repro.bench.env import RunConfig
+from repro.bench.table2 import DATASETS, PAPER_PLANS, _operator_chain
+
+
+@pytest.mark.parametrize("dataset", list(DATASETS))
+def test_table2_selectivity(benchmark, figure5_env, dataset):
+    schema_name, table, query = DATASETS[dataset]
+    descriptor = figure5_env.metastore.get_table(schema_name, table)
+    input_bytes = figure5_env.dataset_bytes(descriptor)
+
+    def run():
+        result = figure5_env.run(query, RunConfig.none(), schema=schema_name)
+        return result.batch.nbytes / input_bytes
+
+    selectivity = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["selectivity"] = selectivity
+    assert 0 < selectivity < 0.01  # all three queries are high-reduction
+
+
+@pytest.mark.parametrize("dataset", list(DATASETS))
+def test_table2_plan_shape(benchmark, figure5_env, dataset):
+    """The logical plans must match Table 2's operator chains exactly."""
+    schema_name, table, query = DATASETS[dataset]
+
+    def run():
+        return _operator_chain(schema_name, table, query, figure5_env)
+
+    chain = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["plan"] = " -> ".join(chain)
+    assert chain == PAPER_PLANS[dataset]

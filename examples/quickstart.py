@@ -1,0 +1,99 @@
+"""Quickstart: stand up a dataset, run a query, see what pushdown buys.
+
+Builds a small synthetic table in the simulated object store, registers
+it with the metastore, and runs the same aggregation query three ways:
+
+1. no pushdown        (conventional Hive-connector raw scan),
+2. filter-only        (the ceiling of S3-Select-class storage),
+3. full OCS pushdown  (the Presto-OCS connector of the paper).
+
+Results are identical; execution time and data movement are not.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.arrowsim import RecordBatch
+from repro.bench import Environment, RunConfig, format_table
+from repro.bench.report import format_bytes, format_seconds
+from repro.workloads import DatasetSpec
+
+
+def make_sensor_file(index: int) -> RecordBatch:
+    """One day of (synthetic) sensor readings."""
+    rng = np.random.default_rng(42 + index)
+    n = 50_000
+    return RecordBatch.from_arrays(
+        {
+            "sensor_id": rng.integers(0, 64, n),
+            "temperature": 20 + 5 * rng.standard_normal(n),
+            "pressure": 1000 + 30 * rng.standard_normal(n),
+            "day": np.full(n, index, dtype=np.int64),
+        }
+    )
+
+
+QUERY = """
+SELECT sensor_id, count(*) AS samples, avg(temperature) AS avg_temp,
+       max(pressure) AS max_p
+FROM readings
+WHERE temperature > 25.0
+GROUP BY sensor_id
+ORDER BY avg_temp DESC
+LIMIT 10
+"""
+
+
+def main() -> None:
+    env = Environment()
+    descriptor = env.add_dataset(
+        DatasetSpec(
+            schema_name="lab",
+            table_name="readings",
+            bucket="sensors",
+            file_count=8,
+            generator=make_sensor_file,
+            row_group_rows=16_384,
+        )
+    )
+    print(
+        f"dataset: {descriptor.qualified_name}, {descriptor.row_count:,} rows, "
+        f"{format_bytes(env.dataset_bytes(descriptor))} across "
+        f"{len(descriptor.files)} Parcel objects\n"
+    )
+
+    configs = [
+        RunConfig.none(),
+        RunConfig.filter_only(),
+        RunConfig.ocs("full pushdown", "filter", "project", "aggregate", "topn"),
+    ]
+    rows = []
+    reference = None
+    for config in configs:
+        result = env.run(QUERY, config, schema="lab")
+        if reference is None:
+            reference = result.batch
+        else:
+            assert result.batch.approx_equals(reference), "pushdown changed results!"
+        rows.append(
+            [
+                config.label,
+                format_seconds(result.execution_seconds),
+                format_bytes(result.data_moved_bytes),
+                result.splits,
+            ]
+        )
+    print(format_table(["configuration", "time (simulated)", "data moved", "splits"], rows))
+
+    print("\nresults are identical in every configuration; hottest sensors:")
+    top = reference.to_pydict()
+    for i in range(min(3, reference.num_rows)):
+        print(
+            f"  sensor {top['sensor_id'][i]:>2}: {top['samples'][i]:>5} hot samples, "
+            f"avg {top['avg_temp'][i]:.2f} C"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Integrating Distributed SQL Query Engines with
+Object-Based Computational Storage" (SC Workshops '25).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulator standing in for the paper's 3-node testbed.
+``repro.compress`` / ``repro.formats`` / ``repro.arrowsim``
+    Storage substrates: codecs, the Parcel columnar container, and the
+    Arrow-class columnar transport.
+``repro.sql`` / ``repro.plan`` / ``repro.exec``
+    SQL front end, logical planner/optimizer, vectorized operators.
+``repro.substrait`` / ``repro.rpc``
+    Cross-system plan IR and the gRPC-class transport.
+``repro.objectstore`` / ``repro.metastore`` / ``repro.ocs``
+    Object store with S3-Select-class API, catalog service, and the
+    OCS computational storage system (frontend + storage nodes).
+``repro.engine`` / ``repro.connectors`` / ``repro.core``
+    The Presto-class distributed engine, its connector SPI, the
+    Hive-class connector, and — the paper's contribution — the
+    Presto-OCS connector (``repro.core``).
+``repro.workloads`` / ``repro.bench``
+    Laghos / Deep Water / TPC-H generators and the experiment harness
+    regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Lazy convenience re-exports of the high-level experiment API.
+
+    ``repro.Environment`` / ``repro.RunConfig`` / ``repro.DatasetSpec`` /
+    ``repro.PushdownPolicy`` cover the README quickstart without forcing
+    every import of :mod:`repro` to pull the whole engine in.
+    """
+    if name in ("Environment", "RunConfig"):
+        from repro.bench import env as _env
+
+        return getattr(_env, name)
+    if name == "DatasetSpec":
+        from repro.workloads.datasets import DatasetSpec
+
+        return DatasetSpec
+    if name == "PushdownPolicy":
+        from repro.core.optimizer import PushdownPolicy
+
+        return PushdownPolicy
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "DatasetSpec",
+    "Environment",
+    "PushdownPolicy",
+    "RunConfig",
+    "__version__",
+]

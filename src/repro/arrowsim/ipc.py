@@ -1,0 +1,177 @@
+"""Binary IPC encoding for record batches.
+
+Buffer-oriented like real Arrow IPC: fixed-width columns are shipped as
+raw little-endian buffers (a memcpy each way), strings as offsets + UTF-8
+data, validity as packed bits.  The encoded length of these messages is
+what the simulator charges to the network for the OCS result path.
+
+Layout (all integers little-endian)::
+
+    stream  := "ARS1" u32 batch_count batch*
+    batch   := "ARB1" schema u64 num_rows column*
+    schema  := u16 nfields (u16 name_len, name, u8 type_code, u8 nullable)*
+    column  := u8 has_validity [packed validity bits] payload
+    payload := raw value buffer                    (fixed-width types)
+             | u64 data_len int32[n+1] offsets data  (string)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrowsim.array import ColumnArray
+from repro.arrowsim.dtypes import STRING, DataType, dtype_from_code
+from repro.arrowsim.record_batch import RecordBatch
+from repro.arrowsim.schema import Field, Schema
+from repro.errors import FormatError
+
+__all__ = [
+    "serialize_batch",
+    "deserialize_batch",
+    "serialize_batches",
+    "deserialize_batches",
+]
+
+_BATCH_MAGIC = b"ARB1"
+_STREAM_MAGIC = b"ARS1"
+
+
+def _encode_schema(schema: Schema) -> bytes:
+    out = bytearray(struct.pack("<H", len(schema)))
+    for field in schema:
+        name = field.name.encode("utf-8")
+        out += struct.pack("<H", len(name))
+        out += name
+        out += struct.pack("<BB", field.dtype.code, int(field.nullable))
+    return bytes(out)
+
+
+def _decode_schema(buf: bytes, pos: int) -> Tuple[Schema, int]:
+    (nfields,) = struct.unpack_from("<H", buf, pos)
+    pos += 2
+    fields = []
+    for _ in range(nfields):
+        (name_len,) = struct.unpack_from("<H", buf, pos)
+        pos += 2
+        name = buf[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        code, nullable = struct.unpack_from("<BB", buf, pos)
+        pos += 2
+        fields.append(Field(name, dtype_from_code(code), bool(nullable)))
+    return Schema(fields), pos
+
+
+def _encode_column(col: ColumnArray) -> bytes:
+    out = bytearray()
+    n = len(col)
+    if col.validity is not None:
+        out.append(1)
+        out += np.packbits(col.validity).tobytes()
+    else:
+        out.append(0)
+    if col.dtype is STRING:
+        encoded = [str(v).encode("utf-8") for v in col.values]
+        offsets = np.zeros(n + 1, dtype=np.int32)
+        if n:
+            offsets[1:] = np.cumsum([len(e) for e in encoded])
+        data = b"".join(encoded)
+        out += struct.pack("<Q", len(data))
+        out += offsets.tobytes()
+        out += data
+    else:
+        out += np.ascontiguousarray(col.values).tobytes()
+    return bytes(out)
+
+
+def _decode_column(
+    buf: bytes, pos: int, dtype: DataType, num_rows: int
+) -> Tuple[ColumnArray, int]:
+    has_validity = buf[pos]
+    pos += 1
+    validity = None
+    if has_validity:
+        nbytes = (num_rows + 7) // 8
+        packed = np.frombuffer(buf, dtype=np.uint8, count=nbytes, offset=pos)
+        validity = np.unpackbits(packed)[:num_rows].astype(bool)
+        pos += nbytes
+    if dtype is STRING:
+        (data_len,) = struct.unpack_from("<Q", buf, pos)
+        pos += 8
+        offsets = np.frombuffer(buf, dtype=np.int32, count=num_rows + 1, offset=pos)
+        pos += 4 * (num_rows + 1)
+        data = buf[pos : pos + data_len]
+        pos += data_len
+        values = np.empty(num_rows, dtype=object)
+        for i in range(num_rows):
+            values[i] = data[offsets[i] : offsets[i + 1]].decode("utf-8")
+    else:
+        nbytes = dtype.byte_width * num_rows
+        values = np.frombuffer(
+            buf, dtype=dtype.numpy_dtype, count=num_rows, offset=pos
+        ).copy()
+        pos += nbytes
+    return ColumnArray(dtype, values, validity), pos
+
+
+def serialize_batch(batch: RecordBatch) -> bytes:
+    """Encode one batch, schema included."""
+    out = bytearray(_BATCH_MAGIC)
+    out += _encode_schema(batch.schema)
+    out += struct.pack("<Q", batch.num_rows)
+    for col in batch.columns:
+        out += _encode_column(col)
+    return bytes(out)
+
+
+def deserialize_batch(buf: bytes) -> RecordBatch:
+    """Inverse of :func:`serialize_batch`."""
+    batch, pos = _deserialize_batch_at(buf, 0)
+    if pos != len(buf):
+        raise FormatError(f"{len(buf) - pos} trailing bytes after batch")
+    return batch
+
+
+def _deserialize_batch_at(buf: bytes, pos: int) -> Tuple[RecordBatch, int]:
+    if buf[pos : pos + 4] != _BATCH_MAGIC:
+        raise FormatError("bad record-batch magic")
+    pos += 4
+    schema, pos = _decode_schema(buf, pos)
+    (num_rows,) = struct.unpack_from("<Q", buf, pos)
+    pos += 8
+    columns = []
+    for field in schema:
+        col, pos = _decode_column(buf, pos, field.dtype, num_rows)
+        columns.append(col)
+    if not columns and num_rows:
+        raise FormatError("rows declared but no columns present")
+    batch = RecordBatch(schema, columns) if columns else RecordBatch(schema, [])
+    if columns and batch.num_rows != num_rows:
+        raise FormatError("column length disagrees with declared row count")
+    return batch, pos
+
+
+def serialize_batches(batches: Sequence[RecordBatch]) -> bytes:
+    """Encode a stream of batches."""
+    out = bytearray(_STREAM_MAGIC)
+    out += struct.pack("<I", len(batches))
+    for batch in batches:
+        out += serialize_batch(batch)
+    return bytes(out)
+
+
+def deserialize_batches(buf: bytes) -> List[RecordBatch]:
+    """Inverse of :func:`serialize_batches`."""
+    if buf[:4] != _STREAM_MAGIC:
+        raise FormatError("bad batch-stream magic")
+    (count,) = struct.unpack_from("<I", buf, 4)
+    pos = 8
+    batches = []
+    for _ in range(count):
+        batch, pos = _deserialize_batch_at(buf, pos)
+        batches.append(batch)
+    if pos != len(buf):
+        raise FormatError(f"{len(buf) - pos} trailing bytes after stream")
+    return batches

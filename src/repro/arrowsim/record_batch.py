@@ -1,0 +1,137 @@
+"""Record batches: a schema plus equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.arrowsim.array import ColumnArray
+from repro.arrowsim.schema import Field, Schema
+from repro.errors import SchemaMismatchError
+
+__all__ = ["RecordBatch", "concat_batches"]
+
+
+class RecordBatch:
+    """An immutable horizontal slice of a table."""
+
+    __slots__ = ("schema", "columns", "num_rows")
+
+    def __init__(self, schema: Schema, columns: Sequence[ColumnArray]) -> None:
+        if len(schema) != len(columns):
+            raise SchemaMismatchError(
+                f"schema has {len(schema)} fields but {len(columns)} columns given"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaMismatchError(f"ragged columns: lengths {sorted(lengths)}")
+        for field, column in zip(schema, columns):
+            if column.dtype is not field.dtype:
+                raise SchemaMismatchError(
+                    f"column {field.name!r} is {column.dtype}, schema says {field.dtype}"
+                )
+        self.schema = schema
+        self.columns: List[ColumnArray] = list(columns)
+        self.num_rows = len(columns[0]) if columns else 0
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, data: Dict[str, np.ndarray]) -> "RecordBatch":
+        """Build from named numpy arrays, inferring logical types."""
+        fields, columns = [], []
+        for name, values in data.items():
+            col = ColumnArray.from_numpy(np.asarray(values))
+            fields.append(Field(name, col.dtype))
+            columns.append(col)
+        return cls(Schema(fields), columns)
+
+    @classmethod
+    def from_pydict(cls, schema: Schema, data: Dict[str, Sequence]) -> "RecordBatch":
+        """Build from Python sequences (None = NULL) under an explicit schema."""
+        columns = [
+            ColumnArray.from_sequence(field.dtype, data[field.name]) for field in schema
+        ]
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "RecordBatch":
+        return cls(schema, [ColumnArray(f.dtype, f.dtype.empty_array(0)) for f in schema])
+
+    # -- access ---------------------------------------------------------------------
+
+    def column(self, name: str) -> ColumnArray:
+        return self.columns[self.schema.index_of(name)]
+
+    def to_pydict(self) -> Dict[str, list]:
+        return {f.name: col.to_pylist() for f, col in zip(self.schema, self.columns)}
+
+    @property
+    def nbytes(self) -> int:
+        return sum(col.nbytes for col in self.columns)
+
+    # -- transforms --------------------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "RecordBatch":
+        return RecordBatch(
+            self.schema.select(names), [self.column(n) for n in names]
+        )
+
+    def filter(self, mask: np.ndarray) -> "RecordBatch":
+        return RecordBatch(self.schema, [c.filter(mask) for c in self.columns])
+
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        return RecordBatch(self.schema, [c.take(indices) for c in self.columns])
+
+    def slice(self, start: int, length: int) -> "RecordBatch":
+        return RecordBatch(self.schema, [c.slice(start, length) for c in self.columns])
+
+    # -- comparison ---------------------------------------------------------------------
+
+    def equals(self, other: "RecordBatch") -> bool:
+        if self.schema != other.schema or self.num_rows != other.num_rows:
+            return False
+        return all(a.equals(b) for a, b in zip(self.columns, other.columns))
+
+    def approx_equals(self, other: "RecordBatch", rtol: float = 1e-8) -> bool:
+        """Same data up to float accumulation-order differences.
+
+        Use this to compare results produced by *different plans* (e.g.
+        pushdown on vs off): distributed aggregation sums partials in a
+        different order, which legitimately perturbs the low bits.
+        Schema comparison ignores nullability (a pushed plan may know a
+        column cannot be null where the residual plan does not).
+        """
+        if self.num_rows != other.num_rows or len(self.schema) != len(other.schema):
+            return False
+        for mine, theirs in zip(self.schema, other.schema):
+            if mine.name != theirs.name or mine.dtype is not theirs.dtype:
+                return False
+        return all(
+            a.approx_equals(b, rtol=rtol) for a, b in zip(self.columns, other.columns)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RecordBatch[{self.num_rows} rows x {len(self.schema)} cols]"
+
+
+def concat_batches(batches: Sequence[RecordBatch]) -> RecordBatch:
+    """Vertically concatenate batches sharing a schema."""
+    if not batches:
+        raise SchemaMismatchError("cannot concat zero batches")
+    schema = batches[0].schema
+    for b in batches[1:]:
+        if b.schema != schema:
+            raise SchemaMismatchError("concat requires identical schemas")
+    if len(batches) == 1:
+        return batches[0]
+    columns = []
+    for i, field in enumerate(schema):
+        values = np.concatenate([b.columns[i].values for b in batches])
+        if any(b.columns[i].validity is not None for b in batches):
+            validity = np.concatenate([b.columns[i].is_valid() for b in batches])
+        else:
+            validity = None
+        columns.append(ColumnArray(field.dtype, values, validity))
+    return RecordBatch(schema, columns)

@@ -1,0 +1,12 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+:mod:`repro.bench.env` wires datasets + cluster + connectors into
+one-call query runs; the ``figure5``/``figure6``/``table2``/``table3``
+modules each regenerate one artifact of the evaluation (see DESIGN.md's
+experiment index), printing paper-vs-measured rows.
+"""
+
+from repro.bench.env import Environment, RunConfig
+from repro.bench.report import format_table
+
+__all__ = ["Environment", "RunConfig", "format_table"]

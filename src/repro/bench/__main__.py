@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — regenerate the paper's evaluation artifacts."""
+
+from repro.bench.cli import main
+
+main()

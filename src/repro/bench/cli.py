@@ -1,0 +1,48 @@
+"""Unified CLI for regenerating the paper's evaluation artifacts.
+
+    python -m repro.bench all            # everything, small scale
+    python -m repro.bench figure5 --scale medium
+    python -m repro.bench figure6
+    python -m repro.bench table2
+    python -m repro.bench table3
+    python -m repro.bench lossy          # extension: pushdown over SZ data
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.bench import figure5, figure6, lossy, table2, table3
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["all", "figure5", "figure6", "table2", "table3", "lossy"],
+    )
+    parser.add_argument("--scale", choices=["small", "medium"], default="small")
+    args = parser.parse_args(argv)
+
+    runners = {
+        "figure5": lambda: figure5.main(["--scale", args.scale]),
+        "figure6": lambda: figure6.main(["--scale", args.scale]),
+        "table2": lambda: table2.main(["--scale", args.scale]),
+        "table3": lambda: table3.main([]),
+        "lossy": lambda: lossy.main([]),
+    }
+    wanted = list(runners) if args.artifact == "all" else [args.artifact]
+    for i, name in enumerate(wanted):
+        if i:
+            print()
+        runners[name]()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Experiment environment: datasets once, fresh cluster per query run.
+
+Datasets (object store + metastore) persist across runs; each ``run``
+builds a new simulated cluster so clocks, ledgers, and utilization
+counters are per-query — the same way each of the paper's measurements
+is an isolated query execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import DEFAULT_TESTBED, TestbedSpec
+from repro.connectors.hive import HiveConnector
+from repro.core import OcsConnector, PushdownMonitor, PushdownPolicy
+from repro.engine import Cluster, Coordinator, QueryResult, Session
+from repro.errors import EngineError
+from repro.metastore.catalog import HiveMetastore, TableDescriptor
+from repro.objectstore.store import ObjectStore
+from repro.sim.costmodel import DEFAULT_COSTS, CostParams
+from repro.workloads.datasets import DatasetSpec, build_dataset
+
+__all__ = ["RunConfig", "Environment"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One execution configuration (a bar in Figure 5 / 6)."""
+
+    label: str
+    #: "hive-raw" (no pushdown), "hive-select" (S3-Select-class), or
+    #: "ocs" (Presto-OCS connector with ``policy``).
+    mode: str
+    policy: Optional[PushdownPolicy] = None
+    #: ocs only: "node" (table-level requests) or "file" (per-split).
+    split_granularity: str = "node"
+    #: hive-raw only: False reproduces the paper's whole-file baseline.
+    prune_columns: bool = True
+    #: hive-select only: emulate S3 Select's missing float64 support.
+    strict_s3_types: bool = True
+
+    # Named configurations used throughout the benches -----------------------
+
+    @classmethod
+    def none(cls) -> "RunConfig":
+        return cls(label="none", mode="hive-raw", prune_columns=False)
+
+    @classmethod
+    def filter_only(cls) -> "RunConfig":
+        return cls(label="filter", mode="ocs", policy=PushdownPolicy.filter_only())
+
+    @classmethod
+    def ocs(cls, label: str, *operators: str, **policy_kwargs) -> "RunConfig":
+        return cls(
+            label=label, mode="ocs",
+            policy=PushdownPolicy.operators(*operators, **policy_kwargs),
+        )
+
+
+@dataclass
+class Environment:
+    """Shared datasets + per-run cluster construction."""
+
+    testbed: TestbedSpec = field(default_factory=lambda: DEFAULT_TESTBED)
+    costs: CostParams = field(default_factory=lambda: DEFAULT_COSTS)
+    store: ObjectStore = field(default_factory=ObjectStore)
+    metastore: HiveMetastore = field(default_factory=HiveMetastore)
+    #: Shared across runs so the sliding-window history accumulates.
+    monitor: PushdownMonitor = field(default_factory=PushdownMonitor)
+
+    def add_dataset(self, spec: DatasetSpec) -> TableDescriptor:
+        return build_dataset(spec, self.store, self.metastore)
+
+    def dataset_bytes(self, descriptor: TableDescriptor) -> int:
+        """Total stored bytes of a table (the paper's dataset-size axis)."""
+        return sum(
+            len(self.store.get_object(descriptor.bucket, key))
+            for key in descriptor.files
+        )
+
+    def run(
+        self, sql: str, config: RunConfig, schema: str, catalog: str = "repro"
+    ) -> QueryResult:
+        """Execute one query under ``config`` on a fresh cluster."""
+        cluster = Cluster(
+            self.store,
+            self.testbed,
+            self.costs,
+            strict_s3_types=config.strict_s3_types,
+        )
+        connector = self._connector(cluster, config)
+        coordinator = Coordinator(cluster, {catalog: connector})
+        session = Session(catalog=catalog, schema=schema)
+        return coordinator.execute(sql, session)
+
+    def explain(
+        self, sql: str, config: RunConfig, schema: str, catalog: str = "repro"
+    ) -> str:
+        """EXPLAIN under ``config`` without executing."""
+        cluster = Cluster(
+            self.store, self.testbed, self.costs,
+            strict_s3_types=config.strict_s3_types,
+        )
+        connector = self._connector(cluster, config)
+        coordinator = Coordinator(cluster, {catalog: connector})
+        return coordinator.explain(sql, Session(catalog=catalog, schema=schema))
+
+    def _connector(self, cluster: Cluster, config: RunConfig):
+        if config.mode == "hive-raw":
+            return HiveConnector(
+                cluster, self.metastore, mode="raw", prune_columns=config.prune_columns
+            )
+        if config.mode == "hive-select":
+            return HiveConnector(cluster, self.metastore, mode="select")
+        if config.mode == "ocs":
+            policy = config.policy or PushdownPolicy.all_operators()
+            return OcsConnector(
+                cluster, self.metastore, policy=policy, monitor=self.monitor,
+                split_granularity=config.split_granularity,
+            )
+        raise EngineError(f"unknown run mode {config.mode!r}")

@@ -1,0 +1,138 @@
+"""Table 2: queries, measured selectivity, and logical execution plans.
+
+Selectivity follows the paper's definition — "ratio of result to input
+size" in bytes — and the plan chains must match Table 2's:
+
+    Laghos:     TableScan -> Filter -> Aggregation -> Top-N
+    Deep Water: TableScan -> Filter -> Project -> Aggregation
+    TPC-H Q1:   TableScan -> Filter -> Project -> Aggregation -> Sort
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.bench.env import Environment, RunConfig
+from repro.bench.figure5 import SCALES, build_environment
+from repro.bench.report import format_table
+from repro.plan import GlobalOptimizer, plan_query
+from repro.sql import analyze, parse
+from repro.workloads import DEEPWATER_QUERY, LAGHOS_QUERY, TPCH_Q1
+
+__all__ = ["Table2Row", "run_table2"]
+
+PAPER_SELECTIVITY = {
+    "laghos": 0.0023842e-2,
+    "deepwater": 0.0000032e-2,
+    "tpch": 0.0000667e-2,
+}
+
+PAPER_PLANS = {
+    "laghos": ["TableScan", "Filter", "Aggregation", "TopN"],
+    "deepwater": ["TableScan", "Filter", "Project", "Aggregation"],
+    "tpch": ["TableScan", "Filter", "Project", "Aggregation", "Sort"],
+}
+
+DATASETS = {
+    "laghos": ("hpc", "laghos", LAGHOS_QUERY),
+    "deepwater": ("hpc", "deepwater", DEEPWATER_QUERY),
+    "tpch": ("tpch", "lineitem", TPCH_Q1),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    dataset: str
+    selectivity: float
+    paper_selectivity: float
+    plan_chain: List[str]
+    paper_plan: List[str]
+
+    @property
+    def plan_matches(self) -> bool:
+        return self.plan_chain == self.paper_plan
+
+
+def _operator_chain(schema_name: str, table: str, query: str, env: Environment) -> List[str]:
+    """Bottom-up operator names of the optimized logical plan (Table 2 style:
+    scan first; Output and pure-rename projections are plumbing, not
+    operators, and Presto displays TopN/Limit fusion as Top-N)."""
+    descriptor = env.metastore.get_table(schema_name, table)
+    plan = GlobalOptimizer().optimize(
+        plan_query(analyze(parse(query), descriptor.table_schema))
+    )
+    chain = []
+    node = plan
+    while node is not None:
+        chain.append(node)
+        children = node.children()
+        node = children[0] if children else None
+    chain.reverse()
+    names = []
+    for node in chain:
+        name = type(node).__name__.replace("Node", "")
+        if name == "Output":
+            continue
+        if name == "Project" and getattr(node, "is_identity", False):
+            continue
+        # Hidden post-aggregation renames are plumbing, not operators.
+        if name == "Project" and _is_rename(node):
+            continue
+        names.append(name)
+    return names
+
+
+def _is_rename(node) -> bool:
+    from repro.exec.expressions import ColumnExpr
+
+    return all(isinstance(e, ColumnExpr) for _, e in node.projections)
+
+
+def run_table2(env: Environment) -> List[Table2Row]:
+    rows = []
+    for dataset, (schema_name, table, query) in DATASETS.items():
+        descriptor = env.metastore.get_table(schema_name, table)
+        input_bytes = env.dataset_bytes(descriptor)
+        result = env.run(query, RunConfig.none(), schema=schema_name)
+        result_bytes = result.batch.nbytes
+        rows.append(
+            Table2Row(
+                dataset=dataset,
+                selectivity=result_bytes / input_bytes,
+                paper_selectivity=PAPER_SELECTIVITY[dataset],
+                plan_chain=_operator_chain(schema_name, table, query, env),
+                paper_plan=PAPER_PLANS[dataset],
+            )
+        )
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    out = []
+    for r in rows:
+        out.append(
+            [
+                r.dataset,
+                f"{r.selectivity:.7%}",
+                f"{r.paper_selectivity:.7%}",
+                " -> ".join(r.plan_chain),
+                "yes" if r.plan_matches else "NO",
+            ]
+        )
+    return "Table 2 (queries, selectivity, plans)\n" + format_table(
+        ["dataset", "selectivity", "paper", "execution plan", "plan match"], out
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=list(SCALES), default="small")
+    args = parser.parse_args(argv)
+    env = build_environment(args.scale)
+    print(format_table2(run_table2(env)))
+
+
+if __name__ == "__main__":
+    main()

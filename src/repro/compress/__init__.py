@@ -1,0 +1,36 @@
+"""Compression codecs for Parcel column chunks.
+
+The paper's Figure 6 studies query pushdown under the three lossless
+codecs the Parquet ecosystem ships: Snappy, GZip, and Zstd.  We provide
+the same three (ratio, speed) design points:
+
+* ``snappy`` — :class:`~repro.compress.snappy.SnappyClassCodec`, a
+  from-scratch greedy LZ77 with a 64 KiB window and skip acceleration:
+  fast, modest ratio.
+* ``gzip`` — :class:`~repro.compress.gzipc.GzipCodec`, DEFLATE via the
+  stdlib ``zlib``: slow, good ratio.
+* ``zstd`` — :class:`~repro.compress.zstdc.ZstdClassCodec`, a from-scratch
+  chained-match LZ77 with a 1 MiB window plus a canonical-Huffman entropy
+  stage: best ratio at moderate cost.
+* ``none`` — identity passthrough.
+
+All codecs share the checksummed frame of :mod:`repro.compress.codec` and
+are looked up by name through :func:`default_registry` / :func:`get_codec`.
+"""
+
+from repro.compress.codec import Codec, CodecRegistry, NoneCodec
+from repro.compress.gzipc import GzipCodec
+from repro.compress.snappy import SnappyClassCodec
+from repro.compress.zstdc import ZstdClassCodec
+from repro.compress.registry import default_registry, get_codec
+
+__all__ = [
+    "Codec",
+    "CodecRegistry",
+    "GzipCodec",
+    "NoneCodec",
+    "SnappyClassCodec",
+    "ZstdClassCodec",
+    "default_registry",
+    "get_codec",
+]

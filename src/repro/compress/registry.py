@@ -1,0 +1,30 @@
+"""Default codec registry shared by the Parcel writer/reader and benches."""
+
+from __future__ import annotations
+
+from repro.compress.codec import Codec, CodecRegistry, NoneCodec
+from repro.compress.gzipc import GzipCodec
+from repro.compress.snappy import SnappyClassCodec
+from repro.compress.zstdc import ZstdClassCodec
+
+__all__ = ["default_registry", "get_codec"]
+
+_DEFAULT: CodecRegistry | None = None
+
+
+def default_registry() -> CodecRegistry:
+    """The process-wide registry with none/snappy/gzip/zstd installed."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        registry = CodecRegistry()
+        registry.register(NoneCodec())
+        registry.register(SnappyClassCodec())
+        registry.register(GzipCodec())
+        registry.register(ZstdClassCodec())
+        _DEFAULT = registry
+    return _DEFAULT
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by name in the default registry."""
+    return default_registry().get(name)

@@ -1,0 +1,108 @@
+"""Testbed configuration mirroring the paper's Table 1.
+
+The paper evaluates on three physical machines:
+
+* a **compute node** running a single-node Presto deployment
+  (Xeon Gold 6226R, 64 cores @ 2.9 GHz, 384 GB RAM, 1 TB NVMe),
+* an **OCS frontend node** (Xeon Silver 4410Y, 48 cores @ 3.9 GHz,
+  64 GB RAM, 1 TB NVMe), and
+* an **OCS storage node** deliberately restricted to 16 cores @ 2.0 GHz
+  to emulate resource-constrained production storage hardware
+  (64 GB RAM, 1 TB NVMe + 512 GB SATA SSD),
+
+all on a 10 GbE network.  :class:`TestbedSpec` captures those numbers and
+is the single source the simulator's resource model reads, so experiments
+can dial a different testbed without touching cost-model code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+GIB = 1024**3
+GB = 10**9
+MB = 10**6
+KB = 10**3
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one machine in the testbed."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    memory_gb: int
+    disk_bandwidth_bps: float
+    #: Fraction of theoretical core throughput realistically achieved by a
+    #: query engine (branchy, memory-bound code does not retire 1 useful
+    #: row-op per cycle).
+    ipc_efficiency: float = 1.0
+
+    @property
+    def effective_hz(self) -> float:
+        """Aggregate useful cycles per second across all cores."""
+        return self.cores * self.clock_ghz * 1e9 * self.ipc_efficiency
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect description (paper: 10 GbE switch)."""
+
+    bandwidth_bps: float = 10e9 / 8  # 10 GbE -> 1.25 GB/s
+    latency_s: float = 100e-6
+    #: Per-message framing/syscall overhead charged in addition to latency.
+    per_message_cpu_cycles: float = 20_000.0
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """The full three-node testbed of Table 1."""
+
+    # Not a test class, despite the name (keeps pytest collection quiet).
+    __test__ = False
+
+    compute: NodeSpec = field(
+        default_factory=lambda: NodeSpec(
+            name="compute",
+            cores=64,
+            clock_ghz=2.9,
+            memory_gb=384,
+            disk_bandwidth_bps=2.5 * GB,
+            ipc_efficiency=0.35,
+        )
+    )
+    frontend: NodeSpec = field(
+        default_factory=lambda: NodeSpec(
+            name="ocs-frontend",
+            cores=48,
+            clock_ghz=3.9,
+            memory_gb=64,
+            disk_bandwidth_bps=2.5 * GB,
+            ipc_efficiency=0.35,
+        )
+    )
+    storage: NodeSpec = field(
+        default_factory=lambda: NodeSpec(
+            name="ocs-storage",
+            cores=16,
+            clock_ghz=2.0,
+            memory_gb=64,
+            disk_bandwidth_bps=1.8 * GB,
+            ipc_efficiency=0.35,
+        )
+    )
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    storage_node_count: int = 1
+
+    def node(self, name: str) -> NodeSpec:
+        """Look up a node spec by role name."""
+        for spec in (self.compute, self.frontend, self.storage):
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no node named {name!r} in testbed")
+
+
+#: Default testbed used by examples, benches, and integration tests.
+DEFAULT_TESTBED = TestbedSpec()

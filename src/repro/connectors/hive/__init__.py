@@ -1,0 +1,5 @@
+"""Hive-class connector: the conventional object-storage path."""
+
+from repro.connectors.hive.connector import HiveConnector, HiveTableHandle
+
+__all__ = ["HiveConnector", "HiveTableHandle"]

@@ -1,0 +1,53 @@
+"""The Presto-OCS connector — the paper's primary contribution.
+
+Implements the design of Sections 3.4 and 4 on top of the engine's
+connector SPI, with the same component inventory as the paper:
+
+* :class:`~repro.core.selectivity.SelectivityAnalyzer` — estimates each
+  operator's data-reduction potential from Hive-metastore statistics
+  (normal-distribution range selectivity from min/max, aggregation
+  cardinality from NDV, top-N directly from LIMIT).
+* :class:`~repro.core.extractor.OperatorExtractor` — walks the logical
+  plan bottom-up and captures pushdown candidates with their conditions
+  (filter predicates, grouping keys + aggregate functions, sort
+  criteria and limits).
+* :class:`~repro.core.optimizer.OcsPlanOptimizer` — the
+  ConnectorPlanOptimizer hook: applies the pushdown policy, merges the
+  chosen operators into an enriched TableScan handle, and rebuilds the
+  residual plan (e.g. a final aggregation merging per-node partials).
+* :class:`~repro.core.translator` — reconstructs the pushed operators
+  into Substrait IR (name->ordinal mapping, function-namespace mapping,
+  type normalization).
+* The connector's **PageSourceProvider** ships the IR to the OCS
+  frontend over the gRPC-class channel and deserializes the Arrow
+  results into engine pages.
+* :class:`~repro.core.monitor.PushdownMonitor` — EventListener-style
+  runtime statistics with a sliding-window pushdown history.
+"""
+
+from repro.core.adaptive import AdaptationDecision, AdaptiveController
+from repro.core.handle import OcsTableHandle, PushedAggregation, PushedOperators
+from repro.core.selectivity import SelectivityAnalyzer, SelectivityEstimate
+from repro.core.extractor import OperatorExtractor, PushdownCandidate
+from repro.core.optimizer import OcsPlanOptimizer, PushdownPolicy
+from repro.core.translator import build_pushdown_plan
+from repro.core.monitor import PushdownEvent, PushdownMonitor
+from repro.core.connector import OcsConnector
+
+__all__ = [
+    "AdaptationDecision",
+    "AdaptiveController",
+    "OcsConnector",
+    "OcsPlanOptimizer",
+    "OcsTableHandle",
+    "OperatorExtractor",
+    "PushdownCandidate",
+    "PushdownEvent",
+    "PushdownMonitor",
+    "PushdownPolicy",
+    "PushedAggregation",
+    "PushedOperators",
+    "SelectivityAnalyzer",
+    "SelectivityEstimate",
+    "build_pushdown_plan",
+]

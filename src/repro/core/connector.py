@@ -1,0 +1,172 @@
+"""The Presto-OCS connector: SPI wiring + the PageSourceProvider.
+
+The page source is where the paper's Section 3.4 steps (3)-(5) happen:
+reconstruct the pushed operators, translate to Substrait, ship over the
+gRPC-class channel to the OCS frontend, and deserialize the returned
+Arrow stream into engine pages for the residual operators.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.arrowsim.ipc import deserialize_batches
+from repro.core.handle import OcsTableHandle, PushedOperators
+from repro.core.monitor import PushdownEvent, PushdownMonitor
+from repro.core.optimizer import OcsPlanOptimizer, PushdownPolicy
+from repro.core.translator import build_pushdown_plan
+from repro.engine.cluster import Cluster
+from repro.engine.coordinator import STAGE_SUBSTRAIT
+from repro.engine.gateway import place_key
+from repro.engine.spi import Connector, ConnectorSplit, PageSourceResult
+from repro.errors import RpcStatusError
+from repro.metastore.catalog import HiveMetastore
+from repro.ocs.frontend import OcsFrontend, PushdownRequest, decode_response, encode_request
+from repro.sim.metrics import MetricsRegistry
+from repro.substrait.serde import serialize_plan
+
+__all__ = ["OcsConnector"]
+
+
+class OcsConnector(Connector):
+    """Connector exposing OCS's extended pushdown to the engine."""
+
+    name = "ocs"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        metastore: HiveMetastore,
+        policy: PushdownPolicy | None = None,
+        monitor: PushdownMonitor | None = None,
+        split_granularity: str = "node",
+    ) -> None:
+        self.cluster = cluster
+        self.metastore = metastore
+        self.policy = policy if policy is not None else PushdownPolicy.all_operators()
+        #: Sliding-window history; share one across runs to accumulate.
+        self.monitor = monitor if monitor is not None else PushdownMonitor()
+        #: "node": one pushdown request per storage node over all its
+        #: files (default; matches the paper's measured data movement).
+        #: "file": one request per file — Presto's classic per-split
+        #: notification model; forces partial aggregation states.
+        self.split_granularity = split_granularity
+
+    # -- SPI ---------------------------------------------------------------------
+
+    def get_table_handle(self, schema: str, table: str) -> OcsTableHandle:
+        descriptor = self.metastore.get_table(schema, table)
+        return OcsTableHandle(descriptor=descriptor, pushed=None)
+
+    def plan_optimizer(self) -> OcsPlanOptimizer:
+        return OcsPlanOptimizer(
+            policy=self.policy,
+            storage_node_count=len(self.cluster.storage_nodes),
+            split_granularity=self.split_granularity,
+        )
+
+    def get_splits(self, handle: OcsTableHandle) -> List[ConnectorSplit]:
+        """One split per storage node ("node" granularity, default) or one
+        per file ("file" granularity, Presto's classic split model)."""
+        node_count = len(self.cluster.storage_nodes)
+        if self.split_granularity == "file":
+            return [
+                ConnectorSplit(
+                    split_id=i, keys=(key,), node_index=place_key(key, node_count)
+                )
+                for i, key in enumerate(handle.descriptor.files)
+            ]
+        by_node: dict[int, list[str]] = {}
+        for key in handle.descriptor.files:
+            by_node.setdefault(place_key(key, node_count), []).append(key)
+        return [
+            ConnectorSplit(split_id=i, keys=tuple(sorted(keys)), node_index=node)
+            for i, (node, keys) in enumerate(sorted(by_node.items()))
+        ]
+
+    # -- PageSourceProvider ----------------------------------------------------------
+
+    def page_source(
+        self,
+        handle: OcsTableHandle,
+        split: ConnectorSplit,
+        metrics: MetricsRegistry,
+    ) -> Generator:
+        cluster = self.cluster
+        sim = cluster.sim
+        costs = cluster.costs
+        pushed: PushedOperators = handle.pushed
+
+        # (3) Reconstruct and translate the pushed operators to IR,
+        # charging the generation cost (Table 3's second row).
+        t0 = sim.now
+        plan = build_pushdown_plan(handle.descriptor, pushed)
+        plan_bytes = serialize_plan(plan)
+        generation_cycles = (
+            costs.substrait_fixed_cycles
+            + plan.relation_count() * costs.substrait_cycles_per_relation
+            + plan.expression_node_count() * costs.substrait_cycles_per_expression
+        )
+        yield cluster.compute.execute(generation_cycles, name="substrait-gen")
+        metrics.stages.charge(STAGE_SUBSTRAIT, sim.now - t0)
+        metrics.add("substrait_plan_bytes", len(plan_bytes))
+
+        # (4) Dispatch to OCS over gRPC and await Arrow results.
+        request = encode_request(
+            PushdownRequest(
+                plan_bytes=plan_bytes,
+                bucket=handle.descriptor.bucket,
+                keys=split.keys,
+                node_index=split.node_index,
+            )
+        )
+        t1 = sim.now
+        try:
+            response = yield cluster.ocs_client.call(OcsFrontend.METHOD, request)
+        except RpcStatusError:
+            self.monitor.record(
+                PushdownEvent(
+                    table=handle.descriptor.qualified_name,
+                    operators=tuple(pushed.operator_names()),
+                    success=False,
+                    rows_scanned=0,
+                    rows_returned=0,
+                    bytes_returned=0,
+                    transfer_seconds=sim.now - t1,
+                    estimated_rows=handle.estimated_output_rows,
+                )
+            )
+            raise
+        arrow, report = decode_response(response)
+
+        # (5) Deserialize Arrow into engine pages.
+        batches = deserialize_batches(arrow)
+        values = sum(b.num_rows * len(b.schema) for b in batches)
+        ingest = (
+            len(arrow) * costs.arrow_deserialize_cycles_per_byte
+            + values * costs.arrow_ingest_cycles_per_value
+        )
+
+        metrics.add("ocs_rows_scanned", report.rows_scanned)
+        metrics.add("ocs_rows_returned", report.rows_returned)
+        metrics.add("ocs_stored_bytes_read", report.stored_bytes_read)
+        metrics.add("ocs_row_groups_pruned", report.row_groups_pruned)
+        metrics.add("ocs_row_groups_read", report.row_groups_read)
+        self.monitor.record(
+            PushdownEvent(
+                table=handle.descriptor.qualified_name,
+                operators=tuple(pushed.operator_names()),
+                success=True,
+                rows_scanned=report.rows_scanned,
+                rows_returned=report.rows_returned,
+                bytes_returned=len(arrow),
+                transfer_seconds=sim.now - t1,
+                estimated_rows=handle.estimated_output_rows,
+            )
+        )
+        return PageSourceResult(
+            batches=batches,
+            bytes_received=len(response),
+            ingest_cycles=ingest,
+            transfer_seconds=sim.now - t1,
+        )

@@ -1,0 +1,138 @@
+"""Operator Extractor: bottom-up capture of pushdown candidates.
+
+Paper Section 3.4: "the Operator Extractor captures the identified
+operators along with their associated SQL conditions, including filter
+predicates (range boundaries, equality constraints), aggregation
+specifications (GROUP BY keys, aggregate functions), and sorting
+criteria (ORDER BY columns, LIMIT values)."
+
+The extractor is purely analytical: it linearizes the plan above the
+scan and describes each node in pushdown vocabulary, preserving
+execution-order dependencies (a candidate may only be pushed if every
+candidate below it was pushed).  The optimizer applies policy on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import PlanError
+from repro.exec.expressions import ColumnExpr
+from repro.plan.nodes import (
+    AggregationNode,
+    FilterNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    TableScanNode,
+    TopNNode,
+)
+
+__all__ = ["PushdownCandidate", "OperatorExtractor"]
+
+
+@dataclass
+class PushdownCandidate:
+    """One plan node described in pushdown vocabulary."""
+
+    #: "filter" | "project" | "rename" | "aggregation" | "topn" | "sort" | "limit" | "output"
+    kind: str
+    node: PlanNode
+    #: Position above the scan (0 = directly above).
+    position: int
+    #: Extracted conditions (predicates, keys, functions, sort specs...).
+    conditions: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<candidate {self.kind}@{self.position}>"
+
+
+class OperatorExtractor:
+    """Linearizes a plan and classifies every node above the scan."""
+
+    def extract(self, plan: PlanNode) -> tuple[TableScanNode, List[PushdownCandidate]]:
+        chain: List[PlanNode] = []
+        node: Optional[PlanNode] = plan
+        while node is not None:
+            chain.append(node)
+            children = node.children()
+            if len(children) > 1:
+                raise PlanError("pushdown extraction requires a linear plan")
+            node = children[0] if children else None
+        chain.reverse()
+        if not isinstance(chain[0], TableScanNode):
+            raise PlanError("plan does not bottom out in a table scan")
+        scan = chain[0]
+
+        candidates: List[PushdownCandidate] = []
+        for position, node in enumerate(chain[1:]):
+            candidates.append(self._describe(node, position))
+        return scan, candidates
+
+    def _describe(self, node: PlanNode, position: int) -> PushdownCandidate:
+        if isinstance(node, FilterNode):
+            return PushdownCandidate(
+                kind="filter",
+                node=node,
+                position=position,
+                conditions={
+                    "predicate": node.predicate,
+                    "referenced_columns": sorted(node.predicate.column_refs()),
+                    "term_count": node.predicate.node_count(),
+                },
+            )
+        if isinstance(node, ProjectNode):
+            pure_rename = all(
+                isinstance(expr, ColumnExpr) for _, expr in node.projections
+            )
+            return PushdownCandidate(
+                kind="rename" if pure_rename else "project",
+                node=node,
+                position=position,
+                conditions={
+                    "projections": list(node.projections),
+                    "expression_nodes": sum(
+                        e.node_count() for _, e in node.projections
+                    ),
+                },
+            )
+        if isinstance(node, AggregationNode):
+            return PushdownCandidate(
+                kind="aggregation",
+                node=node,
+                position=position,
+                conditions={
+                    "group_keys": list(node.key_names),
+                    "functions": [
+                        (s.func, s.arg, s.distinct) for s in node.specs
+                    ],
+                },
+            )
+        if isinstance(node, TopNNode):
+            return PushdownCandidate(
+                kind="topn",
+                node=node,
+                position=position,
+                conditions={"limit": node.count, "sort_keys": list(node.sort_keys)},
+            )
+        if isinstance(node, SortNode):
+            return PushdownCandidate(
+                kind="sort",
+                node=node,
+                position=position,
+                conditions={"sort_keys": list(node.sort_keys)},
+            )
+        if isinstance(node, LimitNode):
+            return PushdownCandidate(
+                kind="limit", node=node, position=position,
+                conditions={"limit": node.count},
+            )
+        if isinstance(node, OutputNode):
+            return PushdownCandidate(
+                kind="output", node=node, position=position,
+                conditions={"columns": list(node.column_names)},
+            )
+        raise PlanError(f"cannot classify plan node {type(node).__name__}")

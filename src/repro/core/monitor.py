@@ -1,0 +1,111 @@
+"""Pushdown monitoring: EventListener-style stats + sliding-window history.
+
+Paper Section 4: "The connector implements monitoring via Presto's
+EventListener interface to collect runtime statistics, including operator
+execution times, data volumes, and pushdown success rates. The collected
+metrics are stored in a pushdown history component that maintains a
+sliding window of recent executions to identify patterns and inform
+future optimization decisions."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["PushdownEvent", "PushdownMonitor"]
+
+
+@dataclass(frozen=True)
+class PushdownEvent:
+    """One completed pushdown request."""
+
+    table: str
+    operators: Tuple[str, ...]
+    success: bool
+    rows_scanned: int
+    rows_returned: int
+    bytes_returned: int
+    transfer_seconds: float
+    #: Estimated output rows at decision time (None when stats were off).
+    estimated_rows: Optional[int] = None
+
+    @property
+    def reduction_ratio(self) -> float:
+        """rows out / rows in (lower = more reduction achieved)."""
+        if self.rows_scanned == 0:
+            return 1.0
+        return self.rows_returned / self.rows_scanned
+
+    @property
+    def estimate_error(self) -> Optional[float]:
+        """Relative cardinality-estimate error, when an estimate exists."""
+        if self.estimated_rows is None or self.rows_returned == 0:
+            return None
+        return abs(self.estimated_rows - self.rows_returned) / self.rows_returned
+
+
+class PushdownMonitor:
+    """Sliding window over recent pushdown executions."""
+
+    def __init__(self, window: int = 128) -> None:
+        if window < 1:
+            raise ValueError("history window must hold at least one event")
+        self.window = window
+        self._events: Deque[PushdownEvent] = deque(maxlen=window)
+        self._total_events = 0
+        self._total_failures = 0
+
+    # -- EventListener surface -----------------------------------------------
+
+    def record(self, event: PushdownEvent) -> None:
+        self._events.append(event)
+        self._total_events += 1
+        if not event.success:
+            self._total_failures += 1
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_events(self) -> int:
+        return self._total_events
+
+    def success_rate(self) -> float:
+        """Fraction of windowed requests that executed successfully."""
+        if not self._events:
+            return 1.0
+        return sum(1 for e in self._events if e.success) / len(self._events)
+
+    def mean_reduction_ratio(self) -> float:
+        """Average rows-out/rows-in across the window (successes only)."""
+        ratios = [e.reduction_ratio for e in self._events if e.success]
+        if not ratios:
+            return 1.0
+        return sum(ratios) / len(ratios)
+
+    def bytes_returned(self) -> int:
+        return sum(e.bytes_returned for e in self._events)
+
+    def operator_frequencies(self) -> Dict[str, int]:
+        """How often each operator kind appeared in recent pushdowns."""
+        freq: Dict[str, int] = {}
+        for event in self._events:
+            for op in event.operators:
+                freq[op] = freq.get(op, 0) + 1
+        return freq
+
+    def recent(self, count: int = 10) -> List[PushdownEvent]:
+        return list(self._events)[-count:]
+
+    def mean_estimate_error(self) -> Optional[float]:
+        """Mean relative estimate error over events that carried estimates."""
+        errors = [
+            e.estimate_error for e in self._events if e.estimate_error is not None
+        ]
+        if not errors:
+            return None
+        return sum(errors) / len(errors)

@@ -1,0 +1,195 @@
+"""Selectivity Analyzer: operator data-reduction estimates from statistics.
+
+Paper Section 4 ("Local Optimizer"): range-filter selectivity assumes a
+**normal distribution of values between the column's min/max boundaries**
+(mean at the midpoint, the bounds at +/-3 sigma); aggregation output
+cardinality is ``row_count / NDV``-style, i.e. the (capped) product of
+the grouping keys' NDVs; top-N selectivity is exact from the LIMIT.
+
+The paper also notes the normality assumption's weakness on skewed data —
+``distribution="uniform"`` is provided so the ablation bench can compare
+the two estimators against measured selectivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.exec.expressions import (
+    AndExpr,
+    ColumnExpr,
+    CompareExpr,
+    Expr,
+    InExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NotExpr,
+    OrExpr,
+)
+from repro.metastore.catalog import TableDescriptor
+
+__all__ = ["SelectivityEstimate", "SelectivityAnalyzer"]
+
+#: Fallback selectivity for predicate shapes statistics cannot bound.
+_DEFAULT_TERM_SELECTIVITY = 0.33
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class SelectivityEstimate:
+    """One operator's estimated output/input ratio."""
+
+    operator: str
+    selectivity: float
+    input_rows: int
+
+    @property
+    def output_rows(self) -> int:
+        return max(0, round(self.selectivity * self.input_rows))
+
+
+class SelectivityAnalyzer:
+    """Estimates data reduction per operator from metastore statistics."""
+
+    def __init__(self, descriptor: TableDescriptor, distribution: str = "normal") -> None:
+        if distribution not in ("normal", "uniform", "histogram"):
+            raise ValueError(f"unknown distribution model {distribution!r}")
+        self.descriptor = descriptor
+        self.distribution = distribution
+
+    # -- filters -----------------------------------------------------------------
+
+    def filter_selectivity(self, predicate: Expr) -> SelectivityEstimate:
+        """Estimated fraction of rows passing ``predicate``."""
+        fraction = self._predicate_fraction(predicate)
+        return SelectivityEstimate(
+            operator="filter",
+            selectivity=fraction,
+            input_rows=self.descriptor.row_count,
+        )
+
+    def _predicate_fraction(self, predicate: Expr) -> float:
+        if isinstance(predicate, AndExpr):
+            out = 1.0
+            for operand in predicate.operands:
+                out *= self._predicate_fraction(operand)
+            return out
+        if isinstance(predicate, OrExpr):
+            out = 0.0
+            for operand in predicate.operands:
+                # Inclusion-exclusion under independence.
+                p = self._predicate_fraction(operand)
+                out = out + p - out * p
+            return out
+        if isinstance(predicate, NotExpr):
+            return 1.0 - self._predicate_fraction(predicate.operand)
+        if isinstance(predicate, CompareExpr):
+            return self._comparison_fraction(predicate)
+        if isinstance(predicate, InExpr):
+            return self._in_fraction(predicate)
+        if isinstance(predicate, IsNullExpr):
+            return self._null_fraction(predicate)
+        return _DEFAULT_TERM_SELECTIVITY
+
+    def _comparison_fraction(self, cmp: CompareExpr) -> float:
+        left, right, op = cmp.left, cmp.right, cmp.op
+        if isinstance(right, ColumnExpr) and isinstance(left, LiteralExpr):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not (isinstance(left, ColumnExpr) and isinstance(right, LiteralExpr)):
+            return _DEFAULT_TERM_SELECTIVITY
+        stats = self.descriptor.stats_for(left.name)
+        if stats is None or stats.min_value is None or stats.max_value is None:
+            return _DEFAULT_TERM_SELECTIVITY
+        if op == "=":
+            return 1.0 / max(stats.ndv, 1)
+        if op == "<>":
+            return 1.0 - 1.0 / max(stats.ndv, 1)
+        try:
+            lo = float(stats.min_value)  # type: ignore[arg-type]
+            hi = float(stats.max_value)  # type: ignore[arg-type]
+            value = float(right.value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return _DEFAULT_TERM_SELECTIVITY
+        below = self._fraction_below(left.name, value, lo, hi)
+        if op in ("<", "<="):
+            return min(1.0, max(0.0, below))
+        return min(1.0, max(0.0, 1.0 - below))
+
+    def _fraction_below(self, column: str, value: float, lo: float, hi: float) -> float:
+        """P(column <= value) under the configured distribution model."""
+        if self.distribution == "histogram":
+            histogram = self.descriptor.histogram_for(column)
+            if histogram is not None:
+                return histogram.fraction_below(value)
+            # No zone-map histogram collected: fall through to normal.
+        if hi <= lo:
+            return 1.0 if value >= hi else 0.0
+        if self.distribution == "uniform":
+            return (value - lo) / (hi - lo)
+        # Normal between the bounds: mean at midpoint, bounds at 3 sigma
+        # (paper: "assumes a normal distribution of values between the
+        # column's min/max boundaries").
+        mean = (lo + hi) / 2.0
+        sigma = (hi - lo) / 6.0
+        return _normal_cdf((value - mean) / sigma)
+
+    def _in_fraction(self, expr: InExpr) -> float:
+        if not isinstance(expr.operand, ColumnExpr):
+            return _DEFAULT_TERM_SELECTIVITY
+        stats = self.descriptor.stats_for(expr.operand.name)
+        if stats is None or stats.ndv == 0:
+            return _DEFAULT_TERM_SELECTIVITY
+        fraction = min(1.0, len(expr.values) / stats.ndv)
+        return 1.0 - fraction if expr.negated else fraction
+
+    def _null_fraction(self, expr: IsNullExpr) -> float:
+        if not isinstance(expr.operand, ColumnExpr):
+            return _DEFAULT_TERM_SELECTIVITY
+        stats = self.descriptor.stats_for(expr.operand.name)
+        if stats is None or stats.row_count == 0:
+            return _DEFAULT_TERM_SELECTIVITY
+        fraction = stats.null_count / stats.row_count
+        return 1.0 - fraction if expr.negated else fraction
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def aggregation_cardinality(
+        self, key_names: Sequence[str], input_rows: Optional[int] = None
+    ) -> SelectivityEstimate:
+        """Estimated group count: capped product of the keys' NDVs.
+
+        Paper: "output cardinality as row_count/NDV of the GROUP BY
+        column(s), where aggregations with low NDV are prioritized".
+        """
+        rows = input_rows if input_rows is not None else self.descriptor.row_count
+        if not key_names:
+            groups = 1
+        else:
+            groups = 1
+            for name in key_names:
+                stats = self.descriptor.stats_for(name)
+                ndv = stats.ndv if stats is not None and stats.ndv > 0 else rows
+                groups *= max(1, ndv)
+                if groups >= rows:
+                    break
+        groups = min(groups, max(rows, 1))
+        selectivity = groups / rows if rows > 0 else 1.0
+        return SelectivityEstimate(
+            operator="aggregation", selectivity=min(1.0, selectivity), input_rows=rows
+        )
+
+    # -- top-N -------------------------------------------------------------------------
+
+    def topn_selectivity(self, n: int, input_rows: Optional[int] = None) -> SelectivityEstimate:
+        """Exact: LIMIT explicitly bounds the output (paper Section 4)."""
+        rows = input_rows if input_rows is not None else self.descriptor.row_count
+        selectivity = min(1.0, n / rows) if rows > 0 else 1.0
+        return SelectivityEstimate(
+            operator="topn", selectivity=selectivity, input_rows=rows
+        )

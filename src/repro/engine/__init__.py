@@ -1,0 +1,37 @@
+"""Presto-class distributed SQL engine.
+
+Coordinator/worker architecture over the simulated testbed, following the
+paper's Figure 3 pipeline: SQL parsing -> analysis -> logical planning ->
+global optimization -> **connector-specific optimization** (the SPI hook
+the Presto-OCS connector plugs into) -> physical fragmentation -> split
+generation/scheduling -> execution.
+
+Connectors implement :class:`~repro.engine.spi.Connector`: metadata
+(schemas + statistics from the metastore), split generation, a
+PageSourceProvider that materializes pages from storage (as a DES process
+so transfers and remote work happen on the simulated testbed), and an
+optional :class:`~repro.engine.spi.ConnectorPlanOptimizer`.
+"""
+
+from repro.engine.cluster import Cluster
+from repro.engine.coordinator import Coordinator, QueryResult
+from repro.engine.session import Session
+from repro.engine.spi import (
+    Connector,
+    ConnectorPlanOptimizer,
+    ConnectorSplit,
+    ConnectorTableHandle,
+    PageSourceResult,
+)
+
+__all__ = [
+    "Cluster",
+    "Connector",
+    "ConnectorPlanOptimizer",
+    "ConnectorSplit",
+    "ConnectorTableHandle",
+    "Coordinator",
+    "PageSourceResult",
+    "QueryResult",
+    "Session",
+]

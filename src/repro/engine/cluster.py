@@ -1,0 +1,107 @@
+"""Cluster wiring: simulated nodes, links, OCS services, S3 gateway.
+
+One :class:`Cluster` is built per query run so the clock, ledgers, and
+utilization counters are per-query.  Topology follows Table 1 / Figure 4:
+
+    compute (Presto) <--10GbE--> OCS frontend <--10GbE--> storage node(s)
+
+All storage traffic — raw GETs, S3-Select results, OCS Arrow results —
+crosses the compute<->frontend link, whose ledger is the paper's
+"data movement from OCS to Presto" metric.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import TestbedSpec
+from repro.objectstore.store import ObjectStore
+from repro.ocs.frontend import OcsFrontend
+from repro.ocs.storage_node import OcsStorageNode
+from repro.rpc.channel import RpcClient
+from repro.sim.costmodel import CostParams
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Link
+from repro.sim.node import SimNode
+from repro.sim.resources import Resource
+from repro.engine.gateway import S3Gateway
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A fully wired simulated testbed for one query execution."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        testbed: TestbedSpec,
+        costs: CostParams,
+        strict_s3_types: bool = True,
+    ) -> None:
+        self.testbed = testbed
+        self.costs = costs
+        self.store = store
+        self.sim = Simulator()
+        self.metrics = MetricsRegistry()
+
+        self.compute = SimNode(self.sim, testbed.compute)
+        self.frontend = SimNode(self.sim, testbed.frontend)
+        self.storage: List[SimNode] = []
+        net = testbed.network
+        self.link_cf = Link(
+            self.sim, net.bandwidth_bps, net.latency_s, name="compute-frontend"
+        )
+        self.links_fs: List[Link] = []
+        self.storage_nodes: List[OcsStorageNode] = []
+        for i in range(testbed.storage_node_count):
+            # Distinct node names keep per-node ledgers separable.
+            spec = testbed.storage
+            if testbed.storage_node_count > 1:
+                spec = type(spec)(**{**spec.__dict__, "name": f"{spec.name}-{i}"})
+            node = SimNode(self.sim, spec)
+            self.storage.append(node)
+            self.links_fs.append(
+                Link(self.sim, net.bandwidth_bps, net.latency_s, name=f"frontend-storage-{i}")
+            )
+            self.storage_nodes.append(OcsStorageNode(self.sim, node, store, costs, i))
+
+        self.ocs_frontend = OcsFrontend(
+            self.sim, self.frontend, self.storage_nodes, self.links_fs, costs
+        )
+        self.s3_gateway = S3Gateway(
+            self.sim,
+            self.frontend,
+            self.storage,
+            self.links_fs,
+            store,
+            costs,
+            strict_types=strict_s3_types,
+        )
+        # Both services live on the frontend; the compute node reaches them
+        # over the same physical link.
+        self.ocs_client = RpcClient(
+            self.sim, self.compute, self.link_cf, self.ocs_frontend.service, costs
+        )
+        self.s3_client = RpcClient(
+            self.sim, self.compute, self.link_cf, self.s3_gateway.service, costs
+        )
+        #: Presto processes each split through a single-threaded driver;
+        #: this pool is the worker's scan concurrency (cost model doc).
+        self.scan_drivers = Resource(self.sim, costs.scan_stream_concurrency)
+
+    # -- placement -------------------------------------------------------------
+
+    def node_for_key(self, index: int) -> int:
+        """Round-robin object placement across storage nodes."""
+        return index % len(self.storage_nodes)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def bytes_to_compute(self) -> int:
+        """Data movement from the storage layer into Presto (paper metric)."""
+        return self.link_cf.ledger.total_bytes(dst=self.compute.name)
+
+    def bytes_from_compute(self) -> int:
+        return self.link_cf.ledger.total_bytes(src=self.compute.name)

@@ -1,0 +1,291 @@
+"""The coordinator: the paper's Figure 3 pipeline end to end.
+
+``execute`` runs one SQL statement: parse -> analyze -> logical plan ->
+global optimize -> connector local optimize -> fragment -> schedule
+splits -> drive execution on the simulated cluster -> gather results.
+All real computation happens inline; all timing comes from the DES.
+
+Stage attribution matches Table 3's rows: ``logical_plan_analysis``
+(connector plan traversal), ``substrait_generation`` (charged by the OCS
+connector's page source), ``pushdown_and_transfer`` (storage round trip
++ page materialization), ``presto_execution`` (post-scan operators), and
+``others`` (coordination fixed costs + scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arrowsim.record_batch import RecordBatch, concat_batches
+from repro.engine.cluster import Cluster
+from repro.engine.costing import presto_pipeline_cycles
+from repro.engine.physical import PhysicalPlan, fragment_plan
+from repro.engine.session import Session
+from repro.engine.spi import Connector, PageSourceResult
+from repro.errors import NoSuchCatalogError
+from repro.exec.operators import run_operators
+from repro.plan.nodes import PlanNode, TableScanNode, format_plan
+from repro.plan.optimizer import GlobalOptimizer
+from repro.plan.planner import plan_query
+from repro.sim.kernel import AllOf
+from repro.sim.metrics import MetricsRegistry
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+__all__ = ["Coordinator", "QueryResult"]
+
+STAGE_ANALYSIS = "logical_plan_analysis"
+STAGE_SUBSTRAIT = "substrait_generation"
+STAGE_TRANSFER = "pushdown_and_transfer"
+STAGE_EXECUTION = "presto_execution"
+STAGE_OTHERS = "others"
+
+
+@dataclass
+class QueryResult:
+    """Everything one query run produced and measured."""
+
+    batch: RecordBatch
+    execution_seconds: float
+    #: Bytes that crossed from the storage layer into the compute node.
+    data_moved_bytes: int
+    splits: int
+    plan_before: str
+    plan_after: str
+    metrics: MetricsRegistry
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Mean busy fraction per resource over the query's lifetime, e.g.
+    #: {"compute_cores": 0.02, "storage_cores[0]": 0.61, "link": 0.05}.
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> int:
+        return self.batch.num_rows
+
+    def to_pydict(self) -> Dict[str, list]:
+        return self.batch.to_pydict()
+
+
+class Coordinator:
+    """Plans and runs queries against registered catalogs on one cluster."""
+
+    def __init__(self, cluster: Cluster, catalogs: Dict[str, Connector]) -> None:
+        self.cluster = cluster
+        self.catalogs = dict(catalogs)
+
+    def connector_for(self, name: str) -> Connector:
+        try:
+            return self.catalogs[name]
+        except KeyError:
+            raise NoSuchCatalogError(
+                f"catalog {name!r}; registered: {sorted(self.catalogs)}"
+            ) from None
+
+    # -- public API ------------------------------------------------------------
+
+    def execute(self, sql: str, session: Session) -> QueryResult:
+        """Run one statement to completion; returns results + measurements."""
+        cluster = self.cluster
+        process = cluster.sim.process(self._run_query(sql, session), name="query")
+        result = cluster.sim.run(until=process)
+        return result
+
+    def explain(self, sql: str, session: Session) -> str:
+        """Plan (without executing) and describe what would happen.
+
+        Shows the optimized logical plan, the plan after the connector's
+        local optimizer, the operators merged into the scan handle with
+        their selectivity estimates, and the split structure — Presto's
+        EXPLAIN, extended with the paper's pushdown vocabulary.
+        """
+        statement = parse(sql)
+        catalog_name = statement.from_table.catalog or session.catalog
+        schema_name = statement.from_table.schema or session.schema
+        connector = self.connector_for(catalog_name)
+        handle = connector.get_table_handle(schema_name, statement.from_table.table)
+        query = analyze(statement, handle.table_schema)
+        plan: PlanNode = plan_query(query)
+        self._attach_handle(plan, handle)
+        plan = GlobalOptimizer().optimize(plan)
+        before = format_plan(plan)
+
+        optimizer = connector.plan_optimizer()
+        metrics = MetricsRegistry()
+        if optimizer is not None:
+            plan = optimizer.optimize(plan, metrics)
+        after = format_plan(plan)
+
+        physical = fragment_plan(plan)
+        scan_handle = physical.scan.connector_handle
+        splits = connector.get_splits(scan_handle)
+
+        lines = [
+            f"EXPLAIN {' '.join(sql.split())}",
+            "",
+            "Logical plan (after global optimization):",
+            before,
+            "",
+            f"After {type(connector).__name__} local optimizer:",
+            after,
+        ]
+        pushed = getattr(scan_handle, "pushed", None)
+        if pushed is not None:
+            operators = pushed.operator_names() or ["(none)"]
+            lines += ["", f"Pushed to storage: {', '.join(operators)}"]
+            if getattr(scan_handle, "estimated_selectivity", None) is not None:
+                lines.append(
+                    f"  estimated filter selectivity: "
+                    f"{scan_handle.estimated_selectivity:.4%}"
+                )
+            if getattr(scan_handle, "estimated_output_rows", None) is not None:
+                lines.append(
+                    f"  estimated aggregation groups: "
+                    f"{scan_handle.estimated_output_rows:,}"
+                )
+        lines.append("")
+        lines.append(f"Splits: {len(splits)}")
+        return "\n".join(lines)
+
+    # -- the query process ----------------------------------------------------------
+
+    def _run_query(self, sql: str, session: Session):
+        cluster = self.cluster
+        sim = cluster.sim
+        costs = cluster.costs
+        metrics = cluster.metrics
+
+        # (0) Coordination overhead ("others" in Table 3).
+        query_start = sim.now
+        t0 = sim.now
+        yield cluster.compute.execute(costs.coordinator_fixed_cycles, name="coordinate")
+
+        # (1-3) Parse, analyze, logical plan, global optimization.
+        statement = parse(sql)
+        catalog_name = statement.from_table.catalog or session.catalog
+        schema_name = statement.from_table.schema or session.schema
+        connector = self.connector_for(catalog_name)
+        handle = connector.get_table_handle(schema_name, statement.from_table.table)
+        query = analyze(statement, handle.table_schema)
+        plan: PlanNode = plan_query(query)
+        self._attach_handle(plan, handle)
+        plan = GlobalOptimizer().optimize(plan)
+        plan_before = format_plan(plan)
+        metrics.stages.charge(STAGE_OTHERS, sim.now - t0)
+
+        # (4) Connector-specific (local) optimization — the SPI hook.
+        t1 = sim.now
+        optimizer = connector.plan_optimizer()
+        if optimizer is not None:
+            node_count = _count_nodes(plan)
+            yield cluster.compute.execute(
+                node_count * costs.plan_analysis_cycles_per_node, name="local-opt"
+            )
+            plan = optimizer.optimize(plan, metrics)
+        plan_after = format_plan(plan)
+        metrics.stages.charge(STAGE_ANALYSIS, sim.now - t1)
+
+        # (5) Physical planning + (6) split generation and scheduling.
+        t2 = sim.now
+        physical = fragment_plan(plan)
+        scan_handle = physical.scan.connector_handle
+        splits = connector.get_splits(scan_handle)
+        yield cluster.compute.execute(
+            len(splits) * costs.schedule_cycles_per_split, name="schedule"
+        )
+        metrics.stages.charge(STAGE_OTHERS, sim.now - t2)
+        metrics.add("splits", len(splits))
+
+        # Split drivers (scan stage).
+        split_processes = [
+            sim.process(
+                self._run_split(connector, scan_handle, split, physical, metrics),
+                name=f"split-{split.split_id}",
+            )
+            for split in splits
+        ]
+        split_outputs = yield AllOf(sim, split_processes)
+
+        # Merge (final) stage.
+        t3 = sim.now
+        batches: List[RecordBatch] = [b for out in split_outputs for b in out]
+        final_ops = physical.final_operators()
+        results = run_operators(batches, final_ops)
+        final_cycles = presto_pipeline_cycles(final_ops, costs)
+        yield cluster.compute.execute_spread(final_cycles, name="final-stage")
+        metrics.stages.charge(STAGE_EXECUTION, sim.now - t3)
+
+        batch = (
+            concat_batches(results)
+            if results
+            else RecordBatch.empty(plan.output_schema())
+        )
+        utilization = {
+            "compute_cores": cluster.compute.core_utilization(),
+            "frontend_cores": cluster.frontend.core_utilization(),
+            "link": cluster.link_cf.utilization(),
+            "scan_drivers": cluster.scan_drivers.utilization(),
+        }
+        for i, node in enumerate(cluster.storage):
+            utilization[f"storage_cores[{i}]"] = node.core_utilization()
+        return QueryResult(
+            batch=batch,
+            execution_seconds=sim.now - query_start,
+            data_moved_bytes=cluster.bytes_to_compute(),
+            splits=len(splits),
+            plan_before=plan_before,
+            plan_after=plan_after,
+            metrics=metrics,
+            stage_seconds=dict(metrics.stages.items()),
+            utilization=utilization,
+        )
+
+    def _run_split(self, connector: Connector, handle, split, physical: PhysicalPlan, metrics):
+        cluster = self.cluster
+        sim = cluster.sim
+        with cluster.scan_drivers.request() as driver:
+            yield driver
+            # Data acquisition: storage round trip + page materialization.
+            # (The page source itself charges IR-generation time to the
+            # substrait stage; subtract it so stages partition cleanly.)
+            t0 = sim.now
+            substrait_before = metrics.stages.seconds(STAGE_SUBSTRAIT)
+            source: PageSourceResult = yield sim.process(
+                connector.page_source(handle, split, metrics),
+                name=f"page-source-{split.split_id}",
+            )
+            if source.ingest_cycles:
+                yield cluster.compute.execute(source.ingest_cycles, name="ingest")
+            substrait_delta = metrics.stages.seconds(STAGE_SUBSTRAIT) - substrait_before
+            metrics.stages.charge(STAGE_TRANSFER, max(0.0, sim.now - t0 - substrait_delta))
+            metrics.add("bytes_received", source.bytes_received)
+
+            # Split-local operators (real work + cost charge).
+            t1 = sim.now
+            split_ops = physical.split_operators()
+            out = run_operators(source.batches, split_ops)
+            cycles = presto_pipeline_cycles(split_ops, cluster.costs)
+            if cycles:
+                yield cluster.compute.execute(cycles, name="split-ops")
+            metrics.stages.charge(STAGE_EXECUTION, sim.now - t1)
+            for op in split_ops:
+                metrics.add(f"rows_into_{op.name}", op.rows_in)
+        return out
+
+    @staticmethod
+    def _attach_handle(plan: PlanNode, handle) -> None:
+        node: Optional[PlanNode] = plan
+        while node is not None:
+            if isinstance(node, TableScanNode):
+                node.connector_handle = handle
+                return
+            children = node.children()
+            node = children[0] if children else None
+        raise NoSuchCatalogError("plan has no table scan to attach a handle to")
+
+
+def _count_nodes(plan: PlanNode) -> int:
+    count = 1
+    for child in plan.children():
+        count += _count_nodes(child)
+    return count

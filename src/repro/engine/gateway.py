@@ -1,0 +1,280 @@
+"""S3-class gateway: the conventional object-storage access path.
+
+Serves the two baseline data paths of the evaluation:
+
+* **raw ranged GETs** (``s3.get_tail`` / ``s3.get_ranges``) — the
+  no-pushdown path: the compute node fetches Parcel footers and column
+  chunks and does all decoding/filtering itself;
+* **``s3.select``** — the S3-Select-class filter+projection pushdown,
+  returning row-oriented CSV.
+
+The gateway runs on the OCS frontend node (one storage endpoint, as in
+the paper's testbed) and routes each object to the storage node that
+hosts it; that node pays disk and CPU for the request.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compress.codec import decode_varint, encode_varint
+from repro.exec.expressions import Expr
+from repro.objectstore.s3select import S3SelectRequest, S3SelectService
+from repro.objectstore.store import ObjectStore
+from repro.rpc.channel import RpcService
+from repro.sim.costmodel import CostParams
+from repro.sim.kernel import Simulator
+from repro.sim.network import Link
+from repro.sim.node import SimNode
+from repro.substrait.convert import expression_to_substrait, substrait_to_expression
+from repro.substrait.functions import FunctionRegistry
+from repro.substrait.serde import decode_expression, encode_expression
+
+__all__ = ["S3Gateway", "place_key", "SelectReply"]
+
+#: CPU cycles the storage node spends handling one GET request.
+_GET_REQUEST_CYCLES = 500_000.0
+
+
+def place_key(key: str, node_count: int) -> int:
+    """Deterministic object placement: key -> storage node index."""
+    return zlib.crc32(key.encode("utf-8")) % node_count
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    out += encode_varint(len(data))
+    out += data
+
+
+def _read_str(buf: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = decode_varint(buf, pos)
+    return buf[pos : pos + length].decode("utf-8"), pos + length
+
+
+# -- request/reply codecs -----------------------------------------------------
+
+
+def encode_tail_request(bucket: str, key: str, nbytes: int) -> bytes:
+    out = bytearray()
+    _write_str(out, bucket)
+    _write_str(out, key)
+    out += encode_varint(nbytes)
+    return bytes(out)
+
+
+def encode_ranges_request(bucket: str, key: str, ranges: Sequence[Tuple[int, int]]) -> bytes:
+    out = bytearray()
+    _write_str(out, bucket)
+    _write_str(out, key)
+    out += encode_varint(len(ranges))
+    for start, length in ranges:
+        out += encode_varint(start)
+        out += encode_varint(length)
+    return bytes(out)
+
+
+def encode_select_request(
+    bucket: str,
+    key: str,
+    columns: Sequence[str],
+    table_columns: Sequence[str],
+    predicate: Optional[Expr],
+) -> bytes:
+    """Select request; the predicate travels as a Substrait expression."""
+    out = bytearray()
+    _write_str(out, bucket)
+    _write_str(out, key)
+    out += encode_varint(len(columns))
+    for name in columns:
+        _write_str(out, name)
+    out += encode_varint(len(table_columns))
+    for name in table_columns:
+        _write_str(out, name)
+    if predicate is None:
+        out.append(0)
+        return bytes(out)
+    out.append(1)
+    registry = FunctionRegistry()
+    sexpr = expression_to_substrait(predicate, list(table_columns), registry)
+    declarations = registry.declarations()
+    out += encode_varint(len(declarations))
+    for anchor, sig in declarations:
+        out += encode_varint(anchor)
+        _write_str(out, sig)
+    payload = encode_expression(sexpr)
+    out += encode_varint(len(payload))
+    out += payload
+    return bytes(out)
+
+
+@dataclass
+class SelectReply:
+    """CSV payload + scan accounting from one s3.select call."""
+
+    csv_payload: bytes
+    rows_scanned: int
+    rows_returned: int
+    stored_bytes_scanned: int
+    uncompressed_bytes_scanned: int
+
+
+def encode_select_reply(reply: SelectReply) -> bytes:
+    out = bytearray()
+    out += encode_varint(len(reply.csv_payload))
+    out += reply.csv_payload
+    for value in (
+        reply.rows_scanned,
+        reply.rows_returned,
+        reply.stored_bytes_scanned,
+        reply.uncompressed_bytes_scanned,
+    ):
+        out += encode_varint(value)
+    return bytes(out)
+
+
+def decode_select_reply(buf: bytes) -> SelectReply:
+    length, pos = decode_varint(buf, 0)
+    payload = buf[pos : pos + length]
+    pos += length
+    values = []
+    for _ in range(4):
+        value, pos = decode_varint(buf, pos)
+        values.append(value)
+    return SelectReply(payload, *values)
+
+
+# -- the gateway --------------------------------------------------------------
+
+
+class S3Gateway:
+    """Conventional object-store endpoint on the frontend node."""
+
+    GET_TAIL = "s3.get_tail"
+    GET_RANGES = "s3.get_ranges"
+    SELECT = "s3.select"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        frontend: SimNode,
+        storage: Sequence[SimNode],
+        links: Sequence[Link],
+        store: ObjectStore,
+        costs: CostParams,
+        strict_types: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.frontend = frontend
+        self.storage = list(storage)
+        self.links = list(links)
+        self.store = store
+        self.costs = costs
+        self.select_service = S3SelectService(store, strict_types=strict_types)
+        self.service = RpcService(sim, frontend, "s3-gateway", costs)
+        self.service.register(self.GET_TAIL, self._handle_get_tail)
+        self.service.register(self.GET_RANGES, self._handle_get_ranges)
+        self.service.register(self.SELECT, self._handle_select)
+
+    def _route(self, key: str) -> Tuple[SimNode, Link]:
+        index = place_key(key, len(self.storage))
+        return self.storage[index], self.links[index]
+
+    # -- handlers ------------------------------------------------------------
+
+    def _handle_get_tail(self, payload: bytes):
+        bucket, pos = _read_str(payload, 0)
+        key, pos = _read_str(payload, pos)
+        nbytes, pos = decode_varint(payload, pos)
+        data = self.store.get_object(bucket, key)
+        nbytes = min(nbytes, len(data))
+        response = data[len(data) - nbytes :]
+        node, link = self._route(key)
+        yield link.transfer(self.frontend.name, node.name, len(payload), label="get-req")
+        yield node.read_disk(len(response), name="tail")
+        yield node.execute(_GET_REQUEST_CYCLES, name="get")
+        yield link.transfer(node.name, self.frontend.name, len(response), label="get-tail")
+        return response
+
+    def _handle_get_ranges(self, payload: bytes):
+        bucket, pos = _read_str(payload, 0)
+        key, pos = _read_str(payload, pos)
+        count, pos = decode_varint(payload, pos)
+        pieces: List[bytes] = []
+        for _ in range(count):
+            start, pos = decode_varint(payload, pos)
+            length, pos = decode_varint(payload, pos)
+            pieces.append(self.store.get_object_range(bucket, key, start, length))
+        response = b"".join(pieces)
+        node, link = self._route(key)
+        yield link.transfer(self.frontend.name, node.name, len(payload), label="get-req")
+        yield node.read_disk(len(response), name="ranges")
+        yield node.execute(_GET_REQUEST_CYCLES, name="get")
+        yield link.transfer(node.name, self.frontend.name, len(response), label="get-ranges")
+        return response
+
+    def _handle_select(self, payload: bytes):
+        bucket, pos = _read_str(payload, 0)
+        key, pos = _read_str(payload, pos)
+        n_columns, pos = decode_varint(payload, pos)
+        columns: List[str] = []
+        for _ in range(n_columns):
+            name, pos = _read_str(payload, pos)
+            columns.append(name)
+        n_table_columns, pos = decode_varint(payload, pos)
+        table_columns: List[str] = []
+        for _ in range(n_table_columns):
+            name, pos = _read_str(payload, pos)
+            table_columns.append(name)
+        predicate: Optional[Expr] = None
+        if payload[pos]:
+            pos += 1
+            n_decls, pos = decode_varint(payload, pos)
+            declarations = []
+            for _ in range(n_decls):
+                anchor, pos = decode_varint(payload, pos)
+                sig, pos = _read_str(payload, pos)
+                declarations.append((anchor, sig))
+            registry = FunctionRegistry.from_declarations(declarations)
+            length, pos = decode_varint(payload, pos)
+            sexpr = decode_expression(payload[pos : pos + length])
+            pos += length
+            # Types resolve against the object's actual schema below; the
+            # converter needs names + types, so peek at the footer.
+            from repro.formats.reader import ParcelReader
+
+            reader = ParcelReader(self.store.get_object(bucket, key))
+            types = [reader.schema.field(n).dtype for n in table_columns]
+            predicate = substrait_to_expression(sexpr, table_columns, types, registry)
+
+        result = self.select_service.select(
+            S3SelectRequest(bucket=bucket, key=key, columns=columns, predicate=predicate)
+        )
+        node, link = self._route(key)
+        costs = self.costs
+        cpu = (
+            result.stored_bytes_scanned * costs.ocs_scan_cycles_per_stored_byte
+            + costs.decompress_cycles(result.codec, result.uncompressed_bytes_scanned)
+            + result.rows_scanned
+            * len(table_columns)
+            * costs.ocs_decode_cycles_per_value
+            + len(result.csv_payload) * costs.csv_serialize_cycles_per_byte
+        )
+        if predicate is not None:
+            cpu += result.rows_scanned * predicate.node_count() * costs.vector_op_cycles_per_value
+        reply = encode_select_reply(
+            SelectReply(
+                csv_payload=result.csv_payload,
+                rows_scanned=result.rows_scanned,
+                rows_returned=result.rows_returned,
+                stored_bytes_scanned=result.stored_bytes_scanned,
+                uncompressed_bytes_scanned=result.uncompressed_bytes_scanned,
+            )
+        )
+        yield link.transfer(self.frontend.name, node.name, len(payload), label="select-req")
+        yield node.read_disk(result.stored_bytes_scanned, name="select-scan")
+        yield node.execute_spread(cpu, name="select")
+        yield link.transfer(node.name, self.frontend.name, len(reply), label="select-result")
+        return reply

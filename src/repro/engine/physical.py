@@ -1,0 +1,170 @@
+"""Physical planning: fragment the logical plan into split/final pipelines.
+
+Presto fragments plans into stages; our plans are linear, so fragmentation
+reduces to deciding, bottom-up from the scan, which operators run inside
+each split driver and which run once in the merge (final) stage:
+
+* Filter / Project run split-local until a merge barrier is crossed.
+* Aggregation(single) splits into partial-per-split + final merge
+  (two-phase), except when a DISTINCT aggregate forces single-phase at
+  the merge stage.
+* Aggregation(final) — produced by the Presto-OCS connector when it
+  pushes partial aggregation into storage — runs at the merge stage.
+* TopN runs per split (keeps at most N rows each) *and* again at merge.
+* Sort runs only at merge; Limit runs per split and again at merge.
+* Output becomes a column-selecting projection at merge.
+
+Operator instances are stateful, so the fragments are *factories*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.errors import PlanError
+from repro.exec.expressions import ColumnExpr
+from repro.exec.operators import (
+    FilterOperator,
+    HashAggregationOperator,
+    LimitOperator,
+    Operator,
+    ProjectOperator,
+    SortOperator,
+    TopNOperator,
+)
+from repro.plan.nodes import (
+    AggregationNode,
+    FilterNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    TableScanNode,
+    TopNNode,
+)
+
+__all__ = ["PhysicalPlan", "fragment_plan"]
+
+
+@dataclass
+class PhysicalPlan:
+    """Executable fragments plus the scan they hang off."""
+
+    scan: TableScanNode
+    split_operators: Callable[[], List[Operator]]
+    final_operators: Callable[[], List[Operator]]
+    output_names: List[str]
+
+
+def _linearize(plan: PlanNode) -> List[PlanNode]:
+    """Bottom-up chain [scan, ..., root]; rejects non-linear plans."""
+    chain: List[PlanNode] = []
+    node: PlanNode = plan
+    while True:
+        chain.append(node)
+        children = node.children()
+        if not children:
+            break
+        if len(children) != 1:
+            raise PlanError(f"{node.name} has {len(children)} children; plans must be linear")
+        node = children[0]
+    chain.reverse()
+    if not isinstance(chain[0], TableScanNode):
+        raise PlanError("plan does not bottom out in a table scan")
+    return chain
+
+
+def fragment_plan(plan: PlanNode) -> PhysicalPlan:
+    """Split the logical plan into per-split and merge-stage fragments."""
+    chain = _linearize(plan)
+    scan = chain[0]
+    assert isinstance(scan, TableScanNode)
+
+    # Build *descriptions* first; factories instantiate fresh operators.
+    split_builders: List[Callable[[], Operator]] = []
+    final_builders: List[Callable[[], Operator]] = []
+    merged = False
+    output_names: List[str] = []
+
+    for node in chain[1:]:
+        if isinstance(node, FilterNode):
+            predicate = node.predicate
+            builder = lambda predicate=predicate: FilterOperator(predicate)
+            (final_builders if merged else split_builders).append(builder)
+        elif isinstance(node, ProjectNode):
+            projections = list(node.projections)
+            builder = lambda projections=projections: ProjectOperator(projections)
+            (final_builders if merged else split_builders).append(builder)
+        elif isinstance(node, AggregationNode):
+            keys, specs = list(node.key_names), list(node.specs)
+            phase = "final" if node.phase == "final" else "single"
+            if node.phase == "final" or merged:
+                final_builders.append(
+                    lambda keys=keys, specs=specs, phase=phase: HashAggregationOperator(
+                        keys, specs, phase=phase
+                    )
+                )
+            elif any(s.distinct for s in specs):
+                # DISTINCT aggregates cannot be merged from partials.
+                final_builders.append(
+                    lambda keys=keys, specs=specs: HashAggregationOperator(
+                        keys, specs, phase="single"
+                    )
+                )
+            else:
+                split_builders.append(
+                    lambda keys=keys, specs=specs: HashAggregationOperator(
+                        keys, specs, phase="partial"
+                    )
+                )
+                final_builders.append(
+                    lambda keys=keys, specs=specs: HashAggregationOperator(
+                        keys, specs, phase="final"
+                    )
+                )
+            merged = True
+        elif isinstance(node, TopNNode):
+            count, sort_keys = node.count, list(node.sort_keys)
+            if not merged:
+                split_builders.append(
+                    lambda count=count, sort_keys=sort_keys: TopNOperator(count, sort_keys)
+                )
+            final_builders.append(
+                lambda count=count, sort_keys=sort_keys: TopNOperator(count, sort_keys)
+            )
+            merged = True
+        elif isinstance(node, SortNode):
+            sort_keys = list(node.sort_keys)
+            final_builders.append(
+                lambda sort_keys=sort_keys: SortOperator(sort_keys)
+            )
+            merged = True
+        elif isinstance(node, LimitNode):
+            count = node.count
+            if not merged:
+                split_builders.append(lambda count=count: LimitOperator(count))
+            final_builders.append(lambda count=count: LimitOperator(count))
+        elif isinstance(node, OutputNode):
+            schema = node.source.output_schema()
+            names = list(node.column_names)
+            output_names = names
+            projections = [
+                (name, ColumnExpr(name, schema.field(name).dtype)) for name in names
+            ]
+            final_builders.append(
+                lambda projections=projections: ProjectOperator(projections)
+            )
+        else:
+            raise PlanError(f"cannot fragment node {type(node).__name__}")
+
+    if not output_names:
+        output_names = plan.output_schema().names()
+
+    return PhysicalPlan(
+        scan=scan,
+        split_operators=lambda: [b() for b in split_builders],
+        final_operators=lambda: [b() for b in final_builders],
+        output_names=output_names,
+    )

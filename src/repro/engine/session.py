@@ -1,0 +1,16 @@
+"""Query session: default catalog/schema for name resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Session"]
+
+
+@dataclass(frozen=True)
+class Session:
+    """Per-query context (Presto's Session, radically slimmed)."""
+
+    catalog: str
+    schema: str
+    user: str = "repro"

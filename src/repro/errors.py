@@ -1,0 +1,197 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions rooted at :class:`ReproError` so callers
+can catch coarse- or fine-grained failures.  Subsystem-specific errors
+subclass the intermediate bases defined here rather than redefining their
+own roots.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# --------------------------------------------------------------------------
+# Storage / format errors
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for object-store and file-format failures."""
+
+
+class NoSuchBucketError(StorageError):
+    """A bucket name did not resolve to an existing bucket."""
+
+
+class NoSuchObjectError(StorageError):
+    """An object key did not resolve to an existing object."""
+
+
+class BucketAlreadyExistsError(StorageError):
+    """Attempt to create a bucket whose name is already taken."""
+
+
+class InvalidRangeError(StorageError):
+    """A byte-range request fell outside the object's extent."""
+
+
+class FormatError(StorageError):
+    """A Parcel container (or one of its chunks) failed to parse."""
+
+
+class CodecError(StorageError):
+    """Compression or decompression failed, or an unknown codec was named."""
+
+
+class SelectError(StorageError):
+    """The S3-Select-class storage API rejected or failed a request."""
+
+
+class UnsupportedTypeError(SelectError):
+    """The S3-Select-class API does not support the requested data type.
+
+    Mirrors the paper's observation that S3 Select lacks double-precision
+    floating-point support (Section 2.2).
+    """
+
+
+# --------------------------------------------------------------------------
+# SQL / planning errors
+# --------------------------------------------------------------------------
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class LexError(SqlError):
+    """The lexer hit an unrecognizable character sequence."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The parser could not derive a statement from the token stream."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class AnalysisError(SqlError):
+    """Semantic analysis failed (unknown column, type mismatch, ...)."""
+
+
+class PlanError(ReproError):
+    """Logical plan construction or optimization failed."""
+
+
+# --------------------------------------------------------------------------
+# Execution errors
+# --------------------------------------------------------------------------
+
+
+class ExecutionError(ReproError):
+    """Base class for runtime failures inside operators or the engine."""
+
+
+class SchemaMismatchError(ExecutionError):
+    """Pages or batches disagreed about schema mid-pipeline."""
+
+
+class ExpressionError(ExecutionError):
+    """Vectorized expression evaluation failed."""
+
+
+# --------------------------------------------------------------------------
+# Engine / distributed errors
+# --------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for coordinator/worker orchestration failures."""
+
+
+class NoSuchCatalogError(EngineError):
+    """A session referenced a catalog that was never registered."""
+
+
+class NoSuchTableError(EngineError):
+    """A query referenced a table the catalog does not contain."""
+
+
+class SchedulingError(EngineError):
+    """Split scheduling could not place work on any worker."""
+
+
+# --------------------------------------------------------------------------
+# Substrait / RPC / OCS errors
+# --------------------------------------------------------------------------
+
+
+class SubstraitError(ReproError):
+    """Base class for Substrait IR construction/validation/serde failures."""
+
+
+class ValidationError(SubstraitError):
+    """A Substrait plan failed structural or type validation."""
+
+
+class SerdeError(SubstraitError):
+    """Binary (de)serialization of a Substrait plan failed."""
+
+
+class RpcError(ReproError):
+    """Base class for RPC channel failures."""
+
+
+class RpcStatusError(RpcError):
+    """The server returned a non-OK status code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+
+
+class OcsError(ReproError):
+    """Base class for OCS frontend / storage-node failures."""
+
+
+class OcsPlanRejectedError(OcsError):
+    """The OCS embedded engine refused a pushdown plan."""
+
+
+# --------------------------------------------------------------------------
+# Simulation errors
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulator misuse or failure."""
+
+
+class SimDeadlockError(SimulationError):
+    """The event loop ran dry while processes were still blocked."""
+
+
+# --------------------------------------------------------------------------
+# Metastore errors
+# --------------------------------------------------------------------------
+
+
+class MetastoreError(ReproError):
+    """Base class for catalog-service failures."""
+
+
+class NoSuchSchemaError(MetastoreError):
+    """A metastore lookup referenced an unknown schema."""
+
+
+class TableAlreadyExistsError(MetastoreError):
+    """Attempt to register a table name that is already present."""

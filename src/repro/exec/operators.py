@@ -1,0 +1,279 @@
+"""Page-at-a-time vectorized operators.
+
+Each operator consumes :class:`RecordBatch` pages via ``process`` and
+emits any buffered remainder from ``finish`` — the classic push-based
+pipeline.  Operators count rows in/out; the engines read those counters
+to charge simulated CPU and the connector's EventListener reads them for
+pushdown monitoring.
+
+Sorting uses rank codes per key (strings by lexicographic rank, floats by
+IEEE-754 total order) so multi-key ASC/DESC sorts are a single stable
+``np.lexsort``.  NULLs sort last in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrowsim.array import ColumnArray
+from repro.arrowsim.record_batch import RecordBatch, concat_batches
+from repro.arrowsim.schema import Field, Schema
+from repro.errors import ExecutionError
+from repro.exec.aggregates import AggregateSpec, grouped_aggregate
+from repro.exec.expressions import Expr
+
+__all__ = [
+    "Operator",
+    "ProjectOperator",
+    "FilterOperator",
+    "HashAggregationOperator",
+    "SortOperator",
+    "TopNOperator",
+    "LimitOperator",
+    "sort_indices",
+    "run_operators",
+]
+
+SortKey = Tuple[str, bool]  # (column name, descending)
+
+
+def _sortable_bits(values: np.ndarray) -> np.ndarray:
+    """Map floats to uint64 whose unsigned order is IEEE total order."""
+    if values.dtype == np.float32:
+        bits = np.ascontiguousarray(values).view(np.uint32).astype(np.uint64)
+        sign = np.uint64(1) << np.uint64(31)
+        full = np.uint64(0xFFFFFFFF)
+    else:
+        bits = np.ascontiguousarray(values.astype(np.float64)).view(np.uint64)
+        sign = np.uint64(1) << np.uint64(63)
+        full = np.uint64(0xFFFFFFFFFFFFFFFF)
+    negative = (bits & sign) != 0
+    return np.where(negative, full - bits, bits | sign)
+
+
+def _rank_codes(col: ColumnArray) -> np.ndarray:
+    """Dense int64 ranks whose order matches the column's sort order."""
+    values = col.values
+    if col.dtype.name == "string":
+        values = values.astype(str)
+    elif col.dtype.is_floating:
+        values = _sortable_bits(values)
+    _, codes = np.unique(values, return_inverse=True)
+    return codes.astype(np.int64).reshape(-1)
+
+
+def sort_indices(batch: RecordBatch, sort_keys: Sequence[SortKey]) -> np.ndarray:
+    """Stable argsort by multiple keys; NULLs last regardless of direction."""
+    if not sort_keys:
+        raise ExecutionError("sort requires at least one key")
+    arrays = []
+    big = np.iinfo(np.int64).max
+    for name, descending in sort_keys:
+        col = batch.column(name)
+        codes = _rank_codes(col)
+        if descending:
+            codes = -codes
+        null_mask = ~col.is_valid()
+        if null_mask.any():
+            codes = np.where(null_mask, big, codes)
+        arrays.append(codes)
+    # np.lexsort treats the LAST key as primary.
+    return np.lexsort(list(reversed(arrays)))
+
+
+class Operator:
+    """Base push-based operator with row accounting."""
+
+    name = "operator"
+
+    def __init__(self) -> None:
+        self.rows_in = 0
+        self.rows_out = 0
+
+    def process(self, batch: RecordBatch) -> Optional[RecordBatch]:
+        """Consume one page; return an output page or None (buffered)."""
+        self.rows_in += batch.num_rows
+        out = self._process(batch)
+        if out is not None:
+            self.rows_out += out.num_rows
+        return out
+
+    def finish(self) -> Optional[RecordBatch]:
+        """Flush any buffered output at end of stream."""
+        out = self._finish()
+        if out is not None:
+            self.rows_out += out.num_rows
+        return out
+
+    def _process(self, batch: RecordBatch) -> Optional[RecordBatch]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _finish(self) -> Optional[RecordBatch]:
+        return None
+
+
+class ProjectOperator(Operator):
+    """Evaluate named expressions into a new page (column & expression project)."""
+
+    name = "project"
+
+    def __init__(self, projections: Sequence[Tuple[str, Expr]]) -> None:
+        super().__init__()
+        if not projections:
+            raise ExecutionError("projection needs at least one expression")
+        self.projections = list(projections)
+
+    @property
+    def expression_node_count(self) -> int:
+        """Total expression-tree size (drives per-row CPU cost)."""
+        return sum(expr.node_count() for _, expr in self.projections)
+
+    def output_schema(self) -> Schema:
+        return Schema([Field(name, expr.dtype) for name, expr in self.projections])
+
+    def _process(self, batch: RecordBatch) -> RecordBatch:
+        columns = [expr.evaluate(batch) for _, expr in self.projections]
+        return RecordBatch(self.output_schema(), columns)
+
+
+class FilterOperator(Operator):
+    """Keep rows whose predicate is definitely TRUE (SQL 3VL at WHERE)."""
+
+    name = "filter"
+
+    def __init__(self, predicate: Expr) -> None:
+        super().__init__()
+        if predicate.dtype.name != "bool":
+            raise ExecutionError(
+                f"filter predicate must be boolean, got {predicate.dtype}"
+            )
+        self.predicate = predicate
+
+    def _process(self, batch: RecordBatch) -> RecordBatch:
+        result = self.predicate.evaluate(batch)
+        mask = result.values.astype(bool) & result.is_valid()
+        return batch.filter(mask)
+
+
+class HashAggregationOperator(Operator):
+    """GROUP BY aggregation (single / partial / final phase)."""
+
+    name = "aggregate"
+
+    def __init__(
+        self,
+        key_names: Sequence[str],
+        specs: Sequence[AggregateSpec],
+        phase: str = "single",
+    ) -> None:
+        super().__init__()
+        self.key_names = list(key_names)
+        self.specs = list(specs)
+        self.phase = phase
+        self._pages: List[RecordBatch] = []
+
+    def _process(self, batch: RecordBatch) -> None:
+        self._pages.append(batch)
+        return None
+
+    def _finish(self) -> Optional[RecordBatch]:
+        if not self._pages:
+            return None
+        merged = concat_batches(self._pages)
+        self._pages.clear()
+        return grouped_aggregate(merged, self.key_names, self.specs, phase=self.phase)
+
+
+class SortOperator(Operator):
+    """Full sort; buffers the entire input."""
+
+    name = "sort"
+
+    def __init__(self, sort_keys: Sequence[SortKey]) -> None:
+        super().__init__()
+        self.sort_keys = list(sort_keys)
+        self._pages: List[RecordBatch] = []
+
+    def _process(self, batch: RecordBatch) -> None:
+        self._pages.append(batch)
+        return None
+
+    def _finish(self) -> Optional[RecordBatch]:
+        if not self._pages:
+            return None
+        merged = concat_batches(self._pages)
+        self._pages.clear()
+        if merged.num_rows == 0:
+            return merged
+        return merged.take(sort_indices(merged, self.sort_keys))
+
+
+class TopNOperator(Operator):
+    """ORDER BY + LIMIT fused: keeps only the current best N rows."""
+
+    name = "topn"
+
+    def __init__(self, n: int, sort_keys: Sequence[SortKey]) -> None:
+        super().__init__()
+        if n < 0:
+            raise ExecutionError(f"top-N bound must be >= 0, got {n}")
+        self.n = n
+        self.sort_keys = list(sort_keys)
+        self._best: Optional[RecordBatch] = None
+
+    def _process(self, batch: RecordBatch) -> None:
+        if self.n == 0:
+            return None
+        merged = batch if self._best is None else concat_batches([self._best, batch])
+        if merged.num_rows > 0:
+            order = sort_indices(merged, self.sort_keys)[: self.n]
+            merged = merged.take(order)
+        self._best = merged
+        return None
+
+    def _finish(self) -> Optional[RecordBatch]:
+        best, self._best = self._best, None
+        return best
+
+
+class LimitOperator(Operator):
+    """Pass through the first N rows."""
+
+    name = "limit"
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        if n < 0:
+            raise ExecutionError(f"limit must be >= 0, got {n}")
+        self.n = n
+        self._remaining = n
+
+    def _process(self, batch: RecordBatch) -> Optional[RecordBatch]:
+        if self._remaining <= 0:
+            return None
+        if batch.num_rows <= self._remaining:
+            self._remaining -= batch.num_rows
+            return batch
+        out = batch.slice(0, self._remaining)
+        self._remaining = 0
+        return out
+
+
+def run_operators(
+    batches: Sequence[RecordBatch], operators: Sequence[Operator]
+) -> List[RecordBatch]:
+    """Push every page through the chain, then flush finishes in order."""
+    streams: List[List[RecordBatch]] = [list(batches)]
+    for op in operators:
+        out: List[RecordBatch] = []
+        for page in streams[-1]:
+            result = op.process(page)
+            if result is not None:
+                out.append(result)
+        tail = op.finish()
+        if tail is not None:
+            out.append(tail)
+        streams.append(out)
+    return streams[-1]

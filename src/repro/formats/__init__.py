@@ -1,0 +1,29 @@
+"""Parcel: a from-scratch columnar file container (the Parquet stand-in).
+
+The paper's datasets are Parquet files; Parcel reproduces the structural
+features the evaluation depends on:
+
+* **row groups** — the unit of split generation and parallel scan;
+* **column chunks** — independently encoded/compressed per column, so
+  readers prune columns (projection) without touching the rest;
+* **per-chunk statistics** — min/max, null count, and NDV; the Hive-class
+  metastore aggregates these and the Presto-OCS connector's selectivity
+  analyzer consumes them (paper Section 4, "Local Optimizer");
+* **encodings** — plain, dictionary, and run-length;
+* **pluggable compression** — none/snappy/gzip/zstd per file (Figure 6).
+"""
+
+from repro.formats.statistics import ColumnStats
+from repro.formats.metadata import ChunkMeta, ParcelMeta, RowGroupMeta
+from repro.formats.writer import ParcelWriter, write_table
+from repro.formats.reader import ParcelReader
+
+__all__ = [
+    "ChunkMeta",
+    "ColumnStats",
+    "ParcelMeta",
+    "ParcelReader",
+    "ParcelWriter",
+    "RowGroupMeta",
+    "write_table",
+]

@@ -1,0 +1,247 @@
+"""Column-chunk encodings: plain, dictionary, run-length.
+
+A chunk body is::
+
+    u8 has_validity  [packed validity bits]  u8 encoding  payload
+
+Payloads:
+
+* PLAIN — fixed-width: raw value buffer; string: int32 offsets + utf8.
+* DICT  — u32 dict size, PLAIN-encoded dictionary, u32 indices.
+* RLE   — varint run count, then (varint run_len, raw value) pairs;
+  fixed-width types only.
+* SZ    — error-bounded lossy quantization (float64 only, writer opt-in;
+  see :mod:`repro.compress.szlike` — the paper's future-work direction).
+
+The writer picks the smallest lossless encoding per chunk (it sizes all
+eligible encodings exactly — chunks are small enough that this is cheap
+and it guarantees the choice never loses to PLAIN).  SZ is never chosen
+automatically: losing precision requires an explicit per-column error
+bound.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.arrowsim.array import ColumnArray
+from repro.arrowsim.dtypes import DataType, STRING
+from repro.compress.codec import decode_varint, encode_varint
+from repro.errors import FormatError
+
+__all__ = [
+    "PLAIN",
+    "DICT",
+    "RLE",
+    "SZ",
+    "encode_chunk",
+    "decode_chunk",
+]
+
+PLAIN = 0
+DICT = 1
+RLE = 2
+SZ = 3
+
+
+# -- value buffers ----------------------------------------------------------
+
+
+def _encode_values_plain(dtype: DataType, values: np.ndarray) -> bytes:
+    if dtype is STRING:
+        encoded = [str(v).encode("utf-8") for v in values]
+        offsets = np.zeros(len(values) + 1, dtype=np.int32)
+        if len(values):
+            offsets[1:] = np.cumsum([len(e) for e in encoded])
+        return offsets.tobytes() + b"".join(encoded)
+    return np.ascontiguousarray(values).tobytes()
+
+
+def _decode_values_plain(
+    dtype: DataType, buf: bytes, pos: int, count: int
+) -> Tuple[np.ndarray, int]:
+    if dtype is STRING:
+        offsets = np.frombuffer(buf, dtype=np.int32, count=count + 1, offset=pos)
+        pos += 4 * (count + 1)
+        data_len = int(offsets[-1]) if count else 0
+        data = buf[pos : pos + data_len]
+        pos += data_len
+        values = np.empty(count, dtype=object)
+        for i in range(count):
+            values[i] = data[offsets[i] : offsets[i + 1]].decode("utf-8")
+        return values, pos
+    nbytes = dtype.byte_width * count
+    values = np.frombuffer(buf, dtype=dtype.numpy_dtype, count=count, offset=pos).copy()
+    return values, pos + nbytes
+
+
+# -- encodings ---------------------------------------------------------------
+
+
+def _encode_dict(dtype: DataType, values: np.ndarray) -> bytes:
+    if dtype is STRING:
+        uniques, indices = np.unique(values.astype(str), return_inverse=True)
+        uniques = uniques.astype(object)
+    else:
+        uniques, indices = np.unique(values, return_inverse=True)
+    out = bytearray(struct.pack("<I", len(uniques)))
+    out += _encode_values_plain(dtype, uniques)
+    out += indices.astype(np.uint32).tobytes()
+    return bytes(out)
+
+
+def _decode_dict(dtype: DataType, buf: bytes, pos: int, count: int) -> Tuple[np.ndarray, int]:
+    (dict_size,) = struct.unpack_from("<I", buf, pos)
+    pos += 4
+    dictionary, pos = _decode_values_plain(dtype, buf, pos, dict_size)
+    indices = np.frombuffer(buf, dtype=np.uint32, count=count, offset=pos)
+    pos += 4 * count
+    if count and dict_size == 0:
+        raise FormatError("dictionary empty but indices present")
+    if count and indices.max() >= dict_size:
+        raise FormatError("dictionary index out of range")
+    return dictionary[indices], pos
+
+
+def _runs(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(run_values, run_lengths) for a fixed-width array."""
+    n = len(values)
+    if n == 0:
+        return values, np.zeros(0, dtype=np.int64)
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    # NaN != NaN would split float runs per element; compare bit patterns.
+    raw = (
+        np.ascontiguousarray(values).view(np.uint8).reshape(n, -1)
+        if values.dtype != object
+        else None
+    )
+    if raw is not None:
+        change[1:] = (raw[1:] != raw[:-1]).any(axis=1)
+    else:
+        change[1:] = values[1:] != values[:-1]
+    starts = np.flatnonzero(change)
+    lengths = np.diff(np.append(starts, n))
+    return values[starts], lengths
+
+
+def _encode_rle(dtype: DataType, values: np.ndarray) -> bytes:
+    run_values, run_lengths = _runs(values)
+    out = bytearray(encode_varint(len(run_values)))
+    width = dtype.byte_width
+    raw = np.ascontiguousarray(run_values).tobytes()
+    for i, run_len in enumerate(run_lengths):
+        out += encode_varint(int(run_len))
+        out += raw[i * width : (i + 1) * width]
+    return bytes(out)
+
+
+def _decode_rle(dtype: DataType, buf: bytes, pos: int, count: int) -> Tuple[np.ndarray, int]:
+    nruns, pos = decode_varint(buf, pos)
+    width = dtype.byte_width
+    lengths = np.empty(nruns, dtype=np.int64)
+    raw = bytearray()
+    for i in range(nruns):
+        run_len, pos = decode_varint(buf, pos)
+        lengths[i] = run_len
+        raw += buf[pos : pos + width]
+        pos += width
+    run_values = np.frombuffer(bytes(raw), dtype=dtype.numpy_dtype, count=nruns)
+    values = np.repeat(run_values, lengths)
+    if len(values) != count:
+        raise FormatError(f"RLE expanded to {len(values)} values, expected {count}")
+    return values, pos
+
+
+# -- chunk assembly ---------------------------------------------------------
+
+
+def encode_chunk(column: ColumnArray, lossy_error: float | None = None) -> bytes:
+    """Encode a column chunk body, choosing the smallest eligible encoding.
+
+    ``lossy_error`` opts a float64 column into SZ-class error-bounded
+    encoding (|decoded - original| <= lossy_error at every valid row).
+    """
+    out = bytearray()
+    if column.validity is not None:
+        out.append(1)
+        out += np.packbits(column.validity).tobytes()
+    else:
+        out.append(0)
+
+    dtype = column.dtype
+    values = column.values
+
+    if lossy_error is not None:
+        from repro.arrowsim.dtypes import FLOAT64
+        from repro.compress.szlike import compress_lossy
+
+        if dtype is not FLOAT64:
+            raise FormatError(
+                f"lossy encoding requires float64 columns, got {dtype}"
+            )
+        out.append(SZ)
+        out += compress_lossy(values, lossy_error)
+        return bytes(out)
+
+    candidates = {PLAIN: _encode_values_plain(dtype, values)}
+    n = len(values)
+    if n >= 16:
+        if dtype is STRING:
+            distinct = len(set(map(str, values)))
+            if distinct <= max(1, n // 2):
+                candidates[DICT] = _encode_dict(dtype, values)
+        else:
+            # NaN handling in np.unique(return_inverse=...) varies across
+            # numpy versions; dictionary-encoding floats with NaNs is not
+            # worth the risk.
+            has_nan = dtype.is_floating and bool(np.isnan(values).any())
+            distinct = len(np.unique(values))
+            if not has_nan and distinct <= min(2**31, max(1, n // 2)):
+                candidates[DICT] = _encode_dict(dtype, values)
+            run_values, _ = _runs(values)
+            if len(run_values) <= n // 4:
+                candidates[RLE] = _encode_rle(dtype, values)
+
+    encoding = min(candidates, key=lambda e: len(candidates[e]))
+    out.append(encoding)
+    out += candidates[encoding]
+    return bytes(out)
+
+
+def decode_chunk(dtype: DataType, body: bytes, num_values: int) -> ColumnArray:
+    """Inverse of :func:`encode_chunk`."""
+    pos = 0
+    has_validity = body[pos]
+    pos += 1
+    validity = None
+    if has_validity:
+        nbytes = (num_values + 7) // 8
+        packed = np.frombuffer(body, dtype=np.uint8, count=nbytes, offset=pos)
+        validity = np.unpackbits(packed)[:num_values].astype(bool)
+        pos += nbytes
+    encoding = body[pos]
+    pos += 1
+    if encoding == PLAIN:
+        values, pos = _decode_values_plain(dtype, body, pos, num_values)
+    elif encoding == DICT:
+        values, pos = _decode_dict(dtype, body, pos, num_values)
+    elif encoding == RLE:
+        values, pos = _decode_rle(dtype, body, pos, num_values)
+    elif encoding == SZ:
+        from repro.compress.szlike import decompress_lossy
+
+        values = decompress_lossy(body[pos:])
+        if len(values) != num_values:
+            raise FormatError(
+                f"SZ chunk decoded {len(values)} values, expected {num_values}"
+            )
+        pos = len(body)
+    else:
+        raise FormatError(f"unknown chunk encoding {encoding}")
+    if pos != len(body):
+        raise FormatError(f"{len(body) - pos} trailing bytes in chunk body")
+    return ColumnArray(dtype, values, validity)

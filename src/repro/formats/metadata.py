@@ -1,0 +1,160 @@
+"""Parcel footer metadata: file/row-group/chunk descriptors + binary serde.
+
+File layout::
+
+    "PARC"                      4-byte head magic
+    row-group 0 column chunks   (codec-framed chunk bodies, back to back)
+    row-group 1 column chunks
+    ...
+    footer                      (schema + row-group/chunk metadata)
+    u32 footer length
+    "PARC"                      4-byte tail magic
+
+Readers seek to the tail, read the footer length, then parse the footer —
+the standard Parquet trick that makes column pruning a couple of ranged
+reads instead of a full-file scan.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.arrowsim.dtypes import dtype_from_code
+from repro.arrowsim.schema import Field, Schema
+from repro.compress.codec import decode_varint, encode_varint
+from repro.errors import FormatError
+from repro.formats.statistics import ColumnStats, decode_stat_value, encode_stat_value
+
+__all__ = ["ChunkMeta", "RowGroupMeta", "ParcelMeta", "MAGIC"]
+
+MAGIC = b"PARC"
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Location + stats of one column chunk within the file."""
+
+    offset: int
+    compressed_size: int
+    uncompressed_size: int
+    codec: str
+    stats: ColumnStats
+
+
+@dataclass(frozen=True)
+class RowGroupMeta:
+    """One horizontal stripe: per-column chunk metadata."""
+
+    num_rows: int
+    chunks: List[ChunkMeta]
+
+
+@dataclass
+class ParcelMeta:
+    """Everything the footer records."""
+
+    schema: Schema
+    row_groups: List[RowGroupMeta] = field(default_factory=list)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(rg.num_rows for rg in self.row_groups)
+
+    def column_stats(self, name: str) -> ColumnStats:
+        """Table-level stats for one column, merged across row groups."""
+        idx = self.schema.index_of(name)
+        merged = None
+        for rg in self.row_groups:
+            stats = rg.chunks[idx].stats
+            merged = stats if merged is None else merged.merge(stats)
+        if merged is None:
+            return ColumnStats(0, 0, 0, None, None)
+        return merged
+
+
+# -- binary serde --------------------------------------------------------------
+
+
+def _encode_schema(schema: Schema) -> bytes:
+    out = bytearray(struct.pack("<H", len(schema)))
+    for f in schema:
+        name = f.name.encode("utf-8")
+        out += struct.pack("<H", len(name)) + name
+        out += struct.pack("<BB", f.dtype.code, int(f.nullable))
+    return bytes(out)
+
+
+def _decode_schema(buf: bytes, pos: int) -> Tuple[Schema, int]:
+    (nfields,) = struct.unpack_from("<H", buf, pos)
+    pos += 2
+    fields = []
+    for _ in range(nfields):
+        (name_len,) = struct.unpack_from("<H", buf, pos)
+        pos += 2
+        name = buf[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        code, nullable = struct.unpack_from("<BB", buf, pos)
+        pos += 2
+        fields.append(Field(name, dtype_from_code(code), bool(nullable)))
+    return Schema(fields), pos
+
+
+def encode_footer(meta: ParcelMeta) -> bytes:
+    """Serialize the footer (without length/tail magic)."""
+    out = bytearray(_encode_schema(meta.schema))
+    out += encode_varint(len(meta.row_groups))
+    for rg in meta.row_groups:
+        out += encode_varint(rg.num_rows)
+        if len(rg.chunks) != len(meta.schema):
+            raise FormatError("row group chunk count != schema width")
+        for f, chunk in zip(meta.schema, rg.chunks):
+            out += encode_varint(chunk.offset)
+            out += encode_varint(chunk.compressed_size)
+            out += encode_varint(chunk.uncompressed_size)
+            codec_name = chunk.codec.encode("ascii")
+            out += bytes([len(codec_name)]) + codec_name
+            stats = chunk.stats
+            out += encode_varint(stats.row_count)
+            out += encode_varint(stats.null_count)
+            out += encode_varint(stats.ndv)
+            out += encode_stat_value(f.dtype, stats.min_value)
+            out += encode_stat_value(f.dtype, stats.max_value)
+    return bytes(out)
+
+
+def decode_footer(buf: bytes) -> ParcelMeta:
+    """Inverse of :func:`encode_footer`."""
+    schema, pos = _decode_schema(buf, 0)
+    n_row_groups, pos = decode_varint(buf, pos)
+    row_groups = []
+    for _ in range(n_row_groups):
+        num_rows, pos = decode_varint(buf, pos)
+        chunks = []
+        for f in schema:
+            offset, pos = decode_varint(buf, pos)
+            compressed, pos = decode_varint(buf, pos)
+            uncompressed, pos = decode_varint(buf, pos)
+            codec_len = buf[pos]
+            pos += 1
+            codec = buf[pos : pos + codec_len].decode("ascii")
+            pos += codec_len
+            row_count, pos = decode_varint(buf, pos)
+            null_count, pos = decode_varint(buf, pos)
+            ndv, pos = decode_varint(buf, pos)
+            min_value, pos = decode_stat_value(f.dtype, buf, pos)
+            max_value, pos = decode_stat_value(f.dtype, buf, pos)
+            chunks.append(
+                ChunkMeta(
+                    offset=offset,
+                    compressed_size=compressed,
+                    uncompressed_size=uncompressed,
+                    codec=codec,
+                    stats=ColumnStats(row_count, null_count, ndv, min_value, max_value),
+                )
+            )
+        row_groups.append(RowGroupMeta(num_rows=num_rows, chunks=chunks))
+    if pos != len(buf):
+        raise FormatError(f"{len(buf) - pos} trailing bytes in footer")
+    return ParcelMeta(schema=schema, row_groups=row_groups)

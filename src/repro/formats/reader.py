@@ -1,0 +1,141 @@
+"""Parcel reader: footer-driven, column-pruning, stats-exposing."""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Sequence
+
+from repro.arrowsim.record_batch import RecordBatch, concat_batches
+from repro.arrowsim.schema import Schema
+from repro.compress.registry import get_codec
+from repro.errors import FormatError
+from repro.formats.encoding import decode_chunk
+from repro.formats.metadata import MAGIC, ParcelMeta, decode_footer
+from repro.formats.statistics import ColumnStats
+
+__all__ = ["ParcelReader", "footer_length_from_tail", "meta_from_tail"]
+
+
+def footer_length_from_tail(tail8: bytes) -> int:
+    """Footer byte count from the file's final 8 bytes (length + magic)."""
+    if len(tail8) < 8 or tail8[-4:] != MAGIC:
+        raise FormatError("not a Parcel tail (bad magic)")
+    (footer_len,) = struct.unpack_from("<I", tail8, len(tail8) - 8)
+    return footer_len
+
+
+def meta_from_tail(tail: bytes) -> ParcelMeta:
+    """Parse file metadata from the last ``footer_len + 8`` bytes.
+
+    Remote readers fetch the tail with a ranged GET (8 bytes for the
+    length, then the footer) instead of pulling the whole object — the
+    same two-request dance Parquet readers do against S3.
+    """
+    footer_len = footer_length_from_tail(tail)
+    if len(tail) < footer_len + 8:
+        raise FormatError(
+            f"tail of {len(tail)} bytes does not contain the {footer_len}-byte footer"
+        )
+    return decode_footer(tail[len(tail) - 8 - footer_len : len(tail) - 8])
+
+
+class ParcelReader:
+    """Random-access reader over in-memory Parcel file bytes.
+
+    ``read_row_group(i, columns=...)`` touches only the requested column
+    chunks — the byte counts it reports are what a ranged-GET reader would
+    pull over the network, which is how the no-pushdown baseline's data
+    movement is measured.
+    """
+
+    def __init__(self, buf: bytes) -> None:
+        if len(buf) < 12 or buf[:4] != MAGIC or buf[-4:] != MAGIC:
+            raise FormatError("not a Parcel file (bad magic)")
+        (footer_len,) = struct.unpack_from("<I", buf, len(buf) - 8)
+        footer_start = len(buf) - 8 - footer_len
+        if footer_start < 4:
+            raise FormatError("corrupt footer length")
+        self._buf = buf
+        self.meta: ParcelMeta = decode_footer(buf[footer_start : len(buf) - 8])
+        #: Bytes a reader must fetch before any data: footer + magic.
+        self.footer_bytes = footer_len + 12
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.meta.schema
+
+    @property
+    def num_rows(self) -> int:
+        return self.meta.num_rows
+
+    @property
+    def num_row_groups(self) -> int:
+        return len(self.meta.row_groups)
+
+    @property
+    def file_size(self) -> int:
+        return len(self._buf)
+
+    def column_stats(self, name: str) -> ColumnStats:
+        return self.meta.column_stats(name)
+
+    def row_group_stats(self, rg_index: int, name: str) -> ColumnStats:
+        rg = self.meta.row_groups[rg_index]
+        return rg.chunks[self.schema.index_of(name)].stats
+
+    def chunk_bytes(self, rg_index: int, columns: Optional[Sequence[str]] = None) -> int:
+        """Stored (compressed) bytes the given columns occupy in one row group."""
+        rg = self.meta.row_groups[rg_index]
+        names = list(columns) if columns is not None else self.schema.names()
+        return sum(rg.chunks[self.schema.index_of(n)].compressed_size for n in names)
+
+    def uncompressed_chunk_bytes(
+        self, rg_index: int, columns: Optional[Sequence[str]] = None
+    ) -> int:
+        """Decoded chunk-body bytes for the given columns in one row group."""
+        rg = self.meta.row_groups[rg_index]
+        names = list(columns) if columns is not None else self.schema.names()
+        return sum(rg.chunks[self.schema.index_of(n)].uncompressed_size for n in names)
+
+    # -- data access ---------------------------------------------------------------
+
+    def read_row_group(
+        self, rg_index: int, columns: Optional[Sequence[str]] = None
+    ) -> RecordBatch:
+        """Decode one row group, restricted to ``columns`` if given."""
+        if not 0 <= rg_index < self.num_row_groups:
+            raise FormatError(
+                f"row group {rg_index} out of range ({self.num_row_groups} groups)"
+            )
+        rg = self.meta.row_groups[rg_index]
+        names = list(columns) if columns is not None else self.schema.names()
+        schema = self.schema.select(names)
+        out_columns = []
+        for name in names:
+            chunk = rg.chunks[self.schema.index_of(name)]
+            framed = self._buf[chunk.offset : chunk.offset + chunk.compressed_size]
+            raw = get_codec(chunk.codec).decompress(framed)
+            if len(raw) != chunk.uncompressed_size:
+                raise FormatError(
+                    f"chunk for {name!r} decompressed to {len(raw)} bytes, "
+                    f"footer says {chunk.uncompressed_size}"
+                )
+            out_columns.append(decode_chunk(schema.field(name).dtype, raw, rg.num_rows))
+        return RecordBatch(schema, out_columns)
+
+    def read_table(self, columns: Optional[Sequence[str]] = None) -> RecordBatch:
+        """Decode and concatenate every row group."""
+        if self.num_row_groups == 0:
+            names = list(columns) if columns is not None else self.schema.names()
+            return RecordBatch.empty(self.schema.select(names))
+        batches = [
+            self.read_row_group(i, columns) for i in range(self.num_row_groups)
+        ]
+        return concat_batches(batches)
+
+    def iter_row_groups(self, columns: Optional[Sequence[str]] = None):
+        """Yield (rg_index, RecordBatch) pairs."""
+        for i in range(self.num_row_groups):
+            yield i, self.read_row_group(i, columns)

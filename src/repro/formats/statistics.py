@@ -1,0 +1,141 @@
+"""Per-chunk column statistics: min/max, null count, NDV.
+
+These are the numbers the Presto-OCS connector's selectivity analyzer
+feeds on: min/max bound range-filter selectivity, NDV bounds aggregation
+output cardinality, and row counts give reduction ratios (paper
+Section 4).  Statistics are computed exactly at write time.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.arrowsim.array import ColumnArray
+from repro.arrowsim.dtypes import DataType, STRING
+from repro.errors import FormatError
+
+__all__ = ["ColumnStats"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one column chunk (or a merge across chunks)."""
+
+    row_count: int
+    null_count: int
+    #: Exact number of distinct non-null values at write time; merged
+    #: stats keep the max-per-chunk lower bound and the sum upper bound's
+    #: min — we store the conservative sum-capped estimate.
+    ndv: int
+    min_value: Optional[Any]
+    max_value: Optional[Any]
+
+    @classmethod
+    def compute(cls, column: ColumnArray) -> "ColumnStats":
+        """Exact statistics over a column's non-null values."""
+        valid = column.is_valid()
+        values = column.values[valid]
+        row_count = len(column)
+        null_count = row_count - len(values)
+        if len(values) == 0:
+            return cls(row_count, null_count, 0, None, None)
+        if column.dtype is STRING:
+            distinct = set(map(str, values))
+            return cls(row_count, null_count, len(distinct), min(distinct), max(distinct))
+        if column.dtype.is_floating:
+            finite = values[~np.isnan(values)]
+            if len(finite) == 0:
+                return cls(row_count, null_count, 1, None, None)
+            ndv = len(np.unique(values[~np.isnan(values)])) + int(np.isnan(values).any())
+            return cls(
+                row_count, null_count, ndv,
+                float(finite.min()), float(finite.max()),
+            )
+        ndv = len(np.unique(values))
+        return cls(
+            row_count,
+            null_count,
+            ndv,
+            values.min().item(),
+            values.max().item(),
+        )
+
+    def merge(self, other: "ColumnStats") -> "ColumnStats":
+        """Combine chunk stats into table-level stats (NDV is an upper bound)."""
+        def opt_min(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        def opt_max(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return max(a, b)
+
+        return ColumnStats(
+            row_count=self.row_count + other.row_count,
+            null_count=self.null_count + other.null_count,
+            ndv=max(self.ndv, other.ndv, min(self.ndv + other.ndv, self.row_count + other.row_count)),
+            min_value=opt_min(self.min_value, other.min_value),
+            max_value=opt_max(self.max_value, other.max_value),
+        )
+
+    # -- range overlap (used for row-group pruning) -------------------------
+
+    def range_may_overlap(self, low: Optional[Any], high: Optional[Any]) -> bool:
+        """Could any value in this chunk fall within [low, high]?"""
+        if self.min_value is None or self.max_value is None:
+            # No bounds recorded (all null / all NaN): cannot prune.
+            return self.row_count > self.null_count
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value > high:
+            return False
+        return True
+
+
+# --------------------------------------------------------------------------
+# Binary serde for stats values (dtype-tagged)
+# --------------------------------------------------------------------------
+
+
+def encode_stat_value(dtype: DataType, value: Optional[Any]) -> bytes:
+    """Serialize one min/max bound; None encodes as absent."""
+    if value is None:
+        return b"\x00"
+    if dtype is STRING:
+        data = str(value).encode("utf-8")
+        return b"\x01" + struct.pack("<I", len(data)) + data
+    if dtype.is_floating:
+        return b"\x01" + struct.pack("<d", float(value))
+    return b"\x01" + struct.pack("<q", int(value))
+
+
+def decode_stat_value(dtype: DataType, buf: bytes, pos: int) -> Tuple[Optional[Any], int]:
+    """Inverse of :func:`encode_stat_value`; returns (value, next_pos)."""
+    flag = buf[pos]
+    pos += 1
+    if flag == 0:
+        return None, pos
+    if flag != 1:
+        raise FormatError(f"bad stat value flag {flag}")
+    if dtype is STRING:
+        (length,) = struct.unpack_from("<I", buf, pos)
+        pos += 4
+        value = buf[pos : pos + length].decode("utf-8")
+        return value, pos + length
+    if dtype.is_floating:
+        (value,) = struct.unpack_from("<d", buf, pos)
+        return value, pos + 8
+    (ivalue,) = struct.unpack_from("<q", buf, pos)
+    if dtype.name == "bool":
+        return bool(ivalue), pos + 8
+    return ivalue, pos + 8

@@ -1,0 +1,19 @@
+"""Hive-class metastore: catalog of schemas, tables, and statistics.
+
+Presto plans queries against Hive metastore metadata (paper Sections 2.4
+and 4): table schemas for analysis, and column statistics — min/max,
+NDV, row counts — for the Presto-OCS connector's selectivity analyzer.
+The stats collector aggregates Parcel footer statistics across a table's
+objects, the moral equivalent of Hive's ``ANALYZE TABLE``.
+"""
+
+from repro.metastore.catalog import HiveMetastore, TableDescriptor
+from repro.metastore.collector import collect_table_statistics
+from repro.metastore.histogram import IntervalHistogram
+
+__all__ = [
+    "HiveMetastore",
+    "IntervalHistogram",
+    "TableDescriptor",
+    "collect_table_statistics",
+]

@@ -1,0 +1,87 @@
+"""Schemas, table descriptors, and the metastore service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arrowsim.schema import Schema
+from repro.errors import NoSuchSchemaError, NoSuchTableError, TableAlreadyExistsError
+from repro.formats.statistics import ColumnStats
+from repro.metastore.histogram import IntervalHistogram
+
+__all__ = ["TableDescriptor", "HiveMetastore"]
+
+
+@dataclass
+class TableDescriptor:
+    """Everything the metastore knows about one table."""
+
+    schema_name: str
+    table_name: str
+    table_schema: Schema
+    #: Object-store location of the table's files.
+    bucket: str
+    key_prefix: str
+    #: Data file keys, in deterministic order (one split each).
+    files: List[str] = field(default_factory=list)
+    file_format: str = "parcel"
+    codec: str = "none"
+    #: Table-level statistics per column (merged across files).
+    column_statistics: Dict[str, ColumnStats] = field(default_factory=dict)
+    #: Per-column interval histograms built from row-group zone maps
+    #: (numeric/date columns only).
+    column_histograms: Dict[str, IntervalHistogram] = field(default_factory=dict)
+    row_count: int = 0
+    total_bytes: int = 0
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.schema_name}.{self.table_name}"
+
+    def stats_for(self, column: str) -> Optional[ColumnStats]:
+        return self.column_statistics.get(column)
+
+    def histogram_for(self, column: str) -> Optional[IntervalHistogram]:
+        return self.column_histograms.get(column)
+
+
+class HiveMetastore:
+    """In-process catalog service: schema -> table -> descriptor."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, Dict[str, TableDescriptor]] = {}
+
+    def create_schema(self, name: str) -> None:
+        self._schemas.setdefault(name, {})
+
+    def list_schemas(self) -> List[str]:
+        return sorted(self._schemas)
+
+    def register_table(self, descriptor: TableDescriptor) -> None:
+        if descriptor.schema_name not in self._schemas:
+            raise NoSuchSchemaError(descriptor.schema_name)
+        tables = self._schemas[descriptor.schema_name]
+        if descriptor.table_name in tables:
+            raise TableAlreadyExistsError(descriptor.qualified_name)
+        tables[descriptor.table_name] = descriptor
+
+    def drop_table(self, schema: str, table: str) -> None:
+        self.get_table(schema, table)
+        del self._schemas[schema][table]
+
+    def get_table(self, schema: str, table: str) -> TableDescriptor:
+        if schema not in self._schemas:
+            raise NoSuchSchemaError(schema)
+        try:
+            return self._schemas[schema][table]
+        except KeyError:
+            raise NoSuchTableError(f"{schema}.{table}") from None
+
+    def list_tables(self, schema: str) -> List[str]:
+        if schema not in self._schemas:
+            raise NoSuchSchemaError(schema)
+        return sorted(self._schemas[schema])
+
+    def has_table(self, schema: str, table: str) -> bool:
+        return schema in self._schemas and table in self._schemas[schema]

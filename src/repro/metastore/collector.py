@@ -1,0 +1,59 @@
+"""Statistics collection: aggregate Parcel footers into table-level stats.
+
+The moral equivalent of Hive's ``ANALYZE TABLE ... COMPUTE STATISTICS``:
+reads only the footer of each data file (no column data) and merges
+per-chunk min/max/null/NDV into per-column table statistics the
+selectivity analyzer consumes.  Per-row-group bounds additionally build
+:class:`~repro.metastore.histogram.IntervalHistogram` zone-map histograms
+for numeric/date columns — the statistics behind the
+``distribution="histogram"`` selectivity model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.formats.reader import ParcelReader
+from repro.formats.statistics import ColumnStats
+from repro.metastore.catalog import TableDescriptor
+from repro.metastore.histogram import IntervalHistogram
+from repro.objectstore.store import ObjectStore
+
+__all__ = ["collect_table_statistics"]
+
+
+def collect_table_statistics(descriptor: TableDescriptor, store: ObjectStore) -> None:
+    """Populate ``descriptor``'s statistics from its files' footers."""
+    merged: Dict[str, ColumnStats] = {}
+    intervals: Dict[str, List[Tuple[float, float, int]]] = {}
+    row_count = 0
+    total_bytes = 0
+    for key in descriptor.files:
+        reader = ParcelReader(store.get_object(descriptor.bucket, key))
+        row_count += reader.num_rows
+        total_bytes += reader.file_size
+        for column in reader.schema.names():
+            stats = reader.column_stats(column)
+            merged[column] = stats if column not in merged else merged[column].merge(stats)
+            dtype = reader.schema.field(column).dtype
+            if not (dtype.is_numeric or dtype.is_integer):
+                continue
+            for rg_index in range(reader.num_row_groups):
+                rg_stats = reader.row_group_stats(rg_index, column)
+                if rg_stats.min_value is None or rg_stats.max_value is None:
+                    continue
+                intervals.setdefault(column, []).append(
+                    (
+                        float(rg_stats.min_value),  # type: ignore[arg-type]
+                        float(rg_stats.max_value),  # type: ignore[arg-type]
+                        rg_stats.row_count - rg_stats.null_count,
+                    )
+                )
+    descriptor.column_statistics = merged
+    descriptor.column_histograms = {
+        column: histogram
+        for column, triples in intervals.items()
+        if (histogram := IntervalHistogram.from_intervals(triples)) is not None
+    }
+    descriptor.row_count = row_count
+    descriptor.total_bytes = total_bytes

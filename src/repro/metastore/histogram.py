@@ -1,0 +1,74 @@
+"""Interval histograms from row-group statistics (zone maps).
+
+The paper's selectivity analyzer assumes values are normal between the
+table min/max and flags that assumption's weakness on other
+distributions as future work.  Parcel footers already carry per-row-group
+min/max/row-count per column — a free interval histogram: each row group
+contributes ``rows`` mass spread over ``[min, max]``.  That recovers the
+*actual* distribution shape without any extra scan, the same trick
+engines play with zone maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["IntervalHistogram"]
+
+
+@dataclass
+class IntervalHistogram:
+    """Row mass per value interval, one entry per row-group chunk."""
+
+    mins: np.ndarray  # float64
+    maxs: np.ndarray  # float64
+    counts: np.ndarray  # float64 (non-null rows per interval)
+
+    @classmethod
+    def from_intervals(
+        cls, intervals: Sequence[Tuple[float, float, int]]
+    ) -> Optional["IntervalHistogram"]:
+        """Build from (min, max, rows) triples; None when nothing usable."""
+        usable = [(lo, hi, n) for lo, hi, n in intervals if n > 0]
+        if not usable:
+            return None
+        mins = np.array([lo for lo, _, _ in usable], dtype=np.float64)
+        maxs = np.array([hi for _, hi, _ in usable], dtype=np.float64)
+        counts = np.array([n for _, _, n in usable], dtype=np.float64)
+        return cls(mins=mins, maxs=maxs, counts=counts)
+
+    @property
+    def total_rows(self) -> float:
+        return float(self.counts.sum())
+
+    def fraction_below(self, value: float) -> float:
+        """P(column <= value): uniform mass within each interval."""
+        total = self.total_rows
+        if total <= 0:
+            return 0.0
+        widths = self.maxs - self.mins
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inside = (value - self.mins) / widths
+        # Degenerate intervals (min == max) are point masses.
+        inside = np.where(widths <= 0, np.where(value >= self.mins, 1.0, 0.0), inside)
+        fractions = np.clip(inside, 0.0, 1.0)
+        return float((fractions * self.counts).sum() / total)
+
+    def fraction_between(self, low: float, high: float) -> float:
+        """P(low <= column <= high)."""
+        if high < low:
+            return 0.0
+        return max(0.0, self.fraction_below(high) - self.fraction_below(low))
+
+    def merge(self, other: "IntervalHistogram") -> "IntervalHistogram":
+        return IntervalHistogram(
+            mins=np.concatenate([self.mins, other.mins]),
+            maxs=np.concatenate([self.maxs, other.maxs]),
+            counts=np.concatenate([self.counts, other.counts]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.counts)

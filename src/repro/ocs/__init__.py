@@ -1,0 +1,27 @@
+"""Object-based Computational Storage (OCS) — the SK hynix system's stand-in.
+
+Hierarchical design per the paper (Section 5.1): a **frontend node**
+exposes a unified gRPC endpoint, parses/validates incoming Substrait
+plans, and dispatches them to **storage nodes**; each storage node holds
+Parcel objects and runs an **embedded SQL engine** that executes plans
+locally — filter, expression project, aggregation, sort, and top-N — and
+serializes results to Arrow for the trip back.
+
+The embedded engine executes for real on the stored data; its cost report
+(stored bytes scanned, decompression work, per-operator cycles) is what
+the storage node charges to its simulated 16-core/2.0 GHz hardware.
+"""
+
+from repro.ocs.embedded_engine import EmbeddedEngine, OcsCostReport
+from repro.ocs.storage_node import OcsStorageNode
+from repro.ocs.frontend import OcsFrontend, PushdownRequest, decode_request, encode_request
+
+__all__ = [
+    "EmbeddedEngine",
+    "OcsCostReport",
+    "OcsFrontend",
+    "OcsStorageNode",
+    "PushdownRequest",
+    "decode_request",
+    "encode_request",
+]

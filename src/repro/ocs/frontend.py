@@ -1,0 +1,177 @@
+"""The OCS frontend: unified gRPC endpoint, plan parsing, dispatch.
+
+Request/response envelopes are plain length-prefixed binary so their
+sizes feed the network model.  The response carries a small stats trailer
+(the cost report) which the Presto-OCS connector's EventListener logs —
+real OCS exposes similar per-request telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.compress.codec import decode_varint, encode_varint
+from repro.errors import OcsError
+from repro.ocs.embedded_engine import OcsCostReport
+from repro.ocs.storage_node import OcsStorageNode
+from repro.rpc.channel import RpcService
+from repro.sim.costmodel import CostParams
+from repro.sim.kernel import Simulator
+from repro.sim.network import Link
+from repro.sim.node import SimNode
+from repro.substrait.serde import deserialize_plan
+from repro.substrait.validator import validate_plan
+
+__all__ = [
+    "PushdownRequest",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "OcsFrontend",
+]
+
+
+@dataclass(frozen=True)
+class PushdownRequest:
+    """One pushdown execution request addressed to a storage node."""
+
+    plan_bytes: bytes
+    bucket: str
+    keys: Tuple[str, ...]
+    node_index: int = 0
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    out += encode_varint(len(data))
+    out += data
+
+
+def _read_str(buf: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = decode_varint(buf, pos)
+    return buf[pos : pos + length].decode("utf-8"), pos + length
+
+
+def encode_request(request: PushdownRequest) -> bytes:
+    out = bytearray(b"OCRQ")
+    out += encode_varint(len(request.plan_bytes))
+    out += request.plan_bytes
+    _write_str(out, request.bucket)
+    out += encode_varint(len(request.keys))
+    for key in request.keys:
+        _write_str(out, key)
+    out += encode_varint(request.node_index)
+    return bytes(out)
+
+
+def decode_request(buf: bytes) -> PushdownRequest:
+    if buf[:4] != b"OCRQ":
+        raise OcsError("bad OCS request magic")
+    pos = 4
+    plan_len, pos = decode_varint(buf, pos)
+    plan_bytes = buf[pos : pos + plan_len]
+    pos += plan_len
+    bucket, pos = _read_str(buf, pos)
+    nkeys, pos = decode_varint(buf, pos)
+    keys: List[str] = []
+    for _ in range(nkeys):
+        key, pos = _read_str(buf, pos)
+        keys.append(key)
+    node_index, pos = decode_varint(buf, pos)
+    return PushdownRequest(plan_bytes, bucket, tuple(keys), node_index)
+
+
+def encode_response(arrow: bytes, report: OcsCostReport) -> bytes:
+    out = bytearray(b"OCRS")
+    out += encode_varint(len(arrow))
+    out += arrow
+    for value in (
+        report.stored_bytes_read,
+        report.uncompressed_bytes,
+        report.rows_scanned,
+        report.rows_returned,
+        report.row_groups_pruned,
+        report.row_groups_read,
+        int(report.total_cpu_cycles),
+    ):
+        out += encode_varint(int(value))
+    return bytes(out)
+
+
+def decode_response(buf: bytes) -> Tuple[bytes, OcsCostReport]:
+    if buf[:4] != b"OCRS":
+        raise OcsError("bad OCS response magic")
+    pos = 4
+    arrow_len, pos = decode_varint(buf, pos)
+    arrow = buf[pos : pos + arrow_len]
+    pos += arrow_len
+    values = []
+    for _ in range(7):
+        value, pos = decode_varint(buf, pos)
+        values.append(value)
+    report = OcsCostReport(
+        stored_bytes_read=values[0],
+        uncompressed_bytes=values[1],
+        rows_scanned=values[2],
+        rows_returned=values[3],
+        row_groups_pruned=values[4],
+        row_groups_read=values[5],
+        compute_cycles=float(values[6]),
+    )
+    return arrow, report
+
+
+class OcsFrontend:
+    """Frontend node: accepts Substrait plans, dispatches to storage nodes."""
+
+    METHOD = "ocs.execute"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: SimNode,
+        storage_nodes: Sequence[OcsStorageNode],
+        storage_links: Sequence[Link],
+        costs: CostParams,
+    ) -> None:
+        if len(storage_nodes) != len(storage_links):
+            raise OcsError("need one frontend<->storage link per storage node")
+        if not storage_nodes:
+            raise OcsError("OCS needs at least one storage node")
+        self.sim = sim
+        self.node = node
+        self.storage_nodes = list(storage_nodes)
+        self.storage_links = list(storage_links)
+        self.costs = costs
+        self.service = RpcService(sim, node, "ocs-frontend", costs)
+        self.service.register(self.METHOD, self._handle_execute)
+        self.requests_served = 0
+
+    def _handle_execute(self, payload: bytes):
+        request = decode_request(payload)
+        if not 0 <= request.node_index < len(self.storage_nodes):
+            raise OcsError(f"no storage node {request.node_index}")
+        # Parse + validate the plan (real work) and charge frontend CPU.
+        plan = deserialize_plan(bytes(request.plan_bytes))
+        validate_plan(plan)
+        yield self.node.execute(
+            self.costs.frontend_parse_cycles_fixed
+            + len(request.plan_bytes) * self.costs.frontend_parse_cycles_per_byte,
+            name="parse-plan",
+        )
+        storage = self.storage_nodes[request.node_index]
+        link = self.storage_links[request.node_index]
+        yield link.transfer(
+            self.node.name, storage.node.name, len(payload), label="plan-dispatch"
+        )
+        arrow, report = yield storage.execute_plan(
+            plan, request.bucket, list(request.keys)
+        )
+        response = encode_response(arrow, report)
+        yield link.transfer(
+            storage.node.name, self.node.name, len(response), label="plan-result"
+        )
+        self.requests_served += 1
+        return response

@@ -1,0 +1,57 @@
+"""An OCS storage node: local objects + embedded engine + cost charging."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.arrowsim.ipc import serialize_batches
+from repro.objectstore.store import ObjectStore
+from repro.ocs.embedded_engine import EmbeddedEngine
+from repro.sim.costmodel import CostParams
+from repro.sim.kernel import Process, Simulator
+from repro.sim.node import SimNode
+from repro.substrait.plan import SubstraitPlan
+
+__all__ = ["OcsStorageNode"]
+
+
+class OcsStorageNode:
+    """One storage node of the OCS hierarchy (paper Section 5.1)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: SimNode,
+        store: ObjectStore,
+        costs: CostParams,
+        index: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.store = store
+        self.costs = costs
+        self.index = index
+        self.engine = EmbeddedEngine(store, costs)
+        self.plans_executed = 0
+
+    def execute_plan(
+        self, plan: SubstraitPlan, bucket: str, keys: Sequence[str]
+    ) -> Process:
+        """DES process resolving to (arrow_bytes, OcsCostReport)."""
+        return self.sim.process(
+            self._execute(plan, bucket, keys), name=f"ocs-exec[{self.index}]"
+        )
+
+    def _execute(self, plan: SubstraitPlan, bucket: str, keys: Sequence[str]):
+        # Real execution first (instantaneous in simulated time)...
+        batches, report = self.engine.execute(plan, bucket, keys)
+        arrow = serialize_batches(batches)
+        # ...then charge what it would have cost on this hardware.
+        yield self.node.read_disk(report.stored_bytes_read, name="scan")
+        cpu = (
+            report.total_cpu_cycles
+            + len(arrow) * self.costs.arrow_serialize_cycles_per_byte
+        )
+        yield self.node.execute_spread(cpu, name="plan")
+        self.plans_executed += 1
+        return arrow, report

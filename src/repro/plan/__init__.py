@@ -1,0 +1,54 @@
+"""Logical plans: nodes, the AST->plan planner, and optimizer rules.
+
+Mirrors Presto's coordinator pipeline (paper Figure 3): the analyzer's
+output is lowered to a tree of plan nodes (TableScan / Filter / Project /
+Aggregation / TopN / Sort / Limit / Output), the *global optimizer*
+applies engine-wide rewrite rules, and afterwards each connector gets a
+chance to rewrite the tree through the ConnectorPlanOptimizer SPI — which
+is where the Presto-OCS connector (:mod:`repro.core`) does its work.
+"""
+
+from repro.plan.nodes import (
+    AggregationNode,
+    FilterNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    TableScanNode,
+    TopNNode,
+    format_plan,
+)
+from repro.plan.planner import LogicalPlanner, plan_query
+from repro.plan.optimizer import (
+    ConstantFoldingRule,
+    GlobalOptimizer,
+    OptimizerRule,
+    PredicatePushdownRule,
+    ProjectionPruningRule,
+    TopNFusionRule,
+    fold_expression,
+)
+
+__all__ = [
+    "AggregationNode",
+    "ConstantFoldingRule",
+    "FilterNode",
+    "GlobalOptimizer",
+    "LimitNode",
+    "LogicalPlanner",
+    "OptimizerRule",
+    "OutputNode",
+    "PlanNode",
+    "PredicatePushdownRule",
+    "ProjectNode",
+    "ProjectionPruningRule",
+    "SortNode",
+    "TableScanNode",
+    "TopNFusionRule",
+    "TopNNode",
+    "fold_expression",
+    "format_plan",
+    "plan_query",
+]

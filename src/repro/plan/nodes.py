@@ -1,0 +1,207 @@
+"""Logical plan node taxonomy.
+
+Nodes match Presto's: *TableScanNode*, *FilterNode*, *ProjectNode*,
+*AggregationNode*, *TopNNode*, *SortNode*, *LimitNode*, *OutputNode*.
+Each node computes its output schema so every layer (optimizer, connector
+pushdown analysis, Substrait translation, execution) can type-check
+without re-running analysis.
+
+``TableScanNode.connector_handle`` is the slot connectors use to attach
+backend-specific state; the Presto-OCS connector's local optimizer
+collapses pushed operators into it (paper Section 4: "the corresponding
+PlanNodes are merged into a modified TableScan operator").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Tuple
+
+from repro.arrowsim.schema import Field, Schema
+from repro.errors import PlanError
+from repro.exec.aggregates import AggregateSpec
+from repro.exec.expressions import Expr
+from repro.sql.ast_nodes import TableName
+
+__all__ = [
+    "PlanNode",
+    "TableScanNode",
+    "FilterNode",
+    "ProjectNode",
+    "AggregationNode",
+    "SortNode",
+    "TopNNode",
+    "LimitNode",
+    "OutputNode",
+    "format_plan",
+]
+
+
+@dataclass
+class PlanNode:
+    """Base class; subclasses define ``source`` or are leaves."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        source = getattr(self, "source", None)
+        return (source,) if source is not None else ()
+
+    def output_schema(self) -> Schema:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def with_source(self, source: "PlanNode") -> "PlanNode":
+        if not hasattr(self, "source"):
+            raise PlanError(f"{type(self).__name__} has no source to replace")
+        return replace(self, source=source)  # type: ignore[arg-type]
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.replace("Node", "")
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class TableScanNode(PlanNode):
+    """Leaf: read ``columns`` of ``table`` through a connector.
+
+    ``connector_handle`` starts as whatever the catalog's metadata layer
+    returned and may be rewritten by the connector's plan optimizer.
+    """
+
+    table: TableName
+    table_schema: Schema
+    columns: List[str]
+    connector_handle: Any = None
+
+    def output_schema(self) -> Schema:
+        return self.table_schema.select(self.columns)
+
+    def describe(self) -> str:
+        return f"TableScan[{self.table.to_sql()} columns={self.columns}]"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    source: PlanNode
+    predicate: Expr
+
+    def output_schema(self) -> Schema:
+        return self.source.output_schema()
+
+    def describe(self) -> str:
+        return f"Filter[{self.predicate!r}]"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    source: PlanNode
+    projections: List[Tuple[str, Expr]]
+
+    def output_schema(self) -> Schema:
+        return Schema([Field(name, expr.dtype) for name, expr in self.projections])
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{n} := {e!r}" for n, e in self.projections)
+        return f"Project[{inner}]"
+
+    @property
+    def is_identity(self) -> bool:
+        """True when every projection just forwards an input column unchanged."""
+        from repro.exec.expressions import ColumnExpr
+
+        input_schema = self.source.output_schema()
+        return all(
+            isinstance(expr, ColumnExpr) and expr.name == name and name in input_schema
+            for name, expr in self.projections
+        )
+
+
+@dataclass
+class AggregationNode(PlanNode):
+    source: PlanNode
+    key_names: List[str]
+    specs: List[AggregateSpec]
+    phase: str = "single"
+
+    def output_schema(self) -> Schema:
+        source_schema = self.source.output_schema()
+        fields = [source_schema.field(k) for k in self.key_names]
+        for spec in self.specs:
+            if self.phase == "partial":
+                fields.extend(spec.partial_fields())
+            else:
+                fields.append(
+                    Field(spec.output, spec.output_dtype, nullable=spec.func != "count")
+                )
+        return Schema(fields)
+
+    def describe(self) -> str:
+        aggs = ", ".join(
+            f"{s.output} := {s.func}({'DISTINCT ' if s.distinct else ''}{s.arg or '*'})"
+            for s in self.specs
+        )
+        keys = ", ".join(self.key_names)
+        phase = f" phase={self.phase}" if self.phase != "single" else ""
+        return f"Aggregation[keys=({keys}) {aggs}{phase}]"
+
+
+@dataclass
+class SortNode(PlanNode):
+    source: PlanNode
+    sort_keys: List[Tuple[str, bool]]
+
+    def output_schema(self) -> Schema:
+        return self.source.output_schema()
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{n} {'DESC' if d else 'ASC'}" for n, d in self.sort_keys)
+        return f"Sort[{keys}]"
+
+
+@dataclass
+class TopNNode(PlanNode):
+    source: PlanNode
+    count: int
+    sort_keys: List[Tuple[str, bool]]
+
+    def output_schema(self) -> Schema:
+        return self.source.output_schema()
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{n} {'DESC' if d else 'ASC'}" for n, d in self.sort_keys)
+        return f"TopN[{self.count} by {keys}]"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    source: PlanNode
+    count: int
+
+    def output_schema(self) -> Schema:
+        return self.source.output_schema()
+
+    def describe(self) -> str:
+        return f"Limit[{self.count}]"
+
+
+@dataclass
+class OutputNode(PlanNode):
+    """Root: selects (and orders) the user-visible columns."""
+
+    source: PlanNode
+    column_names: List[str]
+
+    def output_schema(self) -> Schema:
+        return self.source.output_schema().select(self.column_names)
+
+    def describe(self) -> str:
+        return f"Output[{self.column_names}]"
+
+
+def format_plan(node: PlanNode, indent: int = 0) -> str:
+    """Pretty-print a plan tree, root first (Presto EXPLAIN style)."""
+    lines = ["  " * indent + "- " + node.describe()]
+    for child in node.children():
+        lines.append(format_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,270 @@
+"""Global (engine-wide) optimizer rules.
+
+These run before any connector sees the plan (paper Figure 3, step 3):
+
+* **constant folding** — evaluates literal-only subtrees (how
+  ``DATE '1998-12-01' - INTERVAL '90' DAY`` becomes a plain date literal);
+* **predicate pushdown** — moves filters below pass-through projections
+  and merges adjacent filters;
+* **projection pruning** — drops unused projections/aggregates and
+  narrows table scans to referenced columns;
+* **top-N fusion** — rewrites Limit-over-Sort into a TopN node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Set
+
+import numpy as np
+
+from repro.arrowsim.record_batch import RecordBatch
+from repro.errors import PlanError
+from repro.exec.expressions import (
+    AndExpr,
+    ArithExpr,
+    CastExpr,
+    ColumnExpr,
+    CompareExpr,
+    Expr,
+    InExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NegExpr,
+    NotExpr,
+    OrExpr,
+    ScalarFuncExpr,
+)
+from repro.plan.nodes import (
+    AggregationNode,
+    FilterNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    TableScanNode,
+    TopNNode,
+)
+
+__all__ = [
+    "OptimizerRule",
+    "GlobalOptimizer",
+    "ConstantFoldingRule",
+    "PredicatePushdownRule",
+    "ProjectionPruningRule",
+    "TopNFusionRule",
+    "fold_expression",
+]
+
+OptimizerRule = Callable[[PlanNode], PlanNode]
+
+# One-row batch used to evaluate constant subtrees.
+_FOLD_BATCH = RecordBatch.from_arrays({"$fold": np.zeros(1)})
+
+
+def _rebuild(expr: Expr, children: List[Expr]) -> Expr:
+    """Clone ``expr`` with new children (same structure, same options)."""
+    if isinstance(expr, ArithExpr):
+        return replace(expr, left=children[0], right=children[1])
+    if isinstance(expr, CompareExpr):
+        return replace(expr, left=children[0], right=children[1])
+    if isinstance(expr, (AndExpr, OrExpr)):
+        return replace(expr, operands=tuple(children))
+    if isinstance(expr, (NegExpr, NotExpr, CastExpr, ScalarFuncExpr)):
+        return replace(expr, operand=children[0])
+    if isinstance(expr, (InExpr, IsNullExpr)):
+        return replace(expr, operand=children[0])
+    if children:
+        raise PlanError(f"cannot rebuild expression {type(expr).__name__}")
+    return expr
+
+
+def fold_expression(expr: Expr) -> Expr:
+    """Collapse literal-only subtrees into literals (bottom-up)."""
+    children = [fold_expression(c) for c in expr.children()]
+    expr = _rebuild(expr, children)
+    if isinstance(expr, (ColumnExpr, LiteralExpr)):
+        return expr
+    if expr.children() and all(isinstance(c, LiteralExpr) for c in expr.children()):
+        result = expr.evaluate(_FOLD_BATCH)
+        return LiteralExpr(result[0], expr.dtype)
+    return expr
+
+
+def _map_expressions(node: PlanNode, fn: Callable[[Expr], Expr]) -> PlanNode:
+    if isinstance(node, FilterNode):
+        return replace(node, predicate=fn(node.predicate))
+    if isinstance(node, ProjectNode):
+        return replace(node, projections=[(n, fn(e)) for n, e in node.projections])
+    return node
+
+
+def _transform_up(node: PlanNode, fn: Callable[[PlanNode], PlanNode]) -> PlanNode:
+    """Apply ``fn`` bottom-up over the tree."""
+    source = getattr(node, "source", None)
+    if source is not None:
+        node = node.with_source(_transform_up(source, fn))
+    return fn(node)
+
+
+class ConstantFoldingRule:
+    """Fold constants inside every filter predicate and projection."""
+
+    def __call__(self, plan: PlanNode) -> PlanNode:
+        return _transform_up(plan, lambda n: _map_expressions(n, fold_expression))
+
+
+class PredicatePushdownRule:
+    """Merge stacked filters; slide filters below pass-through projections."""
+
+    def __call__(self, plan: PlanNode) -> PlanNode:
+        return _transform_up(plan, self._rewrite)
+
+    @staticmethod
+    def _rewrite(node: PlanNode) -> PlanNode:
+        if not isinstance(node, FilterNode):
+            return node
+        source = node.source
+        # Filter(Filter(x, p2), p1) -> Filter(x, p1 AND p2)
+        if isinstance(source, FilterNode):
+            merged: List[Expr] = []
+            for pred in (node.predicate, source.predicate):
+                if isinstance(pred, AndExpr):
+                    merged.extend(pred.operands)
+                else:
+                    merged.append(pred)
+            return FilterNode(source.source, AndExpr(tuple(merged)))
+        # Filter(Project(x), p) -> Project(Filter(x, p')) when every column
+        # the predicate reads is a pass-through projection.
+        if isinstance(source, ProjectNode):
+            passthrough = {
+                name: expr.name
+                for name, expr in source.projections
+                if isinstance(expr, ColumnExpr)
+            }
+            refs = node.predicate.column_refs()
+            if refs <= set(passthrough):
+                rewritten = _substitute_columns(
+                    node.predicate,
+                    {name: ColumnExpr(passthrough[name],
+                                      source.output_schema().field(name).dtype)
+                     for name in refs},
+                )
+                return replace(
+                    source, source=FilterNode(source.source, rewritten)
+                )
+        return node
+
+
+def _substitute_columns(expr: Expr, mapping: dict[str, Expr]) -> Expr:
+    if isinstance(expr, ColumnExpr) and expr.name in mapping:
+        return mapping[expr.name]
+    children = [_substitute_columns(c, mapping) for c in expr.children()]
+    return _rebuild(expr, children)
+
+
+class ProjectionPruningRule:
+    """Drop unused outputs and narrow scans to referenced columns."""
+
+    def __call__(self, plan: PlanNode) -> PlanNode:
+        return self._prune(plan, None)
+
+    def _prune(self, node: PlanNode, required: Optional[Set[str]]) -> PlanNode:
+        if isinstance(node, OutputNode):
+            return replace(node, source=self._prune(node.source, set(node.column_names)))
+        if isinstance(node, (SortNode, TopNNode)):
+            needed = None
+            if required is not None:
+                needed = set(required) | {name for name, _ in node.sort_keys}
+            return node.with_source(self._prune(node.source, needed))
+        if isinstance(node, LimitNode):
+            return node.with_source(self._prune(node.source, required))
+        if isinstance(node, FilterNode):
+            needed = None
+            if required is not None:
+                needed = set(required) | node.predicate.column_refs()
+            return node.with_source(self._prune(node.source, needed))
+        if isinstance(node, ProjectNode):
+            projections = node.projections
+            if required is not None:
+                kept = [(n, e) for n, e in projections if n in required]
+                if kept:
+                    projections = kept
+            refs: Set[str] = set()
+            for _, expr in projections:
+                refs |= expr.column_refs()
+            return ProjectNode(self._prune(node.source, refs), list(projections))
+        if isinstance(node, AggregationNode):
+            specs = node.specs
+            if required is not None:
+                kept = [
+                    s for s in specs
+                    if s.output in required
+                    or any(f.name in required for f in s.partial_fields())
+                ]
+                if kept or not specs:
+                    specs = kept
+            needed = set(node.key_names) | {s.arg for s in specs if s.arg is not None}
+            return AggregationNode(
+                self._prune(node.source, needed), list(node.key_names), list(specs),
+                phase=node.phase,
+            )
+        if isinstance(node, TableScanNode):
+            if required is None:
+                return node
+            columns = [c for c in node.table_schema.names() if c in required]
+            if not columns:
+                # Count-only queries still need one column to count rows.
+                columns = node.columns[:1] or node.table_schema.names()[:1]
+            return replace(node, columns=columns)
+        source = getattr(node, "source", None)
+        if source is not None:
+            return node.with_source(self._prune(source, None))
+        return node
+
+
+class TopNFusionRule:
+    """Limit(Sort(x)) -> TopN(x)."""
+
+    def __call__(self, plan: PlanNode) -> PlanNode:
+        return _transform_up(plan, self._rewrite)
+
+    @staticmethod
+    def _rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, LimitNode) and isinstance(node.source, SortNode):
+            return TopNNode(node.source.source, node.count, list(node.source.sort_keys))
+        return node
+
+
+class GlobalOptimizer:
+    """Applies the rule list to a fixpoint (bounded passes)."""
+
+    def __init__(self, rules: Optional[List[OptimizerRule]] = None, max_passes: int = 5) -> None:
+        self.rules: List[OptimizerRule] = (
+            rules
+            if rules is not None
+            else [
+                ConstantFoldingRule(),
+                PredicatePushdownRule(),
+                TopNFusionRule(),
+                ProjectionPruningRule(),
+            ]
+        )
+        self.max_passes = max_passes
+
+    def optimize(self, plan: PlanNode) -> PlanNode:
+        for _ in range(self.max_passes):
+            before = repr_plan(plan)
+            for rule in self.rules:
+                plan = rule(plan)
+            if repr_plan(plan) == before:
+                break
+        return plan
+
+
+def repr_plan(plan: PlanNode) -> str:
+    """Stable structural fingerprint used for fixpoint detection."""
+    from repro.plan.nodes import format_plan
+
+    return format_plan(plan)

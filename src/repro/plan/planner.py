@@ -1,0 +1,133 @@
+"""Lowering: analyzed query -> logical plan tree.
+
+Reproduces the plan shapes of the paper's Table 2:
+
+* Laghos     — TableScan -> Filter -> Aggregation -> TopN
+* Deep Water — TableScan -> Filter -> Project -> Aggregation
+* TPC-H Q1   — TableScan -> Filter -> Project -> Aggregation -> Sort
+
+A pre-aggregation ProjectNode is emitted only when a group key or an
+aggregate argument is a real expression; plain-column arguments keep the
+scan -> filter -> aggregation shape (that is why Laghos has no Project).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.errors import PlanError
+from repro.exec.expressions import ColumnExpr, Expr
+from repro.plan.nodes import (
+    AggregationNode,
+    FilterNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    TableScanNode,
+    TopNNode,
+)
+from repro.sql.analyzer import AnalyzedQuery
+
+__all__ = ["LogicalPlanner", "plan_query"]
+
+
+class LogicalPlanner:
+    """Builds the canonical plan for one analyzed query."""
+
+    def __init__(self, query: AnalyzedQuery) -> None:
+        self.query = query
+
+    def plan(self) -> OutputNode:
+        query = self.query
+        node: PlanNode = TableScanNode(
+            table=query.table,
+            table_schema=query.table_schema,
+            columns=query.required_columns or query.table_schema.names()[:1],
+        )
+        if query.where is not None:
+            node = FilterNode(node, query.where)
+
+        if query.is_aggregate:
+            node = self._plan_aggregation(node)
+            if query.having is not None:
+                node = FilterNode(node, query.having)
+            # Post-aggregation projection (select items over keys/aggs).
+            node = ProjectNode(node, list(query.output_items))
+        else:
+            node = ProjectNode(node, list(query.output_items))
+            if query.distinct:
+                names = [n for n, _ in query.output_items]
+                node = AggregationNode(node, key_names=names, specs=[])
+
+        limit_consumed = False
+        if query.sort_keys:
+            if query.limit is not None:
+                node = TopNNode(node, query.limit, list(query.sort_keys))
+                limit_consumed = True
+            else:
+                node = SortNode(node, list(query.sort_keys))
+        if query.limit is not None and not limit_consumed:
+            node = LimitNode(node, query.limit)
+
+        visible = [
+            name for name, _ in query.output_items if name not in query.hidden_outputs
+        ]
+        return OutputNode(node, visible)
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _plan_aggregation(self, node: PlanNode) -> PlanNode:
+        query = self.query
+        input_schema = node.output_schema()
+
+        pre_projections: List[Tuple[str, Expr]] = []
+        needs_project = False
+        key_names: List[str] = []
+        for name, expr in query.group_keys:
+            key_names.append(name)
+            pre_projections.append((name, expr))
+            if not (isinstance(expr, ColumnExpr) and expr.name == name):
+                needs_project = True
+
+        specs = []
+        for call in query.aggregates:
+            spec = call.spec
+            if call.arg_expr is None:
+                specs.append(spec)
+                continue
+            if isinstance(call.arg_expr, ColumnExpr):
+                # Plain column argument: reference it directly (no Project).
+                specs.append(replace(spec, arg=call.arg_expr.name))
+                pre_projections.append((call.arg_expr.name, call.arg_expr))
+            else:
+                needs_project = True
+                assert spec.arg is not None
+                specs.append(spec)
+                pre_projections.append((spec.arg, call.arg_expr))
+
+        if needs_project:
+            # Deduplicate projection names (a column may serve as both a
+            # group key and an aggregate argument).
+            seen: set[str] = set()
+            unique: List[Tuple[str, Expr]] = []
+            for name, expr in pre_projections:
+                if name in seen:
+                    continue
+                seen.add(name)
+                unique.append((name, expr))
+            node = ProjectNode(node, unique)
+        else:
+            # Verify the referenced columns exist in the scan output.
+            for name in key_names:
+                if name not in input_schema:
+                    raise PlanError(f"group key column {name!r} missing from input")
+
+        return AggregationNode(node, key_names=key_names, specs=specs)
+
+
+def plan_query(query: AnalyzedQuery) -> OutputNode:
+    """Lower ``query`` to its logical plan."""
+    return LogicalPlanner(query).plan()

@@ -1,0 +1,13 @@
+"""gRPC-class RPC substrate over simulated network links.
+
+The Presto-OCS connector ships Substrait plans to the OCS frontend via
+gRPC (paper Section 3.4).  This package reproduces the cost structure of
+that hop: per-message CPU at both endpoints, framed payloads over a
+bandwidth/latency link, and status propagation for failures.  Handlers
+are DES generator processes, so a server can perform (simulated) disk and
+CPU work while serving a call.
+"""
+
+from repro.rpc.channel import RpcClient, RpcService
+
+__all__ = ["RpcClient", "RpcService"]

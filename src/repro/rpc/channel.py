@@ -1,0 +1,105 @@
+"""Request/response channels: client node <-> service node over one link.
+
+A call is a DES process: the client pays per-message CPU, the request
+frame crosses the link, the server pays per-message CPU and runs the
+handler (itself a generator process that may read disks and burn CPU),
+and the response frame crosses back.  Handler exceptions become
+:class:`RpcStatusError` at the caller, like gRPC status codes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator
+
+from repro.errors import RpcError, RpcStatusError
+from repro.sim.costmodel import CostParams
+from repro.sim.kernel import Process, Simulator
+from repro.sim.network import Link
+from repro.sim.node import SimNode
+
+__all__ = ["RpcService", "RpcClient", "FRAME_OVERHEAD_BYTES"]
+
+#: Fixed per-message framing bytes (headers, HTTP/2-ish envelope).
+FRAME_OVERHEAD_BYTES = 64
+
+#: A handler receives the request payload and returns response bytes.
+Handler = Callable[[bytes], Generator]
+
+
+class RpcService:
+    """A named service bound to a node; methods registered by name."""
+
+    def __init__(self, sim: Simulator, node: SimNode, name: str, costs: CostParams) -> None:
+        self.sim = sim
+        self.node = node
+        self.name = name
+        self.costs = costs
+        self._handlers: Dict[str, Handler] = {}
+        self.calls_served = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        if method in self._handlers:
+            raise RpcError(f"method {method!r} already registered on {self.name}")
+        self._handlers[method] = handler
+
+    def dispatch(self, method: str, payload: bytes):
+        """Server-side processing generator: overhead + handler."""
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise RpcStatusError("UNIMPLEMENTED", f"{self.name} has no method {method!r}")
+        yield self.node.execute(self.costs.rpc_cycles_per_message, name=f"rpc:{method}")
+        response = yield self.sim.process(handler(payload), name=f"{self.name}:{method}")
+        if not isinstance(response, (bytes, bytearray)):
+            raise RpcStatusError(
+                "INTERNAL", f"handler for {method!r} returned {type(response).__name__}"
+            )
+        self.calls_served += 1
+        return bytes(response)
+
+
+class RpcClient:
+    """Client stub: calls one service across one link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: SimNode,
+        link: Link,
+        service: RpcService,
+        costs: CostParams,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.link = link
+        self.service = service
+        self.costs = costs
+
+    def call(self, method: str, payload: bytes) -> Process:
+        """Invoke ``method``; the returned process resolves to response bytes."""
+        return self.sim.process(
+            self._call(method, payload), name=f"rpc-call:{method}"
+        )
+
+    def _call(self, method: str, payload: bytes):
+        yield self.node.execute(self.costs.rpc_cycles_per_message, name=f"rpc:{method}")
+        yield self.link.transfer(
+            self.node.name,
+            self.service.node.name,
+            len(payload) + FRAME_OVERHEAD_BYTES,
+            label=f"rpc:{method}:request",
+        )
+        try:
+            response = yield self.sim.process(
+                self.service.dispatch(method, payload), name=f"dispatch:{method}"
+            )
+        except RpcStatusError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - map to status like gRPC
+            raise RpcStatusError("INTERNAL", str(exc)) from exc
+        yield self.link.transfer(
+            self.service.node.name,
+            self.node.name,
+            len(response) + FRAME_OVERHEAD_BYTES,
+            label=f"rpc:{method}:response",
+        )
+        return response

@@ -1,0 +1,323 @@
+"""Event loop, events, and generator-based processes.
+
+The kernel follows the classic discrete-event design (SimPy-style): a
+priority queue of timestamped events and *processes* implemented as Python
+generators that ``yield`` the events they wait on.  Real computation (numpy
+kernels) happens inline between yields; only *virtual* time advances
+through the queue.
+
+Determinism: events scheduled for the same instant fire in schedule order
+(a monotonically increasing sequence number breaks ties), so a simulation
+with the same inputs always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimDeadlockError, SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (given a value or an exception and queued for dispatch), and
+    *processed* (callbacks have run).  Waiting processes register
+    callbacks; the value (or exception) is delivered when the event is
+    dispatched by the simulator.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+
+    # -- state transitions ------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value``; it will dispatch at ``now``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.triggered = True
+        self._exception = exception
+        self.sim._enqueue(0.0, self)
+        return self
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when the event carries a value rather than an exception."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event has no value yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Drives a generator coroutine; itself an event that fires on return.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    dispatches, its value is sent back into the generator (or its
+    exception thrown in).  When the generator returns, the process event
+    succeeds with the return value; an uncaught exception fails it.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator (did you call the function?)")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator at the current instant.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting = self._waiting_on
+        if waiting is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        poke = Event(self.sim)
+        poke.callbacks.append(self._resume)
+        poke.fail(Interrupt(cause))
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly with
+            # no value, mirroring cancellation semantics.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target.processed:
+            # Already dispatched: resume at the current instant.
+            poke = Event(self.sim)
+            poke.callbacks.append(self._resume)
+            if target._exception is not None:
+                poke.fail(target._exception)
+            else:
+                poke.succeed(target._value)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds with the list of child values once every child succeeds."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Succeeds with (event, value) of the first child to succeed."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed((event, event._value))
+
+
+class Simulator:
+    """The event loop: a virtual clock over a heap of pending events."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+        self._dispatched = 0
+
+    # -- factory helpers ----------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- core loop -----------------------------------------------------------
+
+    def _enqueue(self, delay: float, event: Event) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self.now + delay, self._eid, event))
+
+    def step(self) -> None:
+        """Dispatch the single next event."""
+        time, _, event = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("time went backwards")
+        self.now = time
+        self._dispatched += 1
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[Event | float] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be an :class:`Event` (run until it is processed and
+        return its value), a float deadline, or ``None`` (drain the queue).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimDeadlockError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            return target.value
+        deadline = float(until) if until is not None else None
+        while self._queue:
+            next_time = self._queue[0][0]
+            if deadline is not None and next_time > deadline:
+                self.now = deadline
+                return None
+            self.step()
+        if deadline is not None:
+            self.now = deadline
+        return None
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events processed so far (for tests/metrics)."""
+        return self._dispatched

@@ -1,0 +1,81 @@
+"""Per-query metrics: counters and stage timers.
+
+The paper's Table 3 breaks a query's wall time into stages (logical plan
+analysis, Substrait IR generation, pushdown & result transfer, post-scan
+Presto execution, others).  :class:`StageTimer` accumulates simulated
+seconds into named stages so the Table 3 bench can print the same rows;
+:class:`Counter` tracks scalar totals (rows scanned, bytes moved, splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["Counter", "StageTimer", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing scalar metric."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class StageTimer:
+    """Accumulates simulated seconds per named execution stage."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, float] = {}
+
+    def charge(self, stage: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative stage time for {stage!r}: {seconds}")
+        self._stages[stage] = self._stages.get(stage, 0.0) + seconds
+
+    def seconds(self, stage: str) -> float:
+        return self._stages.get(stage, 0.0)
+
+    def total(self) -> float:
+        return sum(self._stages.values())
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of total time per stage (empty dict when untouched)."""
+        total = self.total()
+        if total <= 0:
+            return {}
+        return {stage: seconds / total for stage, seconds in self._stages.items()}
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._stages.items()))
+
+
+class MetricsRegistry:
+    """Namespace of counters plus a stage timer, one per query run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self.stages = StageTimer()
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def add(self, name: str, amount: float) -> None:
+        self.counter(name).add(amount)
+
+    def value(self, name: str) -> float:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}

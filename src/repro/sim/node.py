@@ -1,0 +1,92 @@
+"""Simulated machines: CPU core pools plus a local disk.
+
+A :class:`SimNode` is the unit the cost model charges work to.  Compute
+work is expressed in *cycles*; a node drains one task's cycles on one core
+at ``clock_ghz * 1e9 * ipc_efficiency`` cycles/second, with at most
+``cores`` tasks in flight — so fanning a query out over many splits buys
+real (simulated) parallel speedup, exactly the lever the paper's
+compute/storage core-count asymmetry pulls on.
+"""
+
+from __future__ import annotations
+
+from repro.config import NodeSpec
+from repro.errors import SimulationError
+from repro.sim.kernel import Process, Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """A machine with a named role, a core pool, and a disk."""
+
+    def __init__(self, sim: Simulator, spec: NodeSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = spec.name
+        self.cores = Resource(sim, capacity=spec.cores)
+        self._disk = Resource(sim, capacity=1)
+        self._core_hz = spec.clock_ghz * 1e9 * spec.ipc_efficiency
+        self.cpu_seconds_charged = 0.0
+        self.disk_bytes_read = 0
+
+    # -- compute ---------------------------------------------------------
+
+    def compute_seconds(self, cycles: float) -> float:
+        """Wall seconds one core needs for ``cycles`` (no queueing)."""
+        if cycles < 0:
+            raise SimulationError(f"negative cycles: {cycles}")
+        return cycles / self._core_hz
+
+    def execute(self, cycles: float, name: str = "task") -> Process:
+        """Run ``cycles`` of work on one core; returns the completion process."""
+        return self.sim.process(self._execute(cycles), name=f"{self.name}:{name}")
+
+    def _execute(self, cycles: float):
+        seconds = self.compute_seconds(cycles)
+        with self.cores.request() as core:
+            yield core
+            yield self.sim.timeout(seconds)
+        self.cpu_seconds_charged += seconds
+        return seconds
+
+    def execute_spread(self, cycles: float, name: str = "spread") -> Process:
+        """Run ``cycles`` split evenly across every core of the node.
+
+        Models an embarrassingly parallel kernel (the OCS embedded engine
+        fanning a scan across its cores); contends for the same core pool
+        as everything else, so concurrent requests slow each other down.
+        """
+        return self.sim.process(self._execute_spread(cycles), name=f"{self.name}:{name}")
+
+    def _execute_spread(self, cycles: float):
+        from repro.sim.kernel import AllOf
+
+        width = self.spec.cores
+        tasks = [self.execute(cycles / width) for _ in range(width)]
+        yield AllOf(self.sim, tasks)
+        return cycles
+
+    # -- disk ---------------------------------------------------------------
+
+    def read_disk(self, nbytes: int, name: str = "read") -> Process:
+        """Stream ``nbytes`` from the local disk; serialized at disk bandwidth."""
+        if nbytes < 0:
+            raise SimulationError(f"negative read size: {nbytes}")
+        return self.sim.process(self._read(int(nbytes)), name=f"{self.name}:{name}")
+
+    def _read(self, nbytes: int):
+        with self._disk.request() as slot:
+            yield slot
+            yield self.sim.timeout(nbytes / self.spec.disk_bandwidth_bps)
+        self.disk_bytes_read += nbytes
+        return nbytes
+
+    # -- introspection ---------------------------------------------------------
+
+    def core_utilization(self) -> float:
+        return self.cores.utilization()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimNode {self.name}: {self.spec.cores}c @ {self.spec.clock_ghz}GHz>"

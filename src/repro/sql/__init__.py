@@ -1,0 +1,24 @@
+"""SQL front end: lexer, AST, recursive-descent parser, semantic analyzer.
+
+Presto's coordinator parses SQL into an AST, semantically analyzes it,
+and lowers it to a logical plan (paper Figure 3, steps 1-2).  This package
+is that front end: ANSI-flavored SELECT statements with filters,
+expressions, GROUP BY aggregation, ORDER BY, and LIMIT — the operator
+vocabulary OCS can execute — plus date/interval arithmetic for TPC-H Q1.
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse
+from repro.sql.analyzer import AnalyzedQuery, Analyzer, analyze
+from repro.sql import ast_nodes as ast
+
+__all__ = [
+    "AnalyzedQuery",
+    "Analyzer",
+    "Lexer",
+    "Parser",
+    "analyze",
+    "ast",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,520 @@
+"""Semantic analysis: AST -> typed expressions + aggregation structure.
+
+The analyzer resolves column references against the table schema,
+type-checks every expression, desugars BETWEEN / IN / date-interval
+arithmetic, and — for aggregate queries — rewrites aggregate calls into
+references to generated aggregate output columns so downstream planning
+sees three clean layers:
+
+1. *pre-aggregation* scalar expressions (group keys + aggregate args),
+2. the aggregation itself (:class:`repro.exec.AggregateSpec` list),
+3. *post-aggregation* scalar expressions (select items, HAVING, ORDER BY).
+
+This mirrors Presto's analyzer/planner split and gives the Presto-OCS
+connector exact structures to extract for pushdown.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arrowsim.dtypes import (
+    BOOL,
+    DATE32,
+    DataType,
+    FLOAT64,
+    INT64,
+    STRING,
+)
+from repro.arrowsim.dtypes import dtype_from_name
+from repro.arrowsim.schema import Schema
+from repro.errors import AnalysisError
+from repro.exec.aggregates import AggregateSpec
+from repro.exec.expressions import (
+    SCALAR_FUNCTION_NAMES,
+    AndExpr,
+    ArithExpr,
+    CastExpr,
+    ColumnExpr,
+    CompareExpr,
+    Expr,
+    InExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NegExpr,
+    NotExpr,
+    OrExpr,
+    ScalarFuncExpr,
+    arithmetic_result_type,
+    scalar_function_dtype,
+)
+from repro.sql import ast_nodes as ast
+
+__all__ = ["AnalyzedQuery", "Analyzer", "analyze", "AggregateCall"]
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def _date_to_days(iso: str) -> int:
+    try:
+        return (datetime.date.fromisoformat(iso) - _EPOCH).days
+    except ValueError as exc:
+        raise AnalysisError(f"bad date literal {iso!r}: {exc}") from exc
+
+
+def _shift_months(days: int, months: int) -> int:
+    date = _EPOCH + datetime.timedelta(days=days)
+    month_index = date.year * 12 + (date.month - 1) + months
+    year, month = divmod(month_index, 12)
+    day = min(
+        date.day,
+        [31, 29 if year % 4 == 0 and (year % 100 != 0 or year % 400 == 0) else 28,
+         31, 30, 31, 30, 31, 31, 30, 31, 30, 31][month],
+    )
+    return (datetime.date(year, month + 1, day) - _EPOCH).days
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregate instance: its spec plus the typed argument expression."""
+
+    spec: AggregateSpec
+    arg_expr: Optional[Expr]  # None for COUNT(*)
+
+
+@dataclass
+class AnalyzedQuery:
+    """Everything the planner needs, fully resolved and typed."""
+
+    table: ast.TableName
+    table_schema: Schema
+    #: WHERE predicate over input columns (BOOL), or None.
+    where: Optional[Expr]
+    #: True when the query aggregates (GROUP BY present or any agg call).
+    is_aggregate: bool
+    #: (key column name, pre-agg expression) pairs, in GROUP BY order.
+    group_keys: List[Tuple[str, Expr]] = field(default_factory=list)
+    #: Aggregates in first-appearance order; outputs named ``$aggN``.
+    aggregates: List[AggregateCall] = field(default_factory=list)
+    #: (output name, post-agg expression) — for non-aggregate queries the
+    #: expressions read input columns directly.
+    output_items: List[Tuple[str, Expr]] = field(default_factory=list)
+    #: HAVING predicate over aggregation outputs (BOOL), or None.
+    having: Optional[Expr] = None
+    #: (sort column name, descending); names refer to output columns or to
+    #: hidden ``$sortN`` columns appended to output_items.
+    sort_keys: List[Tuple[str, bool]] = field(default_factory=list)
+    #: Hidden column names (sort helpers) to drop after sorting.
+    hidden_outputs: List[str] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def required_columns(self) -> List[str]:
+        """Input table columns the query actually touches (scan pruning)."""
+        refs: set[str] = set()
+        exprs: List[Expr] = []
+        if self.where is not None:
+            exprs.append(self.where)
+        exprs.extend(expr for _, expr in self.group_keys)
+        exprs.extend(c.arg_expr for c in self.aggregates if c.arg_expr is not None)
+        if not self.is_aggregate:
+            exprs.extend(expr for _, expr in self.output_items)
+        for expr in exprs:
+            refs |= expr.column_refs()
+        # Preserve table column order for determinism.
+        return [n for n in self.table_schema.names() if n in refs]
+
+
+class Analyzer:
+    """Analyzes one SELECT statement against a table schema."""
+
+    def __init__(self, statement: ast.SelectStatement, table_schema: Schema) -> None:
+        self.statement = statement
+        self.schema = table_schema
+        self._agg_calls: List[Tuple[ast.FunctionCall, AggregateCall]] = []
+        self._key_by_ast: Dict[ast.Expression, Tuple[str, Expr]] = {}
+
+    # -- public ----------------------------------------------------------------
+
+    def analyze(self) -> AnalyzedQuery:
+        stmt = self.statement
+        where = None
+        if stmt.where is not None:
+            where = self._resolve_scalar(stmt.where, allow_aggregates=False)
+            if where.dtype is not BOOL:
+                raise AnalysisError(
+                    f"WHERE must be boolean, got {where.dtype}"
+                )
+
+        is_aggregate = bool(stmt.group_by) or any(
+            self._contains_aggregate(item.expr) for item in stmt.select_items
+        ) or (stmt.having is not None)
+
+        query = AnalyzedQuery(
+            table=stmt.from_table,
+            table_schema=self.schema,
+            where=where,
+            is_aggregate=is_aggregate,
+            limit=stmt.limit,
+            distinct=stmt.distinct,
+        )
+
+        if is_aggregate:
+            self._analyze_aggregate_query(query)
+        else:
+            self._analyze_scalar_query(query)
+        self._analyze_order_by(query)
+        if is_aggregate:
+            # ORDER BY / HAVING may have registered additional aggregates.
+            query.aggregates = [call for _, call in self._agg_calls]
+        return query
+
+    # -- aggregate path -------------------------------------------------------------
+
+    def _analyze_aggregate_query(self, query: AnalyzedQuery) -> None:
+        stmt = self.statement
+        for i, key_ast in enumerate(stmt.group_by):
+            expr = self._resolve_scalar(key_ast, allow_aggregates=False)
+            if isinstance(expr, ColumnExpr):
+                name = expr.name
+            else:
+                name = f"$key{i}"
+            self._key_by_ast[key_ast] = (name, expr)
+            query.group_keys.append((name, expr))
+
+        # Select items: rewrite aggregates/keys into post-agg references.
+        names_seen: set[str] = set()
+        for item in stmt.select_items:
+            post = self._resolve_post_agg(item.expr)
+            name = self._unique_name(item.output_name, names_seen)
+            query.output_items.append((name, post))
+
+        if stmt.having is not None:
+            having = self._resolve_post_agg(stmt.having)
+            if having.dtype is not BOOL:
+                raise AnalysisError(f"HAVING must be boolean, got {having.dtype}")
+            query.having = having
+
+        query.aggregates = [call for _, call in self._agg_calls]
+
+        if stmt.distinct:
+            raise AnalysisError("SELECT DISTINCT with aggregation is not supported")
+
+    def _resolve_post_agg(self, node: ast.Expression) -> Expr:
+        """Resolve an expression in post-aggregation scope.
+
+        Aggregate calls become references to ``$aggN`` columns; GROUP BY
+        expressions become references to their key columns; anything else
+        must bottom out in keys/aggregates, not raw input columns.
+        """
+        if node in self._key_by_ast:
+            name, expr = self._key_by_ast[node]
+            return ColumnExpr(name, expr.dtype)
+        if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+            call = self._register_aggregate(node)
+            return ColumnExpr(call.spec.output, call.spec.output_dtype)
+        if isinstance(node, ast.ColumnRef):
+            # A bare column in an aggregate query must be a group key.
+            for name, expr in self._key_by_ast.values():
+                if isinstance(expr, ColumnExpr) and expr.name == node.name:
+                    return ColumnExpr(name, expr.dtype)
+            raise AnalysisError(
+                f"column {node.name!r} must appear in GROUP BY or inside an aggregate"
+            )
+        # Recurse structurally by re-resolving through the scalar machinery
+        # with a hook that handles keys/aggregates at any depth.
+        return self._resolve(node, scope="post")
+
+    def _register_aggregate(self, node: ast.FunctionCall) -> AggregateCall:
+        for seen_ast, call in self._agg_calls:
+            if seen_ast == node:
+                return call
+        if len(node.args) > 1:
+            raise AnalysisError(f"{node.name} takes at most one argument")
+        arg_expr: Optional[Expr] = None
+        input_dtype: Optional[DataType] = None
+        if node.args and not isinstance(node.args[0], ast.Star):
+            arg_expr = self._resolve_scalar(node.args[0], allow_aggregates=False)
+            input_dtype = arg_expr.dtype
+            if node.name in ("sum", "avg", "variance", "stddev") and not arg_expr.dtype.is_numeric:
+                raise AnalysisError(
+                    f"{node.name} requires a numeric argument, got {arg_expr.dtype}"
+                )
+        elif node.name != "count":
+            raise AnalysisError(f"{node.name}(*) is not defined")
+        index = len(self._agg_calls)
+        spec = AggregateSpec(
+            func=node.name,
+            arg=f"$agg{index}_arg" if arg_expr is not None else None,
+            output=f"$agg{index}",
+            input_dtype=input_dtype,
+            distinct=node.distinct,
+        )
+        call = AggregateCall(spec=spec, arg_expr=arg_expr)
+        self._agg_calls.append((node, call))
+        return call
+
+    # -- non-aggregate path ---------------------------------------------------------
+
+    def _analyze_scalar_query(self, query: AnalyzedQuery) -> None:
+        names_seen: set[str] = set()
+        for item in self.statement.select_items:
+            if isinstance(item.expr, ast.Star):
+                for f in self.schema:
+                    name = self._unique_name(f.name, names_seen)
+                    query.output_items.append((name, ColumnExpr(f.name, f.dtype)))
+                continue
+            expr = self._resolve_scalar(item.expr, allow_aggregates=False)
+            name = self._unique_name(item.output_name, names_seen)
+            query.output_items.append((name, expr))
+
+    # -- ORDER BY (both paths) ----------------------------------------------------------
+
+    def _analyze_order_by(self, query: AnalyzedQuery) -> None:
+        stmt = self.statement
+        output_types = {name: expr.dtype for name, expr in query.output_items}
+        alias_exprs = dict(query.output_items)
+        for i, order in enumerate(stmt.order_by):
+            node = order.expr
+            # 1. Bare identifier matching an output column/alias.
+            if isinstance(node, ast.ColumnRef) and node.name in output_types:
+                query.sort_keys.append((node.name, order.descending))
+                continue
+            # 2. Otherwise: resolve in the appropriate scope and add a
+            #    hidden sort column.
+            if query.is_aggregate:
+                expr = self._resolve_post_agg(node)
+            else:
+                expr = self._resolve_scalar(node, allow_aggregates=False)
+            # Reuse an existing output if it is the same expression.
+            reused = None
+            for name, out_expr in alias_exprs.items():
+                if out_expr == expr:
+                    reused = name
+                    break
+            if reused is not None:
+                query.sort_keys.append((reused, order.descending))
+                continue
+            hidden = f"$sort{i}"
+            query.output_items.append((hidden, expr))
+            query.hidden_outputs.append(hidden)
+            query.sort_keys.append((hidden, order.descending))
+
+    # -- expression resolution core -------------------------------------------------------
+
+    def _resolve_scalar(self, node: ast.Expression, allow_aggregates: bool) -> Expr:
+        if not allow_aggregates and self._contains_aggregate(node):
+            raise AnalysisError(
+                f"aggregate not allowed in this context: {node.to_sql()}"
+            )
+        return self._resolve(node, scope="input")
+
+    def _resolve(self, node: ast.Expression, scope: str) -> Expr:
+        if scope == "post":
+            if node in self._key_by_ast:
+                name, expr = self._key_by_ast[node]
+                return ColumnExpr(name, expr.dtype)
+            if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                call = self._register_aggregate(node)
+                return ColumnExpr(call.spec.output, call.spec.output_dtype)
+
+        if isinstance(node, ast.Literal):
+            return self._literal(node.value)
+        if isinstance(node, ast.DateLiteral):
+            return LiteralExpr(_date_to_days(node.iso), DATE32)
+        if isinstance(node, ast.IntervalLiteral):
+            raise AnalysisError("INTERVAL literal only valid in date arithmetic")
+        if isinstance(node, ast.ColumnRef):
+            if scope == "post":
+                return self._resolve_post_agg(node)
+            f = self.schema.field(node.name) if node.name in self.schema else None
+            if f is None:
+                raise AnalysisError(
+                    f"unknown column {node.name!r}; table has {self.schema.names()}"
+                )
+            return ColumnExpr(f.name, f.dtype)
+        if isinstance(node, ast.Star):
+            raise AnalysisError("* only valid in COUNT(*) or top-level SELECT")
+        if isinstance(node, ast.UnaryOp):
+            if node.op.upper() == "NOT":
+                operand = self._resolve(node.operand, scope)
+                if operand.dtype is not BOOL:
+                    raise AnalysisError(f"NOT requires boolean, got {operand.dtype}")
+                return NotExpr(operand)
+            operand = self._resolve(node.operand, scope)
+            if not operand.dtype.is_numeric:
+                raise AnalysisError(f"unary minus requires numeric, got {operand.dtype}")
+            return NegExpr(operand, operand.dtype)
+        if isinstance(node, ast.BinaryOp):
+            return self._binary(node, scope)
+        if isinstance(node, ast.Between):
+            operand = self._resolve(node.expr, scope)
+            low = self._coerce_pair(operand, self._resolve(node.low, scope))[1]
+            high = self._coerce_pair(operand, self._resolve(node.high, scope))[1]
+            between = AndExpr(
+                (CompareExpr(">=", operand, low), CompareExpr("<=", operand, high))
+            )
+            return NotExpr(between) if node.negated else between
+        if isinstance(node, ast.InList):
+            operand = self._resolve(node.expr, scope)
+            values = []
+            for item in node.items:
+                resolved = self._resolve(item, scope)
+                if not isinstance(resolved, LiteralExpr):
+                    raise AnalysisError("IN list items must be literals")
+                values.append(resolved.value)
+            return InExpr(operand, tuple(values), negated=node.negated)
+        if isinstance(node, ast.IsNull):
+            return IsNullExpr(self._resolve(node.expr, scope), negated=node.negated)
+        if isinstance(node, ast.Cast):
+            operand = self._resolve(node.expr, scope)
+            return CastExpr(operand, dtype_from_name(node.type_name))
+        if isinstance(node, ast.FunctionCall):
+            if node.is_aggregate:
+                raise AnalysisError(
+                    f"aggregate {node.name} not allowed in this context"
+                )
+            if node.name in SCALAR_FUNCTION_NAMES:
+                if len(node.args) != 1:
+                    raise AnalysisError(f"{node.name} takes exactly one argument")
+                operand = self._resolve(node.args[0], scope)
+                if not operand.dtype.is_numeric:
+                    raise AnalysisError(
+                        f"{node.name} requires a numeric argument, got {operand.dtype}"
+                    )
+                return ScalarFuncExpr(
+                    node.name, operand, scalar_function_dtype(node.name, operand.dtype)
+                )
+            raise AnalysisError(f"unknown function {node.name!r}")
+        raise AnalysisError(f"cannot analyze expression {node!r}")
+
+    def _binary(self, node: ast.BinaryOp, scope: str) -> Expr:
+        op = node.op.upper()
+        if op in ("AND", "OR"):
+            left = self._resolve(node.left, scope)
+            right = self._resolve(node.right, scope)
+            for side in (left, right):
+                if side.dtype is not BOOL:
+                    raise AnalysisError(f"{op} requires booleans, got {side.dtype}")
+            cls = AndExpr if op == "AND" else OrExpr
+            # Flatten nested conjunctions for cleaner pushdown extraction.
+            operands: List[Expr] = []
+            for side in (left, right):
+                if isinstance(side, cls):
+                    operands.extend(side.operands)
+                else:
+                    operands.append(side)
+            return cls(tuple(operands))
+
+        # Date +/- interval.
+        if op in ("+", "-") and isinstance(node.right, ast.IntervalLiteral):
+            left = self._resolve(node.left, scope)
+            if left.dtype is not DATE32:
+                raise AnalysisError("INTERVAL arithmetic requires a date operand")
+            interval = node.right
+            sign = 1 if op == "+" else -1
+            if interval.unit == "DAY":
+                return ArithExpr(
+                    op, left, LiteralExpr(interval.amount, INT64), DATE32
+                )
+            # MONTH/YEAR need calendar math: only on constant dates.
+            if isinstance(left, LiteralExpr):
+                months = interval.amount * (12 if interval.unit == "YEAR" else 1)
+                return LiteralExpr(
+                    _shift_months(int(left.value), sign * months), DATE32
+                )
+            raise AnalysisError(
+                f"INTERVAL {interval.unit} arithmetic requires a constant date"
+            )
+
+        left = self._resolve(node.left, scope)
+        right = self._resolve(node.right, scope)
+
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            left, right = self._coerce_pair(left, right)
+            return CompareExpr(op, left, right)
+
+        if op in ("+", "-", "*", "/", "%"):
+            dtype = arithmetic_result_type(op, left.dtype, right.dtype)
+            return ArithExpr(op, left, right, dtype)
+
+        raise AnalysisError(f"unknown binary operator {op!r}")
+
+    # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def _literal(value: object) -> LiteralExpr:
+        if value is None:
+            return LiteralExpr(None, INT64)
+        if isinstance(value, bool):
+            return LiteralExpr(value, BOOL)
+        if isinstance(value, int):
+            return LiteralExpr(value, INT64)
+        if isinstance(value, float):
+            return LiteralExpr(value, FLOAT64)
+        if isinstance(value, str):
+            return LiteralExpr(value, STRING)
+        raise AnalysisError(f"unsupported literal {value!r}")
+
+    def _coerce_pair(self, left: Expr, right: Expr) -> Tuple[Expr, Expr]:
+        """Make two comparison operands type-compatible."""
+        lt, rt = left.dtype, right.dtype
+        if lt is rt:
+            return left, right
+        # NULL literal adopts the other side's type.
+        if isinstance(left, LiteralExpr) and left.value is None:
+            return LiteralExpr(None, rt), right
+        if isinstance(right, LiteralExpr) and right.value is None:
+            return left, LiteralExpr(None, lt)
+        if lt.is_numeric and rt.is_numeric:
+            return left, right  # numpy broadcasting handles mixed numerics
+        if {lt.name, rt.name} == {"date32", "string"}:
+            # Allow comparing a date column with an ISO string literal.
+            if isinstance(right, LiteralExpr) and rt is STRING:
+                return left, LiteralExpr(_date_to_days(str(right.value)), DATE32)
+            if isinstance(left, LiteralExpr) and lt is STRING:
+                return LiteralExpr(_date_to_days(str(left.value)), DATE32), right
+        if lt is DATE32 and rt.name in ("int32", "int64"):
+            return left, right
+        if rt is DATE32 and lt.name in ("int32", "int64"):
+            return left, right
+        raise AnalysisError(f"cannot compare {lt} with {rt}")
+
+    @staticmethod
+    def _contains_aggregate(node: ast.Expression) -> bool:
+        if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+            return True
+        children: List[ast.Expression] = []
+        if isinstance(node, ast.UnaryOp):
+            children = [node.operand]
+        elif isinstance(node, ast.BinaryOp):
+            children = [node.left, node.right]
+        elif isinstance(node, ast.Between):
+            children = [node.expr, node.low, node.high]
+        elif isinstance(node, ast.InList):
+            children = [node.expr, *node.items]
+        elif isinstance(node, ast.IsNull):
+            children = [node.expr]
+        elif isinstance(node, ast.Cast):
+            children = [node.expr]
+        elif isinstance(node, ast.FunctionCall):
+            children = list(node.args)
+        return any(Analyzer._contains_aggregate(c) for c in children)
+
+    @staticmethod
+    def _unique_name(base: str, seen: set[str]) -> str:
+        name = base
+        counter = 1
+        while name in seen:
+            name = f"{base}_{counter}"
+            counter += 1
+        seen.add(name)
+        return name
+
+
+def analyze(statement: ast.SelectStatement, table_schema: Schema) -> AnalyzedQuery:
+    """Analyze ``statement`` against ``table_schema``."""
+    return Analyzer(statement, table_schema).analyze()

@@ -1,0 +1,268 @@
+"""SQL abstract syntax tree.
+
+Every node renders back to SQL via ``to_sql()``; the parser/printer pair
+is a fixpoint (``parse(n.to_sql())`` == ``n``), which the property tests
+exercise.  Nodes are frozen dataclasses so they hash and compare
+structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "DateLiteral",
+    "IntervalLiteral",
+    "ColumnRef",
+    "Star",
+    "UnaryOp",
+    "BinaryOp",
+    "Between",
+    "InList",
+    "IsNull",
+    "FunctionCall",
+    "Cast",
+    "SelectItem",
+    "OrderItem",
+    "TableName",
+    "SelectStatement",
+    "AGGREGATE_FUNCTIONS",
+]
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max", "variance", "stddev"})
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def to_sql(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+def _paren(expr: Expression) -> str:
+    """Parenthesize compound children to keep printing precedence-safe."""
+    if isinstance(expr, (Literal, DateLiteral, ColumnRef, Star, FunctionCall, Cast)):
+        return expr.to_sql()
+    return f"({expr.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """Integer, float, string, boolean, or NULL literal."""
+
+    value: object  # int | float | str | bool | None
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, float):
+            return repr(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class DateLiteral(Expression):
+    """``DATE 'YYYY-MM-DD'`` — value kept as the ISO string."""
+
+    iso: str
+
+    def to_sql(self) -> str:
+        return f"DATE '{self.iso}'"
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expression):
+    """``INTERVAL 'n' DAY|MONTH|YEAR``."""
+
+    amount: int
+    unit: str  # DAY | MONTH | YEAR
+
+    def to_sql(self) -> str:
+        return f"INTERVAL '{self.amount}' {self.unit}"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` — only valid inside COUNT(*)."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # '-' | 'NOT'
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.op.upper() == "NOT":
+            return f"NOT {_paren(self.operand)}"
+        return f"{self.op}{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # arithmetic, comparison, AND, OR
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"{_paren(self.left)} {self.op} {_paren(self.right)}"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    expr: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return (
+            f"{_paren(self.expr)} {neg}BETWEEN {_paren(self.low)} AND {_paren(self.high)}"
+        )
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    expr: Expression
+    items: Tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        neg = "NOT " if self.negated else ""
+        inner = ", ".join(i.to_sql() for i in self.items)
+        return f"{_paren(self.expr)} {neg}IN ({inner})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    expr: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{_paren(self.expr)} {suffix}"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str  # lowercase
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(a.to_sql() for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    expr: Expression
+    type_name: str  # logical type name, e.g. "float64"
+
+    def to_sql(self) -> str:
+        return f"CAST({self.expr.to_sql()} AS {self.type_name})"
+
+
+# -- statement-level nodes ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expression
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.to_sql()} AS {self.alias}"
+        return self.expr.to_sql()
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class TableName:
+    """Optionally qualified: [catalog.[schema.]]table."""
+
+    table: str
+    schema: Optional[str] = None
+    catalog: Optional[str] = None
+
+    def to_sql(self) -> str:
+        parts = [p for p in (self.catalog, self.schema, self.table) if p]
+        return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    select_items: Tuple[SelectItem, ...]
+    from_table: TableName
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = field(default_factory=tuple)
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(i.to_sql() for i in self.select_items))
+        parts.append(f"FROM {self.from_table.to_sql()}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(e.to_sql() for e in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_sql()

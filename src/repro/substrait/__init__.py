@@ -1,0 +1,76 @@
+"""Substrait-class intermediate representation for query plans.
+
+OCS accepts query plans in Substrait IR over gRPC (paper Sections 2.3 and
+4).  This package is our from-scratch equivalent of the pieces the
+connector uses:
+
+* relation nodes (Read / Filter / Project / Aggregate / Sort / Fetch) with
+  **ordinal field references**, exactly like real Substrait — translating
+  Presto's name-based expressions into ordinals is part of the
+  "complex mappings" the paper's PageSourceProvider performs;
+* typed expression nodes with a plan-level **function extension registry**
+  (function anchors -> namespaced signatures such as ``gte:fp64_fp64``);
+* a compact tag-length-value **binary serialization** standing in for
+  protobuf, whose encoded size is what the RPC layer ships;
+* a structural **validator** the OCS frontend runs before execution.
+
+Top-N has no dedicated relation: it is FetchRel over SortRel, which the
+OCS embedded engine fuses back into a top-N operator.
+"""
+
+from repro.substrait.expressions import (
+    SCAST,
+    SExpression,
+    SFieldRef,
+    SFunctionCall,
+    SInList,
+    SLiteral,
+)
+from repro.substrait.functions import (
+    AGGREGATE_FUNCTIONS,
+    SCALAR_FUNCTIONS,
+    FunctionRegistry,
+    signature,
+)
+from repro.substrait.relations import (
+    AggregateMeasure,
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    NamedStruct,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortField,
+    SortRel,
+)
+from repro.substrait.plan import SubstraitPlan
+from repro.substrait.serde import deserialize_plan, serialize_plan
+from repro.substrait.validator import validate_plan
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateMeasure",
+    "AggregateRel",
+    "FetchRel",
+    "FilterRel",
+    "FunctionRegistry",
+    "NamedStruct",
+    "ProjectRel",
+    "ReadRel",
+    "Relation",
+    "SCALAR_FUNCTIONS",
+    "SCAST",
+    "SExpression",
+    "SFieldRef",
+    "SFunctionCall",
+    "SInList",
+    "SLiteral",
+    "SortField",
+    "SortRel",
+    "SubstraitPlan",
+    "deserialize_plan",
+    "serialize_plan",
+    "signature",
+    "validate_plan",
+]

@@ -1,0 +1,107 @@
+"""Substrait expression nodes: ordinal field refs, literals, functions.
+
+Unlike :mod:`repro.exec.expressions` (name-based, directly evaluable),
+these are *transport* nodes: field references are ordinals into the
+upstream relation's output struct, and functions are anchors into the
+plan's extension registry.  The OCS embedded engine lowers them back into
+evaluable expressions against its own schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arrowsim.dtypes import DataType
+
+__all__ = [
+    "SExpression",
+    "SFieldRef",
+    "SLiteral",
+    "SFunctionCall",
+    "SCAST",
+    "SInList",
+]
+
+
+class SExpression:
+    """Base class for Substrait expressions."""
+
+    dtype: DataType
+
+    def children(self) -> Tuple["SExpression", ...]:
+        return ()
+
+    def node_count(self) -> int:
+        return 1 + sum(c.node_count() for c in self.children())
+
+
+@dataclass(frozen=True)
+class SFieldRef(SExpression):
+    """Direct struct-field reference by ordinal position."""
+
+    ordinal: int
+    dtype: DataType
+
+    def __repr__(self) -> str:
+        return f"$f{self.ordinal}"
+
+
+@dataclass(frozen=True)
+class SLiteral(SExpression):
+    value: object
+    dtype: DataType
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r}:{self.dtype})"
+
+
+@dataclass(frozen=True)
+class SFunctionCall(SExpression):
+    """Scalar function invocation via extension anchor."""
+
+    anchor: int
+    args: Tuple[SExpression, ...]
+    dtype: DataType
+
+    def children(self) -> Tuple[SExpression, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"fn#{self.anchor}({inner})"
+
+
+@dataclass(frozen=True)
+class SCAST(SExpression):
+    operand: SExpression
+    dtype: DataType
+
+    def children(self) -> Tuple[SExpression, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"cast({self.operand!r} as {self.dtype})"
+
+
+@dataclass(frozen=True)
+class SInList(SExpression):
+    """SingularOrList: membership of an expression in a literal list."""
+
+    operand: SExpression
+    options: Tuple[object, ...]
+    option_dtype: DataType
+    negated: bool = False
+
+    def children(self) -> Tuple[SExpression, ...]:
+        return (self.operand,)
+
+    @property
+    def dtype(self) -> DataType:  # type: ignore[override]
+        from repro.arrowsim.dtypes import BOOL
+
+        return BOOL
+
+    def __repr__(self) -> str:
+        neg = "not-" if self.negated else ""
+        return f"{neg}in({self.operand!r}, {list(self.options)!r})"

@@ -1,0 +1,31 @@
+"""The top-level Substrait plan: version, extensions, root relation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.substrait.functions import FunctionRegistry
+from repro.substrait.relations import Relation
+
+__all__ = ["SubstraitPlan"]
+
+PLAN_VERSION = (0, 1)
+
+
+@dataclass
+class SubstraitPlan:
+    """A self-contained pushdown plan shipped to the OCS frontend."""
+
+    root: Relation
+    registry: FunctionRegistry = field(default_factory=FunctionRegistry)
+    #: Names of the root relation's output columns, in order (Substrait's
+    #: RelRoot carries these so receivers can label results).
+    root_names: List[str] = field(default_factory=list)
+    version: tuple[int, int] = PLAN_VERSION
+
+    def relation_count(self) -> int:
+        return self.root.relation_count()
+
+    def expression_node_count(self) -> int:
+        return self.root.expression_node_count()

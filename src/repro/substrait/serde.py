@@ -1,0 +1,351 @@
+"""Binary (de)serialization of Substrait plans — the protobuf stand-in.
+
+Tag-length-value, varint-heavy encoding; the byte length of
+:func:`serialize_plan`'s output is what the RPC layer charges to the
+simulated network when a pushdown plan is shipped to the OCS frontend.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.arrowsim.dtypes import DataType, dtype_from_code
+from repro.compress.codec import decode_varint, encode_varint
+from repro.errors import SerdeError
+from repro.formats.statistics import decode_stat_value, encode_stat_value
+from repro.substrait.expressions import (
+    SCAST,
+    SExpression,
+    SFieldRef,
+    SFunctionCall,
+    SInList,
+    SLiteral,
+)
+from repro.substrait.functions import FunctionRegistry
+from repro.substrait.plan import SubstraitPlan
+from repro.substrait.relations import (
+    AggregateMeasure,
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    NamedStruct,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortField,
+    SortRel,
+)
+
+__all__ = [
+    "serialize_plan",
+    "deserialize_plan",
+    "encode_expression",
+    "decode_expression",
+]
+
+_MAGIC = b"SBP1"
+
+_REL_READ, _REL_FILTER, _REL_PROJECT, _REL_AGG, _REL_SORT, _REL_FETCH = range(1, 7)
+_EXPR_FIELD, _EXPR_LIT, _EXPR_FUNC, _EXPR_CAST, _EXPR_IN = range(1, 6)
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    out += encode_varint(len(data))
+    out += data
+
+
+def _read_str(buf: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = decode_varint(buf, pos)
+    return buf[pos : pos + length].decode("utf-8"), pos + length
+
+
+# -- expressions ------------------------------------------------------------
+
+
+def _encode_expr(out: bytearray, expr: SExpression) -> None:
+    if isinstance(expr, SFieldRef):
+        out.append(_EXPR_FIELD)
+        out += encode_varint(expr.ordinal)
+        out.append(expr.dtype.code)
+    elif isinstance(expr, SLiteral):
+        out.append(_EXPR_LIT)
+        out.append(expr.dtype.code)
+        out += encode_stat_value(expr.dtype, expr.value)
+    elif isinstance(expr, SFunctionCall):
+        out.append(_EXPR_FUNC)
+        out += encode_varint(expr.anchor)
+        out.append(len(expr.args))
+        for arg in expr.args:
+            _encode_expr(out, arg)
+        out.append(expr.dtype.code)
+    elif isinstance(expr, SCAST):
+        out.append(_EXPR_CAST)
+        _encode_expr(out, expr.operand)
+        out.append(expr.dtype.code)
+    elif isinstance(expr, SInList):
+        out.append(_EXPR_IN)
+        _encode_expr(out, expr.operand)
+        out.append(expr.option_dtype.code)
+        out += encode_varint(len(expr.options))
+        for option in expr.options:
+            out += encode_stat_value(expr.option_dtype, option)
+        out.append(int(expr.negated))
+    else:
+        raise SerdeError(f"cannot serialize expression {type(expr).__name__}")
+
+
+def _decode_expr(buf: bytes, pos: int) -> Tuple[SExpression, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _EXPR_FIELD:
+        ordinal, pos = decode_varint(buf, pos)
+        dtype = dtype_from_code(buf[pos])
+        return SFieldRef(ordinal, dtype), pos + 1
+    if tag == _EXPR_LIT:
+        dtype = dtype_from_code(buf[pos])
+        pos += 1
+        value, pos = decode_stat_value(dtype, buf, pos)
+        return SLiteral(value, dtype), pos
+    if tag == _EXPR_FUNC:
+        anchor, pos = decode_varint(buf, pos)
+        nargs = buf[pos]
+        pos += 1
+        args: List[SExpression] = []
+        for _ in range(nargs):
+            arg, pos = _decode_expr(buf, pos)
+            args.append(arg)
+        dtype = dtype_from_code(buf[pos])
+        return SFunctionCall(anchor, tuple(args), dtype), pos + 1
+    if tag == _EXPR_CAST:
+        operand, pos = _decode_expr(buf, pos)
+        dtype = dtype_from_code(buf[pos])
+        return SCAST(operand, dtype), pos + 1
+    if tag == _EXPR_IN:
+        operand, pos = _decode_expr(buf, pos)
+        option_dtype = dtype_from_code(buf[pos])
+        pos += 1
+        count, pos = decode_varint(buf, pos)
+        options = []
+        for _ in range(count):
+            value, pos = decode_stat_value(option_dtype, buf, pos)
+            options.append(value)
+        negated = bool(buf[pos])
+        return SInList(operand, tuple(options), option_dtype, negated), pos + 1
+    raise SerdeError(f"unknown expression tag {tag}")
+
+
+def encode_expression(expr: SExpression) -> bytes:
+    """Standalone expression encoding (used by the S3 gateway's filters)."""
+    out = bytearray()
+    _encode_expr(out, expr)
+    return bytes(out)
+
+
+def decode_expression(buf: bytes) -> SExpression:
+    """Inverse of :func:`encode_expression`."""
+    expr, pos = _decode_expr(buf, 0)
+    if pos != len(buf):
+        raise SerdeError(f"{len(buf) - pos} trailing bytes after expression")
+    return expr
+
+
+# -- relations ------------------------------------------------------------------
+
+
+def _encode_named_struct(out: bytearray, struct_: NamedStruct) -> None:
+    out += encode_varint(len(struct_))
+    for name, dtype, nullable in zip(struct_.names, struct_.types, struct_.nullability):
+        _write_str(out, name)
+        out.append(dtype.code)
+        out.append(int(nullable))
+
+
+def _decode_named_struct(buf: bytes, pos: int) -> Tuple[NamedStruct, int]:
+    count, pos = decode_varint(buf, pos)
+    names: List[str] = []
+    types: List[DataType] = []
+    nullability: List[bool] = []
+    for _ in range(count):
+        name, pos = _read_str(buf, pos)
+        names.append(name)
+        types.append(dtype_from_code(buf[pos]))
+        nullability.append(bool(buf[pos + 1]))
+        pos += 2
+    return NamedStruct(tuple(names), tuple(types), tuple(nullability)), pos
+
+
+def _encode_rel(out: bytearray, rel: Relation) -> None:
+    if isinstance(rel, ReadRel):
+        out.append(_REL_READ)
+        _write_str(out, rel.table)
+        _encode_named_struct(out, rel.base_schema)
+        out += encode_varint(len(rel.projection))
+        for ordinal in rel.projection:
+            out += encode_varint(ordinal)
+        if rel.best_effort_filter is not None:
+            out.append(1)
+            _encode_expr(out, rel.best_effort_filter)
+        else:
+            out.append(0)
+    elif isinstance(rel, FilterRel):
+        out.append(_REL_FILTER)
+        _encode_rel(out, rel.input)
+        _encode_expr(out, rel.condition)
+    elif isinstance(rel, ProjectRel):
+        out.append(_REL_PROJECT)
+        _encode_rel(out, rel.input)
+        out += encode_varint(len(rel.expressions_))
+        for expr in rel.expressions_:
+            _encode_expr(out, expr)
+    elif isinstance(rel, AggregateRel):
+        out.append(_REL_AGG)
+        _encode_rel(out, rel.input)
+        out += encode_varint(len(rel.grouping))
+        for ordinal in rel.grouping:
+            out += encode_varint(ordinal)
+        out += encode_varint(len(rel.measures))
+        for measure in rel.measures:
+            out += encode_varint(measure.anchor)
+            _write_str(out, measure.function)
+            out.append(len(measure.args))
+            for arg in measure.args:
+                _encode_expr(out, arg)
+            out.append(measure.output_dtype.code)
+            out.append(int(measure.distinct))
+            _write_str(out, measure.phase)
+    elif isinstance(rel, SortRel):
+        out.append(_REL_SORT)
+        _encode_rel(out, rel.input)
+        out += encode_varint(len(rel.sort_fields))
+        for sf in rel.sort_fields:
+            out += encode_varint(sf.ordinal)
+            out.append(int(sf.descending))
+    elif isinstance(rel, FetchRel):
+        out.append(_REL_FETCH)
+        _encode_rel(out, rel.input)
+        out += encode_varint(rel.offset)
+        out += encode_varint(rel.count)
+    else:
+        raise SerdeError(f"cannot serialize relation {type(rel).__name__}")
+
+
+def _decode_rel(buf: bytes, pos: int) -> Tuple[Relation, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _REL_READ:
+        table, pos = _read_str(buf, pos)
+        base_schema, pos = _decode_named_struct(buf, pos)
+        count, pos = decode_varint(buf, pos)
+        projection = []
+        for _ in range(count):
+            ordinal, pos = decode_varint(buf, pos)
+            projection.append(ordinal)
+        best_effort = None
+        has_filter = buf[pos]
+        pos += 1
+        if has_filter:
+            best_effort, pos = _decode_expr(buf, pos)
+        return ReadRel(table, base_schema, tuple(projection), best_effort), pos
+    if tag == _REL_FILTER:
+        source, pos = _decode_rel(buf, pos)
+        condition, pos = _decode_expr(buf, pos)
+        return FilterRel(source, condition), pos
+    if tag == _REL_PROJECT:
+        source, pos = _decode_rel(buf, pos)
+        count, pos = decode_varint(buf, pos)
+        exprs = []
+        for _ in range(count):
+            expr, pos = _decode_expr(buf, pos)
+            exprs.append(expr)
+        return ProjectRel(source, tuple(exprs)), pos
+    if tag == _REL_AGG:
+        source, pos = _decode_rel(buf, pos)
+        count, pos = decode_varint(buf, pos)
+        grouping = []
+        for _ in range(count):
+            ordinal, pos = decode_varint(buf, pos)
+            grouping.append(ordinal)
+        n_measures, pos = decode_varint(buf, pos)
+        measures = []
+        for _ in range(n_measures):
+            anchor, pos = decode_varint(buf, pos)
+            function, pos = _read_str(buf, pos)
+            nargs = buf[pos]
+            pos += 1
+            args = []
+            for _ in range(nargs):
+                arg, pos = _decode_expr(buf, pos)
+                args.append(arg)
+            output_dtype = dtype_from_code(buf[pos])
+            distinct = bool(buf[pos + 1])
+            pos += 2
+            phase, pos = _read_str(buf, pos)
+            measures.append(
+                AggregateMeasure(anchor, function, tuple(args), output_dtype, distinct, phase)
+            )
+        return AggregateRel(source, tuple(grouping), tuple(measures)), pos
+    if tag == _REL_SORT:
+        source, pos = _decode_rel(buf, pos)
+        count, pos = decode_varint(buf, pos)
+        fields = []
+        for _ in range(count):
+            ordinal, pos = decode_varint(buf, pos)
+            descending = bool(buf[pos])
+            pos += 1
+            fields.append(SortField(ordinal, descending))
+        return SortRel(source, tuple(fields)), pos
+    if tag == _REL_FETCH:
+        source, pos = _decode_rel(buf, pos)
+        offset, pos = decode_varint(buf, pos)
+        count, pos = decode_varint(buf, pos)
+        return FetchRel(source, offset, count), pos
+    raise SerdeError(f"unknown relation tag {tag}")
+
+
+# -- plan ---------------------------------------------------------------------------
+
+
+def serialize_plan(plan: SubstraitPlan) -> bytes:
+    """Encode a plan to transportable bytes."""
+    out = bytearray(_MAGIC)
+    out += struct.pack("<BB", *plan.version)
+    declarations = plan.registry.declarations()
+    out += encode_varint(len(declarations))
+    for anchor, sig in declarations:
+        out += encode_varint(anchor)
+        _write_str(out, sig)
+    out += encode_varint(len(plan.root_names))
+    for name in plan.root_names:
+        _write_str(out, name)
+    _encode_rel(out, plan.root)
+    return bytes(out)
+
+
+def deserialize_plan(buf: bytes) -> SubstraitPlan:
+    """Inverse of :func:`serialize_plan`."""
+    if buf[:4] != _MAGIC:
+        raise SerdeError("bad Substrait plan magic")
+    version = struct.unpack_from("<BB", buf, 4)
+    pos = 6
+    n_decls, pos = decode_varint(buf, pos)
+    declarations = []
+    for _ in range(n_decls):
+        anchor, pos = decode_varint(buf, pos)
+        sig, pos = _read_str(buf, pos)
+        declarations.append((anchor, sig))
+    n_names, pos = decode_varint(buf, pos)
+    root_names = []
+    for _ in range(n_names):
+        name, pos = _read_str(buf, pos)
+        root_names.append(name)
+    root, pos = _decode_rel(buf, pos)
+    if pos != len(buf):
+        raise SerdeError(f"{len(buf) - pos} trailing bytes in plan")
+    return SubstraitPlan(
+        root=root,
+        registry=FunctionRegistry.from_declarations(declarations),
+        root_names=root_names,
+        version=(version[0], version[1]),
+    )

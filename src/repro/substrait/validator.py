@@ -1,0 +1,145 @@
+"""Structural validation of Substrait plans.
+
+The OCS frontend runs this before dispatching a plan to storage nodes:
+field ordinals must be in range, function anchors must resolve in the
+plan's registry (and agree with the measures' redundant function names),
+filter conditions must be boolean, and phases must be known.  A plan that
+validates here is executable by the embedded engine.
+"""
+
+from __future__ import annotations
+
+from repro.arrowsim.dtypes import BOOL
+from repro.errors import ValidationError
+from repro.substrait.expressions import (
+    SCAST,
+    SExpression,
+    SFieldRef,
+    SFunctionCall,
+    SInList,
+    SLiteral,
+)
+from repro.substrait.plan import SubstraitPlan
+from repro.substrait.relations import (
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortRel,
+)
+
+__all__ = ["validate_plan"]
+
+_AGG_NAMES = ("count", "sum", "avg", "min", "max", "variance", "stddev")
+
+
+def _validate_expr(expr: SExpression, input_width: int, plan: SubstraitPlan) -> None:
+    if isinstance(expr, SFieldRef):
+        if not 0 <= expr.ordinal < input_width:
+            raise ValidationError(
+                f"field ordinal {expr.ordinal} out of range (width {input_width})"
+            )
+        return
+    if isinstance(expr, SLiteral):
+        return
+    if isinstance(expr, SFunctionCall):
+        sig = plan.registry.signature_of(expr.anchor)  # raises if unknown
+        del sig
+        for arg in expr.args:
+            _validate_expr(arg, input_width, plan)
+        return
+    if isinstance(expr, SCAST):
+        _validate_expr(expr.operand, input_width, plan)
+        return
+    if isinstance(expr, SInList):
+        _validate_expr(expr.operand, input_width, plan)
+        return
+    raise ValidationError(f"unknown expression node {type(expr).__name__}")
+
+
+def _validate_rel(rel: Relation, plan: SubstraitPlan) -> int:
+    """Validate a relation subtree; returns its output width."""
+    if isinstance(rel, ReadRel):
+        width = len(rel.base_schema)
+        for ordinal in rel.projection:
+            if not 0 <= ordinal < width:
+                raise ValidationError(
+                    f"read projection ordinal {ordinal} out of range (width {width})"
+                )
+        if not rel.projection:
+            raise ValidationError("read relation must project at least one column")
+        if rel.best_effort_filter is not None:
+            _validate_expr(rel.best_effort_filter, len(rel.projection), plan)
+        return len(rel.projection)
+    if isinstance(rel, FilterRel):
+        width = _validate_rel(rel.input, plan)
+        _validate_expr(rel.condition, width, plan)
+        if rel.condition.dtype is not BOOL:
+            raise ValidationError(
+                f"filter condition must be boolean, got {rel.condition.dtype}"
+            )
+        return width
+    if isinstance(rel, ProjectRel):
+        width = _validate_rel(rel.input, plan)
+        if not rel.expressions_:
+            raise ValidationError("project relation must emit at least one expression")
+        for expr in rel.expressions_:
+            _validate_expr(expr, width, plan)
+        return len(rel.expressions_)
+    if isinstance(rel, AggregateRel):
+        width = _validate_rel(rel.input, plan)
+        for ordinal in rel.grouping:
+            if not 0 <= ordinal < width:
+                raise ValidationError(
+                    f"grouping ordinal {ordinal} out of range (width {width})"
+                )
+        out_width = len(rel.grouping)
+        for measure in rel.measures:
+            name = plan.registry.name_of(measure.anchor)
+            if name != measure.function:
+                raise ValidationError(
+                    f"measure function {measure.function!r} does not match "
+                    f"anchor {measure.anchor} ({name!r})"
+                )
+            if measure.function not in _AGG_NAMES:
+                raise ValidationError(f"unknown aggregate {measure.function!r}")
+            if measure.phase not in ("single", "partial"):
+                raise ValidationError(f"unknown measure phase {measure.phase!r}")
+            if measure.function != "count" and not measure.args:
+                raise ValidationError(f"{measure.function} requires an argument")
+            if len(measure.args) > 1:
+                raise ValidationError("aggregates take at most one argument")
+            for arg in measure.args:
+                _validate_expr(arg, width, plan)
+            if measure.phase == "partial" and measure.function == "avg":
+                out_width += 2
+            elif measure.phase == "partial" and measure.function in ("variance", "stddev"):
+                out_width += 3
+            else:
+                out_width += 1
+        return out_width
+    if isinstance(rel, SortRel):
+        width = _validate_rel(rel.input, plan)
+        if not rel.sort_fields:
+            raise ValidationError("sort relation needs at least one sort field")
+        for sf in rel.sort_fields:
+            if not 0 <= sf.ordinal < width:
+                raise ValidationError(
+                    f"sort ordinal {sf.ordinal} out of range (width {width})"
+                )
+        return width
+    if isinstance(rel, FetchRel):
+        return _validate_rel(rel.input, plan)
+    raise ValidationError(f"unknown relation node {type(rel).__name__}")
+
+
+def validate_plan(plan: SubstraitPlan) -> int:
+    """Validate ``plan``; returns the root output width."""
+    width = _validate_rel(plan.root, plan)
+    if plan.root_names and len(plan.root_names) != width:
+        raise ValidationError(
+            f"root names ({len(plan.root_names)}) disagree with output width ({width})"
+        )
+    return width

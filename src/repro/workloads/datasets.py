@@ -1,0 +1,83 @@
+"""Dataset builder: generate -> Parcel-encode -> store -> register -> analyze.
+
+One call stands up a complete table: objects in the store (one Parcel
+file per generated batch), a metastore entry, and collected statistics —
+everything the engine, the connectors, and the selectivity analyzer need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.arrowsim.record_batch import RecordBatch
+from repro.errors import NoSuchBucketError
+from repro.formats.writer import write_table
+from repro.metastore.catalog import HiveMetastore, TableDescriptor
+from repro.metastore.collector import collect_table_statistics
+from repro.objectstore.store import ObjectStore
+
+__all__ = ["DatasetSpec", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """How to materialize one table."""
+
+    schema_name: str
+    table_name: str
+    bucket: str
+    file_count: int
+    #: file index -> one file's rows.
+    generator: Callable[[int], RecordBatch]
+    codec: str = "none"
+    row_group_rows: int = 65536
+    #: Column -> absolute error bound for SZ-class lossy float encoding.
+    lossy_error_bounds: Optional[dict] = None
+
+    @property
+    def key_prefix(self) -> str:
+        return f"{self.schema_name}/{self.table_name}/"
+
+
+def build_dataset(
+    spec: DatasetSpec, store: ObjectStore, metastore: HiveMetastore
+) -> TableDescriptor:
+    """Materialize ``spec``; returns the registered, analyzed descriptor."""
+    try:
+        store.bucket(spec.bucket)
+    except NoSuchBucketError:
+        store.create_bucket(spec.bucket)
+    metastore.create_schema(spec.schema_name)
+
+    files: List[str] = []
+    table_schema = None
+    for index in range(spec.file_count):
+        batch = spec.generator(index)
+        if table_schema is None:
+            table_schema = batch.schema
+        data = write_table(
+            [batch],
+            codec=spec.codec,
+            row_group_rows=spec.row_group_rows,
+            lossy_error_bounds=spec.lossy_error_bounds,
+        )
+        key = f"{spec.key_prefix}part-{index:05d}.parcel"
+        store.put_object(spec.bucket, key, data)
+        files.append(key)
+    assert table_schema is not None, "dataset needs at least one file"
+
+    descriptor = TableDescriptor(
+        schema_name=spec.schema_name,
+        table_name=spec.table_name,
+        table_schema=table_schema,
+        bucket=spec.bucket,
+        key_prefix=spec.key_prefix,
+        files=files,
+        codec=spec.codec,
+    )
+    if metastore.has_table(spec.schema_name, spec.table_name):
+        metastore.drop_table(spec.schema_name, spec.table_name)
+    metastore.register_table(descriptor)
+    collect_table_statistics(descriptor, store)
+    return descriptor

@@ -1,0 +1,112 @@
+"""Laghos-class dataset: Lagrangian hydrodynamics mesh snapshots.
+
+The original (LANL's laghos-sample-dataset) holds 256 Parquet files of
+4,194,304 rows x 10 columns (~24 GB).  Each file is one timestep dump of
+the same unstructured mesh: vertex ids repeat across files while the
+physical fields evolve.  We reproduce that structure:
+
+* ``vertex_id`` — 0..rows-1 in every file, so GROUP BY vertex_id has one
+  group per mesh vertex regardless of file count;
+* ``x, y, z`` — vertex positions, quasi-uniform over [0, 4]^3 with mesh
+  jitter, so ``BETWEEN 0.8 AND 3.2`` on all three axes keeps
+  (2.4/4)^3 ~ 21.6% of rows — the paper's 24 GB -> 5.1 GB filter step;
+* ``e`` — specific internal energy (lognormal-ish, positive);
+* ``rho, p, vx, vy, vz`` — density, pressure, velocity components.
+
+The paper appends ``LIMIT`` to LANL's query to exercise top-N; our query
+orders by the aggregated energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrowsim.array import ColumnArray
+from repro.arrowsim.dtypes import FLOAT64, INT64
+from repro.arrowsim.record_batch import RecordBatch
+from repro.arrowsim.schema import Field, Schema
+
+__all__ = [
+    "laghos_schema",
+    "generate_laghos_file",
+    "LAGHOS_QUERY",
+    "LAGHOS_QUERY_ORIGINAL",
+]
+
+#: The unmodified LANL query (the paper appended LIMIT to introduce a
+#: top-N operator; this is the pre-modification form).
+LAGHOS_QUERY_ORIGINAL = """
+SELECT min(vertex_id) AS vid, min(x) AS min_x, min(y) AS min_y,
+       min(z) AS min_z, avg(e) AS avg_e
+FROM laghos
+WHERE x BETWEEN 0.8 AND 3.2 AND y BETWEEN 0.8 AND 3.2 AND z BETWEEN 0.8 AND 3.2
+GROUP BY vertex_id
+ORDER BY avg_e
+"""
+
+#: Table 2's Laghos query (standard-SQL form of the paper's shorthand
+#: "x, y, z BETWEEN 0.8 AND 3.2", with the ORDER BY target aliased).
+LAGHOS_QUERY = """
+SELECT min(vertex_id) AS vid, min(x) AS min_x, min(y) AS min_y,
+       min(z) AS min_z, avg(e) AS avg_e
+FROM laghos
+WHERE x BETWEEN 0.8 AND 3.2 AND y BETWEEN 0.8 AND 3.2 AND z BETWEEN 0.8 AND 3.2
+GROUP BY vertex_id
+ORDER BY avg_e
+LIMIT 100
+"""
+
+_DOMAIN = 4.0
+
+
+def laghos_schema() -> Schema:
+    return Schema(
+        [
+            Field("vertex_id", INT64, nullable=False),
+            Field("x", FLOAT64, nullable=False),
+            Field("y", FLOAT64, nullable=False),
+            Field("z", FLOAT64, nullable=False),
+            Field("e", FLOAT64, nullable=False),
+            Field("rho", FLOAT64, nullable=False),
+            Field("p", FLOAT64, nullable=False),
+            Field("vx", FLOAT64, nullable=False),
+            Field("vy", FLOAT64, nullable=False),
+            Field("vz", FLOAT64, nullable=False),
+        ]
+    )
+
+
+def generate_laghos_file(rows: int, timestep: int, seed: int = 0) -> RecordBatch:
+    """One timestep snapshot of a ``rows``-vertex mesh."""
+    rng = np.random.default_rng(seed * 7919 + timestep)
+    vertex_id = np.arange(rows, dtype=np.int64)
+
+    # Structured base lattice + per-timestep Lagrangian drift: positions
+    # stay quasi-uniform over the domain, so range selectivity tracks
+    # volume fraction.
+    side = max(2, int(round(rows ** (1.0 / 3.0))))
+    lattice = (vertex_id[:, None] // np.array([side * side, side, 1])) % side
+    base = (lattice + 0.5) * (_DOMAIN / side)
+    drift = rng.normal(0.0, 0.02 * (1 + timestep % 8), size=(rows, 3))
+    positions = np.clip(base + drift, 0.0, np.nextafter(_DOMAIN, 0.0))
+
+    radius = np.linalg.norm(positions - _DOMAIN / 2.0, axis=1)
+    e = np.exp(rng.normal(0.0, 0.4, rows)) * (1.0 + 2.0 / (1.0 + radius))
+    rho = 1.0 + 0.3 * np.sin(positions[:, 0]) + rng.normal(0, 0.05, rows)
+    p = rho * e * 0.4
+    velocity = rng.normal(0.0, 0.5, size=(rows, 3)) * (1.0 + 1.0 / (1.0 + radius))[:, None]
+
+    schema = laghos_schema()
+    columns = [
+        ColumnArray(INT64, vertex_id),
+        ColumnArray(FLOAT64, positions[:, 0]),
+        ColumnArray(FLOAT64, positions[:, 1]),
+        ColumnArray(FLOAT64, positions[:, 2]),
+        ColumnArray(FLOAT64, e),
+        ColumnArray(FLOAT64, rho),
+        ColumnArray(FLOAT64, p),
+        ColumnArray(FLOAT64, velocity[:, 0]),
+        ColumnArray(FLOAT64, velocity[:, 1]),
+        ColumnArray(FLOAT64, velocity[:, 2]),
+    ]
+    return RecordBatch(schema, columns)

@@ -1,0 +1,60 @@
+"""Shared fixtures: a small standing environment with all three datasets.
+
+Session-scoped so the (generation + encoding) cost is paid once; every
+query run builds its own fresh cluster, so tests stay independent.
+"""
+
+import pytest
+
+from repro.bench import Environment
+from repro.workloads import (
+    DatasetSpec,
+    generate_deepwater_file,
+    generate_laghos_file,
+    generate_lineitem,
+)
+
+LAGHOS_FILES = 4
+LAGHOS_ROWS = 8192
+DEEPWATER_FILES = 4
+DEEPWATER_ROWS = 16384
+LINEITEM_FILES = 2
+LINEITEM_ROWS = 20000
+
+
+@pytest.fixture(scope="session")
+def small_env():
+    env = Environment()
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="hpc",
+            table_name="laghos",
+            bucket="data",
+            file_count=LAGHOS_FILES,
+            generator=lambda i: generate_laghos_file(LAGHOS_ROWS, i, seed=11),
+            row_group_rows=2048,
+        )
+    )
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="hpc",
+            table_name="deepwater",
+            bucket="data",
+            file_count=DEEPWATER_FILES,
+            generator=lambda i: generate_deepwater_file(DEEPWATER_ROWS, i, seed=13),
+            row_group_rows=4096,
+        )
+    )
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="lineitem",
+            bucket="data",
+            file_count=LINEITEM_FILES,
+            generator=lambda i: generate_lineitem(
+                LINEITEM_ROWS, seed=17, start_row=i * LINEITEM_ROWS
+            ),
+            row_group_rows=8192,
+        )
+    )
+    return env

@@ -1,0 +1,216 @@
+"""Unit + property tests for the Arrow-class columnar format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import (
+    BOOL,
+    ColumnArray,
+    DATE32,
+    FLOAT64,
+    Field,
+    INT32,
+    INT64,
+    RecordBatch,
+    STRING,
+    Schema,
+    concat_batches,
+    deserialize_batch,
+    deserialize_batches,
+    dtype_from_code,
+    dtype_from_numpy,
+    serialize_batch,
+    serialize_batches,
+)
+from repro.arrowsim.dtypes import ALL_TYPES
+from repro.errors import FormatError, SchemaMismatchError
+
+
+class TestDtypes:
+    def test_codes_roundtrip(self):
+        for t in ALL_TYPES:
+            assert dtype_from_code(t.code) is t
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            dtype_from_code(250)
+
+    def test_from_numpy(self):
+        assert dtype_from_numpy(np.dtype(np.float64)) is FLOAT64
+        assert dtype_from_numpy(np.dtype(np.int32)) is INT32
+        assert dtype_from_numpy(np.dtype(object)) is STRING
+
+    def test_predicates(self):
+        assert FLOAT64.is_floating and FLOAT64.is_numeric
+        assert INT64.is_integer and not INT64.is_floating
+        assert DATE32.is_integer and not DATE32.is_numeric
+        assert STRING.is_variable_width
+
+
+class TestColumnArray:
+    def test_from_sequence_with_nulls(self):
+        col = ColumnArray.from_sequence(INT64, [1, None, 3])
+        assert col.null_count == 1
+        assert col.to_pylist() == [1, None, 3]
+        assert col[1] is None
+        assert col[2] == 3
+
+    def test_all_valid_drops_mask(self):
+        col = ColumnArray(INT64, np.arange(5), np.ones(5, dtype=bool))
+        assert col.validity is None
+
+    def test_string_column(self):
+        col = ColumnArray.from_sequence(STRING, ["a", None, "ccc"])
+        assert col.to_pylist() == ["a", None, "ccc"]
+        assert col.nbytes > 0
+
+    def test_filter_take_slice(self):
+        col = ColumnArray.from_sequence(INT64, [10, None, 30, 40])
+        assert col.filter(np.array([True, False, True, False])).to_pylist() == [10, 30]
+        assert col.take(np.array([3, 0])).to_pylist() == [40, 10]
+        assert col.slice(1, 2).to_pylist() == [None, 30]
+
+    def test_equals_with_nan(self):
+        a = ColumnArray(FLOAT64, np.array([1.0, np.nan]))
+        b = ColumnArray(FLOAT64, np.array([1.0, np.nan]))
+        assert a.equals(b)
+
+    def test_equals_respects_nulls(self):
+        a = ColumnArray.from_sequence(INT64, [1, None])
+        b = ColumnArray.from_sequence(INT64, [1, 2])
+        assert not a.equals(b)
+
+    def test_validity_length_mismatch(self):
+        with pytest.raises(SchemaMismatchError):
+            ColumnArray(INT64, np.arange(3), np.array([True]))
+
+    def test_cast_on_construction(self):
+        col = ColumnArray(FLOAT64, np.array([1, 2, 3]))
+        assert col.values.dtype == np.float64
+
+
+def sample_batch() -> RecordBatch:
+    schema = Schema(
+        [
+            Field("id", INT64, nullable=False),
+            Field("x", FLOAT64),
+            Field("flag", BOOL),
+            Field("day", DATE32),
+            Field("name", STRING),
+        ]
+    )
+    return RecordBatch.from_pydict(
+        schema,
+        {
+            "id": [1, 2, 3, 4],
+            "x": [1.5, None, 3.25, float("nan")],
+            "flag": [True, False, None, True],
+            "day": [10957, 0, None, -5],
+            "name": ["alpha", "", None, "δdata"],
+        },
+    )
+
+
+class TestRecordBatch:
+    def test_shape(self):
+        batch = sample_batch()
+        assert batch.num_rows == 4
+        assert len(batch.schema) == 5
+
+    def test_ragged_rejected(self):
+        schema = Schema([Field("a", INT64), Field("b", INT64)])
+        with pytest.raises(SchemaMismatchError):
+            RecordBatch(
+                schema,
+                [
+                    ColumnArray(INT64, np.arange(3)),
+                    ColumnArray(INT64, np.arange(4)),
+                ],
+            )
+
+    def test_dtype_mismatch_rejected(self):
+        schema = Schema([Field("a", INT64)])
+        with pytest.raises(SchemaMismatchError):
+            RecordBatch(schema, [ColumnArray(STRING, np.array(["x"], dtype=object))])
+
+    def test_select_reorders(self):
+        batch = sample_batch().select(["name", "id"])
+        assert batch.schema.names() == ["name", "id"]
+
+    def test_filter(self):
+        batch = sample_batch().filter(np.array([True, False, False, True]))
+        assert batch.column("id").to_pylist() == [1, 4]
+
+    def test_from_arrays_infers(self):
+        batch = RecordBatch.from_arrays({"a": np.arange(3), "b": np.ones(3)})
+        assert batch.schema.field("a").dtype is INT64
+        assert batch.schema.field("b").dtype is FLOAT64
+
+    def test_concat(self):
+        batch = sample_batch()
+        merged = concat_batches([batch, batch])
+        assert merged.num_rows == 8
+        assert merged.column("x").null_count == 2
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(SchemaMismatchError):
+            concat_batches([sample_batch(), sample_batch().select(["id"])])
+
+    def test_empty(self):
+        batch = RecordBatch.empty(sample_batch().schema)
+        assert batch.num_rows == 0
+
+    def test_equals(self):
+        assert sample_batch().equals(sample_batch())
+        assert not sample_batch().equals(sample_batch().select(["id", "x", "flag", "day", "name"]).filter(np.array([True, True, True, False])))
+
+
+class TestIpc:
+    def test_roundtrip(self):
+        batch = sample_batch()
+        assert deserialize_batch(serialize_batch(batch)).equals(batch)
+
+    def test_roundtrip_empty_batch(self):
+        batch = RecordBatch.empty(sample_batch().schema)
+        assert deserialize_batch(serialize_batch(batch)).equals(batch)
+
+    def test_stream_roundtrip(self):
+        batches = [sample_batch(), sample_batch().filter(np.array([True, True, False, False]))]
+        out = deserialize_batches(serialize_batches(batches))
+        assert len(out) == 2
+        assert out[0].equals(batches[0])
+        assert out[1].equals(batches[1])
+
+    def test_bad_magic(self):
+        with pytest.raises(FormatError):
+            deserialize_batch(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(FormatError):
+            deserialize_batches(b"YYYY\x00\x00\x00\x00")
+
+    def test_trailing_garbage_rejected(self):
+        buf = serialize_batch(sample_batch()) + b"junk"
+        with pytest.raises(FormatError):
+            deserialize_batch(buf)
+
+    def test_nbytes_tracks_encoded_size(self):
+        batch = sample_batch()
+        encoded = serialize_batch(batch)
+        # Encoded size should be within 2x of the in-memory estimate.
+        assert len(encoded) < 2 * batch.nbytes + 200
+
+    @given(
+        st.lists(st.one_of(st.none(), st.integers(-(2**40), 2**40)), max_size=50),
+        st.lists(st.one_of(st.none(), st.floats(allow_nan=True, allow_infinity=True)), max_size=50),
+        st.lists(st.one_of(st.none(), st.text(max_size=12)), max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, ints, floats, texts):
+        n = max(len(ints), len(floats), len(texts))
+        pad = lambda xs: list(xs) + [None] * (n - len(xs))
+        schema = Schema([Field("i", INT64), Field("f", FLOAT64), Field("s", STRING)])
+        batch = RecordBatch.from_pydict(
+            schema, {"i": pad(ints), "f": pad(floats), "s": pad(texts)}
+        )
+        assert deserialize_batch(serialize_batch(batch)).equals(batch)

@@ -1,0 +1,106 @@
+"""Smoke tests for the experiment harness (report formatting + runners)."""
+
+import pytest
+
+from repro.bench import Environment, RunConfig, format_table
+from repro.bench.figure5 import FIGURE5_SPECS, build_environment, format_panel, run_figure5
+from repro.bench.report import format_bytes, format_seconds
+from repro.bench.table2 import PAPER_PLANS, format_table2, run_table2
+from repro.bench.table3 import format_table3, run_table3
+from repro.errors import EngineError
+from repro.workloads import DatasetSpec, generate_laghos_file
+
+
+class TestReportFormatting:
+    def test_format_bytes_units(self):
+        assert format_bytes(5.1e9) == "5.10 GB"
+        assert format_bytes(2.5e6) == "2.50 MB"
+        assert format_bytes(1.5e3) == "1.50 KB"
+        assert format_bytes(12) == "12 B"
+
+    def test_format_seconds_units(self):
+        assert format_seconds(450) == "450 s"
+        assert format_seconds(2.21) == "2.21 s"
+        assert format_seconds(0.033) == "33.0 ms"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", "1.5"], ["b", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+        # Numeric cells right-align.
+        assert lines[2].split("|")[2].rstrip().endswith("1.5")
+
+
+class TestEnvironment:
+    def test_unknown_mode_rejected(self):
+        env = Environment()
+        env.add_dataset(
+            DatasetSpec(
+                "hpc", "laghos", "d", 1,
+                lambda i: generate_laghos_file(512, i), row_group_rows=256,
+            )
+        )
+        with pytest.raises(EngineError):
+            env.run("SELECT count(*) AS n FROM laghos",
+                    RunConfig(label="x", mode="teleport"), schema="hpc")
+
+    def test_named_constructors(self):
+        assert RunConfig.none().mode == "hive-raw"
+        assert not RunConfig.none().prune_columns
+        assert RunConfig.filter_only().policy.enabled == {"filter"}
+        cfg = RunConfig.ocs("x", "filter", "aggregate")
+        assert cfg.policy.enabled == {"filter", "aggregate"}
+
+
+class TestHarnessRunners:
+    @pytest.fixture(scope="class")
+    def tiny_env(self):
+        env = Environment()
+        env.add_dataset(
+            DatasetSpec(
+                "hpc", "laghos", "data", 2,
+                lambda i: generate_laghos_file(2048, i, seed=1), row_group_rows=512,
+            )
+        )
+        return env
+
+    def test_run_figure5_panel(self, tiny_env):
+        points = run_figure5(tiny_env, "laghos")
+        assert [p.label for p in points] == [
+            "none", "filter", "+aggregation", "+topn",
+        ]
+        # Movement strictly decreases down the ladder.
+        moved = [p.moved_bytes for p in points]
+        assert moved == sorted(moved, reverse=True)
+        text = format_panel("laghos", points)
+        assert "paper speedup" in text
+
+    def test_build_environment_selective(self):
+        env = build_environment(scale="small", datasets=["tpch"])
+        assert env.metastore.has_table("tpch", "lineitem")
+        assert not env.metastore.has_table("hpc", "laghos")
+
+    def test_table2_runner(self):
+        env = build_environment(scale="small", datasets=["laghos", "deepwater", "tpch"])
+        rows = run_table2(env)
+        assert len(rows) == 3
+        for row in rows:
+            assert row.plan_chain == PAPER_PLANS[row.dataset]
+            assert 0 < row.selectivity < 0.05
+        assert "plan match" in format_table2(rows)
+
+    def test_table3_runner(self):
+        result = run_table3(rows=4096)
+        assert result.total_seconds > 0
+        shares = [result.share(s) for s in result.stage_seconds]
+        assert sum(shares) == pytest.approx(1.0)
+        text = format_table3(result)
+        assert "connector-added overhead" in text
+
+    def test_figure5_specs_reference_numbers(self):
+        # The paper's headline points are encoded in the spec table.
+        laghos = FIGURE5_SPECS["laghos"]["configs"]
+        assert laghos[0][1] == 2710.0 and laghos[-1][1] == 450.0
+        tpch = FIGURE5_SPECS["tpch"]["configs"]
+        assert tpch[1][1] / tpch[-1][1] == pytest.approx(4.07, abs=0.01)

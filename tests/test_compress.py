@@ -1,0 +1,212 @@
+"""Unit + property tests for the compression package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    CodecRegistry,
+    GzipCodec,
+    NoneCodec,
+    SnappyClassCodec,
+    ZstdClassCodec,
+    default_registry,
+    get_codec,
+)
+from repro.compress import huffman
+from repro.compress.codec import decode_varint, encode_varint
+from repro.compress.lz77 import compress_tokens, decompress_tokens
+from repro.errors import CodecError
+
+ALL_CODECS = [NoneCodec(), SnappyClassCodec(), GzipCodec(), ZstdClassCodec()]
+
+
+def compressible_blob(nbytes: int = 50_000, seed: int = 7) -> bytes:
+    """Float-ish scientific data: smooth series with repeated structure."""
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.normal(0, 0.01, nbytes // 8))
+    return np.round(base, 3).tobytes()
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**40 + 5])
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, pos = decode_varint(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            decode_varint(b"\x80\x80")
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestLz77:
+    def test_empty(self):
+        assert decompress_tokens(compress_tokens(b"", window=64), 0) == b""
+
+    def test_tiny(self):
+        data = b"abc"
+        assert decompress_tokens(compress_tokens(data, window=64), 3) == data
+
+    def test_repetitive_compresses(self):
+        data = b"abcdefgh" * 4096
+        tokens = compress_tokens(data, window=65536)
+        assert len(tokens) < len(data) // 10
+        assert decompress_tokens(tokens, len(data)) == data
+
+    def test_overlapping_match_rle(self):
+        data = b"a" * 10_000
+        tokens = compress_tokens(data, window=65536)
+        assert len(tokens) < 100
+        assert decompress_tokens(tokens, len(data)) == data
+
+    def test_random_data_roundtrips(self):
+        data = np.random.default_rng(1).bytes(20_000)
+        tokens = compress_tokens(data, window=65536)
+        assert decompress_tokens(tokens, len(data)) == data
+
+    def test_chained_search_never_worse(self):
+        data = compressible_blob(30_000)
+        greedy = compress_tokens(data, window=1 << 20, max_chain=1)
+        chained = compress_tokens(data, window=1 << 20, max_chain=8)
+        assert decompress_tokens(chained, len(data)) == data
+        assert len(chained) <= len(greedy) * 1.02
+
+    def test_bad_offset_rejected(self):
+        # match len=4 offset=9 with empty history
+        bad = encode_varint((4 << 1) | 1) + encode_varint(9)
+        with pytest.raises(CodecError):
+            decompress_tokens(bad, 4)
+
+    def test_truncated_literal_rejected(self):
+        bad = encode_varint(10 << 1) + b"abc"
+        with pytest.raises(CodecError):
+            decompress_tokens(bad, 10)
+
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        tokens = compress_tokens(data, window=65536)
+        assert decompress_tokens(tokens, len(data)) == data
+
+
+class TestHuffman:
+    def test_empty(self):
+        assert huffman.decode(huffman.encode(b""), 0) == b""
+
+    def test_single_symbol(self):
+        data = b"z" * 1000
+        encoded = huffman.encode(data)
+        assert len(encoded) < 300
+        assert huffman.decode(encoded, 1000) == data
+
+    def test_two_symbols(self):
+        data = b"ab" * 500
+        assert huffman.decode(huffman.encode(data), 1000) == data
+
+    def test_skewed_beats_uniform(self):
+        skewed = bytes([0] * 900 + list(range(100)))
+        uniform = bytes(list(range(256)) * 4)[: len(skewed)]
+        assert len(huffman.encode(skewed)) < len(huffman.encode(uniform))
+
+    def test_code_lengths_kraft_inequality(self):
+        freqs = list(np.random.default_rng(3).integers(0, 1000, 256))
+        lengths = huffman.code_lengths([int(f) for f in freqs])
+        kraft = sum(2.0 ** -l for l in lengths if l > 0)
+        assert kraft <= 1.0 + 1e-9
+
+    def test_length_cap_respected_on_pathological_freqs(self):
+        # Fibonacci frequencies force deep trees in unbounded Huffman.
+        freqs = [0] * 256
+        a, b = 1, 1
+        for i in range(40):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = huffman.code_lengths(freqs)
+        assert max(lengths) <= huffman.MAX_CODE_BITS
+        assert all(lengths[i] > 0 for i in range(40))
+
+    @given(st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert huffman.decode(huffman.encode(data), len(data)) == data
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_roundtrip_compressible(self, codec):
+        data = compressible_blob()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_roundtrip_random(self, codec):
+        data = np.random.default_rng(5).bytes(10_000)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_roundtrip_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_ratio_ordering_on_structured_data(self):
+        # Paper Figure 6 premise: zstd >= gzip-ish > snappy > none on
+        # scientific data. We require the coarse ordering: both LZ codecs
+        # compress, and zstd compresses at least as well as snappy.
+        data = compressible_blob(200_000)
+        sizes = {c.name: len(c.compress(data)) for c in ALL_CODECS}
+        assert sizes["snappy"] < sizes["none"]
+        assert sizes["gzip"] < sizes["snappy"]
+        assert sizes["zstd"] < sizes["snappy"]
+
+    def test_checksum_detects_corruption(self):
+        codec = SnappyClassCodec()
+        frame = bytearray(codec.compress(b"hello world" * 100))
+        frame[-1] ^= 0xFF
+        with pytest.raises(CodecError):
+            codec.decompress(bytes(frame))
+
+    def test_wrong_codec_rejected(self):
+        frame = SnappyClassCodec().compress(b"data")
+        with pytest.raises(CodecError):
+            GzipCodec().decompress(frame)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            NoneCodec().decompress(b"XX\x00\x00\x00\x00\x00\x00")
+
+    @given(st.binary(min_size=0, max_size=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_zstd_roundtrip_property(self, data):
+        codec = ZstdClassCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestRegistry:
+    def test_default_registry_has_all_four(self):
+        assert default_registry().names() == ["gzip", "none", "snappy", "zstd"]
+
+    def test_get_codec(self):
+        assert get_codec("zstd").name == "zstd"
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError):
+            get_codec("lz4")
+
+    def test_duplicate_registration_rejected(self):
+        registry = CodecRegistry()
+        registry.register(NoneCodec())
+        with pytest.raises(CodecError):
+            registry.register(NoneCodec())
+
+    def test_lookup_by_id(self):
+        assert default_registry().by_id(3).name == "zstd"

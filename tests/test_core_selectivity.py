@@ -1,0 +1,172 @@
+"""Unit + property tests for the Selectivity Analyzer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import FLOAT64, Field, INT64, STRING, Schema
+from repro.core import SelectivityAnalyzer
+from repro.exec.expressions import (
+    AndExpr,
+    ColumnExpr,
+    CompareExpr,
+    InExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NotExpr,
+    OrExpr,
+)
+from repro.formats.statistics import ColumnStats
+from repro.metastore.catalog import TableDescriptor
+
+SCHEMA = Schema(
+    [Field("x", FLOAT64), Field("grp", INT64), Field("tag", STRING)]
+)
+
+
+def make_descriptor(row_count=10_000):
+    d = TableDescriptor(
+        schema_name="s", table_name="t", table_schema=SCHEMA,
+        bucket="b", key_prefix="p/",
+    )
+    d.row_count = row_count
+    d.column_statistics = {
+        "x": ColumnStats(row_count, 0, 5000, 0.0, 4.0),
+        "grp": ColumnStats(row_count, 500, 10, 0, 9),
+        "tag": ColumnStats(row_count, 0, 3, "a", "c"),
+    }
+    return d
+
+
+X = ColumnExpr("x", FLOAT64)
+GRP = ColumnExpr("grp", INT64)
+
+
+def lit(v, dtype=FLOAT64):
+    return LiteralExpr(v, dtype)
+
+
+class TestFilterSelectivity:
+    def test_midpoint_is_half(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.filter_selectivity(CompareExpr("<=", X, lit(2.0)))
+        assert est.selectivity == pytest.approx(0.5, abs=0.01)
+
+    def test_full_range_near_one(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.filter_selectivity(CompareExpr("<=", X, lit(4.0)))
+        assert est.selectivity > 0.97
+
+    def test_below_min_near_zero(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.filter_selectivity(CompareExpr("<=", X, lit(0.0)))
+        assert est.selectivity < 0.03
+
+    def test_normal_tighter_than_uniform_near_bounds(self):
+        # Under normality, mass concentrates at the center: P(x <= 1.0)
+        # is below the uniform 25%.
+        normal = SelectivityAnalyzer(make_descriptor(), distribution="normal")
+        uniform = SelectivityAnalyzer(make_descriptor(), distribution="uniform")
+        pred = CompareExpr("<=", X, lit(1.0))
+        assert normal.filter_selectivity(pred).selectivity < \
+            uniform.filter_selectivity(pred).selectivity
+
+    def test_between_conjunction_multiplies(self):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution="uniform")
+        between = AndExpr(
+            (CompareExpr(">=", X, lit(1.0)), CompareExpr("<=", X, lit(3.0)))
+        )
+        est = analyzer.filter_selectivity(between)
+        # Uniform: P(x>=1) * P(x<=3) = 0.75 * 0.75 (independence, not joint).
+        assert est.selectivity == pytest.approx(0.5625, abs=0.01)
+
+    def test_or_inclusion_exclusion(self):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution="uniform")
+        either = OrExpr(
+            (CompareExpr("<=", X, lit(1.0)), CompareExpr(">=", X, lit(3.0)))
+        )
+        est = analyzer.filter_selectivity(either)
+        assert est.selectivity == pytest.approx(0.25 + 0.25 - 0.0625, abs=0.01)
+
+    def test_not_complements(self):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution="uniform")
+        p = CompareExpr("<=", X, lit(1.0))
+        s = analyzer.filter_selectivity(p).selectivity
+        s_not = analyzer.filter_selectivity(NotExpr(p)).selectivity
+        assert s + s_not == pytest.approx(1.0)
+
+    def test_equality_uses_ndv(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.filter_selectivity(CompareExpr("=", GRP, LiteralExpr(3, INT64)))
+        assert est.selectivity == pytest.approx(0.1)
+
+    def test_in_list_uses_ndv(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.filter_selectivity(InExpr(GRP, (1, 2, 3)))
+        assert est.selectivity == pytest.approx(0.3)
+
+    def test_is_null_uses_null_fraction(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.filter_selectivity(IsNullExpr(GRP))
+        assert est.selectivity == pytest.approx(0.05)
+
+    def test_literal_flipped_comparison(self):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution="uniform")
+        a = analyzer.filter_selectivity(CompareExpr(">", lit(3.0), X)).selectivity
+        b = analyzer.filter_selectivity(CompareExpr("<", X, lit(3.0))).selectivity
+        assert a == pytest.approx(b)
+
+    def test_missing_stats_falls_back(self):
+        d = make_descriptor()
+        d.column_statistics = {}
+        analyzer = SelectivityAnalyzer(d)
+        est = analyzer.filter_selectivity(CompareExpr("<", X, lit(1.0)))
+        assert 0.0 < est.selectivity < 1.0
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            SelectivityAnalyzer(make_descriptor(), distribution="zipf")
+
+    @given(st.floats(min_value=-1.0, max_value=5.0), st.floats(min_value=-1.0, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_threshold(self, a, b):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        lo, hi = min(a, b), max(a, b)
+        s_lo = analyzer.filter_selectivity(CompareExpr("<=", X, lit(lo))).selectivity
+        s_hi = analyzer.filter_selectivity(CompareExpr("<=", X, lit(hi))).selectivity
+        assert 0.0 <= s_lo <= s_hi <= 1.0
+
+
+class TestAggregationCardinality:
+    def test_single_key(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.aggregation_cardinality(["grp"])
+        assert est.output_rows == 10
+        assert est.selectivity == pytest.approx(0.001)
+
+    def test_multi_key_product_capped(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        est = analyzer.aggregation_cardinality(["grp", "x"])
+        assert est.output_rows <= 10_000
+
+    def test_no_keys_is_global(self):
+        analyzer = SelectivityAnalyzer(make_descriptor())
+        assert analyzer.aggregation_cardinality([]).output_rows == 1
+
+    def test_missing_stats_assumes_all_distinct(self):
+        d = make_descriptor()
+        d.column_statistics = {}
+        analyzer = SelectivityAnalyzer(d)
+        assert analyzer.aggregation_cardinality(["grp"]).selectivity == 1.0
+
+
+class TestTopN:
+    def test_exact_from_limit(self):
+        analyzer = SelectivityAnalyzer(make_descriptor(row_count=1000))
+        est = analyzer.topn_selectivity(100)
+        assert est.selectivity == pytest.approx(0.1)
+        assert est.output_rows == 100
+
+    def test_limit_larger_than_input(self):
+        analyzer = SelectivityAnalyzer(make_descriptor(row_count=10))
+        assert analyzer.topn_selectivity(100).selectivity == 1.0

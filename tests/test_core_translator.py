@@ -1,0 +1,207 @@
+"""Unit tests for pushed-operators -> Substrait translation + monitoring."""
+
+import pytest
+
+from repro.arrowsim import FLOAT64, Field, INT64, STRING, Schema
+from repro.core import (
+    PushdownEvent,
+    PushdownMonitor,
+    PushedAggregation,
+    PushedOperators,
+    build_pushdown_plan,
+)
+from repro.exec.aggregates import AggregateSpec
+from repro.exec.expressions import (
+    AndExpr,
+    ArithExpr,
+    ColumnExpr,
+    CompareExpr,
+    LiteralExpr,
+)
+from repro.metastore.catalog import TableDescriptor
+from repro.substrait import (
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    ProjectRel,
+    ReadRel,
+    SortRel,
+    deserialize_plan,
+    serialize_plan,
+    validate_plan,
+)
+
+SCHEMA = Schema(
+    [
+        Field("vertex_id", INT64, nullable=False),
+        Field("x", FLOAT64),
+        Field("e", FLOAT64),
+        Field("tag", STRING),
+    ]
+)
+
+
+def descriptor():
+    return TableDescriptor(
+        schema_name="hpc", table_name="t", table_schema=SCHEMA,
+        bucket="b", key_prefix="p/",
+    )
+
+
+def x_filter():
+    X = ColumnExpr("x", FLOAT64)
+    return AndExpr(
+        (
+            CompareExpr(">=", X, LiteralExpr(0.8, FLOAT64)),
+            CompareExpr("<=", X, LiteralExpr(3.2, FLOAT64)),
+        )
+    )
+
+
+class TestTranslator:
+    def test_scan_only(self):
+        pushed = PushedOperators(columns=["vertex_id", "x"])
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, ReadRel)
+        assert plan.root.projection == (0, 1)
+        assert plan.root_names == ["vertex_id", "x"]
+
+    def test_filter_becomes_filterrel_and_best_effort(self):
+        pushed = PushedOperators(columns=["x", "e"], filter=x_filter())
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, FilterRel)
+        assert plan.root.input.best_effort_filter is not None
+
+    def test_full_chain_roundtrips(self):
+        specs = [
+            AggregateSpec("min", "vertex_id", "$agg0", INT64),
+            AggregateSpec("avg", "e", "$agg1", FLOAT64),
+        ]
+        pushed = PushedOperators(
+            columns=["vertex_id", "x", "e"],
+            filter=x_filter(),
+            aggregation=PushedAggregation(key_names=["vertex_id"], specs=specs),
+            final_project=[
+                ("vid", ColumnExpr("$agg0", INT64)),
+                ("avg_e", ColumnExpr("$agg1", FLOAT64)),
+            ],
+            topn=(100, [("avg_e", False)]),
+        )
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, FetchRel)
+        assert isinstance(plan.root.input, SortRel)
+        assert plan.root_names == ["vid", "avg_e"]
+        clone = deserialize_plan(serialize_plan(plan))
+        assert clone.root == plan.root
+        validate_plan(clone)
+
+    def test_fused_expression_argument(self):
+        expr = ArithExpr(
+            "*", ColumnExpr("x", FLOAT64), LiteralExpr(2.0, FLOAT64), FLOAT64
+        )
+        agg = PushedAggregation(
+            key_names=["tag"],
+            specs=[AggregateSpec("max", "$agg0_arg", "$agg0", FLOAT64)],
+            arg_expressions=[expr],
+        )
+        pushed = PushedOperators(columns=["tag", "x"], aggregation=agg)
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, AggregateRel)
+        measure = plan.root.measures[0]
+        assert measure.args[0].node_count() == 3  # mul(field, lit)
+
+    def test_partial_phase_names_state_columns(self):
+        agg = PushedAggregation(
+            key_names=["tag"],
+            specs=[AggregateSpec("avg", "e", "$agg0", FLOAT64)],
+            phase="partial",
+        )
+        pushed = PushedOperators(columns=["tag", "e"], aggregation=agg)
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert plan.root_names == ["tag", "$agg0$sum", "$agg0$count"]
+
+    def test_projection_emits_projectrel(self):
+        pushed = PushedOperators(
+            columns=["x", "e"],
+            projections=[
+                ("double_x", ArithExpr("*", ColumnExpr("x", FLOAT64), LiteralExpr(2.0, FLOAT64), FLOAT64)),
+                ("e", ColumnExpr("e", FLOAT64)),
+            ],
+        )
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, ProjectRel)
+        assert plan.root_names == ["double_x", "e"]
+
+    def test_sort_and_limit(self):
+        pushed = PushedOperators(columns=["x"], sort=[("x", True)])
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, SortRel)
+        pushed = PushedOperators(columns=["x"], limit=7)
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert isinstance(plan.root, FetchRel)
+        assert plan.root.count == 7
+
+    def test_output_schema_matches_translation(self):
+        specs = [AggregateSpec("count", None, "$agg0")]
+        pushed = PushedOperators(
+            columns=["tag"],
+            aggregation=PushedAggregation(key_names=["tag"], specs=specs),
+        )
+        schema = pushed.output_schema(SCHEMA)
+        plan = build_pushdown_plan(descriptor(), pushed)
+        assert schema.names() == plan.root_names
+
+
+def event(success=True, operators=("filter",), rows_in=100, rows_out=10, est=None):
+    return PushdownEvent(
+        table="hpc.t", operators=tuple(operators), success=success,
+        rows_scanned=rows_in, rows_returned=rows_out, bytes_returned=rows_out * 8,
+        transfer_seconds=0.1, estimated_rows=est,
+    )
+
+
+class TestMonitor:
+    def test_success_rate(self):
+        monitor = PushdownMonitor()
+        for ok in (True, True, False, True):
+            monitor.record(event(success=ok))
+        assert monitor.success_rate() == pytest.approx(0.75)
+        assert monitor.total_events == 4
+
+    def test_sliding_window_evicts(self):
+        monitor = PushdownMonitor(window=2)
+        monitor.record(event(success=False))
+        monitor.record(event())
+        monitor.record(event())
+        assert len(monitor) == 2
+        assert monitor.success_rate() == 1.0
+        assert monitor.total_events == 3
+
+    def test_reduction_ratio(self):
+        monitor = PushdownMonitor()
+        monitor.record(event(rows_in=1000, rows_out=10))
+        assert monitor.mean_reduction_ratio() == pytest.approx(0.01)
+
+    def test_operator_frequencies(self):
+        monitor = PushdownMonitor()
+        monitor.record(event(operators=("filter", "aggregation")))
+        monitor.record(event(operators=("filter",)))
+        assert monitor.operator_frequencies() == {"filter": 2, "aggregation": 1}
+
+    def test_estimate_error(self):
+        monitor = PushdownMonitor()
+        monitor.record(event(rows_out=100, est=150))
+        assert monitor.mean_estimate_error() == pytest.approx(0.5)
+        monitor2 = PushdownMonitor()
+        monitor2.record(event(est=None))
+        assert monitor2.mean_estimate_error() is None
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            PushdownMonitor(window=0)
+
+    def test_recent(self):
+        monitor = PushdownMonitor()
+        for i in range(5):
+            monitor.record(event(rows_out=i))
+        assert [e.rows_returned for e in monitor.recent(2)] == [3, 4]

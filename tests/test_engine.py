@@ -1,0 +1,201 @@
+"""Unit tests for physical fragmentation, costing, and engine plumbing."""
+
+import pytest
+
+from repro.arrowsim import FLOAT64, Field, INT64, RecordBatch, Schema, STRING
+from repro.bench import Environment, RunConfig
+from repro.engine.costing import presto_operator_cycles
+from repro.engine.gateway import place_key
+from repro.engine.physical import fragment_plan
+from repro.errors import NoSuchCatalogError, PlanError
+from repro.exec import (
+    AggregateSpec,
+    ColumnExpr,
+    CompareExpr,
+    FilterOperator,
+    HashAggregationOperator,
+    LimitOperator,
+    LiteralExpr,
+    ProjectOperator,
+    SortOperator,
+    TopNOperator,
+    run_operators,
+)
+from repro.plan import GlobalOptimizer, plan_query
+from repro.sim.costmodel import DEFAULT_COSTS
+from repro.sql import analyze, parse
+from repro.workloads import DatasetSpec, generate_laghos_file
+
+SCHEMA = Schema(
+    [
+        Field("g", STRING),
+        Field("v", INT64),
+        Field("x", FLOAT64),
+    ]
+)
+
+
+def physical_for(sql):
+    plan = GlobalOptimizer().optimize(plan_query(analyze(parse(sql), SCHEMA)))
+    return fragment_plan(plan)
+
+
+def op_names(ops):
+    return [type(o).__name__ for o in ops]
+
+
+class TestFragmentation:
+    def test_scan_filter_project(self):
+        phys = physical_for("SELECT v FROM t WHERE x > 1.0")
+        assert op_names(phys.split_operators()) == ["FilterOperator", "ProjectOperator"]
+        assert op_names(phys.final_operators()) == ["ProjectOperator"]
+
+    def test_two_phase_aggregation(self):
+        phys = physical_for("SELECT g, sum(v) AS s FROM t GROUP BY g")
+        split = phys.split_operators()
+        final = phys.final_operators()
+        assert op_names(split) == ["HashAggregationOperator"]
+        assert split[0].phase == "partial"
+        agg_final = [o for o in final if isinstance(o, HashAggregationOperator)]
+        assert agg_final[0].phase == "final"
+
+    def test_distinct_aggregate_single_phase_at_merge(self):
+        phys = physical_for("SELECT g, count(DISTINCT v) AS n FROM t GROUP BY g")
+        assert op_names(phys.split_operators()) == []
+        aggs = [
+            o for o in phys.final_operators()
+            if isinstance(o, HashAggregationOperator)
+        ]
+        assert aggs[0].phase == "single"
+
+    def test_topn_runs_both_sides(self):
+        phys = physical_for("SELECT v FROM t ORDER BY v LIMIT 5")
+        assert any(isinstance(o, TopNOperator) for o in phys.split_operators())
+        assert any(isinstance(o, TopNOperator) for o in phys.final_operators())
+
+    def test_sort_final_only(self):
+        phys = physical_for("SELECT v FROM t ORDER BY v")
+        assert not any(isinstance(o, SortOperator) for o in phys.split_operators())
+        assert any(isinstance(o, SortOperator) for o in phys.final_operators())
+
+    def test_limit_both_sides(self):
+        phys = physical_for("SELECT v FROM t LIMIT 9")
+        split_limits = [o for o in phys.split_operators() if isinstance(o, LimitOperator)]
+        final_limits = [o for o in phys.final_operators() if isinstance(o, LimitOperator)]
+        assert split_limits and final_limits
+
+    def test_factories_produce_fresh_operators(self):
+        phys = physical_for("SELECT g, sum(v) AS s FROM t GROUP BY g")
+        a, b = phys.split_operators(), phys.split_operators()
+        assert a[0] is not b[0]
+
+    def test_output_names(self):
+        phys = physical_for("SELECT v AS value FROM t ORDER BY x")
+        assert phys.output_names == ["value"]
+
+    def test_two_phase_pipeline_correct(self):
+        batch = RecordBatch.from_pydict(
+            SCHEMA, {"g": ["a", "b", "a"], "v": [1, 2, 3], "x": [0.0] * 3}
+        )
+        phys = physical_for("SELECT g, sum(v) AS s FROM t GROUP BY g")
+        partials = []
+        for page in (batch.slice(0, 2), batch.slice(2, 1)):
+            partials.extend(run_operators([page], phys.split_operators()))
+        out = run_operators(partials, phys.final_operators())
+        rows = dict(zip(out[0].to_pydict()["g"], out[0].to_pydict()["s"]))
+        assert rows == {"a": 4, "b": 2}
+
+
+class TestCosting:
+    def test_costs_scale_with_rows(self):
+        small = FilterOperator(CompareExpr(">", ColumnExpr("v", INT64), LiteralExpr(0, INT64)))
+        big = FilterOperator(CompareExpr(">", ColumnExpr("v", INT64), LiteralExpr(0, INT64)))
+        batch = RecordBatch.from_pydict(SCHEMA, {"g": ["a"] * 10, "v": [1] * 10, "x": [0.0] * 10})
+        run_operators([batch], [small])
+        run_operators([batch, batch, batch], [big])
+        assert presto_operator_cycles(big, DEFAULT_COSTS) > presto_operator_cycles(
+            small, DEFAULT_COSTS
+        )
+
+    def test_sort_superlinear(self):
+        costs = DEFAULT_COSTS
+        s1, s2 = SortOperator([("v", False)]), SortOperator([("v", False)])
+        s1.rows_in, s2.rows_in = 1000, 4000
+        assert presto_operator_cycles(s2, costs) > 4 * presto_operator_cycles(s1, costs)
+
+    def test_limit_is_cheap(self):
+        limit, filt = LimitOperator(10), FilterOperator(
+            CompareExpr(">", ColumnExpr("v", INT64), LiteralExpr(0, INT64))
+        )
+        limit.rows_in = filt.rows_in = 10_000
+        assert presto_operator_cycles(limit, DEFAULT_COSTS) < presto_operator_cycles(
+            filt, DEFAULT_COSTS
+        )
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        assert place_key("a/b", 4) == place_key("a/b", 4)
+
+    def test_single_node_always_zero(self):
+        for key in ("a", "b", "c"):
+            assert place_key(key, 1) == 0
+
+    def test_spreads_across_nodes(self):
+        nodes = {place_key(f"part-{i}", 4) for i in range(64)}
+        assert len(nodes) == 4
+
+
+class TestCoordinatorPlumbing:
+    def test_unknown_catalog(self, small_env):
+        with pytest.raises(NoSuchCatalogError):
+            small_env.run(
+                "SELECT x FROM nowhere.hpc.laghos", RunConfig.none(), schema="hpc"
+            )
+
+    def test_qualified_table_name_overrides_session(self, small_env):
+        r = small_env.run(
+            "SELECT count(*) AS n FROM repro.tpch.lineitem",
+            RunConfig.none(),
+            schema="hpc",  # wrong session schema; the query qualifies fully
+        )
+        assert r.rows == 1
+
+    def test_split_counts(self, small_env):
+        raw = small_env.run(
+            "SELECT count(*) AS n FROM laghos", RunConfig.none(), schema="hpc"
+        )
+        pushed = small_env.run(
+            "SELECT count(*) AS n FROM laghos",
+            RunConfig.ocs("a", "filter", "aggregate"),
+            schema="hpc",
+        )
+        assert raw.splits == 4  # one per file
+        assert pushed.splits == 1  # one per storage node
+
+    def test_sequential_queries_measure_independently(self, small_env):
+        from repro.connectors.hive import HiveConnector
+        from repro.engine import Cluster, Coordinator, Session
+
+        cluster = Cluster(small_env.store, small_env.testbed, small_env.costs)
+        coordinator = Coordinator(
+            cluster, {"repro": HiveConnector(cluster, small_env.metastore)}
+        )
+        session = Session(catalog="repro", schema="hpc")
+        first = coordinator.execute("SELECT count(*) AS n FROM laghos", session)
+        second = coordinator.execute("SELECT count(*) AS n FROM laghos", session)
+        # The simulated clock keeps running, but each result reports its
+        # own duration, not the absolute clock.
+        assert second.execution_seconds == pytest.approx(
+            first.execution_seconds, rel=0.2
+        )
+
+    def test_plans_recorded(self, small_env):
+        r = small_env.run(
+            "SELECT count(*) AS n FROM laghos WHERE x > 2.0",
+            RunConfig.ocs("fa", "filter", "aggregate"),
+            schema="hpc",
+        )
+        assert "Filter" in r.plan_before
+        assert "Filter" not in r.plan_after  # absorbed into the scan handle
+        assert "TableScan" in r.plan_after

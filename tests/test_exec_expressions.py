@@ -1,0 +1,219 @@
+"""Unit + property tests for typed expression evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import (
+    BOOL,
+    ColumnArray,
+    FLOAT64,
+    Field,
+    INT64,
+    RecordBatch,
+    STRING,
+    Schema,
+)
+from repro.errors import ExpressionError
+from repro.exec.expressions import (
+    AndExpr,
+    ArithExpr,
+    CastExpr,
+    ColumnExpr,
+    CompareExpr,
+    InExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NegExpr,
+    NotExpr,
+    OrExpr,
+    arithmetic_result_type,
+)
+
+SCHEMA = Schema(
+    [
+        Field("i", INT64),
+        Field("f", FLOAT64),
+        Field("s", STRING),
+        Field("b", BOOL),
+    ]
+)
+
+
+def batch(i, f, s, b):
+    return RecordBatch.from_pydict(SCHEMA, {"i": i, "f": f, "s": s, "b": b})
+
+
+SAMPLE = batch(
+    i=[1, 2, None, 4],
+    f=[0.5, None, 2.5, -1.0],
+    s=["a", "b", None, "a"],
+    b=[True, False, None, True],
+)
+
+I = ColumnExpr("i", INT64)
+F = ColumnExpr("f", FLOAT64)
+S = ColumnExpr("s", STRING)
+B = ColumnExpr("b", BOOL)
+
+
+class TestBasics:
+    def test_column(self):
+        assert I.evaluate(SAMPLE).to_pylist() == [1, 2, None, 4]
+
+    def test_literal_broadcast(self):
+        out = LiteralExpr(7, INT64).evaluate(SAMPLE)
+        assert out.to_pylist() == [7, 7, 7, 7]
+
+    def test_null_literal(self):
+        out = LiteralExpr(None, INT64).evaluate(SAMPLE)
+        assert out.to_pylist() == [None] * 4
+
+    def test_node_count_and_refs(self):
+        expr = ArithExpr("+", I, ArithExpr("*", F, LiteralExpr(2.0, FLOAT64), FLOAT64), FLOAT64)
+        assert expr.node_count() == 5
+        assert expr.column_refs() == {"i", "f"}
+
+
+class TestArithmetic:
+    def test_add_nulls_propagate(self):
+        out = ArithExpr("+", I, LiteralExpr(10, INT64), INT64).evaluate(SAMPLE)
+        assert out.to_pylist() == [11, 12, None, 14]
+
+    def test_mixed_promotes_to_float(self):
+        dtype = arithmetic_result_type("*", INT64, FLOAT64)
+        assert dtype is FLOAT64
+        out = ArithExpr("*", I, F, FLOAT64).evaluate(SAMPLE)
+        assert out.to_pylist()[0] == pytest.approx(0.5)
+
+    def test_integer_division_truncates(self):
+        data = batch(i=[7, -7, 9, 0], f=[0.0] * 4, s=[""] * 4, b=[True] * 4)
+        out = ArithExpr("/", I, LiteralExpr(2, INT64), INT64).evaluate(data)
+        assert out.to_pylist() == [3, -3, 4, 0]
+
+    def test_division_by_zero_is_null(self):
+        data = batch(i=[8, 8], f=[1.0, 1.0], s=["", ""], b=[True, True])
+        out = ArithExpr("/", I, LiteralExpr(0, INT64), INT64).evaluate(data)
+        assert out.to_pylist() == [None, None]
+        out = ArithExpr("%", I, LiteralExpr(0, INT64), INT64).evaluate(data)
+        assert out.to_pylist() == [None, None]
+
+    def test_float_division_by_zero_is_inf(self):
+        data = batch(i=[1], f=[3.0], s=[""], b=[True])
+        out = ArithExpr("/", F, LiteralExpr(0.0, FLOAT64), FLOAT64).evaluate(data)
+        assert out.to_pylist() == [np.inf]
+
+    def test_modulo(self):
+        data = batch(i=[10, 11, 12], f=[0.0] * 3, s=[""] * 3, b=[True] * 3)
+        out = ArithExpr("%", I, LiteralExpr(3, INT64), INT64).evaluate(data)
+        assert out.to_pylist() == [1, 2, 0]
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(ExpressionError):
+            arithmetic_result_type("+", STRING, INT64)
+
+    def test_neg(self):
+        out = NegExpr(I, INT64).evaluate(SAMPLE)
+        assert out.to_pylist() == [-1, -2, None, -4]
+
+
+class TestComparisons:
+    def test_compare_with_nulls(self):
+        out = CompareExpr(">", I, LiteralExpr(1, INT64)).evaluate(SAMPLE)
+        assert out.to_pylist() == [False, True, None, True]
+
+    def test_string_equality(self):
+        out = CompareExpr("=", S, LiteralExpr("a", STRING)).evaluate(SAMPLE)
+        assert out.to_pylist() == [True, False, None, True]
+
+    def test_all_operators(self):
+        data = batch(i=[5, 5], f=[1.0, 2.0], s=["", ""], b=[True, True])
+        five = LiteralExpr(5, INT64)
+        assert CompareExpr("=", I, five).evaluate(data).to_pylist() == [True, True]
+        assert CompareExpr("<>", I, five).evaluate(data).to_pylist() == [False, False]
+        assert CompareExpr("<=", I, five).evaluate(data).to_pylist() == [True, True]
+        assert CompareExpr("<", I, five).evaluate(data).to_pylist() == [False, False]
+        assert CompareExpr(">=", I, five).evaluate(data).to_pylist() == [True, True]
+
+
+class TestLogic:
+    def test_and_3vl(self):
+        # (b AND i > 1): [T&F=F, F&T=F, N&N=N, T&T=T]
+        expr = AndExpr((B, CompareExpr(">", I, LiteralExpr(1, INT64))))
+        assert expr.evaluate(SAMPLE).to_pylist() == [False, False, None, True]
+
+    def test_and_false_dominates_null(self):
+        data = batch(i=[None], f=[1.0], s=["x"], b=[False])
+        expr = AndExpr((B, CompareExpr(">", I, LiteralExpr(0, INT64))))
+        assert expr.evaluate(data).to_pylist() == [False]
+
+    def test_or_true_dominates_null(self):
+        data = batch(i=[None], f=[1.0], s=["x"], b=[True])
+        expr = OrExpr((B, CompareExpr(">", I, LiteralExpr(0, INT64))))
+        assert expr.evaluate(data).to_pylist() == [True]
+
+    def test_or_null(self):
+        data = batch(i=[None], f=[1.0], s=["x"], b=[False])
+        expr = OrExpr((B, CompareExpr(">", I, LiteralExpr(0, INT64))))
+        assert expr.evaluate(data).to_pylist() == [None]
+
+    def test_not(self):
+        assert NotExpr(B).evaluate(SAMPLE).to_pylist() == [False, True, None, False]
+
+
+class TestMisc:
+    def test_in_ints(self):
+        out = InExpr(I, (1, 4)).evaluate(SAMPLE)
+        assert out.to_pylist() == [True, False, None, True]
+
+    def test_not_in(self):
+        out = InExpr(I, (1,), negated=True).evaluate(SAMPLE)
+        assert out.to_pylist() == [False, True, None, True]
+
+    def test_in_strings(self):
+        out = InExpr(S, ("a", "zzz")).evaluate(SAMPLE)
+        assert out.to_pylist() == [True, False, None, True]
+
+    def test_is_null_never_null(self):
+        out = IsNullExpr(I).evaluate(SAMPLE)
+        assert out.to_pylist() == [False, False, True, False]
+        out = IsNullExpr(I, negated=True).evaluate(SAMPLE)
+        assert out.to_pylist() == [True, True, False, True]
+
+    def test_cast_int_to_float(self):
+        out = CastExpr(I, FLOAT64).evaluate(SAMPLE)
+        assert out.dtype is FLOAT64
+        assert out.to_pylist() == [1.0, 2.0, None, 4.0]
+
+    def test_cast_to_string(self):
+        out = CastExpr(I, STRING).evaluate(SAMPLE)
+        assert out.to_pylist()[0] == "1"
+
+    def test_cast_bad_string_rejected(self):
+        data = batch(i=[1], f=[1.0], s=["abc"], b=[True])
+        with pytest.raises(ExpressionError):
+            CastExpr(S, FLOAT64).evaluate(data)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(-(2**31), 2**31), min_size=1, max_size=40),
+        st.integers(-100, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arith_matches_python(self, values, shift):
+        data = batch(i=values, f=[0.0] * len(values), s=[""] * len(values), b=[True] * len(values))
+        out = ArithExpr("+", I, LiteralExpr(shift, INT64), INT64).evaluate(data)
+        assert out.to_pylist() == [v + shift for v in values]
+
+    @given(st.lists(st.floats(allow_nan=False, width=32), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_demorgan(self, values):
+        n = len(values)
+        data = batch(i=[1] * n, f=[float(v) for v in values], s=[""] * n, b=[True] * n)
+        p = CompareExpr(">", F, LiteralExpr(0.0, FLOAT64))
+        q = CompareExpr("<", F, LiteralExpr(1.0, FLOAT64))
+        lhs = NotExpr(AndExpr((p, q))).evaluate(data).to_pylist()
+        rhs = OrExpr((NotExpr(p), NotExpr(q))).evaluate(data).to_pylist()
+        assert lhs == rhs

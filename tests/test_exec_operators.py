@@ -1,0 +1,319 @@
+"""Unit + property tests for aggregation and the operator pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import (
+    ColumnArray,
+    FLOAT64,
+    Field,
+    INT64,
+    RecordBatch,
+    STRING,
+    Schema,
+    concat_batches,
+)
+from repro.errors import ExecutionError
+from repro.exec import (
+    AggregateSpec,
+    ColumnExpr,
+    CompareExpr,
+    FilterOperator,
+    HashAggregationOperator,
+    LimitOperator,
+    LiteralExpr,
+    ProjectOperator,
+    SortOperator,
+    TopNOperator,
+    grouped_aggregate,
+    global_aggregate,
+    run_operators,
+)
+from repro.exec.expressions import ArithExpr
+from repro.exec.operators import sort_indices
+
+SCHEMA = Schema([Field("g", STRING), Field("v", INT64), Field("x", FLOAT64)])
+
+
+def make(g, v, x):
+    return RecordBatch.from_pydict(SCHEMA, {"g": g, "v": v, "x": x})
+
+
+SAMPLE = make(
+    g=["a", "b", "a", None, "b", "a"],
+    v=[1, 2, 3, 4, None, 6],
+    x=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+)
+
+
+def _rows(batch, *cols):
+    data = batch.to_pydict()
+    return sorted(zip(*(data[c] for c in cols)), key=lambda r: (str(r[0]),))
+
+
+class TestGroupedAggregate:
+    def test_count_sum_min_max_avg(self):
+        out = grouped_aggregate(
+            SAMPLE,
+            ["g"],
+            [
+                AggregateSpec("count", None, "n"),
+                AggregateSpec("sum", "v", "total", INT64),
+                AggregateSpec("min", "v", "lo", INT64),
+                AggregateSpec("max", "v", "hi", INT64),
+                AggregateSpec("avg", "x", "mean", FLOAT64),
+            ],
+        )
+        rows = {r[0]: r[1:] for r in zip(*(out.to_pydict()[c] for c in ("g", "n", "total", "lo", "hi", "mean")))}
+        assert rows["a"] == (3, 10, 1, 6, pytest.approx(10 / 3))
+        assert rows["b"] == (2, 2, 2, 2, pytest.approx(3.5))
+        assert rows[None] == (1, 4, 4, 4, pytest.approx(4.0))
+
+    def test_count_arg_skips_nulls(self):
+        out = grouped_aggregate(SAMPLE, ["g"], [AggregateSpec("count", "v", "n", INT64)])
+        rows = dict(zip(out.to_pydict()["g"], out.to_pydict()["n"]))
+        assert rows["b"] == 1  # one NULL v in group b
+
+    def test_sum_empty_group_is_null(self):
+        data = make(g=["z"], v=[None], x=[1.0])
+        out = grouped_aggregate(data, ["g"], [AggregateSpec("sum", "v", "s", INT64)])
+        assert out.to_pydict()["s"] == [None]
+
+    def test_string_min_max(self):
+        out = grouped_aggregate(
+            SAMPLE,
+            ["g"],
+            [AggregateSpec("min", "g", "lo", STRING), AggregateSpec("max", "g", "hi", STRING)],
+        )
+        rows = dict(zip(out.to_pydict()["g"], zip(out.to_pydict()["lo"], out.to_pydict()["hi"])))
+        assert rows["a"] == ("a", "a")
+
+    def test_multi_key_grouping(self):
+        data = RecordBatch.from_pydict(
+            Schema([Field("a", INT64), Field("b", STRING), Field("v", INT64)]),
+            {"a": [1, 1, 2, 1], "b": ["x", "y", "x", "x"], "v": [10, 20, 30, 40]},
+        )
+        out = grouped_aggregate(data, ["a", "b"], [AggregateSpec("sum", "v", "s", INT64)])
+        assert out.num_rows == 3
+        rows = {(a, b): s for a, b, s in zip(*(out.to_pydict()[c] for c in ("a", "b", "s")))}
+        assert rows[(1, "x")] == 50
+
+    def test_nan_keys_group_together(self):
+        data = make(g=["a"] * 4, v=[1, 2, 3, 4], x=[np.nan, np.nan, 1.0, 1.0])
+        out = grouped_aggregate(data, ["x"], [AggregateSpec("count", None, "n")])
+        assert sorted(out.to_pydict()["n"]) == [2, 2]
+
+    def test_distinct_count(self):
+        data = make(g=["a", "a", "a", "b"], v=[1, 1, 2, 1], x=[0.0] * 4)
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("count", "v", "n", INT64, distinct=True)]
+        )
+        rows = dict(zip(out.to_pydict()["g"], out.to_pydict()["n"]))
+        assert rows == {"a": 2, "b": 1}
+
+    def test_distinct_sum(self):
+        data = make(g=["a", "a", "a"], v=[5, 5, 2], x=[0.0] * 3)
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("sum", "v", "s", INT64, distinct=True)]
+        )
+        assert out.to_pydict()["s"] == [7]
+
+    def test_global_aggregate_empty_input(self):
+        empty = make(g=[], v=[], x=[])
+        out = global_aggregate(
+            empty,
+            [AggregateSpec("count", None, "n"), AggregateSpec("sum", "v", "s", INT64)],
+        )
+        assert out.num_rows == 1
+        assert out.to_pydict() == {"n": [0], "s": [None]}
+
+    def test_min_ignores_nan(self):
+        data = make(g=["a", "a"], v=[1, 2], x=[np.nan, 5.0])
+        out = grouped_aggregate(data, ["g"], [AggregateSpec("min", "x", "m", FLOAT64)])
+        assert out.to_pydict()["m"] == [5.0]
+
+    def test_partial_final_equals_single(self):
+        specs = [
+            AggregateSpec("count", None, "n"),
+            AggregateSpec("sum", "v", "s", INT64),
+            AggregateSpec("avg", "x", "m", FLOAT64),
+            AggregateSpec("min", "v", "lo", INT64),
+        ]
+        single = grouped_aggregate(SAMPLE, ["g"], specs, phase="single")
+        # Split rows into two chunks, partial-aggregate each, then merge.
+        first, second = SAMPLE.slice(0, 3), SAMPLE.slice(3, 3)
+        partials = concat_batches(
+            [
+                grouped_aggregate(first, ["g"], specs, phase="partial"),
+                grouped_aggregate(second, ["g"], specs, phase="partial"),
+            ]
+        )
+        merged = grouped_aggregate(partials, ["g"], specs, phase="final")
+        assert _rows(merged, "g", "n", "s", "m", "lo") == _rows(single, "g", "n", "s", "m", "lo")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ExecutionError):
+            grouped_aggregate(SAMPLE, ["g"], [], phase="bogus")
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(ExecutionError):
+            AggregateSpec("median", "v", "m", INT64)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ExecutionError):
+            AggregateSpec("sum", None, "s", INT64)
+
+
+class TestSort:
+    def test_single_key_asc(self):
+        idx = sort_indices(SAMPLE, [("x", False)])
+        assert SAMPLE.take(idx).to_pydict()["x"] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_single_key_desc(self):
+        idx = sort_indices(SAMPLE, [("x", True)])
+        assert SAMPLE.take(idx).to_pydict()["x"][0] == 6.0
+
+    def test_nulls_last_both_directions(self):
+        idx = sort_indices(SAMPLE, [("v", False)])
+        assert SAMPLE.take(idx).to_pydict()["v"][-1] is None
+        idx = sort_indices(SAMPLE, [("v", True)])
+        assert SAMPLE.take(idx).to_pydict()["v"][-1] is None
+
+    def test_multi_key(self):
+        data = make(g=["b", "a", "b", "a"], v=[1, 2, 3, 4], x=[0.0] * 4)
+        idx = sort_indices(data, [("g", False), ("v", True)])
+        out = data.take(idx).to_pydict()
+        assert out["g"] == ["a", "a", "b", "b"]
+        assert out["v"] == [4, 2, 3, 1]
+
+    def test_string_sort(self):
+        data = make(g=["beta", "alpha", "gamma"], v=[1, 2, 3], x=[0.0] * 3)
+        idx = sort_indices(data, [("g", False)])
+        assert data.take(idx).to_pydict()["g"] == ["alpha", "beta", "gamma"]
+
+    def test_negative_floats_sort_correctly(self):
+        data = make(g=["a"] * 4, v=[1] * 4, x=[-1.5, 2.0, -3.0, 0.0])
+        idx = sort_indices(data, [("x", False)])
+        assert data.take(idx).to_pydict()["x"] == [-3.0, -1.5, 0.0, 2.0]
+
+    def test_stability(self):
+        data = make(g=["a", "b", "c"], v=[1, 1, 1], x=[0.0] * 3)
+        idx = sort_indices(data, [("v", False)])
+        assert data.take(idx).to_pydict()["g"] == ["a", "b", "c"]
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ExecutionError):
+            sort_indices(SAMPLE, [])
+
+
+class TestOperators:
+    def test_filter(self):
+        op = FilterOperator(CompareExpr(">", ColumnExpr("v", INT64), LiteralExpr(2, INT64)))
+        out = run_operators([SAMPLE], [op])
+        assert concat_batches(out).to_pydict()["v"] == [3, 4, 6]
+        assert op.rows_in == 6 and op.rows_out == 3
+
+    def test_filter_requires_boolean(self):
+        with pytest.raises(ExecutionError):
+            FilterOperator(ColumnExpr("v", INT64))
+
+    def test_project(self):
+        op = ProjectOperator(
+            [("double_x", ArithExpr("*", ColumnExpr("x", FLOAT64), LiteralExpr(2.0, FLOAT64), FLOAT64))]
+        )
+        out = concat_batches(run_operators([SAMPLE], [op]))
+        assert out.to_pydict()["double_x"] == [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+        assert op.expression_node_count == 3
+
+    def test_topn_equals_sort_limit(self):
+        keys = [("x", True)]
+        topn = run_operators([SAMPLE.slice(0, 3), SAMPLE.slice(3, 3)], [TopNOperator(2, keys)])
+        sorted_limited = run_operators(
+            [SAMPLE], [SortOperator(keys), LimitOperator(2)]
+        )
+        assert concat_batches(topn).equals(concat_batches(sorted_limited))
+
+    def test_limit_across_pages(self):
+        out = run_operators(
+            [SAMPLE.slice(0, 2), SAMPLE.slice(2, 2), SAMPLE.slice(4, 2)],
+            [LimitOperator(3)],
+        )
+        assert sum(b.num_rows for b in out) == 3
+
+    def test_limit_zero(self):
+        out = run_operators([SAMPLE], [LimitOperator(0)])
+        assert sum(b.num_rows for b in out) == 0
+
+    def test_aggregation_operator_multi_page(self):
+        op = HashAggregationOperator(["g"], [AggregateSpec("sum", "v", "s", INT64)])
+        out = concat_batches(
+            run_operators([SAMPLE.slice(0, 3), SAMPLE.slice(3, 3)], [op])
+        )
+        rows = dict(zip(out.to_pydict()["g"], out.to_pydict()["s"]))
+        assert rows["a"] == 10
+
+    def test_pipeline_chain(self):
+        ops = [
+            FilterOperator(CompareExpr(">", ColumnExpr("x", FLOAT64), LiteralExpr(1.5, FLOAT64))),
+            HashAggregationOperator(["g"], [AggregateSpec("count", None, "n")]),
+            SortOperator([("n", True)]),
+            LimitOperator(1),
+        ]
+        out = concat_batches(run_operators([SAMPLE], ops))
+        assert out.num_rows == 1
+        assert out.to_pydict()["n"] == [2]
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ExecutionError):
+            LimitOperator(-1)
+        with pytest.raises(ExecutionError):
+            TopNOperator(-1, [("x", False)])
+
+
+class TestAggregateProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.one_of(st.none(), st.integers(-1000, 1000))),
+            min_size=0,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_sum_matches_reference(self, rows):
+        if not rows:
+            return
+        g = [str(k) for k, _ in rows]
+        v = [val for _, val in rows]
+        data = make(g=g, v=v, x=[0.0] * len(rows))
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("sum", "v", "s", INT64), AggregateSpec("count", None, "n")]
+        )
+        expected_sum = {}
+        expected_n = {}
+        for k, val in rows:
+            key = str(k)
+            expected_n[key] = expected_n.get(key, 0) + 1
+            if val is not None:
+                expected_sum[key] = expected_sum.get(key, 0) + val
+        got = {
+            k: (s, n)
+            for k, s, n in zip(*(out.to_pydict()[c] for c in ("g", "s", "n")))
+        }
+        assert set(got) == set(expected_n)
+        for key, (s, n) in got.items():
+            assert n == expected_n[key]
+            assert s == expected_sum.get(key, None)
+
+    @given(
+        st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=60),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_topn_is_sort_prefix(self, values, n):
+        data = make(g=["a"] * len(values), v=[1] * len(values), x=[float(v) for v in values])
+        keys = [("x", False)]
+        top = concat_batches(run_operators([data], [TopNOperator(n, keys)]))
+        full = concat_batches(run_operators([data], [SortOperator(keys)]))
+        assert top.to_pydict()["x"] == full.to_pydict()["x"][:n]

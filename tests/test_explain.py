@@ -1,0 +1,55 @@
+"""Tests for EXPLAIN output."""
+
+import pytest
+
+from repro.bench import RunConfig
+from repro.core import PushdownPolicy
+from repro.workloads import LAGHOS_QUERY, TPCH_Q1
+
+
+class TestExplain:
+    def test_shows_both_plans(self, small_env):
+        text = small_env.explain(
+            LAGHOS_QUERY,
+            RunConfig.ocs("full", "filter", "aggregate", "topn"),
+            schema="hpc",
+        )
+        assert "Logical plan (after global optimization):" in text
+        assert "After OcsConnector local optimizer:" in text
+        # Before: explicit operators; after: collapsed into the scan.
+        before, after = text.split("After OcsConnector local optimizer:")
+        assert "Filter[" in before
+        assert "Aggregation[" in before
+        assert "Filter[" not in after
+
+    def test_lists_pushed_operators_and_estimates(self, small_env):
+        text = small_env.explain(
+            LAGHOS_QUERY,
+            RunConfig.ocs("full", "filter", "aggregate", "topn"),
+            schema="hpc",
+        )
+        assert "Pushed to storage: filter, aggregation, topn" in text
+        assert "estimated filter selectivity" in text
+        assert "estimated aggregation groups" in text
+        assert "Splits: 1" in text
+
+    def test_none_policy_reports_no_pushdown(self, small_env):
+        text = small_env.explain(
+            LAGHOS_QUERY,
+            RunConfig(label="n", mode="ocs", policy=PushdownPolicy.none()),
+            schema="hpc",
+        )
+        assert "Pushed to storage: (none)" in text
+
+    def test_hive_raw_explain(self, small_env):
+        text = small_env.explain(TPCH_Q1, RunConfig.none(), schema="tpch")
+        assert "HiveConnector" in text
+        assert "Splits: 2" in text  # one per lineitem file
+
+    def test_explain_does_not_execute(self, small_env):
+        before = small_env.monitor.total_events
+        small_env.explain(
+            LAGHOS_QUERY, RunConfig.filter_only(), schema="hpc"
+        )
+        # No pushdown request was actually sent.
+        assert small_env.monitor.total_events == before

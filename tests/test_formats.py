@@ -1,0 +1,236 @@
+"""Unit + property tests for the Parcel columnar container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import (
+    ColumnArray,
+    FLOAT64,
+    Field,
+    INT32,
+    INT64,
+    RecordBatch,
+    STRING,
+    Schema,
+)
+from repro.errors import FormatError
+from repro.formats import ColumnStats, ParcelReader, ParcelWriter, write_table
+from repro.formats.encoding import DICT, PLAIN, RLE, decode_chunk, encode_chunk
+
+
+def make_batch(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [
+            Field("id", INT64, nullable=False),
+            Field("x", FLOAT64),
+            Field("grp", INT32),
+            Field("tag", STRING),
+        ]
+    )
+    return RecordBatch(
+        schema,
+        [
+            ColumnArray(INT64, np.arange(n)),
+            ColumnArray(FLOAT64, rng.normal(size=n)),
+            ColumnArray(INT32, rng.integers(0, 8, n).astype(np.int32)),
+            ColumnArray(
+                STRING, np.array([f"tag{i % 5}" for i in range(n)], dtype=object)
+            ),
+        ],
+    )
+
+
+class TestStatistics:
+    def test_compute_basic(self):
+        col = ColumnArray.from_sequence(INT64, [5, 1, None, 9, 1])
+        stats = ColumnStats.compute(col)
+        assert stats.row_count == 5
+        assert stats.null_count == 1
+        assert stats.ndv == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 9
+
+    def test_compute_all_null(self):
+        stats = ColumnStats.compute(ColumnArray.from_sequence(INT64, [None, None]))
+        assert stats.min_value is None and stats.max_value is None
+        assert stats.ndv == 0
+
+    def test_compute_float_ignores_nan_for_bounds(self):
+        col = ColumnArray(FLOAT64, np.array([1.0, np.nan, 3.0]))
+        stats = ColumnStats.compute(col)
+        assert stats.min_value == 1.0
+        assert stats.max_value == 3.0
+
+    def test_compute_string(self):
+        col = ColumnArray.from_sequence(STRING, ["b", "a", "b"])
+        stats = ColumnStats.compute(col)
+        assert (stats.min_value, stats.max_value, stats.ndv) == ("a", "b", 2)
+
+    def test_merge(self):
+        a = ColumnStats.compute(ColumnArray.from_sequence(INT64, [1, 2]))
+        b = ColumnStats.compute(ColumnArray.from_sequence(INT64, [10, None]))
+        merged = a.merge(b)
+        assert merged.row_count == 4
+        assert merged.null_count == 1
+        assert merged.min_value == 1
+        assert merged.max_value == 10
+
+    def test_range_may_overlap(self):
+        stats = ColumnStats(10, 0, 5, 10, 20)
+        assert stats.range_may_overlap(15, 25)
+        assert stats.range_may_overlap(None, 12)
+        assert not stats.range_may_overlap(21, None)
+        assert not stats.range_may_overlap(0, 9)
+
+    def test_range_overlap_without_bounds(self):
+        assert not ColumnStats(5, 5, 0, None, None).range_may_overlap(0, 1)
+        assert ColumnStats(5, 2, 1, None, None).range_may_overlap(0, 1)
+
+
+class TestEncodings:
+    def _roundtrip(self, col):
+        body = encode_chunk(col)
+        out = decode_chunk(col.dtype, body, len(col))
+        assert out.equals(col)
+        return body
+
+    def test_plain_int(self):
+        self._roundtrip(ColumnArray(INT64, np.arange(100)))
+
+    def test_rle_picked_for_runs(self):
+        values = np.repeat(np.arange(10), 100)
+        body = self._roundtrip(ColumnArray(INT64, values))
+        assert body[1] == RLE  # no validity byte block; encoding after flag
+
+    def test_dict_picked_for_low_cardinality_strings(self):
+        values = np.array(["x", "y"] * 500, dtype=object)
+        body = self._roundtrip(ColumnArray(STRING, values))
+        assert body[1] == DICT
+
+    def test_plain_for_high_entropy(self):
+        rng = np.random.default_rng(0)
+        body = self._roundtrip(ColumnArray(FLOAT64, rng.normal(size=500)))
+        assert body[1] == PLAIN
+
+    def test_nulls_roundtrip(self):
+        col = ColumnArray.from_sequence(INT64, [1, None, 3] * 50)
+        self._roundtrip(col)
+
+    def test_float_nan_roundtrip(self):
+        values = np.array([np.nan, 1.0] * 200)
+        self._roundtrip(ColumnArray(FLOAT64, values))
+
+    def test_empty_column(self):
+        self._roundtrip(ColumnArray(INT64, np.array([], dtype=np.int64)))
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(FormatError):
+            decode_chunk(INT64, b"\x00\x63", 0)
+
+
+class TestWriterReader:
+    @pytest.mark.parametrize("codec", ["none", "snappy", "gzip", "zstd"])
+    def test_roundtrip_all_codecs(self, codec):
+        batch = make_batch(500)
+        data = write_table([batch], codec=codec)
+        reader = ParcelReader(data)
+        assert reader.read_table().equals(batch)
+
+    def test_row_group_splitting(self):
+        batch = make_batch(1000)
+        data = write_table([batch], row_group_rows=256)
+        reader = ParcelReader(data)
+        assert reader.num_row_groups == 4
+        assert [reader.meta.row_groups[i].num_rows for i in range(4)] == [256, 256, 256, 232]
+        assert reader.read_table().equals(batch)
+
+    def test_multiple_batches_merge(self):
+        b1, b2 = make_batch(300, seed=1), make_batch(200, seed=2)
+        data = write_table([b1, b2], row_group_rows=128)
+        reader = ParcelReader(data)
+        assert reader.num_rows == 500
+        got = reader.read_table()
+        assert got.column("id").to_pylist() == (
+            b1.column("id").to_pylist() + b2.column("id").to_pylist()
+        )
+
+    def test_column_pruning(self):
+        data = write_table([make_batch(400)])
+        reader = ParcelReader(data)
+        got = reader.read_row_group(0, columns=["x", "id"])
+        assert got.schema.names() == ["x", "id"]
+        assert reader.chunk_bytes(0, ["id"]) < reader.chunk_bytes(0)
+
+    def test_stats_in_footer(self):
+        data = write_table([make_batch(400)])
+        reader = ParcelReader(data)
+        stats = reader.column_stats("id")
+        assert stats.min_value == 0
+        assert stats.max_value == 399
+        assert stats.row_count == 400
+        grp = reader.column_stats("grp")
+        assert grp.ndv <= 8
+
+    def test_row_group_stats_prune(self):
+        # id is sorted, so later row groups have disjoint ranges.
+        data = write_table([make_batch(1000)], row_group_rows=250)
+        reader = ParcelReader(data)
+        s0 = reader.row_group_stats(0, "id")
+        s3 = reader.row_group_stats(3, "id")
+        assert s0.range_may_overlap(0, 100)
+        assert not s3.range_may_overlap(0, 100)
+
+    def test_schema_mismatch_rejected(self):
+        writer = ParcelWriter(make_batch(10).schema)
+        other = RecordBatch.from_arrays({"z": np.arange(3)})
+        with pytest.raises(FormatError):
+            writer.write_batch(other)
+
+    def test_double_finish_rejected(self):
+        writer = ParcelWriter(make_batch(1).schema)
+        writer.write_batch(make_batch(1))
+        writer.finish()
+        with pytest.raises(FormatError):
+            writer.finish()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormatError):
+            ParcelReader(b"NOPE" * 10)
+
+    def test_empty_table_via_schema(self):
+        data = write_table([], schema=make_batch(1).schema)
+        reader = ParcelReader(data)
+        assert reader.num_rows == 0
+        assert reader.read_table().num_rows == 0
+
+    def test_compression_shrinks_file(self):
+        batch = make_batch(5000)
+        plain = write_table([batch], codec="none")
+        packed = write_table([batch], codec="gzip")
+        assert len(packed) < len(plain)
+
+    def test_out_of_range_row_group(self):
+        reader = ParcelReader(write_table([make_batch(10)]))
+        with pytest.raises(FormatError):
+            reader.read_row_group(5)
+
+    @given(
+        st.lists(st.one_of(st.none(), st.integers(-(2**31), 2**31)), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values, rg_rows):
+        schema = Schema([Field("v", INT64)])
+        batch = RecordBatch.from_pydict(schema, {"v": values})
+        reader = ParcelReader(write_table([batch], row_group_rows=rg_rows))
+        assert reader.read_table().equals(batch)
+        # Stats bounds must contain all non-null data.
+        stats = reader.column_stats("v")
+        non_null = [v for v in values if v is not None]
+        if non_null:
+            assert stats.min_value == min(non_null)
+            assert stats.max_value == max(non_null)
+        assert stats.null_count == values.count(None)

@@ -1,0 +1,185 @@
+"""Tests for the SZ-class lossy codec and its Parcel integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import ColumnArray, FLOAT64, Field, INT64, RecordBatch, Schema
+from repro.bench import Environment, RunConfig
+from repro.compress.szlike import compress_lossy, decompress_lossy, max_error
+from repro.errors import CodecError, FormatError
+from repro.formats import ParcelReader, ParcelWriter, write_table
+from repro.workloads import DatasetSpec, generate_deepwater_file
+
+SCHEMA = Schema([Field("id", INT64, nullable=False), Field("v", FLOAT64)])
+
+
+def smooth_series(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(0, 0.01, n)) + 3.0
+
+
+class TestSzCodec:
+    def test_error_bound_honored(self):
+        values = smooth_series()
+        for bound in (1e-2, 1e-4, 1e-6):
+            decoded = decompress_lossy(compress_lossy(values, bound))
+            assert max_error(values, decoded) <= bound + 1e-15
+
+    def test_compresses_smooth_data_hard(self):
+        values = smooth_series()
+        frame = compress_lossy(values, 1e-3)
+        assert len(frame) < values.nbytes / 8  # >8x on smooth series
+
+    def test_looser_bound_smaller_output(self):
+        values = smooth_series()
+        tight = compress_lossy(values, 1e-6)
+        loose = compress_lossy(values, 1e-2)
+        assert len(loose) < len(tight)
+
+    def test_nan_inf_reconstructed_exactly(self):
+        values = smooth_series(1000)
+        values[10] = np.nan
+        values[500] = np.inf
+        values[900] = -np.inf
+        decoded = decompress_lossy(compress_lossy(values, 1e-3))
+        assert np.isnan(decoded[10])
+        assert decoded[500] == np.inf
+        assert decoded[900] == -np.inf
+        assert max_error(values, decoded) <= 1e-3 + 1e-15
+
+    def test_empty(self):
+        decoded = decompress_lossy(compress_lossy(np.array([], dtype=np.float64), 0.1))
+        assert len(decoded) == 0
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(CodecError):
+            compress_lossy(np.zeros(4), 0.0)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            decompress_lossy(b"XX" + b"\x00" * 20)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=0, max_size=300,
+        ),
+        st.sampled_from([1e-1, 1e-3, 1e-5]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_bound_property(self, values, bound):
+        arr = np.array(values, dtype=np.float64)
+        decoded = decompress_lossy(compress_lossy(arr, bound))
+        assert len(decoded) == len(arr)
+        if len(arr):
+            assert max_error(arr, decoded) <= bound * (1 + 1e-9) + 1e-12
+
+
+class TestParcelLossyIntegration:
+    def _roundtrip(self, values, bound):
+        batch = RecordBatch(
+            SCHEMA,
+            [ColumnArray(INT64, np.arange(len(values))), ColumnArray(FLOAT64, values)],
+        )
+        data = write_table([batch], lossy_error_bounds={"v": bound})
+        return ParcelReader(data)
+
+    def test_roundtrip_within_bound(self):
+        values = smooth_series(5000)
+        reader = self._roundtrip(values, 1e-3)
+        decoded = reader.read_table().column("v").values
+        assert max_error(values, decoded) <= 1e-3 + 1e-15
+
+    def test_lossy_column_much_smaller(self):
+        values = smooth_series(20_000)
+        batch = RecordBatch(
+            SCHEMA,
+            [ColumnArray(INT64, np.arange(len(values))), ColumnArray(FLOAT64, values)],
+        )
+        lossless = ParcelReader(write_table([batch]))
+        lossy = ParcelReader(write_table([batch], lossy_error_bounds={"v": 1e-3}))
+        lossless_v = sum(
+            lossless.chunk_bytes(i, ["v"]) for i in range(lossless.num_row_groups)
+        )
+        lossy_v = sum(
+            lossy.chunk_bytes(i, ["v"]) for i in range(lossy.num_row_groups)
+        )
+        assert lossy_v < lossless_v / 8  # SZ-class: order-of-magnitude
+        # The untouched id column is unchanged.
+        assert lossy.read_table().column("id").equals(batch.column("id"))
+
+    def test_stats_describe_stored_values(self):
+        # Stored (quantized) values must be inside the footer's min/max,
+        # or row-group pruning would be unsound.
+        values = smooth_series(5000)
+        reader = self._roundtrip(values, 1e-2)
+        stats = reader.column_stats("v")
+        decoded = reader.read_table().column("v").values
+        assert decoded.min() >= stats.min_value - 1e-12
+        assert decoded.max() <= stats.max_value + 1e-12
+
+    def test_non_float_column_rejected(self):
+        with pytest.raises(FormatError):
+            ParcelWriter(SCHEMA, lossy_error_bounds={"id": 0.1})
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(FormatError):
+            ParcelWriter(SCHEMA, lossy_error_bounds={"v": -1.0})
+
+    def test_nulls_survive(self):
+        batch = RecordBatch.from_pydict(SCHEMA, {"id": [1, 2, 3], "v": [1.0, None, 3.0]})
+        data = write_table([batch], lossy_error_bounds={"v": 1e-3})
+        out = ParcelReader(data).read_table()
+        assert out.column("v").to_pylist()[1] is None
+
+
+class TestLossyQueries:
+    def test_query_results_within_tolerance(self):
+        """The paper's future-work scenario: pushdown over lossy data.
+
+        Aggregates over SZ-encoded columns must agree with the lossless
+        answer to within the error bound's effect."""
+        bound = 1e-4
+
+        def gen(i):
+            return generate_deepwater_file(16384, i, seed=31)
+
+        lossless_env = Environment()
+        lossless_env.add_dataset(
+            DatasetSpec("hpc", "deepwater", "d", 2, gen, row_group_rows=4096)
+        )
+        lossy_env = Environment()
+        lossy_env.add_dataset(
+            DatasetSpec(
+                "hpc", "deepwater", "d", 2, gen, row_group_rows=4096,
+                lossy_error_bounds={"snd": bound},
+            )
+        )
+        query = "SELECT timestep, avg(snd) AS m FROM deepwater GROUP BY timestep"
+        config = RunConfig.ocs("agg", "filter", "aggregate")
+        exact = lossless_env.run(query, config, schema="hpc").to_pydict()
+        lossy = lossy_env.run(query, config, schema="hpc").to_pydict()
+        assert lossy["timestep"] == exact["timestep"]
+        for a, b in zip(exact["m"], lossy["m"]):
+            assert abs(a - b) <= bound
+
+    def test_lossy_dataset_moves_less_for_full_scan(self):
+        def gen(i):
+            return generate_deepwater_file(16384, i, seed=31)
+
+        plain = Environment()
+        plain.add_dataset(DatasetSpec("hpc", "dw", "d", 2, gen, row_group_rows=4096))
+        lossy = Environment()
+        lossy.add_dataset(
+            DatasetSpec(
+                "hpc", "dw", "d", 2, gen, row_group_rows=4096,
+                lossy_error_bounds={"snd": 1e-3, "v02": 1e-4},
+            )
+        )
+        query = "SELECT count(*) AS n FROM dw"
+        a = plain.run(query, RunConfig.none(), schema="hpc")
+        b = lossy.run(query, RunConfig.none(), schema="hpc")
+        assert b.data_moved_bytes < a.data_moved_bytes
+        assert a.to_pydict() == b.to_pydict()

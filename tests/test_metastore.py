@@ -1,0 +1,95 @@
+"""Unit tests for the Hive-class metastore and statistics collection."""
+
+import numpy as np
+import pytest
+
+from repro.arrowsim import ColumnArray, FLOAT64, Field, INT64, RecordBatch, Schema
+from repro.errors import NoSuchSchemaError, NoSuchTableError, TableAlreadyExistsError
+from repro.formats import write_table
+from repro.metastore import HiveMetastore, TableDescriptor, collect_table_statistics
+from repro.objectstore import ObjectStore
+
+SCHEMA = Schema([Field("id", INT64, nullable=False), Field("x", FLOAT64)])
+
+
+def make_descriptor(files=()):
+    return TableDescriptor(
+        schema_name="hpc",
+        table_name="points",
+        table_schema=SCHEMA,
+        bucket="data",
+        key_prefix="hpc/points/",
+        files=list(files),
+    )
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        ms = HiveMetastore()
+        ms.create_schema("hpc")
+        ms.register_table(make_descriptor())
+        assert ms.get_table("hpc", "points").qualified_name == "hpc.points"
+        assert ms.list_tables("hpc") == ["points"]
+        assert ms.has_table("hpc", "points")
+
+    def test_missing_schema(self):
+        ms = HiveMetastore()
+        with pytest.raises(NoSuchSchemaError):
+            ms.register_table(make_descriptor())
+        with pytest.raises(NoSuchSchemaError):
+            ms.get_table("hpc", "points")
+
+    def test_missing_table(self):
+        ms = HiveMetastore()
+        ms.create_schema("hpc")
+        with pytest.raises(NoSuchTableError):
+            ms.get_table("hpc", "points")
+
+    def test_duplicate_table(self):
+        ms = HiveMetastore()
+        ms.create_schema("hpc")
+        ms.register_table(make_descriptor())
+        with pytest.raises(TableAlreadyExistsError):
+            ms.register_table(make_descriptor())
+
+    def test_drop(self):
+        ms = HiveMetastore()
+        ms.create_schema("hpc")
+        ms.register_table(make_descriptor())
+        ms.drop_table("hpc", "points")
+        assert not ms.has_table("hpc", "points")
+
+    def test_create_schema_idempotent(self):
+        ms = HiveMetastore()
+        ms.create_schema("hpc")
+        ms.create_schema("hpc")
+        assert ms.list_schemas() == ["hpc"]
+
+
+class TestStatisticsCollection:
+    def test_collect_merges_across_files(self):
+        store = ObjectStore()
+        store.create_bucket("data")
+        keys = []
+        for i in range(3):
+            batch = RecordBatch(
+                SCHEMA,
+                [
+                    ColumnArray(INT64, np.arange(i * 100, (i + 1) * 100)),
+                    ColumnArray(FLOAT64, np.full(100, float(i))),
+                ],
+            )
+            key = f"hpc/points/part-{i}.parcel"
+            store.put_object("data", key, write_table([batch]))
+            keys.append(key)
+        descriptor = make_descriptor(keys)
+        collect_table_statistics(descriptor, store)
+        assert descriptor.row_count == 300
+        assert descriptor.total_bytes > 0
+        ids = descriptor.stats_for("id")
+        assert ids.min_value == 0
+        assert ids.max_value == 299
+        xs = descriptor.stats_for("x")
+        assert xs.min_value == 0.0
+        assert xs.max_value == 2.0
+        assert descriptor.stats_for("missing") is None

@@ -1,0 +1,234 @@
+"""Unit tests for the logical planner and global optimizer."""
+
+import pytest
+
+from repro.arrowsim import DATE32, FLOAT64, Field, INT64, STRING, Schema
+from repro.exec.expressions import (
+    AndExpr,
+    ArithExpr,
+    ColumnExpr,
+    CompareExpr,
+    LiteralExpr,
+)
+from repro.plan import (
+    AggregationNode,
+    ConstantFoldingRule,
+    FilterNode,
+    GlobalOptimizer,
+    LimitNode,
+    OutputNode,
+    PredicatePushdownRule,
+    ProjectNode,
+    ProjectionPruningRule,
+    SortNode,
+    TableScanNode,
+    TopNFusionRule,
+    TopNNode,
+    fold_expression,
+    format_plan,
+    plan_query,
+)
+from repro.sql import analyze, parse
+
+SCHEMA = Schema(
+    [
+        Field("vertex_id", INT64, nullable=False),
+        Field("x", FLOAT64),
+        Field("y", FLOAT64),
+        Field("z", FLOAT64),
+        Field("e", FLOAT64),
+        Field("tag", STRING),
+        Field("shipdate", DATE32),
+    ]
+)
+
+
+def make_plan(sql: str):
+    return plan_query(analyze(parse(sql), SCHEMA))
+
+
+def node_chain(plan):
+    """Top-down list of node type names."""
+    names = []
+    node = plan
+    while node is not None:
+        names.append(type(node).__name__)
+        children = node.children()
+        node = children[0] if children else None
+    return names
+
+
+class TestPlanner:
+    def test_scan_filter_project_shape(self):
+        plan = make_plan("SELECT x, y FROM t WHERE x > 1")
+        assert node_chain(plan) == [
+            "OutputNode", "ProjectNode", "FilterNode", "TableScanNode",
+        ]
+
+    def test_laghos_shape_no_project(self):
+        # Plain-column agg args: TableScan -> Filter -> Aggregation -> TopN.
+        plan = make_plan(
+            "SELECT min(vertex_id) AS vid, min(x), avg(e) AS avg_e FROM t "
+            "WHERE x BETWEEN 0.8 AND 3.2 GROUP BY vertex_id ORDER BY avg_e LIMIT 100"
+        )
+        assert node_chain(plan) == [
+            "OutputNode", "TopNNode", "ProjectNode", "AggregationNode",
+            "FilterNode", "TableScanNode",
+        ]
+
+    def test_expression_args_insert_project(self):
+        # Deep-Water-like: expression inside the aggregate forces a Project.
+        plan = make_plan(
+            "SELECT max((vertex_id % 250000) / 500), tag FROM t "
+            "WHERE x > 0.1 GROUP BY tag"
+        )
+        assert node_chain(plan) == [
+            "OutputNode", "ProjectNode", "AggregationNode", "ProjectNode",
+            "FilterNode", "TableScanNode",
+        ]
+
+    def test_sort_without_limit(self):
+        plan = make_plan("SELECT x FROM t ORDER BY x")
+        assert "SortNode" in node_chain(plan)
+        assert "TopNNode" not in node_chain(plan)
+
+    def test_order_limit_fuses_to_topn(self):
+        plan = make_plan("SELECT x FROM t ORDER BY x LIMIT 5")
+        assert "TopNNode" in node_chain(plan)
+        assert "LimitNode" not in node_chain(plan)
+
+    def test_bare_limit(self):
+        plan = make_plan("SELECT x FROM t LIMIT 5")
+        assert "LimitNode" in node_chain(plan)
+
+    def test_scan_columns_pruned(self):
+        plan = make_plan("SELECT x FROM t WHERE y > 0")
+        scan = plan
+        while not isinstance(scan, TableScanNode):
+            scan = scan.children()[0]
+        assert set(scan.columns) == {"x", "y"}
+
+    def test_distinct_becomes_aggregation(self):
+        plan = make_plan("SELECT DISTINCT tag FROM t")
+        chain = node_chain(plan)
+        assert "AggregationNode" in chain
+
+    def test_hidden_sort_column_dropped_at_output(self):
+        plan = make_plan("SELECT x FROM t ORDER BY y")
+        assert plan.column_names == ["x"]
+        assert plan.output_schema().names() == ["x"]
+
+    def test_output_schema_types(self):
+        plan = make_plan("SELECT count(*) AS n, avg(x) AS m FROM t")
+        schema = plan.output_schema()
+        assert schema.field("n").dtype is INT64
+        assert schema.field("m").dtype is FLOAT64
+
+    def test_format_plan_mentions_all_nodes(self):
+        text = format_plan(make_plan("SELECT x FROM t WHERE x > 1 ORDER BY x LIMIT 2"))
+        for token in ("Output", "TopN", "Project", "Filter", "TableScan"):
+            assert token in text
+
+
+class TestConstantFolding:
+    def test_fold_arithmetic(self):
+        expr = ArithExpr("+", LiteralExpr(1, INT64), LiteralExpr(2, INT64), INT64)
+        folded = fold_expression(expr)
+        assert isinstance(folded, LiteralExpr)
+        assert folded.value == 3
+
+    def test_fold_nested(self):
+        inner = ArithExpr("*", LiteralExpr(3, INT64), LiteralExpr(4, INT64), INT64)
+        outer = CompareExpr("<", LiteralExpr(10, INT64), inner)
+        folded = fold_expression(outer)
+        assert isinstance(folded, LiteralExpr)
+        assert folded.value is True or folded.value == True  # noqa: E712
+
+    def test_columns_not_folded(self):
+        expr = ArithExpr("+", ColumnExpr("x", FLOAT64), LiteralExpr(2.0, FLOAT64), FLOAT64)
+        folded = fold_expression(expr)
+        assert not isinstance(folded, LiteralExpr)
+
+    def test_partial_fold(self):
+        const = ArithExpr("-", LiteralExpr(10, INT64), LiteralExpr(7, INT64), INT64)
+        expr = CompareExpr("<", ColumnExpr("vertex_id", INT64), const)
+        folded = fold_expression(expr)
+        assert isinstance(folded.right, LiteralExpr)
+        assert folded.right.value == 3
+
+    def test_date_interval_folds_in_plan(self):
+        plan = make_plan(
+            "SELECT shipdate FROM t WHERE shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY"
+        )
+        plan = GlobalOptimizer().optimize(plan)
+        node = plan
+        while not isinstance(node, FilterNode):
+            node = node.children()[0]
+        # 1998-12-01 minus 90 days = 1998-09-02 = 10471 days since epoch.
+        assert isinstance(node.predicate.right, LiteralExpr)
+        assert node.predicate.right.value == 10471
+
+
+class TestRules:
+    def test_filter_merge(self):
+        plan = make_plan("SELECT x FROM t WHERE x > 0")
+        inner = FilterNode(plan.source.source, CompareExpr(
+            ">", ColumnExpr("y", FLOAT64), LiteralExpr(0.0, FLOAT64)))
+        stacked = OutputNode(ProjectNode(
+            FilterNode(inner, CompareExpr("<", ColumnExpr("x", FLOAT64), LiteralExpr(9.0, FLOAT64))),
+            [("x", ColumnExpr("x", FLOAT64))],
+        ), ["x"])
+        rewritten = PredicatePushdownRule()(stacked)
+        filters = [n for n in _walk(rewritten) if isinstance(n, FilterNode)]
+        # All three stacked predicates collapse into one AND filter.
+        assert len(filters) == 1
+        assert isinstance(filters[0].predicate, AndExpr)
+        assert len(filters[0].predicate.operands) == 3
+
+    def test_filter_slides_below_passthrough_project(self):
+        scan = TableScanNode(
+            table=parse("SELECT x FROM t").from_table,
+            table_schema=SCHEMA,
+            columns=["x", "y"],
+        )
+        project = ProjectNode(scan, [("a", ColumnExpr("x", FLOAT64))])
+        filt = FilterNode(project, CompareExpr(">", ColumnExpr("a", FLOAT64), LiteralExpr(1.0, FLOAT64)))
+        rewritten = PredicatePushdownRule()(OutputNode(filt, ["a"]))
+        chain = node_chain(rewritten)
+        assert chain == ["OutputNode", "ProjectNode", "FilterNode", "TableScanNode"]
+
+    def test_pruning_drops_unused_aggregates(self):
+        plan = make_plan("SELECT tag, count(*) AS n, sum(x) AS s FROM t GROUP BY tag")
+        # Rebuild output keeping only n.
+        narrowed = OutputNode(plan.source, ["tag", "n"])
+        pruned = ProjectionPruningRule()(narrowed)
+        agg = [n for n in _walk(pruned) if isinstance(n, AggregationNode)][0]
+        assert [s.output for s in agg.specs] == ["$agg0"]
+
+    def test_topn_fusion_rule(self):
+        scan = TableScanNode(
+            table=parse("SELECT x FROM t").from_table,
+            table_schema=SCHEMA,
+            columns=["x"],
+        )
+        plan = OutputNode(LimitNode(SortNode(scan, [("x", False)]), 3), ["x"])
+        rewritten = TopNFusionRule()(plan)
+        assert isinstance(rewritten.source, TopNNode)
+        assert rewritten.source.count == 3
+
+    def test_optimizer_fixpoint_stable(self):
+        plan = make_plan(
+            "SELECT tag, sum(x * (1.0 - y)) AS revenue FROM t "
+            "WHERE shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY "
+            "GROUP BY tag ORDER BY tag"
+        )
+        optimizer = GlobalOptimizer()
+        once = optimizer.optimize(plan)
+        twice = optimizer.optimize(once)
+        assert format_plan(once) == format_plan(twice)
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

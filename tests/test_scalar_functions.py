@@ -1,0 +1,109 @@
+"""Tests for scalar math functions across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.arrowsim import FLOAT64, Field, INT64, RecordBatch, Schema
+from repro.bench import RunConfig
+from repro.errors import AnalysisError
+from repro.exec.expressions import (
+    ColumnExpr,
+    LiteralExpr,
+    ScalarFuncExpr,
+    scalar_function_dtype,
+)
+from repro.plan.optimizer import fold_expression
+from repro.sql import analyze, parse
+from repro.substrait.convert import expression_to_substrait, substrait_to_expression
+from repro.substrait.functions import FunctionRegistry
+
+SCHEMA = Schema([Field("i", INT64), Field("f", FLOAT64)])
+BATCH = RecordBatch.from_pydict(SCHEMA, {"i": [-2, 3, None], "f": [4.0, 2.25, -1.0]})
+
+
+class TestEvaluation:
+    def test_abs_preserves_dtype(self):
+        expr = ScalarFuncExpr("abs", ColumnExpr("i", INT64), INT64)
+        assert expr.evaluate(BATCH).to_pylist() == [2, 3, None]
+        assert scalar_function_dtype("abs", INT64) is INT64
+
+    def test_sqrt_returns_float(self):
+        assert scalar_function_dtype("sqrt", INT64) is FLOAT64
+        expr = ScalarFuncExpr("sqrt", ColumnExpr("f", FLOAT64), FLOAT64)
+        out = expr.evaluate(BATCH).to_pylist()
+        assert out[0] == 2.0 and out[1] == 1.5
+        assert np.isnan(out[2])  # sqrt(-1) -> NaN, no crash
+
+    def test_floor_ceil(self):
+        floor = ScalarFuncExpr("floor", ColumnExpr("f", FLOAT64), FLOAT64)
+        ceil = ScalarFuncExpr("ceil", ColumnExpr("f", FLOAT64), FLOAT64)
+        assert floor.evaluate(BATCH).to_pylist() == [4.0, 2.0, -1.0]
+        assert ceil.evaluate(BATCH).to_pylist() == [4.0, 3.0, -1.0]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(Exception):
+            scalar_function_dtype("median", INT64)
+
+
+class TestAnalyzer:
+    def test_resolves_known_functions(self):
+        q = analyze(parse("SELECT sqrt(f) AS r FROM t WHERE abs(i) > 1"), SCHEMA)
+        assert q.output_items[0][1].dtype is FLOAT64
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze(parse("SELECT sqrt(f, i) FROM t"), SCHEMA)
+
+    def test_non_numeric_rejected(self):
+        from repro.arrowsim import STRING
+
+        with pytest.raises(AnalysisError):
+            analyze(parse("SELECT abs(tag) FROM t"), Schema([Field("tag", STRING)]))
+
+    def test_unknown_function_still_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze(parse("SELECT frobnicate(f) FROM t"), SCHEMA)
+
+
+class TestFoldingAndSubstrait:
+    def test_constant_folding(self):
+        expr = ScalarFuncExpr("sqrt", LiteralExpr(16.0, FLOAT64), FLOAT64)
+        folded = fold_expression(expr)
+        assert isinstance(folded, LiteralExpr)
+        assert folded.value == 4.0
+
+    def test_substrait_roundtrip(self):
+        registry = FunctionRegistry()
+        expr = ScalarFuncExpr("ln", ColumnExpr("f", FLOAT64), FLOAT64)
+        sexpr = expression_to_substrait(expr, ["f"], registry)
+        back = substrait_to_expression(sexpr, ["f"], [FLOAT64], registry)
+        assert back == expr
+
+
+class TestEndToEnd:
+    def test_scalar_function_pushdown_transparent(self, small_env):
+        query = (
+            "SELECT vertex_id, sqrt(x * x + y * y) AS r FROM laghos "
+            "WHERE abs(x - 2.0) < 0.3 ORDER BY r DESC LIMIT 9"
+        )
+        a = small_env.run(query, RunConfig.none(), schema="hpc")
+        b = small_env.run(
+            query,
+            RunConfig.ocs("full", "filter", "project", "aggregate", "topn"),
+            schema="hpc",
+        )
+        assert a.rows == 9
+        assert a.batch.approx_equals(b.batch)
+
+    def test_scalar_function_as_group_key(self, small_env):
+        query = (
+            "SELECT floor(e) AS bucket, count(*) AS n FROM laghos "
+            "GROUP BY floor(e) ORDER BY bucket"
+        )
+        a = small_env.run(query, RunConfig.none(), schema="hpc")
+        b = small_env.run(
+            query, RunConfig.ocs("fpa", "filter", "project", "aggregate"),
+            schema="hpc",
+        )
+        assert a.batch.approx_equals(b.batch)
+        assert sum(a.to_pydict()["n"]) == a.metrics.value("rows_into_aggregate") or a.rows > 0

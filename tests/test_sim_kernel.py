@@ -1,0 +1,214 @@
+"""Unit tests for the DES kernel: events, timeouts, processes, conditions."""
+
+import pytest
+
+from repro.errors import SimDeadlockError, SimulationError
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_failed_event_value_raises_payload(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        sim.run()
+        with pytest.raises(ValueError, match="boom"):
+            _ = ev.value
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_ordering_is_chronological(self, sim):
+        order = []
+        sim.timeout(3.0).callbacks.append(lambda e: order.append(3))
+        sim.timeout(1.0).callbacks.append(lambda e: order.append(1))
+        sim.timeout(2.0).callbacks.append(lambda e: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for i in range(5):
+            sim.timeout(1.0).callbacks.append(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_process_returns_value(self, sim):
+        def worker():
+            yield sim.timeout(2.0)
+            return "done"
+
+        proc = sim.process(worker())
+        result = sim.run(until=proc)
+        assert result == "done"
+        assert sim.now == 2.0
+
+    def test_process_waits_on_process(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return 7
+
+        def outer():
+            value = yield sim.process(inner())
+            yield sim.timeout(1.0)
+            return value * 2
+
+        assert sim.run(until=sim.process(outer())) == 14
+        assert sim.now == 2.0
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def failing():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner failure")
+
+        def waiter():
+            try:
+                yield sim.process(failing())
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        assert sim.run(until=sim.process(waiter())) == "caught inner failure"
+
+    def test_yield_non_event_fails_process(self, sim):
+        def bad():
+            yield 123
+
+        proc = sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run(until=proc)
+
+    def test_yield_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()
+
+        def late():
+            value = yield ev
+            return value
+
+        assert sim.run(until=sim.process(late())) == "early"
+
+    def test_interrupt_raises_in_process(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                log.append(intr.cause)
+            return "woke"
+
+        proc = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt(cause="urgent")
+
+        sim.process(interrupter())
+        assert sim.run(until=proc) == "woke"
+        assert log == ["urgent"]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_calling_function_not_generator_rejected(self, sim):
+        def not_gen():
+            return 5
+
+        with pytest.raises(SimulationError):
+            sim.process(not_gen())  # type: ignore[arg-type]
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, sim):
+        def worker(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        procs = [sim.process(worker(d, d * 10)) for d in (3, 1, 2)]
+        values = sim.run(until=AllOf(sim, procs))
+        assert values == [30, 10, 20]
+        assert sim.now == 3.0
+
+    def test_any_of_returns_first(self, sim):
+        def worker(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        procs = [sim.process(worker(d, d)) for d in (5, 2, 9)]
+        event, value = sim.run(until=AnyOf(sim, procs))
+        assert value == 2
+        assert sim.now == 2.0
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        assert sim.run(until=AllOf(sim, [])) == []
+
+
+class TestRun:
+    def test_run_until_deadline(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_deadlock_detected(self, sim):
+        def stuck():
+            yield sim.event()  # never triggered
+
+        proc = sim.process(stuck())
+        with pytest.raises(SimDeadlockError):
+            sim.run(until=proc)
+
+    def test_determinism(self):
+        def build():
+            s = Simulator()
+            trace = []
+
+            def worker(name, delays):
+                for d in delays:
+                    yield s.timeout(d)
+                    trace.append((s.now, name))
+
+            s.process(worker("a", [1.0, 2.0, 0.5]))
+            s.process(worker("b", [0.5, 2.5, 0.5]))
+            s.run()
+            return trace
+
+        assert build() == build()

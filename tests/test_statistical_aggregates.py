@@ -1,0 +1,136 @@
+"""Tests for variance/stddev aggregates (incl. two-phase merging)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrowsim import FLOAT64, Field, INT64, RecordBatch, STRING, Schema, concat_batches
+from repro.bench import Environment, RunConfig
+from repro.config import TestbedSpec
+from repro.exec import AggregateSpec, grouped_aggregate
+from repro.workloads import DatasetSpec
+
+SCHEMA = Schema([Field("g", STRING), Field("v", FLOAT64)])
+
+
+def make(g, v):
+    return RecordBatch.from_pydict(SCHEMA, {"g": g, "v": v})
+
+
+class TestVarianceStddev:
+    def test_matches_numpy_sample_variance(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 2.0, 500)
+        data = make(["a"] * 500, list(values))
+        out = grouped_aggregate(
+            data, ["g"],
+            [
+                AggregateSpec("variance", "v", "var", FLOAT64),
+                AggregateSpec("stddev", "v", "sd", FLOAT64),
+            ],
+        )
+        assert out.to_pydict()["var"][0] == pytest.approx(np.var(values, ddof=1), rel=1e-9)
+        assert out.to_pydict()["sd"][0] == pytest.approx(np.std(values, ddof=1), rel=1e-9)
+
+    def test_single_row_group_is_null(self):
+        # Sample variance of one observation is undefined.
+        data = make(["a", "b", "b"], [1.0, 2.0, 4.0])
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("variance", "v", "var", FLOAT64)]
+        )
+        rows = dict(zip(out.to_pydict()["g"], out.to_pydict()["var"]))
+        assert rows["a"] is None
+        assert rows["b"] == pytest.approx(2.0)
+
+    def test_nulls_ignored(self):
+        data = make(["a"] * 4, [1.0, None, 3.0, None])
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("stddev", "v", "sd", FLOAT64)]
+        )
+        assert out.to_pydict()["sd"][0] == pytest.approx(np.std([1.0, 3.0], ddof=1))
+
+    def test_partial_final_equals_single(self):
+        rng = np.random.default_rng(1)
+        values = list(rng.normal(0, 1, 100))
+        groups = [f"g{i % 3}" for i in range(100)]
+        data = make(groups, values)
+        specs = [AggregateSpec("variance", "v", "var", FLOAT64)]
+        single = grouped_aggregate(data, ["g"], specs, phase="single")
+        partials = concat_batches(
+            [
+                grouped_aggregate(data.slice(0, 40), ["g"], specs, phase="partial"),
+                grouped_aggregate(data.slice(40, 60), ["g"], specs, phase="partial"),
+            ]
+        )
+        merged = grouped_aggregate(partials, ["g"], specs, phase="final")
+        a = dict(zip(single.to_pydict()["g"], single.to_pydict()["var"]))
+        b = dict(zip(merged.to_pydict()["g"], merged.to_pydict()["var"]))
+        for key in a:
+            assert b[key] == pytest.approx(a[key], rel=1e-9)
+
+    def test_partial_state_has_three_columns(self):
+        data = make(["a"], [1.0])
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("variance", "v", "var", FLOAT64)],
+            phase="partial",
+        )
+        assert out.schema.names() == ["g", "var$sum", "var$sumsq", "var$count"]
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2, max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_variance_nonnegative_and_matches_numpy(self, values):
+        data = make(["a"] * len(values), values)
+        out = grouped_aggregate(
+            data, ["g"], [AggregateSpec("variance", "v", "var", FLOAT64)]
+        )
+        var = out.to_pydict()["var"][0]
+        assert var >= 0
+        assert var == pytest.approx(np.var(values, ddof=1), rel=1e-6, abs=1e-9)
+
+
+class TestStatisticalPushdown:
+    @pytest.fixture(scope="class")
+    def env(self):
+        rng = np.random.default_rng(5)
+
+        def gen(i):
+            n = 4000
+            return RecordBatch.from_pydict(
+                Schema([Field("g", STRING), Field("v", FLOAT64)]),
+                {
+                    "g": [f"k{j % 4}" for j in range(n)],
+                    "v": list(np.random.default_rng(i).normal(2.0, 3.0, n)),
+                },
+            )
+
+        e = Environment()
+        e.add_dataset(DatasetSpec("s", "t", "b", 2, gen, row_group_rows=1024))
+        return e
+
+    QUERY = "SELECT g, stddev(v) AS sd, variance(v) AS var FROM t GROUP BY g ORDER BY g"
+
+    def test_pushdown_transparent(self, env):
+        a = env.run(self.QUERY, RunConfig.none(), schema="s")
+        b = env.run(
+            self.QUERY, RunConfig.ocs("a", "filter", "aggregate"), schema="s"
+        )
+        assert a.batch.approx_equals(b.batch)
+
+    def test_multinode_partial_states_merge(self, env):
+        multi = Environment(
+            testbed=TestbedSpec(storage_node_count=2),
+            store=env.store, metastore=env.metastore,
+        )
+        a = env.run(self.QUERY, RunConfig.none(), schema="s")
+        b = multi.run(
+            self.QUERY, RunConfig.ocs("a", "filter", "aggregate"), schema="s"
+        )
+        # With >1 storage node the aggregation ships as 3-column partial
+        # states regardless of how placement distributed the two files.
+        assert a.batch.approx_equals(b.batch)
