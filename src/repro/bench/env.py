@@ -11,13 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.config import DEFAULT_TESTBED, TestbedSpec
+from repro.config import DEFAULT_TESTBED, FaultSpec, TestbedSpec
 from repro.connectors.hive import HiveConnector
 from repro.core import OcsConnector, PushdownMonitor, PushdownPolicy
 from repro.engine import Cluster, Coordinator, QueryResult, Session
 from repro.errors import EngineError
 from repro.metastore.catalog import HiveMetastore, TableDescriptor
 from repro.objectstore.store import ObjectStore
+from repro.rpc.retry import RetryPolicy
 from repro.sim.costmodel import DEFAULT_COSTS, CostParams
 from repro.workloads.datasets import DatasetSpec, build_dataset
 
@@ -39,6 +40,11 @@ class RunConfig:
     prune_columns: bool = True
     #: hive-select only: emulate S3 Select's missing float64 support.
     strict_s3_types: bool = True
+    #: Injected faults for this run; ``None`` keeps the cluster healthy
+    #: (and the Figure 5/6 numbers bit-identical to a fault-free build).
+    faults: Optional[FaultSpec] = None
+    #: ocs only: deadline/backoff policy for pushdown RPCs.
+    retry: Optional[RetryPolicy] = None
 
     # Named configurations used throughout the benches -----------------------
 
@@ -88,6 +94,7 @@ class Environment:
             self.testbed,
             self.costs,
             strict_s3_types=config.strict_s3_types,
+            faults=config.faults,
         )
         connector = self._connector(cluster, config)
         coordinator = Coordinator(cluster, {catalog: connector})
@@ -118,5 +125,6 @@ class Environment:
             return OcsConnector(
                 cluster, self.metastore, policy=policy, monitor=self.monitor,
                 split_granularity=config.split_granularity,
+                retry_policy=config.retry,
             )
         raise EngineError(f"unknown run mode {config.mode!r}")

@@ -18,6 +18,7 @@ can dial a different testbed without touching cost-model code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping
 
 
 GIB = 1024**3
@@ -54,6 +55,43 @@ class NetworkSpec:
     latency_s: float = 100e-6
     #: Per-message framing/syscall overhead charged in addition to latency.
     per_message_cpu_cycles: float = 20_000.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault-injection knobs for resilience experiments (all off by default).
+
+    The faults model degraded-but-alive infrastructure, mirroring how real
+    NDP deployments fail: frames drop on the wire, a storage node's
+    *pushdown engine* goes away (transiently or permanently) while its
+    plain object-GET path keeps serving, or a node simply runs slow.  A
+    :class:`~repro.sim.faults.FaultInjector` built from this spec holds the
+    per-run mutable state (deterministic RNG, remaining transient budgets).
+    """
+
+    #: Probability that any single link transfer is lost in flight.
+    link_drop_probability: float = 0.0
+    #: node index -> number of initial pushdown requests that fail with
+    #: UNAVAILABLE before the node's embedded engine recovers.
+    transient_storage_failures: Mapping[int, int] = field(default_factory=dict)
+    #: Node indices whose embedded engine never answers (raw GETs still work).
+    permanent_storage_failures: FrozenSet[int] = frozenset()
+    #: node index -> wall-time multiplier for pushdown service on that node.
+    storage_latency_multipliers: Mapping[int, float] = field(default_factory=dict)
+    #: Seed for the injector's deterministic RNG (same seed -> same trace).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.link_drop_probability < 1.0:
+            raise ValueError(
+                f"link_drop_probability must be in [0, 1), got {self.link_drop_probability}"
+            )
+        for node, count in self.transient_storage_failures.items():
+            if count < 0:
+                raise ValueError(f"negative transient failure count for node {node}")
+        for node, mult in self.storage_latency_multipliers.items():
+            if mult < 1.0:
+                raise ValueError(f"latency multiplier for node {node} must be >= 1.0")
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,7 @@ Arrow stream into engine pages for the residual operators.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Generator, List
 
 from repro.arrowsim.ipc import deserialize_batches
@@ -16,13 +17,16 @@ from repro.core.monitor import PushdownEvent, PushdownMonitor
 from repro.core.optimizer import OcsPlanOptimizer, PushdownPolicy
 from repro.core.translator import build_pushdown_plan
 from repro.engine.cluster import Cluster
-from repro.engine.coordinator import STAGE_SUBSTRAIT
-from repro.engine.gateway import place_key
+from repro.engine.coordinator import STAGE_SUBSTRAIT, STAGE_TRANSFER
+from repro.engine.gateway import S3Gateway, encode_ranges_request, place_key
 from repro.engine.spi import Connector, ConnectorSplit, PageSourceResult
 from repro.errors import RpcStatusError
 from repro.metastore.catalog import HiveMetastore
+from repro.ocs.embedded_engine import EmbeddedEngine
 from repro.ocs.frontend import OcsFrontend, PushdownRequest, decode_response, encode_request
+from repro.rpc.retry import RetryPolicy, retrying_call
 from repro.sim.metrics import MetricsRegistry
+from repro.substrait.plan import SubstraitPlan
 from repro.substrait.serde import serialize_plan
 
 __all__ = ["OcsConnector"]
@@ -40,12 +44,17 @@ class OcsConnector(Connector):
         policy: PushdownPolicy | None = None,
         monitor: PushdownMonitor | None = None,
         split_granularity: str = "node",
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.cluster = cluster
         self.metastore = metastore
         self.policy = policy if policy is not None else PushdownPolicy.all_operators()
         #: Sliding-window history; share one across runs to accumulate.
         self.monitor = monitor if monitor is not None else PushdownMonitor()
+        #: Deadline/backoff policy for the pushdown RPC; the default has
+        #: no per-call deadline, so healthy runs are byte-identical to a
+        #: retry-free connector.
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         #: "node": one pushdown request per storage node over all its
         #: files (default; matches the paper's measured data movement).
         #: "file": one request per file — Presto's classic per-split
@@ -95,11 +104,15 @@ class OcsConnector(Connector):
         cluster = self.cluster
         sim = cluster.sim
         costs = cluster.costs
+        stages = metrics.stages
         pushed: PushedOperators = handle.pushed
 
         # (3) Reconstruct and translate the pushed operators to IR,
-        # charging the generation cost (Table 3's second row).
-        t0 = sim.now
+        # charging the generation cost (Table 3's second row).  The
+        # coordinator opened a transfer window around this page source;
+        # pause it so IR generation stays attributed to its own stage.
+        stages.end(STAGE_TRANSFER, sim.now)
+        stages.begin(STAGE_SUBSTRAIT, sim.now)
         plan = build_pushdown_plan(handle.descriptor, pushed)
         plan_bytes = serialize_plan(plan)
         generation_cycles = (
@@ -108,10 +121,12 @@ class OcsConnector(Connector):
             + plan.expression_node_count() * costs.substrait_cycles_per_expression
         )
         yield cluster.compute.execute(generation_cycles, name="substrait-gen")
-        metrics.stages.charge(STAGE_SUBSTRAIT, sim.now - t0)
+        stages.end(STAGE_SUBSTRAIT, sim.now)
+        stages.begin(STAGE_TRANSFER, sim.now)
         metrics.add("substrait_plan_bytes", len(plan_bytes))
 
-        # (4) Dispatch to OCS over gRPC and await Arrow results.
+        # (4) Dispatch to OCS over gRPC and await Arrow results, retrying
+        # transient failures under the connector's retry policy.
         request = encode_request(
             PushdownRequest(
                 plan_bytes=plan_bytes,
@@ -121,9 +136,20 @@ class OcsConnector(Connector):
             )
         )
         t1 = sim.now
+        policy = self.retry_policy
+        attempts = 1
+
+        def _note_retry(attempt: int, exc: RpcStatusError, delay: float) -> None:
+            nonlocal attempts
+            attempts = attempt + 1
+            metrics.add("pushdown_retries", 1)
+
         try:
-            response = yield cluster.ocs_client.call(OcsFrontend.METHOD, request)
-        except RpcStatusError:
+            response = yield from retrying_call(
+                cluster.ocs_client, OcsFrontend.METHOD, request, policy,
+                on_retry=_note_retry,
+            )
+        except RpcStatusError as exc:
             self.monitor.record(
                 PushdownEvent(
                     table=handle.descriptor.qualified_name,
@@ -134,9 +160,19 @@ class OcsConnector(Connector):
                     bytes_returned=0,
                     transfer_seconds=sim.now - t1,
                     estimated_rows=handle.estimated_output_rows,
+                    downgraded=policy.is_retryable(exc.code),
+                    attempts=getattr(exc, "attempts", attempts),
                 )
             )
-            raise
+            if not policy.is_retryable(exc.code):
+                # Semantic failure: re-sending or re-reading cannot help.
+                raise
+            # Transient failure that outlived every retry: degrade this
+            # split to raw object GETs + local execution rather than
+            # failing the whole query (paper Section 4's resilience goal).
+            metrics.add("pushdown_fallback_splits", 1)
+            result = yield from self._fallback_source(handle, split, plan, metrics)
+            return result
         arrow, report = decode_response(response)
 
         # (5) Deserialize Arrow into engine pages.
@@ -162,6 +198,7 @@ class OcsConnector(Connector):
                 bytes_returned=len(arrow),
                 transfer_seconds=sim.now - t1,
                 estimated_rows=handle.estimated_output_rows,
+                attempts=attempts,
             )
         )
         return PageSourceResult(
@@ -169,4 +206,58 @@ class OcsConnector(Connector):
             bytes_received=len(response),
             ingest_cycles=ingest,
             transfer_seconds=sim.now - t1,
+        )
+
+    # -- graceful degradation ----------------------------------------------------
+
+    def _fallback_source(
+        self,
+        handle: OcsTableHandle,
+        split: ConnectorSplit,
+        plan: SubstraitPlan,
+        metrics: MetricsRegistry,
+    ) -> Generator:
+        """Degraded path for one split: raw object GETs + local execution.
+
+        Fetches each object whole through the conventional S3 gateway
+        (pushdown is down; plain GETs still work) and runs the *same*
+        Substrait plan on the compute node's embedded engine, so the
+        batches are identical to what pushdown would have returned —
+        the query only pays more data movement and compute-side CPU.
+        """
+        cluster = self.cluster
+        sim = cluster.sim
+        costs = cluster.costs
+        bucket = handle.descriptor.bucket
+        t0 = sim.now
+        # Raw GETs keep the retry budget but drop the per-call deadline:
+        # whole-object fetches are legitimately slower than pushdown
+        # calls, and the degraded path must not re-enter a timeout loop.
+        get_policy = replace(self.retry_policy, deadline_s=None)
+        payload_bytes = 0
+        for key in split.keys:
+            size = int(cluster.store.head_object(bucket, key)["size"])
+            request = encode_ranges_request(bucket, key, [(0, size)])
+            blob = yield from retrying_call(
+                cluster.s3_client, S3Gateway.GET_RANGES, request, get_policy
+            )
+            payload_bytes += len(blob)
+        metrics.add("fallback_bytes_fetched", payload_bytes)
+
+        # Execute the pushed plan locally.  Decompression, decode, and
+        # operator work the storage node would have absorbed now lands on
+        # the compute node, plus per-byte ingest of the raw objects.
+        engine = EmbeddedEngine(cluster.store, costs)
+        batches, report = engine.execute(plan, bucket, list(split.keys))
+        metrics.add("fallback_rows_scanned", report.rows_scanned)
+        metrics.add("fallback_rows_returned", report.rows_returned)
+        ingest = (
+            payload_bytes * costs.presto_ingest_cycles_per_byte
+            + report.total_cpu_cycles
+        )
+        return PageSourceResult(
+            batches=batches,
+            bytes_received=payload_bytes,
+            ingest_cycles=ingest,
+            transfer_seconds=sim.now - t0,
         )

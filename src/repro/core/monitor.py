@@ -30,6 +30,11 @@ class PushdownEvent:
     transfer_seconds: float
     #: Estimated output rows at decision time (None when stats were off).
     estimated_rows: Optional[int] = None
+    #: True when pushdown was abandoned for this split and the connector
+    #: degraded to a raw scan (the query itself still succeeded).
+    downgraded: bool = False
+    #: RPC attempts made before the outcome (1 = no retries needed).
+    attempts: int = 1
 
     @property
     def reduction_ratio(self) -> float:
@@ -56,6 +61,7 @@ class PushdownMonitor:
         self._events: Deque[PushdownEvent] = deque(maxlen=window)
         self._total_events = 0
         self._total_failures = 0
+        self._total_downgrades = 0
 
     # -- EventListener surface -----------------------------------------------
 
@@ -64,6 +70,8 @@ class PushdownMonitor:
         self._total_events += 1
         if not event.success:
             self._total_failures += 1
+        if event.downgraded:
+            self._total_downgrades += 1
 
     # -- queries ------------------------------------------------------------------
 
@@ -74,11 +82,24 @@ class PushdownMonitor:
     def total_events(self) -> int:
         return self._total_events
 
+    @property
+    def total_downgrades(self) -> int:
+        return self._total_downgrades
+
     def success_rate(self) -> float:
         """Fraction of windowed requests that executed successfully."""
         if not self._events:
             return 1.0
         return sum(1 for e in self._events if e.success) / len(self._events)
+
+    def downgrade_rate(self) -> float:
+        """Fraction of windowed requests that fell back to a raw scan."""
+        if not self._events:
+            return 0.0
+        return sum(1 for e in self._events if e.downgraded) / len(self._events)
+
+    def downgraded_events(self) -> List[PushdownEvent]:
+        return [e for e in self._events if e.downgraded]
 
     def mean_reduction_ratio(self) -> float:
         """Average rows-out/rows-in across the window (successes only)."""

@@ -128,6 +128,14 @@ class SelectivityAnalyzer:
             if histogram is not None:
                 return histogram.fraction_below(value)
             # No zone-map histogram collected: fall through to normal.
+        # Literals outside the column's [min, max] are certain: nothing
+        # sits below the minimum, everything sits below the maximum.
+        # (Without the clamp the uniform model extrapolates past [0, 1]
+        # and the normal model leaves ~0.1% mass beyond each bound.)
+        if value < lo:
+            return 0.0
+        if value > hi:
+            return 1.0
         if hi <= lo:
             return 1.0 if value >= hi else 0.0
         if self.distribution == "uniform":

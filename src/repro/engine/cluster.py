@@ -12,14 +12,15 @@ crosses the compute<->frontend link, whose ledger is the paper's
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.config import TestbedSpec
+from repro.config import FaultSpec, TestbedSpec
 from repro.objectstore.store import ObjectStore
 from repro.ocs.frontend import OcsFrontend
 from repro.ocs.storage_node import OcsStorageNode
 from repro.rpc.channel import RpcClient
 from repro.sim.costmodel import CostParams
+from repro.sim.faults import FaultInjector
 from repro.sim.kernel import Simulator
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Link
@@ -39,19 +40,23 @@ class Cluster:
         testbed: TestbedSpec,
         costs: CostParams,
         strict_s3_types: bool = True,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         self.testbed = testbed
         self.costs = costs
         self.store = store
         self.sim = Simulator()
         self.metrics = MetricsRegistry()
+        #: Per-run fault state (None when the run is healthy).
+        self.faults = FaultInjector(faults) if faults is not None else None
 
         self.compute = SimNode(self.sim, testbed.compute)
         self.frontend = SimNode(self.sim, testbed.frontend)
         self.storage: List[SimNode] = []
         net = testbed.network
         self.link_cf = Link(
-            self.sim, net.bandwidth_bps, net.latency_s, name="compute-frontend"
+            self.sim, net.bandwidth_bps, net.latency_s,
+            name="compute-frontend", faults=self.faults,
         )
         self.links_fs: List[Link] = []
         self.storage_nodes: List[OcsStorageNode] = []
@@ -63,12 +68,16 @@ class Cluster:
             node = SimNode(self.sim, spec)
             self.storage.append(node)
             self.links_fs.append(
-                Link(self.sim, net.bandwidth_bps, net.latency_s, name=f"frontend-storage-{i}")
+                Link(
+                    self.sim, net.bandwidth_bps, net.latency_s,
+                    name=f"frontend-storage-{i}", faults=self.faults,
+                )
             )
             self.storage_nodes.append(OcsStorageNode(self.sim, node, store, costs, i))
 
         self.ocs_frontend = OcsFrontend(
-            self.sim, self.frontend, self.storage_nodes, self.links_fs, costs
+            self.sim, self.frontend, self.storage_nodes, self.links_fs, costs,
+            faults=self.faults,
         )
         self.s3_gateway = S3Gateway(
             self.sim,

@@ -228,46 +228,65 @@ class Coordinator:
         }
         for i, node in enumerate(cluster.storage):
             utilization[f"storage_cores[{i}]"] = node.core_utilization()
+        # Stage attribution must partition the wall time: window union
+        # keeps concurrent splits from double charging, but stages that
+        # overlap *each other* (e.g. one split transferring while another
+        # runs operators) can still push the sum past the elapsed time.
+        # Scale the reported copy down so Table 3 always partitions;
+        # serial runs are untouched (total <= elapsed there).
+        elapsed = sim.now - query_start
+        stage_seconds = dict(metrics.stages.items())
+        total = sum(stage_seconds.values())
+        if total > elapsed > 0:
+            scale = elapsed / total
+            stage_seconds = {k: v * scale for k, v in stage_seconds.items()}
         return QueryResult(
             batch=batch,
-            execution_seconds=sim.now - query_start,
+            execution_seconds=elapsed,
             data_moved_bytes=cluster.bytes_to_compute(),
             splits=len(splits),
             plan_before=plan_before,
             plan_after=plan_after,
             metrics=metrics,
-            stage_seconds=dict(metrics.stages.items()),
+            stage_seconds=stage_seconds,
             utilization=utilization,
         )
 
     def _run_split(self, connector: Connector, handle, split, physical: PhysicalPlan, metrics):
         cluster = self.cluster
         sim = cluster.sim
+        stages = metrics.stages
         with cluster.scan_drivers.request() as driver:
             yield driver
             # Data acquisition: storage round trip + page materialization.
-            # (The page source itself charges IR-generation time to the
-            # substrait stage; subtract it so stages partition cleanly.)
-            t0 = sim.now
-            substrait_before = metrics.stages.seconds(STAGE_SUBSTRAIT)
-            source: PageSourceResult = yield sim.process(
-                connector.page_source(handle, split, metrics),
-                name=f"page-source-{split.split_id}",
-            )
-            if source.ingest_cycles:
-                yield cluster.compute.execute(source.ingest_cycles, name="ingest")
-            substrait_delta = metrics.stages.seconds(STAGE_SUBSTRAIT) - substrait_before
-            metrics.stages.charge(STAGE_TRANSFER, max(0.0, sim.now - t0 - substrait_delta))
+            # Concurrent splits each open a stage *window*; the timer
+            # unions overlapping windows so wall-clock is charged once,
+            # not once per split (otherwise the per-stage sum could
+            # exceed the query's elapsed time).  The OCS page source
+            # pauses the transfer window around IR generation so the
+            # substrait stage stays separable.
+            stages.begin(STAGE_TRANSFER, sim.now)
+            try:
+                source: PageSourceResult = yield sim.process(
+                    connector.page_source(handle, split, metrics),
+                    name=f"page-source-{split.split_id}",
+                )
+                if source.ingest_cycles:
+                    yield cluster.compute.execute(source.ingest_cycles, name="ingest")
+            finally:
+                stages.end(STAGE_TRANSFER, sim.now)
             metrics.add("bytes_received", source.bytes_received)
 
             # Split-local operators (real work + cost charge).
-            t1 = sim.now
-            split_ops = physical.split_operators()
-            out = run_operators(source.batches, split_ops)
-            cycles = presto_pipeline_cycles(split_ops, cluster.costs)
-            if cycles:
-                yield cluster.compute.execute(cycles, name="split-ops")
-            metrics.stages.charge(STAGE_EXECUTION, sim.now - t1)
+            stages.begin(STAGE_EXECUTION, sim.now)
+            try:
+                split_ops = physical.split_operators()
+                out = run_operators(source.batches, split_ops)
+                cycles = presto_pipeline_cycles(split_ops, cluster.costs)
+                if cycles:
+                    yield cluster.compute.execute(cycles, name="split-ops")
+            finally:
+                stages.end(STAGE_EXECUTION, sim.now)
             for op in split_ops:
                 metrics.add(f"rows_into_{op.name}", op.rows_in)
         return out

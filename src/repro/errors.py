@@ -180,6 +180,14 @@ class SimDeadlockError(SimulationError):
     """The event loop ran dry while processes were still blocked."""
 
 
+class LinkDropError(SimulationError):
+    """A network frame was lost in flight (injected link fault).
+
+    Surfaces to RPC callers as ``RpcStatusError("UNAVAILABLE")`` — the
+    retryable class of failure, like a gRPC connection reset.
+    """
+
+
 # --------------------------------------------------------------------------
 # Metastore errors
 # --------------------------------------------------------------------------

@@ -9,10 +9,11 @@ real OCS exposes similar per-request telemetry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.compress.codec import decode_varint, encode_varint
-from repro.errors import OcsError
+from repro.errors import CodecError, OcsError, RpcStatusError
+from repro.sim.faults import FaultInjector
 from repro.ocs.embedded_engine import OcsCostReport
 from repro.ocs.storage_node import OcsStorageNode
 from repro.rpc.channel import RpcService
@@ -49,9 +50,31 @@ def _write_str(out: bytearray, text: str) -> None:
     out += data
 
 
+def _read_varint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Bounds-checked varint read; truncation becomes a typed OcsError."""
+    try:
+        return decode_varint(buf, pos)
+    except CodecError as exc:
+        raise OcsError(f"truncated frame: {exc}") from exc
+
+
+def _take(buf: bytes, pos: int, length: int) -> Tuple[bytes, int]:
+    """Slice ``length`` bytes at ``pos``, refusing to silently truncate."""
+    if length < 0 or pos + length > len(buf):
+        raise OcsError(
+            f"truncated frame: need {length} bytes at offset {pos}, "
+            f"have {len(buf) - pos}"
+        )
+    return buf[pos : pos + length], pos + length
+
+
 def _read_str(buf: bytes, pos: int) -> Tuple[str, int]:
-    length, pos = decode_varint(buf, pos)
-    return buf[pos : pos + length].decode("utf-8"), pos + length
+    length, pos = _read_varint(buf, pos)
+    data, pos = _take(buf, pos, length)
+    try:
+        return data.decode("utf-8"), pos
+    except UnicodeDecodeError as exc:
+        raise OcsError(f"malformed frame string: {exc}") from exc
 
 
 def encode_request(request: PushdownRequest) -> bytes:
@@ -67,19 +90,18 @@ def encode_request(request: PushdownRequest) -> bytes:
 
 
 def decode_request(buf: bytes) -> PushdownRequest:
-    if buf[:4] != b"OCRQ":
+    if len(buf) < 4 or buf[:4] != b"OCRQ":
         raise OcsError("bad OCS request magic")
     pos = 4
-    plan_len, pos = decode_varint(buf, pos)
-    plan_bytes = buf[pos : pos + plan_len]
-    pos += plan_len
+    plan_len, pos = _read_varint(buf, pos)
+    plan_bytes, pos = _take(buf, pos, plan_len)
     bucket, pos = _read_str(buf, pos)
-    nkeys, pos = decode_varint(buf, pos)
+    nkeys, pos = _read_varint(buf, pos)
     keys: List[str] = []
     for _ in range(nkeys):
         key, pos = _read_str(buf, pos)
         keys.append(key)
-    node_index, pos = decode_varint(buf, pos)
+    node_index, pos = _read_varint(buf, pos)
     return PushdownRequest(plan_bytes, bucket, tuple(keys), node_index)
 
 
@@ -101,15 +123,14 @@ def encode_response(arrow: bytes, report: OcsCostReport) -> bytes:
 
 
 def decode_response(buf: bytes) -> Tuple[bytes, OcsCostReport]:
-    if buf[:4] != b"OCRS":
+    if len(buf) < 4 or buf[:4] != b"OCRS":
         raise OcsError("bad OCS response magic")
     pos = 4
-    arrow_len, pos = decode_varint(buf, pos)
-    arrow = buf[pos : pos + arrow_len]
-    pos += arrow_len
+    arrow_len, pos = _read_varint(buf, pos)
+    arrow, pos = _take(buf, pos, arrow_len)
     values = []
     for _ in range(7):
-        value, pos = decode_varint(buf, pos)
+        value, pos = _read_varint(buf, pos)
         values.append(value)
     report = OcsCostReport(
         stored_bytes_read=values[0],
@@ -135,6 +156,7 @@ class OcsFrontend:
         storage_nodes: Sequence[OcsStorageNode],
         storage_links: Sequence[Link],
         costs: CostParams,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if len(storage_nodes) != len(storage_links):
             raise OcsError("need one frontend<->storage link per storage node")
@@ -145,6 +167,7 @@ class OcsFrontend:
         self.storage_nodes = list(storage_nodes)
         self.storage_links = list(storage_links)
         self.costs = costs
+        self.faults = faults
         self.service = RpcService(sim, node, "ocs-frontend", costs)
         self.service.register(self.METHOD, self._handle_execute)
         self.requests_served = 0
@@ -153,6 +176,12 @@ class OcsFrontend:
         request = decode_request(payload)
         if not 0 <= request.node_index < len(self.storage_nodes):
             raise OcsError(f"no storage node {request.node_index}")
+        if self.faults is not None:
+            fault = self.faults.storage_fault(request.node_index)
+            if fault is not None:
+                # The node's embedded engine is refusing work; raw object
+                # GETs through the S3 gateway are unaffected.
+                raise RpcStatusError("UNAVAILABLE", fault)
         # Parse + validate the plan (real work) and charge frontend CPU.
         plan = deserialize_plan(bytes(request.plan_bytes))
         validate_plan(plan)
@@ -163,12 +192,21 @@ class OcsFrontend:
         )
         storage = self.storage_nodes[request.node_index]
         link = self.storage_links[request.node_index]
+        service_start = self.sim.now
         yield link.transfer(
             self.node.name, storage.node.name, len(payload), label="plan-dispatch"
         )
         arrow, report = yield storage.execute_plan(
             plan, request.bucket, list(request.keys)
         )
+        if self.faults is not None:
+            slowdown = self.faults.latency_multiplier(request.node_index)
+            if slowdown > 1.0:
+                # A slow node stretches its service time without changing
+                # the result — the scenario client deadlines exist for.
+                yield self.sim.timeout(
+                    (self.sim.now - service_start) * (slowdown - 1.0)
+                )
         response = encode_response(arrow, report)
         yield link.transfer(
             storage.node.name, self.node.name, len(response), label="plan-result"

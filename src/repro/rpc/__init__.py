@@ -9,5 +9,6 @@ CPU work while serving a call.
 """
 
 from repro.rpc.channel import RpcClient, RpcService
+from repro.rpc.retry import RETRYABLE_CODES, RetryPolicy, retrying_call
 
-__all__ = ["RpcClient", "RpcService"]
+__all__ = ["RETRYABLE_CODES", "RetryPolicy", "RpcClient", "RpcService", "retrying_call"]

@@ -5,15 +5,23 @@ frame crosses the link, the server pays per-message CPU and runs the
 handler (itself a generator process that may read disks and burn CPU),
 and the response frame crosses back.  Handler exceptions become
 :class:`RpcStatusError` at the caller, like gRPC status codes.
+
+Callers may set a per-call **deadline**: a :class:`Timeout` event raced
+against the round trip.  When the timer wins, the caller gets
+``RpcStatusError("DEADLINE_EXCEEDED")`` and the client-side process is
+interrupted (the server may keep working into the void, exactly like a
+real gRPC server after the client hangs up).  Injected link faults
+(:class:`~repro.errors.LinkDropError`) surface as ``UNAVAILABLE`` — the
+retryable status class.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator
+from typing import Callable, Dict, Generator, Optional
 
-from repro.errors import RpcError, RpcStatusError
+from repro.errors import LinkDropError, RpcError, RpcStatusError
 from repro.sim.costmodel import CostParams
-from repro.sim.kernel import Process, Simulator
+from repro.sim.kernel import AnyOf, Process, Simulator
 from repro.sim.network import Link
 from repro.sim.node import SimNode
 
@@ -73,33 +81,69 @@ class RpcClient:
         self.link = link
         self.service = service
         self.costs = costs
+        self.deadlines_exceeded = 0
 
-    def call(self, method: str, payload: bytes) -> Process:
-        """Invoke ``method``; the returned process resolves to response bytes."""
+    def call(
+        self, method: str, payload: bytes, deadline_s: Optional[float] = None
+    ) -> Process:
+        """Invoke ``method``; the returned process resolves to response bytes.
+
+        With ``deadline_s`` set, the round trip races a timer; losing the
+        race raises ``RpcStatusError("DEADLINE_EXCEEDED")`` at the caller.
+        """
+        if deadline_s is None:
+            return self.sim.process(
+                self._call(method, payload), name=f"rpc-call:{method}"
+            )
         return self.sim.process(
-            self._call(method, payload), name=f"rpc-call:{method}"
+            self._call_with_deadline(method, payload, deadline_s),
+            name=f"rpc-call:{method}",
         )
+
+    def _call_with_deadline(self, method: str, payload: bytes, deadline_s: float):
+        if deadline_s <= 0:
+            self.deadlines_exceeded += 1
+            raise RpcStatusError(
+                "DEADLINE_EXCEEDED", f"{method!r} deadline {deadline_s!r}s already expired"
+            )
+        work = self.sim.process(self._call(method, payload), name=f"rpc-body:{method}")
+        timer = self.sim.timeout(deadline_s)
+        winner, _ = yield AnyOf(self.sim, [timer, work])
+        if winner is timer and work.is_alive:
+            # Abandon the client side; any in-flight server work continues
+            # unobserved, as after a real client hang-up.
+            work.interrupt("deadline")
+            self.deadlines_exceeded += 1
+            raise RpcStatusError(
+                "DEADLINE_EXCEEDED", f"{method!r} exceeded {deadline_s:g}s deadline"
+            )
+        return work.value
 
     def _call(self, method: str, payload: bytes):
-        yield self.node.execute(self.costs.rpc_cycles_per_message, name=f"rpc:{method}")
-        yield self.link.transfer(
-            self.node.name,
-            self.service.node.name,
-            len(payload) + FRAME_OVERHEAD_BYTES,
-            label=f"rpc:{method}:request",
-        )
         try:
-            response = yield self.sim.process(
-                self.service.dispatch(method, payload), name=f"dispatch:{method}"
+            yield self.node.execute(
+                self.costs.rpc_cycles_per_message, name=f"rpc:{method}"
             )
-        except RpcStatusError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - map to status like gRPC
-            raise RpcStatusError("INTERNAL", str(exc)) from exc
-        yield self.link.transfer(
-            self.service.node.name,
-            self.node.name,
-            len(response) + FRAME_OVERHEAD_BYTES,
-            label=f"rpc:{method}:response",
-        )
+            yield self.link.transfer(
+                self.node.name,
+                self.service.node.name,
+                len(payload) + FRAME_OVERHEAD_BYTES,
+                label=f"rpc:{method}:request",
+            )
+            try:
+                response = yield self.sim.process(
+                    self.service.dispatch(method, payload), name=f"dispatch:{method}"
+                )
+            except (RpcStatusError, LinkDropError):
+                raise
+            except Exception as exc:  # noqa: BLE001 - map to status like gRPC
+                raise RpcStatusError("INTERNAL", str(exc)) from exc
+            yield self.link.transfer(
+                self.service.node.name,
+                self.node.name,
+                len(response) + FRAME_OVERHEAD_BYTES,
+                label=f"rpc:{method}:response",
+            )
+        except LinkDropError as exc:
+            raise RpcStatusError("UNAVAILABLE", str(exc)) from exc
         return response

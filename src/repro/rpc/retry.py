@@ -1,0 +1,105 @@
+"""Retry policy for storage RPCs: bounded attempts, backoff, typed codes.
+
+Mirrors gRPC client-side retry semantics: only *retryable* status codes
+(``UNAVAILABLE``, ``DEADLINE_EXCEEDED`` by default) are retried; semantic
+failures (``INVALID_ARGUMENT``, ``INTERNAL``, ``UNIMPLEMENTED``) fail
+fast because re-sending the same bad request cannot succeed.  Backoff is
+exponential with **deterministic jitter**: the jitter unit is a hash of
+the simulated clock and attempt number, so a faulted simulation replays
+identically while concurrent retries still decorrelate.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional
+
+from repro.errors import RpcStatusError
+from repro.rpc.channel import RpcClient
+
+__all__ = ["RetryPolicy", "retrying_call", "RETRYABLE_CODES"]
+
+#: Status codes that indicate a transient condition worth retrying.
+RETRYABLE_CODES: FrozenSet[str] = frozenset({"UNAVAILABLE", "DEADLINE_EXCEEDED"})
+
+#: Callback invoked before each backoff sleep: (attempt, error, delay_s).
+OnRetry = Callable[[int, RpcStatusError, float], None]
+
+
+def _unit_jitter(salt: float, attempt: int) -> float:
+    """Deterministic pseudo-random unit value in [0, 1)."""
+    token = f"{salt:.9f}:{attempt}".encode("ascii")
+    return (zlib.crc32(token) % 2**20) / 2**20
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a caller retries transient storage failures."""
+
+    #: Total attempts including the first (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff before the second attempt; doubles (by default) per retry.
+    initial_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    #: Fraction of the base backoff added as deterministic jitter.
+    jitter_fraction: float = 0.25
+    #: Per-attempt RPC deadline; ``None`` disables the deadline timer.
+    deadline_s: Optional[float] = None
+    retryable_codes: FrozenSet[str] = RETRYABLE_CODES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.initial_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def is_retryable(self, code: str) -> bool:
+        return code in self.retryable_codes
+
+    def backoff_s(self, attempt: int, salt: float = 0.0) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempt counts from 1).
+
+        ``salt`` should be the simulated clock: deterministic across runs,
+        different across concurrent callers.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt counts from 1, got {attempt}")
+        base = self.initial_backoff_s * self.backoff_multiplier ** (attempt - 1)
+        base = min(base, self.max_backoff_s)
+        return base * (1.0 + self.jitter_fraction * _unit_jitter(salt, attempt))
+
+
+def retrying_call(
+    client: RpcClient,
+    method: str,
+    payload: bytes,
+    policy: RetryPolicy,
+    on_retry: Optional[OnRetry] = None,
+):
+    """DES generator (use via ``yield from``): call with retry under ``policy``.
+
+    Returns the response bytes.  On a terminal failure the raised
+    :class:`RpcStatusError` carries an ``attempts`` attribute recording
+    how many attempts were made.
+    """
+    attempt = 1
+    while True:
+        try:
+            response = yield client.call(method, payload, deadline_s=policy.deadline_s)
+        except RpcStatusError as exc:
+            if not policy.is_retryable(exc.code) or attempt >= policy.max_attempts:
+                exc.attempts = attempt
+                raise
+            delay = policy.backoff_s(attempt, salt=client.sim.now)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            yield client.sim.timeout(delay)
+            attempt += 1
+        else:
+            return response

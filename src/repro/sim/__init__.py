@@ -24,6 +24,7 @@ from repro.sim.resources import Request, Resource, Store
 from repro.sim.network import Link, TransferLedger, TransferRecord
 from repro.sim.node import SimNode
 from repro.sim.costmodel import CostParams, DEFAULT_COSTS
+from repro.sim.faults import FaultInjector
 from repro.sim.metrics import Counter, MetricsRegistry, StageTimer
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "CostParams",
     "DEFAULT_COSTS",
     "Event",
+    "FaultInjector",
     "Interrupt",
     "Link",
     "MetricsRegistry",

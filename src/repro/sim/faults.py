@@ -1,0 +1,81 @@
+"""Fault injection: deterministic failures for resilience experiments.
+
+A :class:`FaultInjector` is built per :class:`~repro.engine.cluster.Cluster`
+from a frozen :class:`~repro.config.FaultSpec` and holds the run's mutable
+fault state: a seeded RNG for link drops and the remaining transient-failure
+budget per storage node.  Because the DES dispatches events in a fixed
+order and the RNG is seeded, a faulted run is exactly as reproducible as a
+healthy one — the property the determinism tests pin down.
+
+Fault model (what each knob means physically):
+
+* **link drops** — a frame burns wire time, then never arrives; the RPC
+  layer surfaces it as ``UNAVAILABLE`` (retryable).
+* **transient storage failures** — the node's embedded pushdown engine
+  refuses its first N requests (crash-restart, overload shedding), then
+  recovers.
+* **permanent storage failures** — the pushdown engine on that node is
+  gone for the whole run.  Plain object GETs still work, which is what
+  makes the connector's raw-scan fallback meaningful (Taurus-style
+  degradation to ordinary page reads).
+* **latency multipliers** — the node serves pushdown correctly but slowly
+  (contention, thermal throttling); pairs with client deadlines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.config import FaultSpec
+
+__all__ = ["FaultInjector", "FaultSpec"]
+
+
+class FaultInjector:
+    """Per-run fault state driven by a :class:`FaultSpec`."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._transient_remaining = dict(spec.transient_storage_failures)
+        #: Counters for assertions and reporting.
+        self.frames_dropped = 0
+        self.storage_faults_injected = 0
+
+    # -- link faults ---------------------------------------------------------
+
+    def drop_frame(self, link_name: str) -> bool:
+        """Decide whether this transfer's frame is lost in flight."""
+        if self.spec.link_drop_probability <= 0.0:
+            return False
+        if self._rng.random() >= self.spec.link_drop_probability:
+            return False
+        self.frames_dropped += 1
+        return True
+
+    # -- storage-node faults -------------------------------------------------
+
+    def storage_fault(self, node_index: int) -> Optional[str]:
+        """Fault message if the node's pushdown engine refuses this request.
+
+        Permanent failures always refuse; transient failures consume one
+        unit of the node's budget per refusal and then recover.  Returns
+        ``None`` when the request should proceed normally.
+        """
+        if node_index in self.spec.permanent_storage_failures:
+            self.storage_faults_injected += 1
+            return f"storage node {node_index} pushdown engine is down"
+        remaining = self._transient_remaining.get(node_index, 0)
+        if remaining > 0:
+            self._transient_remaining[node_index] = remaining - 1
+            self.storage_faults_injected += 1
+            return (
+                f"storage node {node_index} transiently unavailable "
+                f"({remaining - 1} more failures queued)"
+            )
+        return None
+
+    def latency_multiplier(self, node_index: int) -> float:
+        """Service-time multiplier for pushdown on ``node_index`` (>= 1.0)."""
+        return self.spec.storage_latency_multipliers.get(node_index, 1.0)

@@ -162,6 +162,11 @@ class Process(Event):
     # -- internal ----------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Already finished (e.g. interrupted between an event firing
+            # and its dispatch); a stale callback must not re-drive the
+            # generator.
+            return
         self._waiting_on = None
         try:
             if event._exception is not None:

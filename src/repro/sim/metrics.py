@@ -29,15 +29,51 @@ class Counter:
 
 
 class StageTimer:
-    """Accumulates simulated seconds per named execution stage."""
+    """Accumulates simulated seconds per named execution stage.
+
+    Two charging styles coexist:
+
+    * :meth:`charge` — add a known duration (serial code paths).
+    * :meth:`begin` / :meth:`end` — mark window edges.  Windows of the
+      same stage opened by concurrent processes are *unioned*: a depth
+      counter tracks how many are open, and wall time is charged only
+      while depth > 0.  Without this, N concurrent splits would each
+      charge the same wall-clock interval and the per-stage sum could
+      exceed the query's elapsed time (Table 3 would not partition).
+    """
 
     def __init__(self) -> None:
         self._stages: Dict[str, float] = {}
+        self._depth: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
 
     def charge(self, stage: str, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"negative stage time for {stage!r}: {seconds}")
         self._stages[stage] = self._stages.get(stage, 0.0) + seconds
+
+    def begin(self, stage: str, now: float) -> None:
+        """Open one window of ``stage`` at simulated time ``now``."""
+        depth = self._depth.get(stage, 0)
+        if depth == 0:
+            self._opened_at[stage] = now
+        self._depth[stage] = depth + 1
+
+    def end(self, stage: str, now: float) -> None:
+        """Close one window of ``stage``; charges when the last closes.
+
+        An unmatched ``end`` is tolerated as a no-op so error-path
+        unwinding can close windows unconditionally.
+        """
+        depth = self._depth.get(stage, 0)
+        if depth == 0:
+            return
+        self._depth[stage] = depth - 1
+        if depth == 1:
+            self.charge(stage, max(0.0, now - self._opened_at.pop(stage)))
+
+    def open_depth(self, stage: str) -> int:
+        return self._depth.get(stage, 0)
 
     def seconds(self, stage: str) -> float:
         return self._stages.get(stage, 0.0)

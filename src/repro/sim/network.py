@@ -15,11 +15,14 @@ bulk-transfer workloads we model).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import LinkDropError, SimulationError
 from repro.sim.kernel import Process, Simulator
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultInjector
 
 __all__ = ["Link", "TransferRecord", "TransferLedger"]
 
@@ -93,6 +96,8 @@ class Link:
     latency_s: float = 0.0
     name: str = "link"
     ledger: TransferLedger = field(default_factory=TransferLedger)
+    #: Optional fault injector; when set, transfers may be dropped.
+    faults: Optional["FaultInjector"] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
@@ -115,6 +120,13 @@ class Link:
         with self._wire.request() as slot:
             yield slot
             yield self.sim.timeout(nbytes / self.bandwidth_bps)
+        if self.faults is not None and self.faults.drop_frame(self.name):
+            # The frame burned wire time but never arrived; it is not
+            # recorded on the ledger because no bytes reached ``dst``.
+            raise LinkDropError(
+                f"link {self.name!r} dropped {label or 'frame'} "
+                f"({nbytes} B, {src} -> {dst})"
+            )
         # Propagation delay happens off the wire: the next transfer may
         # begin serializing while this one's tail is in flight.
         if self.latency_s:

@@ -170,3 +170,34 @@ class TestTopN:
     def test_limit_larger_than_input(self):
         analyzer = SelectivityAnalyzer(make_descriptor(row_count=10))
         assert analyzer.topn_selectivity(100).selectivity == 1.0
+
+
+class TestOutOfRangeLiterals:
+    """Literals outside [min, max] are certain — no distribution model may
+    extrapolate selectivity beyond [0, 1] or leave stray tail mass."""
+
+    @pytest.mark.parametrize("distribution", ["normal", "uniform"])
+    def test_below_min_is_exactly_zero(self, distribution):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution=distribution)
+        est = analyzer.filter_selectivity(CompareExpr("<=", X, lit(-10.0)))
+        assert est.selectivity == 0.0
+
+    @pytest.mark.parametrize("distribution", ["normal", "uniform"])
+    def test_above_max_is_exactly_one(self, distribution):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution=distribution)
+        est = analyzer.filter_selectivity(CompareExpr("<=", X, lit(100.0)))
+        assert est.selectivity == 1.0
+
+    @pytest.mark.parametrize("distribution", ["normal", "uniform"])
+    def test_greater_than_above_max_is_zero(self, distribution):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution=distribution)
+        est = analyzer.filter_selectivity(CompareExpr(">", X, lit(100.0)))
+        assert est.selectivity == 0.0
+
+    @pytest.mark.parametrize("distribution", ["normal", "uniform"])
+    def test_uniform_never_leaves_unit_interval(self, distribution):
+        analyzer = SelectivityAnalyzer(make_descriptor(), distribution=distribution)
+        for value in (-1e9, -4.0, -0.001, 0.0, 2.0, 4.0, 4.001, 1e9):
+            for op in ("<", "<=", ">", ">="):
+                est = analyzer.filter_selectivity(CompareExpr(op, X, lit(value)))
+                assert 0.0 <= est.selectivity <= 1.0, (op, value)

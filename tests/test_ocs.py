@@ -19,7 +19,7 @@ from repro.errors import OcsPlanRejectedError
 from repro.formats import write_table
 from repro.objectstore import ObjectStore
 from repro.ocs import EmbeddedEngine, OcsFrontend, OcsStorageNode, PushdownRequest
-from repro.ocs.frontend import decode_response, encode_request
+from repro.ocs.frontend import decode_response, encode_request, encode_response
 from repro.rpc import RpcClient
 from repro.sim import DEFAULT_COSTS, Link, SimNode, Simulator
 from repro.substrait import (
@@ -257,3 +257,91 @@ class TestFrontendAndStorage:
         sim.run(until=client.call(OcsFrontend.METHOD, request))
         assert storage.node.disk_bytes_read > 0
         assert storage.node.cpu_seconds_charged > 0
+
+
+class TestFrameBounds:
+    """Fuzz-style decoding tests: every truncation of a valid frame must
+    raise a typed OcsError, never IndexError/struct noise or a silently
+    misparsed request."""
+
+    def _request_frame(self) -> bytes:
+        return encode_request(
+            PushdownRequest(b"\x01\x02plan-bytes" * 3, "bucket", ("k/0", "k/1"), 1)
+        )
+
+    def _response_frame(self) -> bytes:
+        from repro.ocs.embedded_engine import OcsCostReport
+
+        report = OcsCostReport(
+            stored_bytes_read=1234,
+            uncompressed_bytes=5678,
+            rows_scanned=100,
+            rows_returned=7,
+            row_groups_pruned=3,
+            row_groups_read=1,
+            compute_cycles=99.0,
+        )
+        return encode_response(b"arrow-ipc-payload" * 4, report)
+
+    def test_request_roundtrip(self):
+        from repro.ocs.frontend import decode_request
+
+        frame = self._request_frame()
+        decoded = decode_request(frame)
+        assert decoded.bucket == "bucket"
+        assert decoded.keys == ("k/0", "k/1")
+        assert decoded.node_index == 1
+
+    def test_every_request_truncation_raises_typed_error(self):
+        from repro.errors import OcsError
+        from repro.ocs.frontend import decode_request
+
+        frame = self._request_frame()
+        for cut in range(len(frame)):
+            with pytest.raises(OcsError):
+                decode_request(frame[:cut])
+
+    def test_every_response_truncation_raises_typed_error(self):
+        from repro.errors import OcsError
+
+        frame = self._response_frame()
+        for cut in range(len(frame)):
+            with pytest.raises(OcsError):
+                decode_response(frame[:cut])
+
+    def test_bad_magic_rejected(self):
+        from repro.errors import OcsError
+        from repro.ocs.frontend import decode_request
+
+        frame = bytearray(self._request_frame())
+        frame[0] ^= 0xFF
+        with pytest.raises(OcsError):
+            decode_request(bytes(frame))
+        resp = bytearray(self._response_frame())
+        resp[3] ^= 0xFF
+        with pytest.raises(OcsError):
+            decode_response(bytes(resp))
+
+    def test_oversized_length_prefix_rejected(self):
+        # A length claiming more bytes than the frame holds must not
+        # silently slice short.
+        from repro.compress.codec import encode_varint
+        from repro.errors import OcsError
+        from repro.ocs.frontend import decode_request
+
+        frame = b"OCRQ" + encode_varint(10_000) + b"tiny"
+        with pytest.raises(OcsError):
+            decode_request(frame)
+
+    def test_malformed_utf8_rejected(self):
+        from repro.compress.codec import encode_varint
+        from repro.errors import OcsError
+        from repro.ocs.frontend import decode_request
+
+        # plan of length 0, then a "bucket" whose bytes are invalid UTF-8.
+        frame = (
+            b"OCRQ" + encode_varint(0) + encode_varint(2) + b"\xff\xfe"
+            + encode_varint(0) + encode_varint(0)
+        )
+        with pytest.raises(OcsError):
+            decode_request(frame)
