@@ -1,6 +1,5 @@
 """Extension benchmark: pushdown over SZ-class lossy data (future work)."""
 
-import pytest
 
 from repro.bench.lossy import run_lossy_study
 

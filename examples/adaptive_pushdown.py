@@ -15,8 +15,8 @@ still pushes.
 
 import numpy as np
 
+from repro import RunConfig, connect
 from repro.arrowsim import RecordBatch
-from repro.bench import Environment, RunConfig
 from repro.core import AdaptiveController, PushdownPolicy
 from repro.workloads import DatasetSpec
 
@@ -37,22 +37,20 @@ SELECTIVE = "SELECT count(*) AS n FROM metrics WHERE reading > 60.0"    # ~0.2% 
 
 
 def main() -> None:
-    env = Environment()
-    env.add_dataset(
+    client = connect()
+    client.register_dataset(
         DatasetSpec(
             schema_name="obs", table_name="metrics", bucket="b",
             file_count=4, generator=make_file, row_group_rows=4096,
         )
     )
-    controller = AdaptiveController(env.monitor, min_observations=3)
+    controller = AdaptiveController(client.monitor, min_observations=3)
     policy = PushdownPolicy.filter_only()
 
     print("phase 1: unselective filter, static filter-only policy")
     for i in range(4):
-        result = env.run(
-            UNSELECTIVE,
-            RunConfig(label="f", mode="ocs", policy=policy),
-            schema="obs",
+        result = client.execute(
+            UNSELECTIVE, RunConfig(label="f", mode="ocs", policy=policy)
         )
         scanned = result.metrics.value("ocs_rows_scanned")
         returned = result.metrics.value("ocs_rows_returned")
@@ -61,15 +59,15 @@ def main() -> None:
             f"  run {i}: pushed_ops={pushed} rows {int(returned):,}/{int(scanned):,} "
             f"moved={result.data_moved_bytes:,} B"
         )
-    print(f"  window reduction ratio: {env.monitor.mean_reduction_ratio():.2f}")
+    print(f"  window reduction ratio: {client.monitor.mean_reduction_ratio():.2f}")
 
     decision = controller.tune(policy)
     print(f"\ncontroller: changed={decision.changed} — {decision.reason}")
     policy = decision.policy
 
     print("\nphase 2: same query under the adapted policy")
-    result = env.run(
-        UNSELECTIVE, RunConfig(label="a", mode="ocs", policy=policy), schema="obs"
+    result = client.execute(
+        UNSELECTIVE, RunConfig(label="a", mode="ocs", policy=policy)
     )
     print(
         f"  pushed_ops={int(result.metrics.value('pushdown_operators'))} "
@@ -77,8 +75,8 @@ def main() -> None:
     )
 
     print("\nphase 3: a genuinely selective filter still pushes")
-    result = env.run(
-        SELECTIVE, RunConfig(label="a", mode="ocs", policy=policy), schema="obs"
+    result = client.execute(
+        SELECTIVE, RunConfig(label="a", mode="ocs", policy=policy)
     )
     print(
         f"  pushed_ops={int(result.metrics.value('pushdown_operators'))} "

@@ -4,10 +4,14 @@ Re-encodes the Deep Water dataset under each lossless codec and compares
 filter-only vs all-operator pushdown, reproducing the paper's finding
 that compression and advanced pushdown are complementary.
 
+Each codec gets its own pre-built environment, so this example wraps
+them in :class:`repro.client.Client` directly instead of ``connect()``.
+
     python examples/compression_study.py
 """
 
-from repro.bench import RunConfig, format_table
+from repro import Client, RunConfig
+from repro.bench import format_table
 from repro.bench.figure6 import build_codec_environment
 from repro.bench.report import format_bytes, format_seconds
 from repro.workloads import DEEPWATER_QUERY
@@ -16,10 +20,12 @@ from repro.workloads import DEEPWATER_QUERY
 def main() -> None:
     rows = []
     for codec in ("none", "snappy", "gzip", "zstd"):
-        env = build_codec_environment(codec, scale="small")
-        descriptor = env.metastore.get_table("hpc", "deepwater")
-        filter_only = env.run(DEEPWATER_QUERY, RunConfig.filter_only(), schema="hpc")
-        all_op = env.run(
+        client = Client(environment=build_codec_environment(codec, scale="small"))
+        descriptor = client.environment.metastore.get_table("hpc", "deepwater")
+        filter_only = client.execute(
+            DEEPWATER_QUERY, RunConfig.filter_only(), schema="hpc"
+        )
+        all_op = client.execute(
             DEEPWATER_QUERY,
             RunConfig.ocs("all-op", "filter", "project", "aggregate"),
             schema="hpc",
@@ -27,7 +33,7 @@ def main() -> None:
         rows.append(
             [
                 codec,
-                format_bytes(env.dataset_bytes(descriptor)),
+                format_bytes(client.dataset_bytes(descriptor)),
                 format_seconds(filter_only.execution_seconds),
                 format_seconds(all_op.execution_seconds),
                 f"{filter_only.execution_seconds / all_op.execution_seconds:.2f}x",

@@ -9,14 +9,15 @@ while adding aggregation pushdown recovers and wins.
     python examples/deepwater_impact.py
 """
 
-from repro.bench import Environment, RunConfig, format_table
+from repro import RunConfig, connect
+from repro.bench import format_table
 from repro.bench.report import format_bytes, format_seconds
 from repro.workloads import DEEPWATER_QUERY, DatasetSpec, generate_deepwater_file
 
 
 def main() -> None:
-    env = Environment()
-    descriptor = env.add_dataset(
+    client = connect()
+    descriptor = client.register_dataset(
         DatasetSpec(
             schema_name="hpc",
             table_name="deepwater",
@@ -28,7 +29,7 @@ def main() -> None:
     )
     print(
         f"Deep-Water-class dataset: 8 timesteps, "
-        f"{format_bytes(env.dataset_bytes(descriptor))}; "
+        f"{format_bytes(client.dataset_bytes(descriptor))}; "
         f"query: {' '.join(DEEPWATER_QUERY.split())}\n"
     )
 
@@ -41,7 +42,7 @@ def main() -> None:
     results = {}
     rows = []
     for config in configs:
-        result = env.run(DEEPWATER_QUERY, config, schema="hpc")
+        result = client.execute(DEEPWATER_QUERY, config)
         results[config.label] = result
         rows.append(
             [

@@ -11,7 +11,8 @@ query execution time?"
 
 import argparse
 
-from repro.bench import Environment, RunConfig, format_table
+from repro import RunConfig, connect
+from repro.bench import format_table
 from repro.bench.report import format_bytes, format_seconds
 from repro.workloads import DatasetSpec, LAGHOS_QUERY, generate_laghos_file
 
@@ -22,8 +23,8 @@ def main() -> None:
     parser.add_argument("--rows", type=int, default=65536)
     args = parser.parse_args()
 
-    env = Environment()
-    descriptor = env.add_dataset(
+    client = connect()
+    descriptor = client.register_dataset(
         DatasetSpec(
             schema_name="hpc",
             table_name="laghos",
@@ -35,7 +36,7 @@ def main() -> None:
     )
     print(
         f"Laghos-class dataset: {args.files} timestep files x {args.rows:,} mesh "
-        f"vertices = {format_bytes(env.dataset_bytes(descriptor))}"
+        f"vertices = {format_bytes(client.dataset_bytes(descriptor))}"
     )
     print("query:", " ".join(LAGHOS_QUERY.split()), "\n")
 
@@ -48,7 +49,7 @@ def main() -> None:
     rows = []
     baseline = None
     for config in configs:
-        result = env.run(LAGHOS_QUERY, config, schema="hpc")
+        result = client.execute(LAGHOS_QUERY, config)
         if baseline is None:
             baseline = result
         rows.append(
@@ -64,7 +65,7 @@ def main() -> None:
         ["pushdown", "time", "speedup", "moved", "movement reduction"], rows
     ))
 
-    monitor = env.monitor
+    monitor = client.monitor
     print(
         f"\nconnector pushdown history: {monitor.total_events} requests, "
         f"success rate {monitor.success_rate():.0%}, "

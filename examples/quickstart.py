@@ -1,21 +1,25 @@
 """Quickstart: stand up a dataset, run a query, see what pushdown buys.
 
-Builds a small synthetic table in the simulated object store, registers
-it with the metastore, and runs the same aggregation query three ways:
+Connects to a simulated deployment through the ``repro.client`` facade,
+builds a small synthetic table in the object store, and runs the same
+aggregation query three ways:
 
 1. no pushdown        (conventional Hive-connector raw scan),
 2. filter-only        (the ceiling of S3-Select-class storage),
 3. full OCS pushdown  (the Presto-OCS connector of the paper).
 
 Results are identical; execution time and data movement are not.
+Finishes with an ``EXPLAIN ANALYZE`` showing the span tree of the
+full-pushdown run.
 
     python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro import RunConfig, connect
 from repro.arrowsim import RecordBatch
-from repro.bench import Environment, RunConfig, format_table
+from repro.bench import format_table
 from repro.bench.report import format_bytes, format_seconds
 from repro.workloads import DatasetSpec
 
@@ -46,8 +50,8 @@ LIMIT 10
 
 
 def main() -> None:
-    env = Environment()
-    descriptor = env.add_dataset(
+    client = connect()
+    descriptor = client.register_dataset(
         DatasetSpec(
             schema_name="lab",
             table_name="readings",
@@ -59,7 +63,7 @@ def main() -> None:
     )
     print(
         f"dataset: {descriptor.qualified_name}, {descriptor.row_count:,} rows, "
-        f"{format_bytes(env.dataset_bytes(descriptor))} across "
+        f"{format_bytes(client.dataset_bytes(descriptor))} across "
         f"{len(descriptor.files)} Parcel objects\n"
     )
 
@@ -71,7 +75,7 @@ def main() -> None:
     rows = []
     reference = None
     for config in configs:
-        result = env.run(QUERY, config, schema="lab")
+        result = client.execute(QUERY, config)
         if reference is None:
             reference = result.batch
         else:
@@ -93,6 +97,9 @@ def main() -> None:
             f"  sensor {top['sensor_id'][i]:>2}: {top['samples'][i]:>5} hot samples, "
             f"avg {top['avg_temp'][i]:.2f} C"
         )
+
+    print("\nwhere the time goes (full pushdown, span tree):")
+    print(client.explain(QUERY, configs[-1], analyze=True))
 
 
 if __name__ == "__main__":

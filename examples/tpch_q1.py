@@ -9,7 +9,8 @@ before and after the connector's local optimizer rewrites them.
 
 import argparse
 
-from repro.bench import Environment, RunConfig, format_table
+from repro import RunConfig, connect
+from repro.bench import format_table
 from repro.bench.report import format_bytes, format_seconds
 from repro.workloads import DatasetSpec, TPCH_Q1, generate_lineitem
 
@@ -19,8 +20,8 @@ def main() -> None:
     parser.add_argument("--rows", type=int, default=100_000, help="rows per file")
     args = parser.parse_args()
 
-    env = Environment()
-    descriptor = env.add_dataset(
+    client = connect()
+    descriptor = client.register_dataset(
         DatasetSpec(
             schema_name="tpch",
             table_name="lineitem",
@@ -32,7 +33,7 @@ def main() -> None:
     )
     print(
         f"lineitem: {descriptor.row_count:,} rows, "
-        f"{format_bytes(env.dataset_bytes(descriptor))}\n"
+        f"{format_bytes(client.dataset_bytes(descriptor))}\n"
     )
 
     configs = [
@@ -42,7 +43,7 @@ def main() -> None:
     ]
     rows, results = [], {}
     for config in configs:
-        result = env.run(TPCH_Q1, config, schema="tpch")
+        result = client.execute(TPCH_Q1, config)
         results[config.label] = result
         rows.append(
             [

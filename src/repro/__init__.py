@@ -34,6 +34,10 @@ def __getattr__(name: str):
     ``repro.PushdownPolicy`` cover the README quickstart without forcing
     every import of :mod:`repro` to pull the whole engine in.
     """
+    if name in ("connect", "Client"):
+        from repro import client as _client
+
+        return getattr(_client, name)
     if name in ("Environment", "RunConfig"):
         from repro.bench import env as _env
 
@@ -50,9 +54,11 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "Client",
     "DatasetSpec",
     "Environment",
     "PushdownPolicy",
     "RunConfig",
     "__version__",
+    "connect",
 ]

@@ -15,7 +15,7 @@ from repro.config import DEFAULT_TESTBED, FaultSpec, TestbedSpec
 from repro.connectors.hive import HiveConnector
 from repro.core import OcsConnector, PushdownMonitor, PushdownPolicy
 from repro.engine import Cluster, Coordinator, QueryResult, Session
-from repro.errors import EngineError
+from repro.errors import ConfigError, EngineError
 from repro.metastore.catalog import HiveMetastore, TableDescriptor
 from repro.objectstore.store import ObjectStore
 from repro.rpc.retry import RetryPolicy
@@ -25,9 +25,18 @@ from repro.workloads.datasets import DatasetSpec, build_dataset
 __all__ = ["RunConfig", "Environment"]
 
 
-@dataclass(frozen=True)
+#: Run modes understood by :meth:`Environment.run`.
+RUN_MODES = ("hive-raw", "hive-select", "ocs")
+
+
+@dataclass(frozen=True, kw_only=True)
 class RunConfig:
-    """One execution configuration (a bar in Figure 5 / 6)."""
+    """One execution configuration (a bar in Figure 5 / 6).
+
+    Keyword-only and validated on construction: a typo'd mode or
+    granularity raises :class:`~repro.errors.ConfigError` where the
+    config was written, not after the cluster has been built.
+    """
 
     label: str
     #: "hive-raw" (no pushdown), "hive-select" (S3-Select-class), or
@@ -45,6 +54,25 @@ class RunConfig:
     faults: Optional[FaultSpec] = None
     #: ocs only: deadline/backoff policy for pushdown RPCs.
     retry: Optional[RetryPolicy] = None
+    #: Record a span tree for the run (``QueryResult.trace``).  Off by
+    #: default; enabling it never changes simulated timings.
+    tracing: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.label:
+            raise ConfigError("run label must be non-empty")
+        if self.mode not in RUN_MODES:
+            raise ConfigError(
+                f"unknown run mode {self.mode!r}; expected one of {RUN_MODES}"
+            )
+        if self.split_granularity not in ("node", "file"):
+            raise ConfigError(
+                f"split_granularity must be 'node' or 'file', "
+                f"got {self.split_granularity!r}"
+            )
 
     # Named configurations used throughout the benches -----------------------
 
@@ -95,6 +123,7 @@ class Environment:
             self.costs,
             strict_s3_types=config.strict_s3_types,
             faults=config.faults,
+            tracing=config.tracing,
         )
         connector = self._connector(cluster, config)
         coordinator = Coordinator(cluster, {catalog: connector})
@@ -102,16 +131,25 @@ class Environment:
         return coordinator.execute(sql, session)
 
     def explain(
-        self, sql: str, config: RunConfig, schema: str, catalog: str = "repro"
+        self,
+        sql: str,
+        config: RunConfig,
+        schema: str,
+        catalog: str = "repro",
+        analyze: bool = False,
     ) -> str:
-        """EXPLAIN under ``config`` without executing."""
+        """EXPLAIN under ``config``; with ``analyze=True`` the query runs
+        (tracing forced on) and the output is the recorded span tree."""
         cluster = Cluster(
             self.store, self.testbed, self.costs,
             strict_s3_types=config.strict_s3_types,
+            faults=config.faults if analyze else None,
+            tracing=config.tracing,
         )
         connector = self._connector(cluster, config)
         coordinator = Coordinator(cluster, {catalog: connector})
-        return coordinator.explain(sql, Session(catalog=catalog, schema=schema))
+        session = Session(catalog=catalog, schema=schema)
+        return coordinator.explain(sql, session, analyze=analyze)
 
     def _connector(self, cluster: Cluster, config: RunConfig):
         if config.mode == "hive-raw":

@@ -14,6 +14,7 @@ analysis + Substrait generation) must stay ~2% combined:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -26,9 +27,11 @@ from repro.engine.coordinator import (
     STAGE_SUBSTRAIT,
     STAGE_TRANSFER,
 )
+from repro.errors import TraceError
+from repro.trace import Trace, stage_totals, write_chrome_trace
 from repro.workloads import DatasetSpec, LAGHOS_QUERY, generate_laghos_file
 
-__all__ = ["run_table3", "PAPER_SHARES"]
+__all__ = ["run_table3", "check_trace", "PAPER_SHARES"]
 
 PAPER_SHARES: Dict[str, float] = {
     STAGE_ANALYSIS: 0.0006,
@@ -51,13 +54,15 @@ STAGE_TITLES = {
 class Table3Result:
     total_seconds: float
     stage_seconds: Dict[str, float]
+    #: Span tree of the run; only populated by ``run_table3(trace=True)``.
+    trace: Optional[Trace] = None
 
     def share(self, stage: str) -> float:
         total = sum(self.stage_seconds.values())
         return self.stage_seconds.get(stage, 0.0) / total if total else 0.0
 
 
-def run_table3(rows: int = 524288) -> Table3Result:
+def run_table3(rows: int = 524288, trace: bool = False) -> Table3Result:
     """One query over one Laghos file with filter + aggregation pushdown."""
     env = Environment()
     env.add_dataset(
@@ -71,15 +76,39 @@ def run_table3(rows: int = 524288) -> Table3Result:
     # vertex_id is distinct, so the aggregation returns one row per input
     # row — which is what makes the paper's "Pushdown & Result Transfer"
     # (40%) and "Presto Execution (Post-Scan)" (48%) stages substantial.
-    result = env.run(
-        LAGHOS_QUERY,
-        RunConfig.ocs("filter+agg", "filter", "aggregate"),
-        schema="hpc",
-    )
+    config = RunConfig.ocs("filter+agg", "filter", "aggregate")
+    if trace:
+        config = dataclasses.replace(config, tracing=True)
+    result = env.run(LAGHOS_QUERY, config, schema="hpc")
     return Table3Result(
         total_seconds=result.execution_seconds,
         stage_seconds=dict(result.stage_seconds),
+        trace=result.trace,
     )
+
+
+def check_trace(result: Table3Result, tolerance: float = 1e-9) -> Dict[str, float]:
+    """Assert the Table 3 stage totals are re-derivable from the span tree.
+
+    Returns the span-derived per-stage seconds; raises
+    :class:`~repro.errors.TraceError` if the run carries no trace or if
+    any stage total disagrees with the coordinator's StageTimer beyond
+    ``tolerance`` seconds.
+    """
+    if result.trace is None:
+        raise TraceError("run_table3 was called without trace=True")
+    result.trace.validate()
+    derived = stage_totals(result.trace, elapsed=result.total_seconds)
+    stages = set(result.stage_seconds) | set(derived)
+    for stage in sorted(stages):
+        want = result.stage_seconds.get(stage, 0.0)
+        got = derived.get(stage, 0.0)
+        if abs(want - got) > tolerance:
+            raise TraceError(
+                f"stage {stage!r}: span-derived {got:.9f}s disagrees with "
+                f"StageTimer {want:.9f}s (tolerance {tolerance:g}s)"
+            )
+    return derived
 
 
 def format_table3(result: Table3Result) -> str:
@@ -112,8 +141,30 @@ def format_table3(result: Table3Result) -> str:
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", type=int, default=524288)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record a span tree and assert the stage totals above are "
+        "re-derivable from it",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="with --trace, also export the spans as Chrome tracing JSON "
+        "(chrome://tracing / Perfetto)",
+    )
     args = parser.parse_args(argv)
-    print(format_table3(run_table3(args.rows)))
+    if args.trace_out and not args.trace:
+        parser.error("--trace-out requires --trace")
+    result = run_table3(args.rows, trace=args.trace)
+    print(format_table3(result))
+    if args.trace:
+        check_trace(result)
+        print(
+            f"\ntrace: {len(result.trace.spans)} spans; per-stage totals "
+            f"re-derived from the span tree match the table above."
+        )
+        if args.trace_out:
+            write_chrome_trace(result.trace, args.trace_out)
+            print(f"trace: Chrome tracing JSON written to {args.trace_out}")
 
 
 if __name__ == "__main__":

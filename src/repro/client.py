@@ -1,0 +1,159 @@
+"""repro.client — the one-stop facade over the reproduction stack.
+
+Wraps dataset construction, cluster wiring, and query execution behind
+three calls, mirroring how a database driver feels::
+
+    from repro import connect
+    from repro.workloads import DatasetSpec
+
+    client = connect(tracing=True)
+    client.register_dataset(DatasetSpec(...))
+    result = client.execute("SELECT count(*) AS n FROM readings")
+    print(result.rows, result.execution_seconds)
+    print(client.explain("SELECT ...", analyze=True))
+
+``connect()`` fixes the session-wide knobs (testbed, cost model, fault
+injection, tracing, retry policy); per-query knobs ride on an optional
+:class:`~repro.bench.env.RunConfig`.  Session-level defaults fill any
+per-query field left unset, so ``connect(faults=...)`` applies to every
+query unless a query's config overrides it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.bench.env import Environment, RunConfig
+from repro.config import FaultSpec, TestbedSpec
+from repro.engine.coordinator import QueryResult
+from repro.errors import ConfigError
+from repro.metastore.catalog import TableDescriptor
+from repro.rpc.retry import RetryPolicy
+from repro.sim.costmodel import CostParams
+from repro.workloads.datasets import DatasetSpec
+
+__all__ = ["connect", "Client", "DEFAULT_CONFIG"]
+
+#: Per-query default: the paper's full-pushdown Presto-OCS configuration.
+DEFAULT_CONFIG = RunConfig(label="ocs", mode="ocs")
+
+
+def connect(
+    *,
+    testbed: Optional[TestbedSpec] = None,
+    costs: Optional[CostParams] = None,
+    faults: Optional[FaultSpec] = None,
+    tracing: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    catalog: str = "repro",
+) -> "Client":
+    """Open a simulated deployment and return a :class:`Client` for it.
+
+    All arguments are keyword-only session defaults:
+
+    * ``testbed`` / ``costs`` — hardware and cost model (Table 1 defaults);
+    * ``faults`` — fault injection applied to every query unless a query
+      config carries its own :class:`~repro.config.FaultSpec`;
+    * ``tracing`` — record a span tree on every query
+      (``result.trace``); never changes simulated timings;
+    * ``retry`` — deadline/backoff policy for pushdown RPCs;
+    * ``catalog`` — catalog name queries resolve against.
+    """
+    kwargs = {}
+    if testbed is not None:
+        kwargs["testbed"] = testbed
+    if costs is not None:
+        kwargs["costs"] = costs
+    return Client(
+        environment=Environment(**kwargs),
+        faults=faults,
+        tracing=tracing,
+        retry=retry,
+        catalog=catalog,
+    )
+
+
+@dataclass
+class Client:
+    """A connected session: registered datasets + query execution."""
+
+    environment: Environment = field(default_factory=Environment)
+    faults: Optional[FaultSpec] = None
+    tracing: bool = False
+    retry: Optional[RetryPolicy] = None
+    catalog: str = "repro"
+    _schemas: Dict[str, int] = field(default_factory=dict)
+
+    # -- datasets --------------------------------------------------------------
+
+    def register_dataset(self, spec: DatasetSpec) -> TableDescriptor:
+        """Build ``spec`` in the object store and register it."""
+        descriptor = self.environment.add_dataset(spec)
+        self._schemas[spec.schema_name] = self._schemas.get(spec.schema_name, 0) + 1
+        return descriptor
+
+    def dataset_bytes(self, descriptor: TableDescriptor) -> int:
+        return self.environment.dataset_bytes(descriptor)
+
+    @property
+    def monitor(self):
+        """The shared pushdown monitor (sliding-window history)."""
+        return self.environment.monitor
+
+    # -- queries ---------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        config: Optional[RunConfig] = None,
+        schema: Optional[str] = None,
+    ) -> QueryResult:
+        """Run one statement; session defaults fill unset config fields."""
+        return self.environment.run(
+            sql,
+            self._effective_config(config),
+            schema=self._resolve_schema(schema),
+            catalog=self.catalog,
+        )
+
+    def explain(
+        self,
+        sql: str,
+        config: Optional[RunConfig] = None,
+        schema: Optional[str] = None,
+        analyze: bool = False,
+    ) -> str:
+        """EXPLAIN (or, with ``analyze=True``, EXPLAIN ANALYZE) one query."""
+        return self.environment.explain(
+            sql,
+            self._effective_config(config),
+            schema=self._resolve_schema(schema),
+            catalog=self.catalog,
+            analyze=analyze,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _effective_config(self, config: Optional[RunConfig]) -> RunConfig:
+        config = config if config is not None else DEFAULT_CONFIG
+        updates = {}
+        if config.faults is None and self.faults is not None:
+            updates["faults"] = self.faults
+        if config.retry is None and self.retry is not None:
+            updates["retry"] = self.retry
+        if self.tracing and not config.tracing:
+            updates["tracing"] = True
+        return replace(config, **updates) if updates else config
+
+    def _resolve_schema(self, schema: Optional[str]) -> str:
+        if schema is not None:
+            return schema
+        if len(self._schemas) == 1:
+            return next(iter(self._schemas))
+        if not self._schemas:
+            raise ConfigError("no datasets registered; call register_dataset first")
+        raise ConfigError(
+            f"multiple schemas registered ({sorted(self._schemas)}); "
+            f"pass schema=... to disambiguate"
+        )

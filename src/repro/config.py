@@ -13,6 +13,12 @@ The paper evaluates on three physical machines:
 all on a 10 GbE network.  :class:`TestbedSpec` captures those numbers and
 is the single source the simulator's resource model reads, so experiments
 can dial a different testbed without touching cost-model code.
+
+Every public spec here is a frozen, keyword-only dataclass whose
+``validate()`` runs at construction: a zero-core node, an out-of-range
+probability, or a negative bandwidth fails with a typed
+:class:`~repro.errors.ConfigError` where the value was written, not deep
+inside the simulation.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Mapping
 
+from repro.errors import ConfigError
 
 GIB = 1024**3
 GB = 10**9
@@ -41,13 +48,34 @@ class NodeSpec:
     #: row-op per cycle).
     ipc_efficiency: float = 1.0
 
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.cores < 1:
+            raise ConfigError(f"node {self.name!r} needs at least one core, got {self.cores}")
+        if self.clock_ghz <= 0:
+            raise ConfigError(f"node {self.name!r} clock must be positive, got {self.clock_ghz}")
+        if self.memory_gb <= 0:
+            raise ConfigError(f"node {self.name!r} memory must be positive, got {self.memory_gb}")
+        if self.disk_bandwidth_bps <= 0:
+            raise ConfigError(
+                f"node {self.name!r} disk bandwidth must be positive, "
+                f"got {self.disk_bandwidth_bps}"
+            )
+        if not 0.0 < self.ipc_efficiency <= 1.0:
+            raise ConfigError(
+                f"node {self.name!r} ipc_efficiency must be in (0, 1], "
+                f"got {self.ipc_efficiency}"
+            )
+
     @property
     def effective_hz(self) -> float:
         """Aggregate useful cycles per second across all cores."""
         return self.cores * self.clock_ghz * 1e9 * self.ipc_efficiency
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class NetworkSpec:
     """Interconnect description (paper: 10 GbE switch)."""
 
@@ -56,8 +84,21 @@ class NetworkSpec:
     #: Per-message framing/syscall overhead charged in addition to latency.
     per_message_cpu_cycles: float = 20_000.0
 
+    def __post_init__(self) -> None:
+        self.validate()
 
-@dataclass(frozen=True)
+    def validate(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigError(f"network bandwidth must be positive, got {self.bandwidth_bps}")
+        if self.latency_s < 0:
+            raise ConfigError(f"network latency cannot be negative, got {self.latency_s}")
+        if self.per_message_cpu_cycles < 0:
+            raise ConfigError(
+                f"per-message CPU cycles cannot be negative, got {self.per_message_cpu_cycles}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
 class FaultSpec:
     """Fault-injection knobs for resilience experiments (all off by default).
 
@@ -82,19 +123,27 @@ class FaultSpec:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
         if not 0.0 <= self.link_drop_probability < 1.0:
-            raise ValueError(
+            raise ConfigError(
                 f"link_drop_probability must be in [0, 1), got {self.link_drop_probability}"
             )
         for node, count in self.transient_storage_failures.items():
+            if node < 0:
+                raise ConfigError(f"negative storage node index {node}")
             if count < 0:
-                raise ValueError(f"negative transient failure count for node {node}")
+                raise ConfigError(f"negative transient failure count for node {node}")
+        for node in self.permanent_storage_failures:
+            if node < 0:
+                raise ConfigError(f"negative storage node index {node}")
         for node, mult in self.storage_latency_multipliers.items():
             if mult < 1.0:
-                raise ValueError(f"latency multiplier for node {node} must be >= 1.0")
+                raise ConfigError(f"latency multiplier for node {node} must be >= 1.0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class TestbedSpec:
     """The full three-node testbed of Table 1."""
 
@@ -133,6 +182,20 @@ class TestbedSpec:
     )
     network: NetworkSpec = field(default_factory=NetworkSpec)
     storage_node_count: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.storage_node_count < 1:
+            raise ConfigError(
+                f"testbed needs at least one storage node, got {self.storage_node_count}"
+            )
+        # Node/network specs validate themselves at construction; re-check
+        # here so hand-built instances passed in cannot skip validation.
+        for spec in (self.compute, self.frontend, self.storage):
+            spec.validate()
+        self.network.validate()
 
     def node(self, name: str) -> NodeSpec:
         """Look up a node spec by role name."""

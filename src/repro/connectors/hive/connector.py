@@ -22,6 +22,7 @@ from typing import Generator, List, Optional
 from repro.arrowsim.dtypes import FLOAT64
 from repro.arrowsim.record_batch import RecordBatch
 from repro.engine.cluster import Cluster
+from repro.engine.coordinator import STAGE_TRANSFER
 from repro.engine.gateway import (
     S3Gateway,
     SelectReply,
@@ -38,7 +39,7 @@ from repro.engine.spi import (
     ConnectorTableHandle,
     PageSourceResult,
 )
-from repro.errors import EngineError
+from repro.errors import ConfigError
 from repro.exec.expressions import (
     AndExpr,
     ColumnExpr,
@@ -56,6 +57,7 @@ from repro.compress.registry import get_codec
 from repro.metastore.catalog import HiveMetastore
 from repro.plan.nodes import FilterNode, PlanNode, TableScanNode
 from repro.sim.metrics import MetricsRegistry
+from repro.trace import Span
 
 __all__ = ["HiveConnector", "HiveTableHandle"]
 
@@ -129,7 +131,7 @@ class HiveConnector(Connector):
         prune_columns: bool = True,
     ) -> None:
         if mode not in ("raw", "select"):
-            raise EngineError(f"unknown hive scan mode {mode!r}")
+            raise ConfigError(f"unknown hive scan mode {mode!r}")
         self.cluster = cluster
         self.metastore = metastore
         self.mode = mode
@@ -160,10 +162,11 @@ class HiveConnector(Connector):
         handle: HiveTableHandle,
         split: ConnectorSplit,
         metrics: MetricsRegistry,
+        trace: Optional[Span] = None,
     ) -> Generator:
         if self.mode == "select" and handle.pushed_filter is not None:
-            return self._select_source(handle, split, metrics)
-        return self._raw_source(handle, split, metrics)
+            return self._select_source(handle, split, metrics, trace)
+        return self._raw_source(handle, split, metrics, trace)
 
     # -- predicate compatibility ------------------------------------------------
 
@@ -180,34 +183,50 @@ class HiveConnector(Connector):
 
     # -- raw path ---------------------------------------------------------------
 
-    def _raw_source(self, handle, split, metrics):
+    def _raw_source(self, handle, split, metrics, trace=None):
         cluster = self.cluster
         costs = cluster.costs
+        tracer = cluster.tracer
         (key,) = split.keys
         bucket = handle.descriptor.bucket
         client = cluster.s3_client
 
-        # Two ranged GETs for metadata: footer length, then the footer.
-        tail8 = yield client.call(
-            S3Gateway.GET_TAIL, encode_tail_request(bucket, key, 8)
+        # One TRANSFER-tagged span covers the whole fetch: this path has
+        # no IR-generation pause, so the span mirrors the coordinator's
+        # transfer window over this page source exactly.
+        span = tracer.start(
+            "hive.fetch_raw", parent=trace, stage=STAGE_TRANSFER,
+            attributes={"key": key},
         )
-        footer_len = footer_length_from_tail(tail8)
-        tail = yield client.call(
-            S3Gateway.GET_TAIL, encode_tail_request(bucket, key, footer_len + 8)
-        )
-        meta = meta_from_tail(tail)
+        try:
+            # Two ranged GETs for metadata: footer length, then the footer.
+            tail8 = yield client.call(
+                S3Gateway.GET_TAIL, encode_tail_request(bucket, key, 8), parent=span
+            )
+            footer_len = footer_length_from_tail(tail8)
+            tail = yield client.call(
+                S3Gateway.GET_TAIL,
+                encode_tail_request(bucket, key, footer_len + 8),
+                parent=span,
+            )
+            meta = meta_from_tail(tail)
 
-        columns = [c for c in handle.columns if c in meta.schema]
-        ranges = []
-        chunk_index = []  # (row group, column, ChunkMeta)
-        for rg_i, rg in enumerate(meta.row_groups):
-            for name in columns:
-                chunk = rg.chunks[meta.schema.index_of(name)]
-                ranges.append((chunk.offset, chunk.compressed_size))
-                chunk_index.append((rg_i, name, chunk))
-        payload = yield client.call(
-            S3Gateway.GET_RANGES, encode_ranges_request(bucket, key, ranges)
-        )
+            columns = [c for c in handle.columns if c in meta.schema]
+            ranges = []
+            chunk_index = []  # (row group, column, ChunkMeta)
+            for rg_i, rg in enumerate(meta.row_groups):
+                for name in columns:
+                    chunk = rg.chunks[meta.schema.index_of(name)]
+                    ranges.append((chunk.offset, chunk.compressed_size))
+                    chunk_index.append((rg_i, name, chunk))
+            payload = yield client.call(
+                S3Gateway.GET_RANGES,
+                encode_ranges_request(bucket, key, ranges),
+                parent=span,
+            )
+            span.set("bytes", len(payload) + len(tail) + len(tail8))
+        finally:
+            tracer.end(span)
 
         # Decode locally (real work), charge the compute-side scan path.
         batches: List[RecordBatch] = []
@@ -244,9 +263,10 @@ class HiveConnector(Connector):
 
     # -- select path --------------------------------------------------------------
 
-    def _select_source(self, handle, split, metrics):
+    def _select_source(self, handle, split, metrics, trace=None):
         cluster = self.cluster
         costs = cluster.costs
+        tracer = cluster.tracer
         (key,) = split.keys
         descriptor = handle.descriptor
         request = encode_select_request(
@@ -256,8 +276,19 @@ class HiveConnector(Connector):
             table_columns=descriptor.table_schema.names(),
             predicate=handle.pushed_filter,
         )
-        response = yield cluster.s3_client.call(S3Gateway.SELECT, request)
+        span = tracer.start(
+            "hive.fetch_select", parent=trace, stage=STAGE_TRANSFER,
+            attributes={"key": key},
+        )
+        try:
+            response = yield cluster.s3_client.call(
+                S3Gateway.SELECT, request, parent=span
+            )
+        finally:
+            tracer.end(span)
         reply: SelectReply = decode_select_reply(response)
+        span.set("bytes", len(response))
+        span.set("rows_returned", reply.rows_returned)
         schema = descriptor.table_schema.select(handle.columns)
         batch = RecordBatch.empty(schema)
         if reply.csv_payload:

@@ -28,6 +28,7 @@ from repro.rpc.retry import RetryPolicy, retrying_call
 from repro.sim.metrics import MetricsRegistry
 from repro.substrait.plan import SubstraitPlan
 from repro.substrait.serde import serialize_plan
+from repro.trace import Span
 
 __all__ = ["OcsConnector"]
 
@@ -100,19 +101,27 @@ class OcsConnector(Connector):
         handle: OcsTableHandle,
         split: ConnectorSplit,
         metrics: MetricsRegistry,
+        trace: Span | None = None,
     ) -> Generator:
         cluster = self.cluster
         sim = cluster.sim
         costs = cluster.costs
         stages = metrics.stages
+        tracer = cluster.tracer
         pushed: PushedOperators = handle.pushed
 
         # (3) Reconstruct and translate the pushed operators to IR,
         # charging the generation cost (Table 3's second row).  The
         # coordinator opened a transfer window around this page source;
         # pause it so IR generation stays attributed to its own stage.
+        # The spans here mirror the stage windows exactly: the substrait
+        # span covers the paused interval, the pushdown span the resumed
+        # transfer window up to this page source's return.
         stages.end(STAGE_TRANSFER, sim.now)
         stages.begin(STAGE_SUBSTRAIT, sim.now)
+        substrait_span = tracer.start(
+            "substrait.generate", parent=trace, stage=STAGE_SUBSTRAIT
+        )
         plan = build_pushdown_plan(handle.descriptor, pushed)
         plan_bytes = serialize_plan(plan)
         generation_cycles = (
@@ -121,8 +130,14 @@ class OcsConnector(Connector):
             + plan.expression_node_count() * costs.substrait_cycles_per_expression
         )
         yield cluster.compute.execute(generation_cycles, name="substrait-gen")
+        substrait_span.set("plan_bytes", len(plan_bytes))
+        tracer.end(substrait_span)
         stages.end(STAGE_SUBSTRAIT, sim.now)
         stages.begin(STAGE_TRANSFER, sim.now)
+        pushdown_span = tracer.start(
+            "pushdown", parent=trace, stage=STAGE_TRANSFER,
+            attributes={"node": split.node_index},
+        )
         metrics.add("substrait_plan_bytes", len(plan_bytes))
 
         # (4) Dispatch to OCS over gRPC and await Arrow results, retrying
@@ -145,34 +160,42 @@ class OcsConnector(Connector):
             metrics.add("pushdown_retries", 1)
 
         try:
-            response = yield from retrying_call(
-                cluster.ocs_client, OcsFrontend.METHOD, request, policy,
-                on_retry=_note_retry,
-            )
-        except RpcStatusError as exc:
-            self.monitor.record(
-                PushdownEvent(
-                    table=handle.descriptor.qualified_name,
-                    operators=tuple(pushed.operator_names()),
-                    success=False,
-                    rows_scanned=0,
-                    rows_returned=0,
-                    bytes_returned=0,
-                    transfer_seconds=sim.now - t1,
-                    estimated_rows=handle.estimated_output_rows,
-                    downgraded=policy.is_retryable(exc.code),
-                    attempts=getattr(exc, "attempts", attempts),
+            try:
+                response = yield from retrying_call(
+                    cluster.ocs_client, OcsFrontend.METHOD, request, policy,
+                    on_retry=_note_retry, parent=pushdown_span,
                 )
-            )
-            if not policy.is_retryable(exc.code):
-                # Semantic failure: re-sending or re-reading cannot help.
-                raise
-            # Transient failure that outlived every retry: degrade this
-            # split to raw object GETs + local execution rather than
-            # failing the whole query (paper Section 4's resilience goal).
-            metrics.add("pushdown_fallback_splits", 1)
-            result = yield from self._fallback_source(handle, split, plan, metrics)
-            return result
+            except RpcStatusError as exc:
+                self.monitor.record(
+                    PushdownEvent(
+                        table=handle.descriptor.qualified_name,
+                        operators=tuple(pushed.operator_names()),
+                        success=False,
+                        rows_scanned=0,
+                        rows_returned=0,
+                        bytes_returned=0,
+                        transfer_seconds=sim.now - t1,
+                        estimated_rows=handle.estimated_output_rows,
+                        downgraded=policy.is_retryable(exc.code),
+                        attempts=getattr(exc, "attempts", attempts),
+                    )
+                )
+                if not policy.is_retryable(exc.code):
+                    # Semantic failure: re-sending or re-reading cannot help.
+                    pushdown_span.record_error(exc.code)
+                    raise
+                # Transient failure that outlived every retry: degrade this
+                # split to raw object GETs + local execution rather than
+                # failing the whole query (paper Section 4's resilience goal).
+                metrics.add("pushdown_fallback_splits", 1)
+                pushdown_span.set("downgraded", True)
+                pushdown_span.set("attempts", getattr(exc, "attempts", attempts))
+                result = yield from self._fallback_source(
+                    handle, split, plan, metrics, parent=pushdown_span
+                )
+                return result
+        finally:
+            tracer.end(pushdown_span)
         arrow, report = decode_response(response)
 
         # (5) Deserialize Arrow into engine pages.
@@ -183,6 +206,10 @@ class OcsConnector(Connector):
             + values * costs.arrow_ingest_cycles_per_value
         )
 
+        pushdown_span.set("attempts", attempts)
+        pushdown_span.set("rows_scanned", report.rows_scanned)
+        pushdown_span.set("rows_returned", report.rows_returned)
+        pushdown_span.set("bytes", len(response))
         metrics.add("ocs_rows_scanned", report.rows_scanned)
         metrics.add("ocs_rows_returned", report.rows_returned)
         metrics.add("ocs_stored_bytes_read", report.stored_bytes_read)
@@ -216,6 +243,7 @@ class OcsConnector(Connector):
         split: ConnectorSplit,
         plan: SubstraitPlan,
         metrics: MetricsRegistry,
+        parent: Span | None = None,
     ) -> Generator:
         """Degraded path for one split: raw object GETs + local execution.
 
@@ -228,29 +256,41 @@ class OcsConnector(Connector):
         cluster = self.cluster
         sim = cluster.sim
         costs = cluster.costs
+        tracer = cluster.tracer
         bucket = handle.descriptor.bucket
         t0 = sim.now
-        # Raw GETs keep the retry budget but drop the per-call deadline:
-        # whole-object fetches are legitimately slower than pushdown
-        # calls, and the degraded path must not re-enter a timeout loop.
-        get_policy = replace(self.retry_policy, deadline_s=None)
-        payload_bytes = 0
-        for key in split.keys:
-            size = int(cluster.store.head_object(bucket, key)["size"])
-            request = encode_ranges_request(bucket, key, [(0, size)])
-            blob = yield from retrying_call(
-                cluster.s3_client, S3Gateway.GET_RANGES, request, get_policy
-            )
-            payload_bytes += len(blob)
-        metrics.add("fallback_bytes_fetched", payload_bytes)
+        span = tracer.start(
+            "fallback.raw_get",
+            parent=parent,
+            attributes={"downgraded": True, "keys": len(split.keys)},
+        )
+        try:
+            # Raw GETs keep the retry budget but drop the per-call deadline:
+            # whole-object fetches are legitimately slower than pushdown
+            # calls, and the degraded path must not re-enter a timeout loop.
+            get_policy = replace(self.retry_policy, deadline_s=None)
+            payload_bytes = 0
+            for key in split.keys:
+                size = int(cluster.store.head_object(bucket, key)["size"])
+                request = encode_ranges_request(bucket, key, [(0, size)])
+                blob = yield from retrying_call(
+                    cluster.s3_client, S3Gateway.GET_RANGES, request, get_policy,
+                    parent=span,
+                )
+                payload_bytes += len(blob)
+            metrics.add("fallback_bytes_fetched", payload_bytes)
 
-        # Execute the pushed plan locally.  Decompression, decode, and
-        # operator work the storage node would have absorbed now lands on
-        # the compute node, plus per-byte ingest of the raw objects.
-        engine = EmbeddedEngine(cluster.store, costs)
-        batches, report = engine.execute(plan, bucket, list(split.keys))
-        metrics.add("fallback_rows_scanned", report.rows_scanned)
-        metrics.add("fallback_rows_returned", report.rows_returned)
+            # Execute the pushed plan locally.  Decompression, decode, and
+            # operator work the storage node would have absorbed now lands on
+            # the compute node, plus per-byte ingest of the raw objects.
+            engine = EmbeddedEngine(cluster.store, costs)
+            batches, report = engine.execute(plan, bucket, list(split.keys))
+            metrics.add("fallback_rows_scanned", report.rows_scanned)
+            metrics.add("fallback_rows_returned", report.rows_returned)
+            span.set("bytes", payload_bytes)
+            span.set("rows_returned", report.rows_returned)
+        finally:
+            tracer.end(span)
         ingest = (
             payload_bytes * costs.presto_ingest_cycles_per_byte
             + report.total_cpu_cycles

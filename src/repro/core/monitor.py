@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
+from repro.errors import ConfigError
+
 __all__ = ["PushdownEvent", "PushdownMonitor"]
 
 
@@ -56,7 +58,7 @@ class PushdownMonitor:
 
     def __init__(self, window: int = 128) -> None:
         if window < 1:
-            raise ValueError("history window must hold at least one event")
+            raise ConfigError("history window must hold at least one event")
         self.window = window
         self._events: Deque[PushdownEvent] = deque(maxlen=window)
         self._total_events = 0

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.errors import ConfigError
 from repro.exec.expressions import (
     AndExpr,
     ColumnExpr,
@@ -58,7 +59,7 @@ class SelectivityAnalyzer:
 
     def __init__(self, descriptor: TableDescriptor, distribution: str = "normal") -> None:
         if distribution not in ("normal", "uniform", "histogram"):
-            raise ValueError(f"unknown distribution model {distribution!r}")
+            raise ConfigError(f"unknown distribution model {distribution!r}")
         self.descriptor = descriptor
         self.distribution = distribution
 

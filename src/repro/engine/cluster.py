@@ -26,6 +26,7 @@ from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Link
 from repro.sim.node import SimNode
 from repro.sim.resources import Resource
+from repro.trace import Tracer
 from repro.engine.gateway import S3Gateway
 
 __all__ = ["Cluster"]
@@ -41,12 +42,17 @@ class Cluster:
         costs: CostParams,
         strict_s3_types: bool = True,
         faults: Optional[FaultSpec] = None,
+        tracing: bool = False,
     ) -> None:
         self.testbed = testbed
         self.costs = costs
         self.store = store
         self.sim = Simulator()
         self.metrics = MetricsRegistry()
+        #: One tracer shared by every component on the cluster, bound to
+        #: the simulated clock.  Disabled by default: the no-op path makes
+        #: traced and untraced runs bit-identical in simulated time.
+        self.tracer = Tracer(clock=lambda: self.sim.now, enabled=tracing)
         #: Per-run fault state (None when the run is healthy).
         self.faults = FaultInjector(faults) if faults is not None else None
 
@@ -73,11 +79,13 @@ class Cluster:
                     name=f"frontend-storage-{i}", faults=self.faults,
                 )
             )
-            self.storage_nodes.append(OcsStorageNode(self.sim, node, store, costs, i))
+            self.storage_nodes.append(
+                OcsStorageNode(self.sim, node, store, costs, i, tracer=self.tracer)
+            )
 
         self.ocs_frontend = OcsFrontend(
             self.sim, self.frontend, self.storage_nodes, self.links_fs, costs,
-            faults=self.faults,
+            faults=self.faults, tracer=self.tracer,
         )
         self.s3_gateway = S3Gateway(
             self.sim,
@@ -87,14 +95,17 @@ class Cluster:
             store,
             costs,
             strict_types=strict_s3_types,
+            tracer=self.tracer,
         )
         # Both services live on the frontend; the compute node reaches them
         # over the same physical link.
         self.ocs_client = RpcClient(
-            self.sim, self.compute, self.link_cf, self.ocs_frontend.service, costs
+            self.sim, self.compute, self.link_cf, self.ocs_frontend.service, costs,
+            tracer=self.tracer,
         )
         self.s3_client = RpcClient(
-            self.sim, self.compute, self.link_cf, self.s3_gateway.service, costs
+            self.sim, self.compute, self.link_cf, self.s3_gateway.service, costs,
+            tracer=self.tracer,
         )
         #: Presto processes each split through a single-threaded driver;
         #: this pool is the worker's scan concurrency (cost model doc).

@@ -10,6 +10,12 @@ Stage attribution matches Table 3's rows: ``logical_plan_analysis``
 connector's page source), ``pushdown_and_transfer`` (storage round trip
 + page materialization), ``presto_execution`` (post-scan operators), and
 ``others`` (coordination fixed costs + scheduling).
+
+When the cluster's tracer records, the coordinator opens one root span
+per query and mirrors every stage window with a ``stage``-tagged child
+span, so the Table 3 breakdown is re-derivable from the span tree alone
+(:func:`repro.trace.stage_totals`); spans add no simulated cost, so the
+timings are bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -30,8 +36,9 @@ from repro.plan.optimizer import GlobalOptimizer
 from repro.plan.planner import plan_query
 from repro.sim.kernel import AllOf
 from repro.sim.metrics import MetricsRegistry
-from repro.sql.analyzer import analyze
+from repro.sql.analyzer import analyze as analyze_statement
 from repro.sql.parser import parse
+from repro.trace import Trace, render_tree, stage_totals
 
 __all__ = ["Coordinator", "QueryResult"]
 
@@ -58,6 +65,8 @@ class QueryResult:
     #: Mean busy fraction per resource over the query's lifetime, e.g.
     #: {"compute_cores": 0.02, "storage_cores[0]": 0.61, "link": 0.05}.
     utilization: Dict[str, float] = field(default_factory=dict)
+    #: The query's span tree when the cluster ran with tracing enabled.
+    trace: Optional[Trace] = None
 
     @property
     def rows(self) -> int:
@@ -91,20 +100,26 @@ class Coordinator:
         result = cluster.sim.run(until=process)
         return result
 
-    def explain(self, sql: str, session: Session) -> str:
+    def explain(self, sql: str, session: Session, analyze: bool = False) -> str:
         """Plan (without executing) and describe what would happen.
 
         Shows the optimized logical plan, the plan after the connector's
         local optimizer, the operators merged into the scan handle with
         their selectivity estimates, and the split structure — Presto's
         EXPLAIN, extended with the paper's pushdown vocabulary.
+
+        With ``analyze=True`` the query actually runs (with tracing
+        forced on) and the output is the recorded span tree plus the
+        span-derived Table 3 stage breakdown — ``EXPLAIN ANALYZE``.
         """
+        if analyze:
+            return self._explain_analyze(sql, session)
         statement = parse(sql)
         catalog_name = statement.from_table.catalog or session.catalog
         schema_name = statement.from_table.schema or session.schema
         connector = self.connector_for(catalog_name)
         handle = connector.get_table_handle(schema_name, statement.from_table.table)
-        query = analyze(statement, handle.table_schema)
+        query = analyze_statement(statement, handle.table_schema)
         plan: PlanNode = plan_query(query)
         self._attach_handle(plan, handle)
         plan = GlobalOptimizer().optimize(plan)
@@ -147,6 +162,39 @@ class Coordinator:
         lines.append(f"Splits: {len(splits)}")
         return "\n".join(lines)
 
+    def _explain_analyze(self, sql: str, session: Session) -> str:
+        """Run the query with tracing forced on; render tree + stages."""
+        tracer = self.cluster.tracer
+        was_enabled = tracer.enabled
+        tracer.enabled = True
+        try:
+            result = self.execute(sql, session)
+        finally:
+            tracer.enabled = was_enabled
+        lines = [
+            f"EXPLAIN ANALYZE {' '.join(sql.split())}",
+            "",
+            f"wall time: {result.execution_seconds * 1e3:.3f} ms    "
+            f"rows: {result.rows:,}    "
+            f"data moved: {result.data_moved_bytes:,} B    "
+            f"splits: {result.splits}",
+            "",
+            render_tree(result.trace),
+            "",
+            "Stage breakdown (derived from spans):",
+        ]
+        totals = stage_totals(result.trace, elapsed=result.execution_seconds)
+        for stage in (
+            STAGE_ANALYSIS,
+            STAGE_SUBSTRAIT,
+            STAGE_TRANSFER,
+            STAGE_EXECUTION,
+            STAGE_OTHERS,
+        ):
+            seconds = totals.get(stage, 0.0)
+            lines.append(f"  {stage:<24} {seconds * 1e3:10.3f} ms")
+        return "\n".join(lines)
+
     # -- the query process ----------------------------------------------------------
 
     def _run_query(self, sql: str, session: Session):
@@ -154,27 +202,40 @@ class Coordinator:
         sim = cluster.sim
         costs = cluster.costs
         metrics = cluster.metrics
+        tracer = cluster.tracer
 
-        # (0) Coordination overhead ("others" in Table 3).
+        # (0) Coordination overhead ("others" in Table 3).  Every stage
+        # window below is mirrored by a stage-tagged span over the same
+        # instants, so span-derived totals reproduce ``stage_seconds``.
         query_start = sim.now
+        root = tracer.start("query", attributes={"sql": " ".join(sql.split())})
         t0 = sim.now
+        startup = tracer.start("startup", parent=root, stage=STAGE_OTHERS)
         yield cluster.compute.execute(costs.coordinator_fixed_cycles, name="coordinate")
 
-        # (1-3) Parse, analyze, logical plan, global optimization.
-        statement = parse(sql)
+        # (1-3) Parse, analyze, logical plan, global optimization.  These
+        # run inline (instantaneous in simulated time) — their spans are
+        # zero-width markers recording the pipeline's structure.
+        with tracer.span("parse", parent=startup):
+            statement = parse(sql)
         catalog_name = statement.from_table.catalog or session.catalog
         schema_name = statement.from_table.schema or session.schema
         connector = self.connector_for(catalog_name)
         handle = connector.get_table_handle(schema_name, statement.from_table.table)
-        query = analyze(statement, handle.table_schema)
-        plan: PlanNode = plan_query(query)
-        self._attach_handle(plan, handle)
-        plan = GlobalOptimizer().optimize(plan)
+        with tracer.span("analyze", parent=startup):
+            query = analyze_statement(statement, handle.table_schema)
+        with tracer.span("plan.logical", parent=startup):
+            plan: PlanNode = plan_query(query)
+            self._attach_handle(plan, handle)
+        with tracer.span("optimize.global", parent=startup):
+            plan = GlobalOptimizer().optimize(plan)
         plan_before = format_plan(plan)
         metrics.stages.charge(STAGE_OTHERS, sim.now - t0)
+        tracer.end(startup)
 
         # (4) Connector-specific (local) optimization — the SPI hook.
         t1 = sim.now
+        local_opt = tracer.start("optimize.local", parent=root, stage=STAGE_ANALYSIS)
         optimizer = connector.plan_optimizer()
         if optimizer is not None:
             node_count = _count_nodes(plan)
@@ -184,22 +245,26 @@ class Coordinator:
             plan = optimizer.optimize(plan, metrics)
         plan_after = format_plan(plan)
         metrics.stages.charge(STAGE_ANALYSIS, sim.now - t1)
+        tracer.end(local_opt)
 
         # (5) Physical planning + (6) split generation and scheduling.
         t2 = sim.now
+        schedule = tracer.start("schedule", parent=root, stage=STAGE_OTHERS)
         physical = fragment_plan(plan)
         scan_handle = physical.scan.connector_handle
         splits = connector.get_splits(scan_handle)
+        schedule.set("splits", len(splits))
         yield cluster.compute.execute(
             len(splits) * costs.schedule_cycles_per_split, name="schedule"
         )
         metrics.stages.charge(STAGE_OTHERS, sim.now - t2)
+        tracer.end(schedule)
         metrics.add("splits", len(splits))
 
         # Split drivers (scan stage).
         split_processes = [
             sim.process(
-                self._run_split(connector, scan_handle, split, physical, metrics),
+                self._run_split(connector, scan_handle, split, physical, metrics, root),
                 name=f"split-{split.split_id}",
             )
             for split in splits
@@ -208,12 +273,14 @@ class Coordinator:
 
         # Merge (final) stage.
         t3 = sim.now
+        final_span = tracer.start("final-stage", parent=root, stage=STAGE_EXECUTION)
         batches: List[RecordBatch] = [b for out in split_outputs for b in out]
         final_ops = physical.final_operators()
         results = run_operators(batches, final_ops)
         final_cycles = presto_pipeline_cycles(final_ops, costs)
         yield cluster.compute.execute_spread(final_cycles, name="final-stage")
         metrics.stages.charge(STAGE_EXECUTION, sim.now - t3)
+        tracer.end(final_span)
 
         batch = (
             concat_batches(results)
@@ -240,6 +307,7 @@ class Coordinator:
         if total > elapsed > 0:
             scale = elapsed / total
             stage_seconds = {k: v * scale for k, v in stage_seconds.items()}
+        tracer.end(root)
         return QueryResult(
             batch=batch,
             execution_seconds=elapsed,
@@ -250,45 +318,74 @@ class Coordinator:
             metrics=metrics,
             stage_seconds=stage_seconds,
             utilization=utilization,
+            trace=tracer.trace(root=root) if tracer.recording else None,
         )
 
-    def _run_split(self, connector: Connector, handle, split, physical: PhysicalPlan, metrics):
+    def _run_split(
+        self, connector: Connector, handle, split, physical: PhysicalPlan, metrics, parent=None
+    ):
         cluster = self.cluster
         sim = cluster.sim
         stages = metrics.stages
-        with cluster.scan_drivers.request() as driver:
-            yield driver
-            # Data acquisition: storage round trip + page materialization.
-            # Concurrent splits each open a stage *window*; the timer
-            # unions overlapping windows so wall-clock is charged once,
-            # not once per split (otherwise the per-stage sum could
-            # exceed the query's elapsed time).  The OCS page source
-            # pauses the transfer window around IR generation so the
-            # substrait stage stays separable.
-            stages.begin(STAGE_TRANSFER, sim.now)
-            try:
-                source: PageSourceResult = yield sim.process(
-                    connector.page_source(handle, split, metrics),
-                    name=f"page-source-{split.split_id}",
-                )
-                if source.ingest_cycles:
-                    yield cluster.compute.execute(source.ingest_cycles, name="ingest")
-            finally:
-                stages.end(STAGE_TRANSFER, sim.now)
-            metrics.add("bytes_received", source.bytes_received)
+        tracer = cluster.tracer
+        split_span = tracer.start(
+            f"split-{split.split_id}",
+            parent=parent,
+            attributes={"split": split.split_id, "node": split.node_index},
+        )
+        try:
+            with cluster.scan_drivers.request() as driver:
+                yield driver
+                # Data acquisition: storage round trip + page
+                # materialization.  Concurrent splits each open a stage
+                # *window*; the timer unions overlapping windows so
+                # wall-clock is charged once, not once per split
+                # (otherwise the per-stage sum could exceed the query's
+                # elapsed time).  The OCS page source pauses the transfer
+                # window around IR generation so the substrait stage stays
+                # separable; its connector-side spans carry the matching
+                # stage tags, so only the ingest tail is tagged here.
+                stages.begin(STAGE_TRANSFER, sim.now)
+                try:
+                    source: PageSourceResult = yield sim.process(
+                        connector.page_source(handle, split, metrics, trace=split_span),
+                        name=f"page-source-{split.split_id}",
+                    )
+                    ingest_span = tracer.start(
+                        "ingest",
+                        parent=split_span,
+                        stage=STAGE_TRANSFER,
+                        attributes={"bytes": source.bytes_received},
+                    )
+                    try:
+                        if source.ingest_cycles:
+                            yield cluster.compute.execute(
+                                source.ingest_cycles, name="ingest"
+                            )
+                    finally:
+                        tracer.end(ingest_span)
+                finally:
+                    stages.end(STAGE_TRANSFER, sim.now)
+                metrics.add("bytes_received", source.bytes_received)
 
-            # Split-local operators (real work + cost charge).
-            stages.begin(STAGE_EXECUTION, sim.now)
-            try:
-                split_ops = physical.split_operators()
-                out = run_operators(source.batches, split_ops)
-                cycles = presto_pipeline_cycles(split_ops, cluster.costs)
-                if cycles:
-                    yield cluster.compute.execute(cycles, name="split-ops")
-            finally:
-                stages.end(STAGE_EXECUTION, sim.now)
-            for op in split_ops:
-                metrics.add(f"rows_into_{op.name}", op.rows_in)
+                # Split-local operators (real work + cost charge).
+                stages.begin(STAGE_EXECUTION, sim.now)
+                ops_span = tracer.start(
+                    "split-operators", parent=split_span, stage=STAGE_EXECUTION
+                )
+                try:
+                    split_ops = physical.split_operators()
+                    out = run_operators(source.batches, split_ops)
+                    cycles = presto_pipeline_cycles(split_ops, cluster.costs)
+                    if cycles:
+                        yield cluster.compute.execute(cycles, name="split-ops")
+                finally:
+                    stages.end(STAGE_EXECUTION, sim.now)
+                    tracer.end(ops_span)
+                for op in split_ops:
+                    metrics.add(f"rows_into_{op.name}", op.rows_in)
+        finally:
+            tracer.end(split_span)
         return out
 
     @staticmethod

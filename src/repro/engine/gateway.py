@@ -31,6 +31,7 @@ from repro.sim.node import SimNode
 from repro.substrait.convert import expression_to_substrait, substrait_to_expression
 from repro.substrait.functions import FunctionRegistry
 from repro.substrait.serde import decode_expression, encode_expression
+from repro.trace import NOOP_TRACER, SpanContext, Tracer
 
 __all__ = ["S3Gateway", "place_key", "SelectReply"]
 
@@ -165,6 +166,7 @@ class S3Gateway:
         store: ObjectStore,
         costs: CostParams,
         strict_types: bool = True,
+        tracer: Tracer = NOOP_TRACER,
     ) -> None:
         self.sim = sim
         self.frontend = frontend
@@ -172,8 +174,9 @@ class S3Gateway:
         self.links = list(links)
         self.store = store
         self.costs = costs
+        self.tracer = tracer
         self.select_service = S3SelectService(store, strict_types=strict_types)
-        self.service = RpcService(sim, frontend, "s3-gateway", costs)
+        self.service = RpcService(sim, frontend, "s3-gateway", costs, tracer=tracer)
         self.service.register(self.GET_TAIL, self._handle_get_tail)
         self.service.register(self.GET_RANGES, self._handle_get_ranges)
         self.service.register(self.SELECT, self._handle_select)
@@ -184,7 +187,7 @@ class S3Gateway:
 
     # -- handlers ------------------------------------------------------------
 
-    def _handle_get_tail(self, payload: bytes):
+    def _handle_get_tail(self, payload: bytes, trace: Optional[SpanContext] = None):
         bucket, pos = _read_str(payload, 0)
         key, pos = _read_str(payload, pos)
         nbytes, pos = decode_varint(payload, pos)
@@ -192,13 +195,21 @@ class S3Gateway:
         nbytes = min(nbytes, len(data))
         response = data[len(data) - nbytes :]
         node, link = self._route(key)
-        yield link.transfer(self.frontend.name, node.name, len(payload), label="get-req")
-        yield node.read_disk(len(response), name="tail")
-        yield node.execute(_GET_REQUEST_CYCLES, name="get")
-        yield link.transfer(node.name, self.frontend.name, len(response), label="get-tail")
+        span = self.tracer.start(
+            "s3.storage:get_tail",
+            parent=trace,
+            attributes={"node": node.name, "bytes": len(response)},
+        )
+        try:
+            yield link.transfer(self.frontend.name, node.name, len(payload), label="get-req")
+            yield node.read_disk(len(response), name="tail")
+            yield node.execute(_GET_REQUEST_CYCLES, name="get")
+            yield link.transfer(node.name, self.frontend.name, len(response), label="get-tail")
+        finally:
+            self.tracer.end(span)
         return response
 
-    def _handle_get_ranges(self, payload: bytes):
+    def _handle_get_ranges(self, payload: bytes, trace: Optional[SpanContext] = None):
         bucket, pos = _read_str(payload, 0)
         key, pos = _read_str(payload, pos)
         count, pos = decode_varint(payload, pos)
@@ -209,13 +220,21 @@ class S3Gateway:
             pieces.append(self.store.get_object_range(bucket, key, start, length))
         response = b"".join(pieces)
         node, link = self._route(key)
-        yield link.transfer(self.frontend.name, node.name, len(payload), label="get-req")
-        yield node.read_disk(len(response), name="ranges")
-        yield node.execute(_GET_REQUEST_CYCLES, name="get")
-        yield link.transfer(node.name, self.frontend.name, len(response), label="get-ranges")
+        span = self.tracer.start(
+            "s3.storage:get_ranges",
+            parent=trace,
+            attributes={"node": node.name, "bytes": len(response), "ranges": count},
+        )
+        try:
+            yield link.transfer(self.frontend.name, node.name, len(payload), label="get-req")
+            yield node.read_disk(len(response), name="ranges")
+            yield node.execute(_GET_REQUEST_CYCLES, name="get")
+            yield link.transfer(node.name, self.frontend.name, len(response), label="get-ranges")
+        finally:
+            self.tracer.end(span)
         return response
 
-    def _handle_select(self, payload: bytes):
+    def _handle_select(self, payload: bytes, trace: Optional[SpanContext] = None):
         bucket, pos = _read_str(payload, 0)
         key, pos = _read_str(payload, pos)
         n_columns, pos = decode_varint(payload, pos)
@@ -273,8 +292,21 @@ class S3Gateway:
                 uncompressed_bytes_scanned=result.uncompressed_bytes_scanned,
             )
         )
-        yield link.transfer(self.frontend.name, node.name, len(payload), label="select-req")
-        yield node.read_disk(result.stored_bytes_scanned, name="select-scan")
-        yield node.execute_spread(cpu, name="select")
-        yield link.transfer(node.name, self.frontend.name, len(reply), label="select-result")
+        span = self.tracer.start(
+            "s3.storage:select",
+            parent=trace,
+            attributes={
+                "node": node.name,
+                "rows_scanned": result.rows_scanned,
+                "rows_returned": result.rows_returned,
+                "bytes": result.stored_bytes_scanned,
+            },
+        )
+        try:
+            yield link.transfer(self.frontend.name, node.name, len(payload), label="select-req")
+            yield node.read_disk(result.stored_bytes_scanned, name="select-scan")
+            yield node.execute_spread(cpu, name="select")
+            yield link.transfer(node.name, self.frontend.name, len(reply), label="select-result")
+        finally:
+            self.tracer.end(span)
         return reply

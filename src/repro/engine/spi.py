@@ -24,6 +24,7 @@ from repro.arrowsim.schema import Schema
 from repro.metastore.catalog import TableDescriptor
 from repro.plan.nodes import PlanNode
 from repro.sim.metrics import MetricsRegistry
+from repro.trace import Span
 
 __all__ = [
     "ConnectorTableHandle",
@@ -102,8 +103,13 @@ class Connector(ABC):
         handle: ConnectorTableHandle,
         split: ConnectorSplit,
         metrics: MetricsRegistry,
+        trace: Optional[Span] = None,
     ) -> Generator:
-        """DES generator resolving to a :class:`PageSourceResult`."""
+        """DES generator resolving to a :class:`PageSourceResult`.
+
+        ``trace`` is the split's span; connectors parent their data-path
+        spans (IR generation, RPC attempts, fallback GETs) under it.
+        """
 
     def plan_optimizer(self) -> Optional[ConnectorPlanOptimizer]:
         """The connector's local optimizer, if it has one."""

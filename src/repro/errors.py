@@ -1,16 +1,73 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy and shared status codes for the repro package.
 
-Every subsystem raises exceptions rooted at :class:`ReproError` so callers
-can catch coarse- or fine-grained failures.  Subsystem-specific errors
-subclass the intermediate bases defined here rather than redefining their
-own roots.
+Every public exception derives from :class:`ReproError` and carries a
+machine-readable ``code`` (a stable SCREAMING_SNAKE slug) so callers can
+switch on failure class without parsing messages.  Subsystem-specific
+errors subclass the intermediate bases defined here rather than
+redefining their own roots.
+
+:class:`StatusCode` is the one shared enum for RPC/OCS status codes —
+the gRPC-style vocabulary (``UNAVAILABLE``, ``DEADLINE_EXCEEDED``, ...)
+previously scattered as string literals across ``repro.rpc`` and
+``repro.ocs``.  It subclasses ``str`` so existing comparisons against
+plain strings keep working.
 """
 
 from __future__ import annotations
 
+import enum
+from typing import ClassVar
+
+
+class StatusCode(enum.StrEnum):
+    """gRPC-class status codes shared by the RPC channel and OCS services.
+
+    ``OK`` never travels inside an exception; it exists so traces and
+    monitors can tag successful calls with the same vocabulary.
+    """
+
+    OK = "OK"
+    #: Transient condition (connection reset, engine refusing work);
+    #: the retryable class.
+    UNAVAILABLE = "UNAVAILABLE"
+    #: A per-call deadline expired before the round trip finished.
+    DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+    #: The request itself is wrong; re-sending it cannot succeed.
+    INVALID_ARGUMENT = "INVALID_ARGUMENT"
+    #: Server-side failure that is not the caller's fault.
+    INTERNAL = "INTERNAL"
+    #: The service has no such method.
+    UNIMPLEMENTED = "UNIMPLEMENTED"
+
+    @classmethod
+    def parse(cls, code: "StatusCode | str") -> "StatusCode | str":
+        """Normalize to an enum member; unknown codes pass through as-is."""
+        try:
+            return cls(code)
+        except ValueError:
+            return code
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
+
+    #: Stable machine-readable failure class (never localized).
+    code: ClassVar[str] = "REPRO_ERROR"
+
+
+class ConfigError(ReproError, ValueError):
+    """A user-supplied configuration value is invalid.
+
+    Raised at *construction* time by ``validate()`` hooks on the public
+    spec dataclasses (:class:`~repro.config.TestbedSpec`,
+    :class:`~repro.config.FaultSpec`, :class:`~repro.bench.env.RunConfig`,
+    :class:`~repro.rpc.retry.RetryPolicy`, ...) so a bad knob fails where
+    it was written, not deep inside the simulation.  Subclasses
+    ``ValueError`` for backward compatibility with callers that caught
+    the old bare raises.
+    """
+
+    code = "INVALID_CONFIG"
 
 
 # --------------------------------------------------------------------------
@@ -21,33 +78,49 @@ class ReproError(Exception):
 class StorageError(ReproError):
     """Base class for object-store and file-format failures."""
 
+    code = "STORAGE"
+
 
 class NoSuchBucketError(StorageError):
     """A bucket name did not resolve to an existing bucket."""
+
+    code = "NO_SUCH_BUCKET"
 
 
 class NoSuchObjectError(StorageError):
     """An object key did not resolve to an existing object."""
 
+    code = "NO_SUCH_OBJECT"
+
 
 class BucketAlreadyExistsError(StorageError):
     """Attempt to create a bucket whose name is already taken."""
+
+    code = "BUCKET_ALREADY_EXISTS"
 
 
 class InvalidRangeError(StorageError):
     """A byte-range request fell outside the object's extent."""
 
+    code = "INVALID_RANGE"
+
 
 class FormatError(StorageError):
     """A Parcel container (or one of its chunks) failed to parse."""
+
+    code = "FORMAT"
 
 
 class CodecError(StorageError):
     """Compression or decompression failed, or an unknown codec was named."""
 
+    code = "CODEC"
+
 
 class SelectError(StorageError):
     """The S3-Select-class storage API rejected or failed a request."""
+
+    code = "SELECT"
 
 
 class UnsupportedTypeError(SelectError):
@@ -56,6 +129,8 @@ class UnsupportedTypeError(SelectError):
     Mirrors the paper's observation that S3 Select lacks double-precision
     floating-point support (Section 2.2).
     """
+
+    code = "UNSUPPORTED_TYPE"
 
 
 # --------------------------------------------------------------------------
@@ -66,9 +141,13 @@ class UnsupportedTypeError(SelectError):
 class SqlError(ReproError):
     """Base class for SQL front-end failures."""
 
+    code = "SQL"
+
 
 class LexError(SqlError):
     """The lexer hit an unrecognizable character sequence."""
+
+    code = "SQL_LEX"
 
     def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
@@ -78,6 +157,8 @@ class LexError(SqlError):
 class ParseError(SqlError):
     """The parser could not derive a statement from the token stream."""
 
+    code = "SQL_PARSE"
+
     def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
         self.position = position
@@ -86,9 +167,13 @@ class ParseError(SqlError):
 class AnalysisError(SqlError):
     """Semantic analysis failed (unknown column, type mismatch, ...)."""
 
+    code = "SQL_ANALYSIS"
+
 
 class PlanError(ReproError):
     """Logical plan construction or optimization failed."""
+
+    code = "PLAN"
 
 
 # --------------------------------------------------------------------------
@@ -99,13 +184,19 @@ class PlanError(ReproError):
 class ExecutionError(ReproError):
     """Base class for runtime failures inside operators or the engine."""
 
+    code = "EXECUTION"
+
 
 class SchemaMismatchError(ExecutionError):
     """Pages or batches disagreed about schema mid-pipeline."""
 
+    code = "SCHEMA_MISMATCH"
+
 
 class ExpressionError(ExecutionError):
     """Vectorized expression evaluation failed."""
+
+    code = "EXPRESSION"
 
 
 # --------------------------------------------------------------------------
@@ -116,17 +207,25 @@ class ExpressionError(ExecutionError):
 class EngineError(ReproError):
     """Base class for coordinator/worker orchestration failures."""
 
+    code = "ENGINE"
+
 
 class NoSuchCatalogError(EngineError):
     """A session referenced a catalog that was never registered."""
+
+    code = "NO_SUCH_CATALOG"
 
 
 class NoSuchTableError(EngineError):
     """A query referenced a table the catalog does not contain."""
 
+    code = "NO_SUCH_TABLE"
+
 
 class SchedulingError(EngineError):
     """Split scheduling could not place work on any worker."""
+
+    code = "SCHEDULING"
 
 
 # --------------------------------------------------------------------------
@@ -137,34 +236,52 @@ class SchedulingError(EngineError):
 class SubstraitError(ReproError):
     """Base class for Substrait IR construction/validation/serde failures."""
 
+    code = "SUBSTRAIT"
+
 
 class ValidationError(SubstraitError):
     """A Substrait plan failed structural or type validation."""
+
+    code = "SUBSTRAIT_VALIDATION"
 
 
 class SerdeError(SubstraitError):
     """Binary (de)serialization of a Substrait plan failed."""
 
+    code = "SUBSTRAIT_SERDE"
+
 
 class RpcError(ReproError):
     """Base class for RPC channel failures."""
 
+    code = "RPC"
+
 
 class RpcStatusError(RpcError):
-    """The server returned a non-OK status code."""
+    """The server returned a non-OK status code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``code`` is a :class:`StatusCode` member whenever the supplied code
+    is part of the shared vocabulary (it always is for codes raised by
+    this package); unknown strings pass through untouched so tests can
+    invent custom codes.
+    """
+
+    def __init__(self, code: "StatusCode | str", message: str) -> None:
         super().__init__(f"[{code}] {message}")
-        self.code = code
+        self.code = StatusCode.parse(code)
         self.detail = message
 
 
 class OcsError(ReproError):
     """Base class for OCS frontend / storage-node failures."""
 
+    code = "OCS"
+
 
 class OcsPlanRejectedError(OcsError):
     """The OCS embedded engine refused a pushdown plan."""
+
+    code = "OCS_PLAN_REJECTED"
 
 
 # --------------------------------------------------------------------------
@@ -175,17 +292,34 @@ class OcsPlanRejectedError(OcsError):
 class SimulationError(ReproError):
     """Base class for discrete-event simulator misuse or failure."""
 
+    code = "SIMULATION"
+
 
 class SimDeadlockError(SimulationError):
     """The event loop ran dry while processes were still blocked."""
+
+    code = "SIM_DEADLOCK"
 
 
 class LinkDropError(SimulationError):
     """A network frame was lost in flight (injected link fault).
 
-    Surfaces to RPC callers as ``RpcStatusError("UNAVAILABLE")`` — the
-    retryable class of failure, like a gRPC connection reset.
+    Surfaces to RPC callers as ``RpcStatusError(StatusCode.UNAVAILABLE)``
+    — the retryable class of failure, like a gRPC connection reset.
     """
+
+    code = "LINK_DROP"
+
+
+# --------------------------------------------------------------------------
+# Tracing errors
+# --------------------------------------------------------------------------
+
+
+class TraceError(ReproError):
+    """A span tree failed structural validation (cycle, orphan, unclosed)."""
+
+    code = "TRACE"
 
 
 # --------------------------------------------------------------------------
@@ -196,10 +330,16 @@ class LinkDropError(SimulationError):
 class MetastoreError(ReproError):
     """Base class for catalog-service failures."""
 
+    code = "METASTORE"
+
 
 class NoSuchSchemaError(MetastoreError):
     """A metastore lookup referenced an unknown schema."""
 
+    code = "NO_SUCH_SCHEMA"
+
 
 class TableAlreadyExistsError(MetastoreError):
     """Attempt to register a table name that is already present."""
+
+    code = "TABLE_ALREADY_EXISTS"

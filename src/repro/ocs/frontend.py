@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.compress.codec import decode_varint, encode_varint
-from repro.errors import CodecError, OcsError, RpcStatusError
+from repro.errors import CodecError, OcsError, RpcStatusError, StatusCode
 from repro.sim.faults import FaultInjector
 from repro.ocs.embedded_engine import OcsCostReport
 from repro.ocs.storage_node import OcsStorageNode
@@ -23,6 +23,7 @@ from repro.sim.network import Link
 from repro.sim.node import SimNode
 from repro.substrait.serde import deserialize_plan
 from repro.substrait.validator import validate_plan
+from repro.trace import NOOP_TRACER, SpanContext, Tracer
 
 __all__ = [
     "PushdownRequest",
@@ -157,6 +158,7 @@ class OcsFrontend:
         storage_links: Sequence[Link],
         costs: CostParams,
         faults: Optional[FaultInjector] = None,
+        tracer: Tracer = NOOP_TRACER,
     ) -> None:
         if len(storage_nodes) != len(storage_links):
             raise OcsError("need one frontend<->storage link per storage node")
@@ -168,11 +170,12 @@ class OcsFrontend:
         self.storage_links = list(storage_links)
         self.costs = costs
         self.faults = faults
-        self.service = RpcService(sim, node, "ocs-frontend", costs)
+        self.tracer = tracer
+        self.service = RpcService(sim, node, "ocs-frontend", costs, tracer=tracer)
         self.service.register(self.METHOD, self._handle_execute)
         self.requests_served = 0
 
-    def _handle_execute(self, payload: bytes):
+    def _handle_execute(self, payload: bytes, trace: Optional[SpanContext] = None):
         request = decode_request(payload)
         if not 0 <= request.node_index < len(self.storage_nodes):
             raise OcsError(f"no storage node {request.node_index}")
@@ -181,24 +184,38 @@ class OcsFrontend:
             if fault is not None:
                 # The node's embedded engine is refusing work; raw object
                 # GETs through the S3 gateway are unaffected.
-                raise RpcStatusError("UNAVAILABLE", fault)
+                raise RpcStatusError(StatusCode.UNAVAILABLE, fault)
         # Parse + validate the plan (real work) and charge frontend CPU.
-        plan = deserialize_plan(bytes(request.plan_bytes))
-        validate_plan(plan)
-        yield self.node.execute(
-            self.costs.frontend_parse_cycles_fixed
-            + len(request.plan_bytes) * self.costs.frontend_parse_cycles_per_byte,
-            name="parse-plan",
+        decode_span = self.tracer.start(
+            "ocs.decode_plan",
+            parent=trace,
+            attributes={"node": self.node.name, "plan_bytes": len(request.plan_bytes)},
         )
+        try:
+            plan = deserialize_plan(bytes(request.plan_bytes))
+            validate_plan(plan)
+            yield self.node.execute(
+                self.costs.frontend_parse_cycles_fixed
+                + len(request.plan_bytes) * self.costs.frontend_parse_cycles_per_byte,
+                name="parse-plan",
+            )
+        finally:
+            self.tracer.end(decode_span)
         storage = self.storage_nodes[request.node_index]
         link = self.storage_links[request.node_index]
         service_start = self.sim.now
-        yield link.transfer(
-            self.node.name, storage.node.name, len(payload), label="plan-dispatch"
+        exec_span = self.tracer.start(
+            "ocs.dispatch", parent=trace, attributes={"storage_node": storage.node.name}
         )
-        arrow, report = yield storage.execute_plan(
-            plan, request.bucket, list(request.keys)
-        )
+        try:
+            yield link.transfer(
+                self.node.name, storage.node.name, len(payload), label="plan-dispatch"
+            )
+            arrow, report = yield storage.execute_plan(
+                plan, request.bucket, list(request.keys), trace=exec_span.context
+            )
+        finally:
+            self.tracer.end(exec_span)
         if self.faults is not None:
             slowdown = self.faults.latency_multiplier(request.node_index)
             if slowdown > 1.0:

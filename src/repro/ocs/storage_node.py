@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.arrowsim.ipc import serialize_batches
 from repro.objectstore.store import ObjectStore
@@ -11,6 +11,7 @@ from repro.sim.costmodel import CostParams
 from repro.sim.kernel import Process, Simulator
 from repro.sim.node import SimNode
 from repro.substrait.plan import SubstraitPlan
+from repro.trace import NOOP_TRACER, SpanContext, Tracer
 
 __all__ = ["OcsStorageNode"]
 
@@ -25,33 +26,66 @@ class OcsStorageNode:
         store: ObjectStore,
         costs: CostParams,
         index: int = 0,
+        tracer: Tracer = NOOP_TRACER,
     ) -> None:
         self.sim = sim
         self.node = node
         self.store = store
         self.costs = costs
         self.index = index
+        self.tracer = tracer
         self.engine = EmbeddedEngine(store, costs)
         self.plans_executed = 0
 
     def execute_plan(
-        self, plan: SubstraitPlan, bucket: str, keys: Sequence[str]
+        self,
+        plan: SubstraitPlan,
+        bucket: str,
+        keys: Sequence[str],
+        trace: Optional[SpanContext] = None,
     ) -> Process:
         """DES process resolving to (arrow_bytes, OcsCostReport)."""
         return self.sim.process(
-            self._execute(plan, bucket, keys), name=f"ocs-exec[{self.index}]"
+            self._execute(plan, bucket, keys, trace), name=f"ocs-exec[{self.index}]"
         )
 
-    def _execute(self, plan: SubstraitPlan, bucket: str, keys: Sequence[str]):
+    def _execute(
+        self,
+        plan: SubstraitPlan,
+        bucket: str,
+        keys: Sequence[str],
+        trace: Optional[SpanContext] = None,
+    ):
         # Real execution first (instantaneous in simulated time)...
         batches, report = self.engine.execute(plan, bucket, keys)
         arrow = serialize_batches(batches)
-        # ...then charge what it would have cost on this hardware.
-        yield self.node.read_disk(report.stored_bytes_read, name="scan")
-        cpu = (
-            report.total_cpu_cycles
-            + len(arrow) * self.costs.arrow_serialize_cycles_per_byte
+        # ...then charge what it would have cost on this hardware.  The
+        # scan span covers the disk read plus the single fused CPU charge
+        # (the Arrow-encode cycles are folded into that charge, so the
+        # encode span below is a zero-width marker — splitting the CPU
+        # charge in two would change event ordering and hence timings).
+        span = self.tracer.start(
+            f"ocs.scan[{self.index}]",
+            parent=trace,
+            attributes={
+                "node": self.node.name,
+                "rows_scanned": report.rows_scanned,
+                "rows_returned": report.rows_returned,
+                "bytes": report.stored_bytes_read,
+            },
         )
-        yield self.node.execute_spread(cpu, name="plan")
+        try:
+            yield self.node.read_disk(report.stored_bytes_read, name="scan")
+            cpu = (
+                report.total_cpu_cycles
+                + len(arrow) * self.costs.arrow_serialize_cycles_per_byte
+            )
+            yield self.node.execute_spread(cpu, name="plan")
+        finally:
+            self.tracer.end(span)
+        encode = self.tracer.start(
+            f"ocs.encode[{self.index}]", parent=span, attributes={"bytes": len(arrow)}
+        )
+        self.tracer.end(encode)
         self.plans_executed += 1
         return arrow, report

@@ -14,7 +14,7 @@ PlanNodes are merged into a modified TableScan operator").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, List, Tuple
 
 from repro.arrowsim.schema import Field, Schema

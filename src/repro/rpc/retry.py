@@ -15,13 +15,16 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, FrozenSet, Optional
 
-from repro.errors import RpcStatusError
+from repro.errors import ConfigError, RpcStatusError, StatusCode
 from repro.rpc.channel import RpcClient
+from repro.trace import Span, SpanContext
 
 __all__ = ["RetryPolicy", "retrying_call", "RETRYABLE_CODES"]
 
 #: Status codes that indicate a transient condition worth retrying.
-RETRYABLE_CODES: FrozenSet[str] = frozenset({"UNAVAILABLE", "DEADLINE_EXCEEDED"})
+RETRYABLE_CODES: FrozenSet[str] = frozenset(
+    {StatusCode.UNAVAILABLE, StatusCode.DEADLINE_EXCEEDED}
+)
 
 #: Callback invoked before each backoff sleep: (attempt, error, delay_s).
 OnRetry = Callable[[int, RpcStatusError, float], None]
@@ -50,14 +53,19 @@ class RetryPolicy:
     retryable_codes: FrozenSet[str] = RETRYABLE_CODES
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.initial_backoff_s < 0 or self.max_backoff_s < 0:
-            raise ValueError("backoff durations cannot be negative")
+            raise ConfigError("backoff durations cannot be negative")
         if self.backoff_multiplier < 1.0:
-            raise ValueError("backoff_multiplier must be >= 1.0")
+            raise ConfigError("backoff_multiplier must be >= 1.0")
         if not 0.0 <= self.jitter_fraction <= 1.0:
-            raise ValueError("jitter_fraction must be in [0, 1]")
+            raise ConfigError("jitter_fraction must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be positive, got {self.deadline_s}")
 
     def is_retryable(self, code: str) -> bool:
         return code in self.retryable_codes
@@ -69,7 +77,7 @@ class RetryPolicy:
         different across concurrent callers.
         """
         if attempt < 1:
-            raise ValueError(f"attempt counts from 1, got {attempt}")
+            raise ConfigError(f"attempt counts from 1, got {attempt}")
         base = self.initial_backoff_s * self.backoff_multiplier ** (attempt - 1)
         base = min(base, self.max_backoff_s)
         return base * (1.0 + self.jitter_fraction * _unit_jitter(salt, attempt))
@@ -81,17 +89,26 @@ def retrying_call(
     payload: bytes,
     policy: RetryPolicy,
     on_retry: Optional[OnRetry] = None,
+    parent: "Span | SpanContext | None" = None,
 ):
     """DES generator (use via ``yield from``): call with retry under ``policy``.
 
     Returns the response bytes.  On a terminal failure the raised
     :class:`RpcStatusError` carries an ``attempts`` attribute recording
-    how many attempts were made.
+    how many attempts were made.  Each attempt gets its own client span
+    (parented under ``parent``) tagged with the attempt ordinal and, on
+    failure, the status code.
     """
     attempt = 1
     while True:
         try:
-            response = yield client.call(method, payload, deadline_s=policy.deadline_s)
+            response = yield client.call(
+                method,
+                payload,
+                deadline_s=policy.deadline_s,
+                parent=parent,
+                attributes={"attempt": attempt},
+            )
         except RpcStatusError as exc:
             if not policy.is_retryable(exc.code) or attempt >= policy.max_attempts:
                 exc.attempts = attempt

@@ -1,0 +1,45 @@
+"""repro.trace — spans-based distributed tracing in simulated time.
+
+The observability layer the paper's EventListener monitoring hints at
+(Section 4), threaded through the whole query path: the coordinator
+opens a root span per query; parse/analyze/plan/optimize, per-split
+scheduling and page sources, every RPC *attempt* (tagged with its status
+code), the OCS frontend's plan decode, the storage node's embedded scan,
+and the degraded raw-GET fallback each get child spans.  Context crosses
+the RPC boundary as a :class:`SpanContext` riding the frame.
+
+Three exporters: the in-memory collector (``tracer.trace()`` /
+``QueryResult.trace``), a Chrome ``chrome://tracing`` JSON file, and a
+text tree renderer surfaced as ``EXPLAIN ANALYZE``.
+
+Tracing is zero-cost when off (the default is :data:`NOOP_TRACER`) and
+never touches the simulation: traced and untraced runs have bit-identical
+simulated timings.  See ``docs/OBSERVABILITY.md`` for the span taxonomy.
+"""
+
+from repro.trace.analysis import stage_totals, stage_windows, union_seconds
+from repro.trace.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    render_tree,
+    write_chrome_trace,
+)
+from repro.trace.span import STAGE_KEY, Span, SpanContext, Trace
+from repro.trace.tracer import NOOP_SPAN, NOOP_TRACER, Tracer
+
+__all__ = [
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "STAGE_KEY",
+    "Span",
+    "SpanContext",
+    "Trace",
+    "Tracer",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "render_tree",
+    "stage_totals",
+    "stage_windows",
+    "union_seconds",
+    "write_chrome_trace",
+]

@@ -1,0 +1,64 @@
+"""Trace analysis: re-derive the Table 3 stage breakdown from span trees.
+
+The coordinator's :class:`~repro.sim.metrics.StageTimer` attributes wall
+time to the paper's five stages with *union-window* semantics: windows of
+the same stage opened by concurrent splits are unioned so an interval of
+wall-clock is charged once, not once per split.  Spans tagged with a
+``stage`` attribute carry exactly the same windows, so the identical
+totals fall out of an interval union over the tagged spans — the
+cross-check ``repro.bench.table3 --trace`` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.span import Trace
+
+__all__ = ["stage_windows", "union_seconds", "stage_totals"]
+
+
+def stage_windows(trace: Trace) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-stage list of (start, end) windows from stage-tagged spans."""
+    windows: Dict[str, List[Tuple[float, float]]] = {}
+    for span in trace.spans:
+        stage = span.stage
+        if stage is None or span.end is None:
+            continue
+        windows.setdefault(stage, []).append((span.start, span.end))
+    return windows
+
+
+def union_seconds(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of ``intervals`` (overlap counted once)."""
+    total = 0.0
+    end_of_merged = None
+    for start, end in sorted(intervals):
+        if end_of_merged is None or start > end_of_merged:
+            total += end - start
+            end_of_merged = end
+        elif end > end_of_merged:
+            total += end - end_of_merged
+            end_of_merged = end
+    return total
+
+
+def stage_totals(trace: Trace, elapsed: Optional[float] = None) -> Dict[str, float]:
+    """Per-stage simulated seconds, matching ``QueryResult.stage_seconds``.
+
+    ``elapsed`` is the query wall time (defaults to the root span's
+    duration).  As in the coordinator, when stages that overlap *each
+    other* push the raw sum past the elapsed time, the totals are scaled
+    down so the breakdown partitions the wall clock.
+    """
+    if elapsed is None:
+        elapsed = trace.root().duration
+    totals = {
+        stage: union_seconds(windows)
+        for stage, windows in stage_windows(trace).items()
+    }
+    total = sum(totals.values())
+    if total > elapsed > 0:
+        scale = elapsed / total
+        totals = {stage: seconds * scale for stage, seconds in totals.items()}
+    return totals

@@ -7,7 +7,7 @@ from repro.bench.figure5 import FIGURE5_SPECS, build_environment, format_panel, 
 from repro.bench.report import format_bytes, format_seconds
 from repro.bench.table2 import PAPER_PLANS, format_table2, run_table2
 from repro.bench.table3 import format_table3, run_table3
-from repro.errors import EngineError
+from repro.errors import ConfigError
 from repro.workloads import DatasetSpec, generate_laghos_file
 
 
@@ -34,16 +34,15 @@ class TestReportFormatting:
 
 class TestEnvironment:
     def test_unknown_mode_rejected(self):
-        env = Environment()
-        env.add_dataset(
-            DatasetSpec(
-                "hpc", "laghos", "d", 1,
-                lambda i: generate_laghos_file(512, i), row_group_rows=256,
-            )
-        )
-        with pytest.raises(EngineError):
-            env.run("SELECT count(*) AS n FROM laghos",
-                    RunConfig(label="x", mode="teleport"), schema="hpc")
+        # Bad modes now fail at construction with a typed, machine-readable
+        # ConfigError (a ValueError subclass) instead of mid-run.
+        with pytest.raises(ConfigError):
+            RunConfig(label="x", mode="teleport")
+        with pytest.raises(ConfigError):
+            RunConfig(label="x", mode="ocs", split_granularity="shard")
+        with pytest.raises(ConfigError):
+            RunConfig(label="", mode="ocs")
+        assert ConfigError.code == "INVALID_CONFIG"
 
     def test_named_constructors(self):
         assert RunConfig.none().mode == "hive-raw"

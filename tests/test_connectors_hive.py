@@ -7,7 +7,7 @@ from repro.arrowsim import RecordBatch
 from repro.bench import Environment, RunConfig
 from repro.connectors.hive import HiveConnector, HiveTableHandle
 from repro.engine import Cluster
-from repro.errors import EngineError
+from repro.errors import ConfigError
 from repro.workloads import DatasetSpec
 
 
@@ -38,7 +38,7 @@ def int_env():
 class TestHandleAndSplits:
     def test_unknown_mode_rejected(self, int_env):
         cluster = Cluster(int_env.store, int_env.testbed, int_env.costs)
-        with pytest.raises(EngineError):
+        with pytest.raises(ConfigError):
             HiveConnector(cluster, int_env.metastore, mode="warp")
 
     def test_one_split_per_file(self, int_env):

@@ -18,8 +18,7 @@ from repro.plan import GlobalOptimizer, plan_query
 from repro.plan.nodes import (
     AggregationNode,
     FilterNode,
-    ProjectNode,
-    SortNode,
+        SortNode,
     TableScanNode,
     TopNNode,
 )

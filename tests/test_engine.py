@@ -3,14 +3,13 @@
 import pytest
 
 from repro.arrowsim import FLOAT64, Field, INT64, RecordBatch, Schema, STRING
-from repro.bench import Environment, RunConfig
+from repro.bench import RunConfig
 from repro.engine.costing import presto_operator_cycles
 from repro.engine.gateway import place_key
 from repro.engine.physical import fragment_plan
-from repro.errors import NoSuchCatalogError, PlanError
+from repro.errors import NoSuchCatalogError
 from repro.exec import (
-    AggregateSpec,
-    ColumnExpr,
+        ColumnExpr,
     CompareExpr,
     FilterOperator,
     HashAggregationOperator,
@@ -24,7 +23,6 @@ from repro.exec import (
 from repro.plan import GlobalOptimizer, plan_query
 from repro.sim.costmodel import DEFAULT_COSTS
 from repro.sql import analyze, parse
-from repro.workloads import DatasetSpec, generate_laghos_file
 
 SCHEMA = Schema(
     [

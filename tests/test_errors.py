@@ -1,0 +1,96 @@
+"""The error hierarchy: one root, machine-readable codes, shared StatusCode."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ConfigError,
+    EngineError,
+    ReproError,
+    RpcError,
+    RpcStatusError,
+    StatusCode,
+    StorageError,
+    TraceError,
+)
+
+
+def _public_exceptions():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_every_public_exception_derives_from_repro_error(self):
+        for exc in _public_exceptions():
+            assert issubclass(exc, ReproError), exc.__name__
+
+    def test_every_exception_carries_a_stable_code(self):
+        codes = {}
+        for exc in _public_exceptions():
+            assert isinstance(exc.code, str) and exc.code, exc.__name__
+            if exc is not RpcStatusError:  # instance-level code
+                codes.setdefault(exc.code, exc)
+        # Codes are unique per class (no two classes share a slug).
+        class_count = len([e for e in _public_exceptions() if e is not RpcStatusError])
+        assert len(codes) == class_count
+
+    def test_intermediate_bases(self):
+        assert issubclass(errors.NoSuchBucketError, StorageError)
+        assert issubclass(errors.NoSuchTableError, EngineError)
+        assert issubclass(RpcStatusError, RpcError)
+        assert issubclass(TraceError, ReproError)
+
+    def test_config_error_is_still_a_value_error(self):
+        # Backward compatibility: callers that caught ValueError keep working.
+        assert issubclass(ConfigError, ValueError)
+        with pytest.raises(ValueError):
+            raise ConfigError("bad knob")
+        assert ConfigError.code == "INVALID_CONFIG"
+
+    def test_catching_the_root_catches_everything(self):
+        for exc in _public_exceptions():
+            if exc is RpcStatusError:
+                instance = exc(StatusCode.INTERNAL, "x")
+            elif exc in (errors.LexError, errors.ParseError):
+                instance = exc("x", position=3)
+            else:
+                instance = exc("x")
+            with pytest.raises(ReproError):
+                raise instance
+
+
+class TestStatusCode:
+    def test_members_compare_equal_to_plain_strings(self):
+        assert StatusCode.UNAVAILABLE == "UNAVAILABLE"
+        assert StatusCode.DEADLINE_EXCEEDED == "DEADLINE_EXCEEDED"
+        assert str(StatusCode.OK) == "OK"
+
+    def test_parse_normalizes_known_codes(self):
+        assert StatusCode.parse("UNAVAILABLE") is StatusCode.UNAVAILABLE
+        assert StatusCode.parse(StatusCode.INTERNAL) is StatusCode.INTERNAL
+
+    def test_parse_passes_unknown_codes_through(self):
+        assert StatusCode.parse("CUSTOM_TEST_CODE") == "CUSTOM_TEST_CODE"
+
+
+class TestRpcStatusError:
+    def test_carries_enum_code_and_detail(self):
+        exc = RpcStatusError(StatusCode.UNAVAILABLE, "engine down")
+        assert exc.code is StatusCode.UNAVAILABLE
+        assert exc.detail == "engine down"
+        assert str(exc) == "[UNAVAILABLE] engine down"
+
+    def test_string_code_is_normalized(self):
+        exc = RpcStatusError("DEADLINE_EXCEEDED", "too slow")
+        assert exc.code is StatusCode.DEADLINE_EXCEEDED
+
+    def test_unknown_code_survives(self):
+        exc = RpcStatusError("WEIRD", "x")
+        assert exc.code == "WEIRD"
+        assert "[WEIRD]" in str(exc)

@@ -7,8 +7,7 @@ from hypothesis import strategies as st
 
 from repro.arrowsim import (
     BOOL,
-    ColumnArray,
-    FLOAT64,
+        FLOAT64,
     Field,
     INT64,
     RecordBatch,

@@ -6,8 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arrowsim import (
-    ColumnArray,
-    FLOAT64,
+        FLOAT64,
     Field,
     INT64,
     RecordBatch,

@@ -1,6 +1,5 @@
 """Tests for EXPLAIN output."""
 
-import pytest
 
 from repro.bench import RunConfig
 from repro.core import PushdownPolicy

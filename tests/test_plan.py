@@ -1,6 +1,5 @@
 """Unit tests for the logical planner and global optimizer."""
 
-import pytest
 
 from repro.arrowsim import DATE32, FLOAT64, Field, INT64, STRING, Schema
 from repro.exec.expressions import (
@@ -12,8 +11,7 @@ from repro.exec.expressions import (
 )
 from repro.plan import (
     AggregationNode,
-    ConstantFoldingRule,
-    FilterNode,
+        FilterNode,
     GlobalOptimizer,
     LimitNode,
     OutputNode,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimDeadlockError, SimulationError
-from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
 
 
 @pytest.fixture()

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arrowsim import FLOAT64, Field, INT64, RecordBatch, STRING, Schema, concat_batches
+from repro.arrowsim import FLOAT64, Field, RecordBatch, STRING, Schema, concat_batches
 from repro.bench import Environment, RunConfig
 from repro.config import TestbedSpec
 from repro.exec import AggregateSpec, grouped_aggregate

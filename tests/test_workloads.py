@@ -3,7 +3,6 @@
 import datetime
 
 import numpy as np
-import pytest
 
 from repro.arrowsim.dtypes import DATE32, FLOAT64, INT64, STRING
 from repro.workloads import (
@@ -80,7 +79,6 @@ class TestDeepWater:
         assert batch.column("rowid").to_pylist() == list(range(1000))
 
     def test_quantized_fields_compress(self):
-        from repro.compress import get_codec
         from repro.formats import write_table
 
         batch = generate_deepwater_file(30_000, timestep=0, seed=5)
