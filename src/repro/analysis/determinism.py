@@ -1,0 +1,307 @@
+"""Determinism checker: digest replays + adversarial tie-break runs.
+
+PR 2 claimed "traced runs are bit-identical in simulated time"; this
+module turns that claim into a checked invariant:
+
+* :class:`DigestRecorder` hangs off the simulator's ``observer`` hook and
+  folds every dispatched event (timestamp, sequence id, event type/name,
+  scalar payload) into a sha256 chain — a per-event digest of the
+  schedule as it unfolds.
+* :func:`check_determinism` replays one seeded workload twice with FIFO
+  tie-breaking and diffs the digest chains event by event (the first
+  divergence pinpoints where two "identical" runs split), then runs a
+  third replay under **LIFO** tie-breaking.  Events at equal simulated
+  time are the only places dispatch order is policy-dependent; if the
+  canonical (row-order-independent) result digest changes under the
+  adversarial order, some same-timestamp pair of events races on shared
+  state — a genuine ordering hazard, not a formatting difference.
+
+Run the built-in harness (a quickstart-style seeded sensor workload under
+full OCS pushdown) with ``python -m repro.analysis.determinism``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.arrowsim.record_batch import RecordBatch
+from repro.errors import DeterminismError
+from repro.sim.kernel import Event
+
+__all__ = [
+    "DigestRecorder",
+    "ReplayReport",
+    "DeterminismReport",
+    "canonical_result_digest",
+    "run_recorded",
+    "check_determinism",
+    "main",
+]
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+class DigestRecorder:
+    """Simulator observer that chains a sha256 digest over every event."""
+
+    def __init__(self) -> None:
+        self._chain = hashlib.sha256(b"repro.analysis.determinism")
+        self.digests: List[str] = []
+        self.max_simultaneous = 0
+        self._last_time: Optional[float] = None
+        self._run = 0
+
+    def __call__(self, time: float, seq: int, event: Event) -> None:
+        chain = self._chain
+        chain.update(float(time).hex().encode())
+        chain.update(str(seq).encode())
+        chain.update(type(event).__name__.encode())
+        name = getattr(event, "name", "")
+        if name:
+            chain.update(str(name).encode())
+        value = event._value
+        if isinstance(value, _SCALARS):
+            chain.update(repr(value).encode())
+        else:
+            chain.update(type(value).__name__.encode())
+        self.digests.append(chain.hexdigest())
+        # Track the longest same-instant run independently of the kernel
+        # (the recorder may outlive the per-run Simulator).  Exact float
+        # equality is correct: both values are the same heap timestamp.
+        if self._last_time is not None and time == self._last_time:  # simlint: ignore[float-eq]
+            self._run += 1
+        else:
+            self._run = 1
+            self._last_time = time
+        if self._run > self.max_simultaneous:
+            self.max_simultaneous = self._run
+
+    @property
+    def final_digest(self) -> str:
+        return self.digests[-1] if self.digests else self._chain.hexdigest()
+
+
+def canonical_result_digest(batch: RecordBatch) -> str:
+    """Row-order-independent digest of a result batch.
+
+    Sorts columns by name and rows by repr so legitimate order
+    differences (e.g. unordered SELECT output) do not register, while any
+    value difference does.
+    """
+    data = batch.to_pydict()
+    names = sorted(data)
+    digest = hashlib.sha256()
+    for name in names:
+        digest.update(name.encode())
+        dtype = batch.schema.field(name).dtype
+        digest.update(dtype.name.encode())
+    rows = sorted(zip(*(data[name] for name in names)), key=repr) if names else []
+    for row in rows:
+        digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ReplayReport:
+    """One instrumented run: schedule digests + canonical result digest."""
+
+    tie_break: str
+    events: int
+    event_digests: List[str]
+    result_digest: str
+    execution_seconds: float
+    max_simultaneous: int
+
+    @property
+    def final_digest(self) -> str:
+        return self.event_digests[-1] if self.event_digests else ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class DeterminismReport:
+    """Outcome of the two-replay + adversarial-order harness."""
+
+    baseline: ReplayReport
+    replay: ReplayReport
+    adversarial: ReplayReport
+    #: Index of the first event where the two FIFO replays diverged
+    #: (None when they are digest-identical).
+    first_divergence: Optional[int] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def replay_identical(self) -> bool:
+        return (
+            self.first_divergence is None
+            and self.baseline.result_digest == self.replay.result_digest
+        )
+
+    @property
+    def ordering_hazard(self) -> bool:
+        """True when LIFO tie-breaking changed the query's *results*."""
+        return self.adversarial.result_digest != self.baseline.result_digest
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_identical and not self.ordering_hazard
+
+    def raise_if_failed(self) -> None:
+        if not self.replay_identical:
+            where = (
+                f"event {self.first_divergence}"
+                if self.first_divergence is not None
+                else "result digest"
+            )
+            raise DeterminismError(
+                f"two identical seeded replays diverged at {where}"
+            )
+        if self.ordering_hazard:
+            raise DeterminismError(
+                "LIFO tie-break replay changed query results: some "
+                "same-timestamp events race on shared state"
+            )
+
+    def summary(self) -> str:
+        lines = [
+            f"baseline   : {self.baseline.events} events, "
+            f"{self.baseline.max_simultaneous} max simultaneous, "
+            f"result {self.baseline.result_digest[:16]}",
+            f"replay     : {'identical' if self.replay_identical else 'DIVERGED'}"
+            + (
+                f" (first divergence at event {self.first_divergence})"
+                if self.first_divergence is not None
+                else ""
+            ),
+            f"adversarial: {'identical results' if not self.ordering_hazard else 'ORDERING HAZARD'}"
+            f" under LIFO tie-breaking",
+        ]
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def _first_divergence(a: List[str], b: List[str]) -> Optional[int]:
+    for index, (da, db) in enumerate(zip(a, b)):
+        if da != db:
+            return index
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def run_recorded(
+    env: Any,
+    sql: str,
+    config: Any,
+    schema: str,
+    catalog: str = "repro",
+    tie_break: str = "fifo",
+) -> ReplayReport:
+    """Run one query on ``env`` with a :class:`DigestRecorder` attached."""
+    recorder = DigestRecorder()
+    result = env.run(
+        sql, config, schema, catalog, tie_break=tie_break, observer=recorder
+    )
+    return ReplayReport(
+        tie_break=tie_break,
+        events=len(recorder.digests),
+        event_digests=recorder.digests,
+        result_digest=canonical_result_digest(result.batch),
+        execution_seconds=result.execution_seconds,
+        max_simultaneous=recorder.max_simultaneous,
+    )
+
+
+def check_determinism(
+    env: Any, sql: str, config: Any, schema: str, catalog: str = "repro"
+) -> DeterminismReport:
+    """Two FIFO replays diffed per event + one adversarial LIFO replay."""
+    baseline = run_recorded(env, sql, config, schema, catalog, tie_break="fifo")
+    replay = run_recorded(env, sql, config, schema, catalog, tie_break="fifo")
+    adversarial = run_recorded(env, sql, config, schema, catalog, tie_break="lifo")
+    notes: List[str] = []
+    if baseline.max_simultaneous <= 1:
+        notes.append(
+            "note: no same-timestamp event runs observed; the adversarial "
+            "replay exercised nothing"
+        )
+    return DeterminismReport(
+        baseline=baseline,
+        replay=replay,
+        adversarial=adversarial,
+        first_divergence=_first_divergence(
+            baseline.event_digests, replay.event_digests
+        ),
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------------
+# Built-in harness (CI entry point)
+# --------------------------------------------------------------------------
+
+
+def _build_harness_env() -> Any:
+    """Quickstart-style seeded sensor workload, sized for CI."""
+    import numpy as np
+
+    from repro.bench.env import Environment
+    from repro.workloads.datasets import DatasetSpec
+
+    def make_file(index: int) -> RecordBatch:
+        rng = np.random.default_rng(42 + index)
+        n = 5_000
+        return RecordBatch.from_arrays(
+            {
+                "sensor_id": rng.integers(0, 16, n),
+                "temperature": 20 + 5 * rng.standard_normal(n),
+                "pressure": 1000 + 30 * rng.standard_normal(n),
+                "day": np.full(n, index, dtype=np.int64),
+            }
+        )
+
+    env = Environment()
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="lab",
+            table_name="readings",
+            bucket="sensors",
+            file_count=4,
+            generator=make_file,
+        )
+    )
+    return env
+
+
+HARNESS_QUERY = """
+SELECT sensor_id, count(*) AS samples, avg(temperature) AS avg_temp,
+       max(pressure) AS max_p
+FROM readings
+WHERE temperature > 25.0
+GROUP BY sensor_id
+ORDER BY avg_temp DESC
+LIMIT 10
+"""
+
+
+def main() -> int:
+    from repro.bench.env import RunConfig
+
+    env = _build_harness_env()
+    report = check_determinism(
+        env,
+        HARNESS_QUERY,
+        RunConfig(label="determinism", mode="ocs"),
+        schema="lab",
+    )
+    print(report.summary())
+    if report.ok:
+        print("determinism harness: clean")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""Simulation-safety linter: repo-specific AST rules.
+
+Run as ``python -m repro.analysis.lint src tests``.  These rules encode
+invariants of *this* codebase that no off-the-shelf tool knows:
+
+``wall-clock``
+    No ``time.time()``/``datetime.now()``-style wall-clock reads in
+    sim-reachable modules — simulated time comes from ``Simulator.now``
+    only, or runs stop being reproducible.  (Sim-scoped.)
+``unseeded-random``
+    No module-level ``random.*`` / ``numpy.random.*`` draws or unseeded
+    generator construction in sim-reachable modules; randomness must flow
+    from an explicitly seeded ``random.Random(seed)`` /
+    ``default_rng(seed)``.  (Sim-scoped.)
+``float-eq``
+    No ``==``/``!=`` against a float literal — simulated timestamps and
+    cost-model outputs accumulate rounding; compare with tolerances or
+    integers.  (Sim-scoped; tests may assert exact values.)
+``mutable-default``
+    No mutable default arguments (list/dict/set literals or bare
+    constructor calls) — shared state across calls breaks run isolation.
+``kwonly-config``
+    Frozen config dataclasses that define a ``validate()`` hook must be
+    ``kw_only=True`` so call sites cannot silently swap positional knobs.
+``span-pair``
+    A function that opens a span with ``tracer.start(...)`` must also
+    close one (``tracer.end(...)``) or use the ``tracer.span(...)``
+    context manager — unbalanced spans fail trace validation at runtime,
+    this catches them statically.  (Sim-scoped.)
+``bare-except``
+    No bare ``except:`` — it swallows ``Interrupt`` and
+    ``SimDeadlockError``, corrupting process cleanup in the kernel.
+
+Suppress a finding in place with ``# simlint: ignore[rule]`` (or
+``ignore[rule-a,rule-b]``, or a blanket ``ignore`` for every rule) on
+the offending line.  Sim-scoped rules apply to library code only: files
+under ``tests``/``examples``/``benchmarks`` directories and ``test_*.py``
+files are exempt from them, while universal rules apply everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["LintViolation", "lint_file", "lint_paths", "main", "RULES"]
+
+RULES: Dict[str, str] = {
+    "wall-clock": "wall-clock read in sim-reachable code",
+    "unseeded-random": "unseeded randomness in sim-reachable code",
+    "float-eq": "exact equality against a float literal",
+    "mutable-default": "mutable default argument",
+    "kwonly-config": "frozen config dataclass with validate() must be kw_only",
+    "span-pair": "tracer.start() without tracer.end()/tracer.span() in function",
+    "bare-except": "bare except swallows simulator control-flow exceptions",
+}
+
+#: Rules that only apply to simulation-reachable library code.
+SIM_SCOPED_RULES = frozenset({"wall-clock", "unseeded-random", "float-eq", "span-pair"})
+
+_WALL_CLOCK_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time", "process_time_ns"}
+)
+_WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_RANDOM_MODULE_FUNCS = frozenset(
+    {"random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+     "choice", "choices", "sample", "shuffle", "betavariate", "expovariate",
+     "seed", "getrandbits", "triangular"}
+)
+_NUMPY_RANDOM_FUNCS = frozenset(
+    {"random", "rand", "randn", "randint", "uniform", "normal", "choice",
+     "shuffle", "permutation", "exponential", "poisson", "seed", "random_sample"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\-\s]*)\])?")
+
+
+@dataclass(frozen=True, kw_only=True)
+class LintViolation:
+    """One finding: where, which rule, and a human-readable message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _suppressed_rules(line: str) -> Optional[Set[str]]:
+    """Rules suppressed on this source line; empty set = suppress all."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group(1)
+    if listed is None:
+        return set()
+    return {part.strip() for part in listed.split(",") if part.strip()}
+
+
+def is_sim_scope(path: Path) -> bool:
+    """True for library code where sim-scoped rules apply."""
+    parts = set(path.parts)
+    if parts & {"tests", "examples", "benchmarks"}:
+        return False
+    return not path.name.startswith("test_")
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, source_lines: Sequence[str], sim_scope: bool) -> None:
+        self.path = path
+        self.source_lines = source_lines
+        self.sim_scope = sim_scope
+        self.violations: List[LintViolation] = []
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in SIM_SCOPED_RULES and not self.sim_scope:
+            return
+        lineno = getattr(node, "lineno", 1)
+        if 1 <= lineno <= len(self.source_lines):
+            suppressed = _suppressed_rules(self.source_lines[lineno - 1])
+            if suppressed is not None and (not suppressed or rule in suppressed):
+                return
+        self.violations.append(
+            LintViolation(
+                path=str(self.path),
+                line=lineno,
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- per-node rules ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            self._check_wall_clock(node, dotted)
+            self._check_unseeded_random(node, dotted)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-2] == "time" and parts[-1] in _WALL_CLOCK_TIME_FUNCS:
+            self._report(node, "wall-clock", f"{dotted}() reads the wall clock; "
+                         f"use Simulator.now for simulated time")
+        elif parts[-1] in _WALL_CLOCK_DATETIME_FUNCS and parts[-2:-1] in (
+            ["datetime"], ["date"],
+        ):
+            self._report(node, "wall-clock", f"{dotted}() reads the wall clock; "
+                         f"use Simulator.now for simulated time")
+
+    def _check_unseeded_random(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _RANDOM_MODULE_FUNCS:
+                self._report(
+                    node, "unseeded-random",
+                    f"module-level {dotted}() shares global, unseeded state; "
+                    f"draw from an explicit random.Random(seed)",
+                )
+            elif parts[1] == "Random" and not node.args and not node.keywords:
+                self._report(
+                    node, "unseeded-random",
+                    "random.Random() without a seed; pass an explicit seed",
+                )
+        elif len(parts) >= 2 and parts[-2] == "random" and parts[0] in ("np", "numpy"):
+            if parts[-1] in _NUMPY_RANDOM_FUNCS:
+                self._report(
+                    node, "unseeded-random",
+                    f"{dotted}() uses numpy's global RNG; "
+                    f"draw from an explicit default_rng(seed)",
+                )
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                self._report(
+                    node, "unseeded-random",
+                    "default_rng() without a seed; pass an explicit seed",
+                )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self._report(
+                    node, "float-eq",
+                    "exact ==/!= against a float literal; compare with a "
+                    "tolerance (math.isclose) or restructure to integers",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults: List[ast.expr] = list(node.args.defaults)
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            if self._is_mutable_literal(default):
+                self._report(
+                    default, "mutable-default",
+                    f"mutable default in {node.name}(); use None and "
+                    f"construct inside the body",
+                )
+        self._check_span_pairing(node)
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and not node.args and not node.keywords:
+            return isinstance(node.func, ast.Name) and node.func.id in (
+                "list", "dict", "set",
+            )
+        return False
+
+    def _check_span_pairing(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        starts: List[ast.Call] = []
+        has_close = False
+        for child in ast.walk(node):
+            if child is not node and isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue  # nested defs are checked on their own visit
+            if not isinstance(child, ast.Call):
+                continue
+            func = child.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = _dotted_name(func.value)
+            if base is None or "tracer" not in base.lower():
+                continue
+            if func.attr == "start":
+                starts.append(child)
+            elif func.attr in ("end", "span"):
+                has_close = True
+        if starts and not has_close:
+            for start in starts:
+                self._report(
+                    start, "span-pair",
+                    f"{node.name}() opens a span with tracer.start() but "
+                    f"never calls tracer.end() or uses tracer.span()",
+                )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_kwonly_config(node)
+        self.generic_visit(node)
+
+    def _check_kwonly_config(self, node: ast.ClassDef) -> None:
+        decorator_call: Optional[ast.Call] = None
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                name = _dotted_name(decorator.func)
+                if name is not None and name.split(".")[-1] == "dataclass":
+                    decorator_call = decorator
+                    break
+        if decorator_call is None:
+            return
+        keywords = {
+            kw.arg: kw.value for kw in decorator_call.keywords if kw.arg is not None
+        }
+        frozen = keywords.get("frozen")
+        kw_only = keywords.get("kw_only")
+        is_frozen = isinstance(frozen, ast.Constant) and frozen.value is True
+        is_kw_only = isinstance(kw_only, ast.Constant) and kw_only.value is True
+        has_validate = any(
+            isinstance(item, ast.FunctionDef) and item.name == "validate"
+            for item in node.body
+        )
+        if is_frozen and has_validate and not is_kw_only:
+            self._report(
+                decorator_call, "kwonly-config",
+                f"config dataclass {node.name} is frozen and validated but "
+                f"not kw_only=True; positional construction can silently "
+                f"swap knobs",
+            )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node, "bare-except",
+                "bare except catches Interrupt/SimDeadlockError; name the "
+                "exception classes (or use `except Exception`)",
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[LintViolation]:
+    """Lint one Python file; syntax errors surface as a finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="syntax",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    linter = _Linter(path, source.splitlines(), is_sim_scope(path))
+    linter.visit(tree)
+    return linter.violations
+
+
+def lint_paths(paths: Iterable[Path | str]) -> List[LintViolation]:
+    """Lint files and directory trees; skips ``__pycache__``."""
+    violations: List[LintViolation] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            files = [path]
+        for file in files:
+            violations.extend(lint_file(file))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Simulation-safety linter (repo-specific AST rules).",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            scope = "sim-scoped" if rule in SIM_SCOPED_RULES else "universal"
+            print(f"{rule:16s} [{scope}] {description}")
+        return 0
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Process-wide strict-verification switch for the plan verifier.
+
+The verifier (:mod:`repro.analysis.verifier`) is wired into three hot
+spots — global-optimizer exit, the connector's local optimizer, and the
+connector/OCS Substrait boundary — behind this flag.  Tests flip it on
+globally (see ``tests/conftest.py``) so the whole suite runs verified;
+benchmarks leave it off, which must be performance-neutral: every
+call site checks :func:`strict_verify_enabled` *before* doing any work.
+
+An explicit per-run setting (``RunConfig.strict_verify`` or the
+``OcsConnector``/``OcsPlanOptimizer`` constructor argument) overrides
+the process default in either direction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["set_strict_verify", "strict_verify_enabled"]
+
+_STRICT_DEFAULT: bool = False
+
+
+def set_strict_verify(enabled: bool) -> bool:
+    """Set the process-wide default; returns the previous value."""
+    global _STRICT_DEFAULT
+    previous = _STRICT_DEFAULT
+    _STRICT_DEFAULT = bool(enabled)
+    return previous
+
+
+def strict_verify_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve an optional per-call override against the process default."""
+    if explicit is None:
+        return _STRICT_DEFAULT
+    return bool(explicit)

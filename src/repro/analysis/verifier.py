@@ -1,0 +1,778 @@
+"""Plan verifier: schema-propagating type checker + pushdown legality.
+
+Three layers of machine-checked invariants, one per plan representation:
+
+* :func:`verify_logical_plan` — walks a logical plan
+  (:mod:`repro.plan.nodes`) bottom-up, recomputing every node's output
+  schema from first principles and checking dtype agreement through
+  casts, function calls, and aggregate measures.  Filters must be
+  deterministic (an expression node the verifier does not know is
+  rejected, not waved through).
+* :func:`verify_pushdown` — checks a :class:`PushedOperators` chain
+  against the pushdown-legality rules: grouping keys must be a subset of
+  the pushed pipeline's columns, multi-split aggregation must ship
+  partial states, and nothing may ride above a partial aggregation.
+* :func:`verify_substrait_plan` — re-runs the structural validator, then
+  type-checks the IR: field-ref ordinals must carry the input's dtype,
+  function anchors must resolve to the signature recomputed from actual
+  argument types, measure output dtypes must match aggregate semantics,
+  and sort/fetch relations may only appear in the root zone (top-N is
+  exactly ``FetchRel(SortRel(...))`` — the sort+fetch adjacency rule).
+
+:func:`verify_optimized_plan` is the equivalence check wired in at the
+connector optimizer's exit: pushed operators + residual plan must
+type-check, agree with the pre-optimization plan's output schema, and
+cover every operator kind the pre-plan contained (nothing silently
+vanishes).  All entry points raise
+:class:`~repro.errors.VerificationError`.
+
+This module deliberately imports nothing from :mod:`repro.core` or
+:mod:`repro.engine` (the call sites live there); ``PushedOperators`` and
+table handles are consumed duck-typed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.arrowsim.dtypes import BOOL, FLOAT64, INT64, DataType
+from repro.arrowsim.schema import Field, Schema
+from repro.errors import (
+    ExpressionError,
+    SubstraitError,
+    ValidationError,
+    VerificationError,
+)
+from repro.exec.aggregates import AggregateSpec
+from repro.exec.expressions import (
+    SCALAR_FUNCTION_NAMES,
+    AndExpr,
+    ArithExpr,
+    CastExpr,
+    ColumnExpr,
+    CompareExpr,
+    Expr,
+    InExpr,
+    IsNullExpr,
+    LiteralExpr,
+    NegExpr,
+    NotExpr,
+    OrExpr,
+    ScalarFuncExpr,
+    arithmetic_result_type,
+    scalar_function_dtype,
+)
+from repro.plan.nodes import (
+    AggregationNode,
+    FilterNode,
+    LimitNode,
+    OutputNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+    TableScanNode,
+    TopNNode,
+)
+from repro.substrait.expressions import (
+    SCAST,
+    SExpression,
+    SFieldRef,
+    SFunctionCall,
+    SInList,
+    SLiteral,
+)
+from repro.substrait.functions import signature
+from repro.substrait.plan import SubstraitPlan
+from repro.substrait.relations import (
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortRel,
+)
+from repro.substrait.validator import validate_plan
+
+__all__ = [
+    "check_expression",
+    "verify_logical_plan",
+    "verify_pushdown",
+    "verify_substrait_plan",
+    "verify_optimized_plan",
+]
+
+
+# --------------------------------------------------------------------------
+# Expression checking (logical IR)
+# --------------------------------------------------------------------------
+
+_ARITH_NAME_TO_OP = {
+    "add": "+",
+    "subtract": "-",
+    "multiply": "*",
+    "divide": "/",
+    "modulus": "%",
+}
+_BOOL_RESULT_FUNCTIONS = frozenset(
+    {"equal", "not_equal", "lt", "lte", "gt", "gte", "and", "or", "not",
+     "is_null", "is_not_null"}
+)
+
+
+def check_expression(expr: Expr, schema: Schema) -> DataType:
+    """Recompute ``expr``'s dtype over ``schema``; raise on disagreement.
+
+    Every node type this verifier accepts is deterministic, so a
+    successful check doubles as the "filters must be deterministic"
+    pushdown rule: unknown expression classes are rejected outright.
+    """
+    if isinstance(expr, ColumnExpr):
+        if expr.name not in schema:
+            raise VerificationError(
+                f"expression references unknown column {expr.name!r} "
+                f"(schema: {schema.names()})"
+            )
+        declared = schema.field(expr.name).dtype
+        if expr.dtype is not declared:
+            raise VerificationError(
+                f"column {expr.name!r} typed {expr.dtype} but schema says {declared}"
+            )
+        return expr.dtype
+    if isinstance(expr, LiteralExpr):
+        return expr.dtype
+    if isinstance(expr, ArithExpr):
+        left = check_expression(expr.left, schema)
+        right = check_expression(expr.right, schema)
+        try:
+            expected = arithmetic_result_type(expr.op, left, right)
+        except ExpressionError as exc:
+            raise VerificationError(str(exc)) from exc
+        if expr.dtype is not expected:
+            raise VerificationError(
+                f"arithmetic {expr.op!r} over ({left}, {right}) must be "
+                f"{expected}, expression claims {expr.dtype}"
+            )
+        return expected
+    if isinstance(expr, NegExpr):
+        operand = check_expression(expr.operand, schema)
+        if expr.dtype is not operand:
+            raise VerificationError(
+                f"negation must preserve dtype {operand}, got {expr.dtype}"
+            )
+        return operand
+    if isinstance(expr, CompareExpr):
+        check_expression(expr.left, schema)
+        check_expression(expr.right, schema)
+        if expr.dtype is not BOOL:
+            raise VerificationError(f"comparison must be BOOL, got {expr.dtype}")
+        return BOOL
+    if isinstance(expr, (AndExpr, OrExpr)):
+        for operand in expr.operands:
+            if check_expression(operand, schema) is not BOOL:
+                raise VerificationError(
+                    f"boolean connective operand must be BOOL, got {operand!r}"
+                )
+        if expr.dtype is not BOOL:
+            raise VerificationError(f"boolean connective must be BOOL, got {expr.dtype}")
+        return BOOL
+    if isinstance(expr, NotExpr):
+        if check_expression(expr.operand, schema) is not BOOL:
+            raise VerificationError(f"NOT operand must be BOOL: {expr.operand!r}")
+        return BOOL
+    if isinstance(expr, (InExpr, IsNullExpr)):
+        check_expression(expr.operand, schema)
+        if expr.dtype is not BOOL:
+            raise VerificationError(f"{type(expr).__name__} must be BOOL, got {expr.dtype}")
+        return BOOL
+    if isinstance(expr, ScalarFuncExpr):
+        operand = check_expression(expr.operand, schema)
+        try:
+            expected = scalar_function_dtype(expr.name, operand)
+        except ExpressionError as exc:
+            raise VerificationError(str(exc)) from exc
+        if expr.dtype is not expected:
+            raise VerificationError(
+                f"{expr.name}({operand}) must be {expected}, "
+                f"expression claims {expr.dtype}"
+            )
+        return expected
+    if isinstance(expr, CastExpr):
+        check_expression(expr.operand, schema)
+        return expr.dtype
+    raise VerificationError(
+        f"unknown (potentially non-deterministic) expression node "
+        f"{type(expr).__name__}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Logical plan checking
+# --------------------------------------------------------------------------
+
+
+def _aggregate_output_fields(
+    specs: Sequence[AggregateSpec], phase: str
+) -> List[Field]:
+    fields: List[Field] = []
+    for spec in specs:
+        if phase == "partial":
+            fields.extend(spec.partial_fields())
+        else:
+            fields.append(
+                Field(spec.output, spec.output_dtype, nullable=spec.func != "count")
+            )
+    return fields
+
+
+def _check_aggregation(node: AggregationNode, source: Schema) -> Schema:
+    if node.phase not in ("single", "partial", "final"):
+        raise VerificationError(f"unknown aggregation phase {node.phase!r}")
+    fields: List[Field] = []
+    for key in node.key_names:
+        if key not in source:
+            raise VerificationError(
+                f"grouping key {key!r} not in input schema {source.names()}"
+            )
+        fields.append(source.field(key))
+    for spec in node.specs:
+        if node.phase == "final":
+            # Final-phase inputs are the partial state columns, not the
+            # original argument.
+            for state in spec.partial_fields():
+                if state.name not in source:
+                    raise VerificationError(
+                        f"final aggregation missing partial state column "
+                        f"{state.name!r} (input: {source.names()})"
+                    )
+                declared = source.field(state.name).dtype
+                if declared is not state.dtype:
+                    raise VerificationError(
+                        f"partial state {state.name!r} typed {declared}, "
+                        f"expected {state.dtype}"
+                    )
+        elif spec.arg is not None:
+            if spec.arg not in source:
+                raise VerificationError(
+                    f"aggregate argument {spec.arg!r} not in input schema "
+                    f"{source.names()}"
+                )
+            declared = source.field(spec.arg).dtype
+            if spec.input_dtype is not None and declared is not spec.input_dtype:
+                raise VerificationError(
+                    f"aggregate {spec.func}({spec.arg}) expects "
+                    f"{spec.input_dtype}, input column is {declared}"
+                )
+    fields.extend(_aggregate_output_fields(node.specs, node.phase))
+    return Schema(fields)
+
+
+def verify_logical_plan(plan: PlanNode) -> Schema:
+    """Bottom-up schema/type check; returns the verified output schema."""
+    if isinstance(plan, TableScanNode):
+        if len(set(plan.columns)) != len(plan.columns):
+            raise VerificationError(f"duplicate scan columns {plan.columns}")
+        for column in plan.columns:
+            if column not in plan.table_schema:
+                raise VerificationError(
+                    f"scan column {column!r} not in table schema "
+                    f"{plan.table_schema.names()}"
+                )
+        return plan.table_schema.select(plan.columns)
+    if isinstance(plan, FilterNode):
+        source = verify_logical_plan(plan.source)
+        if check_expression(plan.predicate, source) is not BOOL:
+            raise VerificationError(
+                f"filter predicate must be BOOL: {plan.predicate!r}"
+            )
+        return source
+    if isinstance(plan, ProjectNode):
+        source = verify_logical_plan(plan.source)
+        names = [name for name, _ in plan.projections]
+        if len(set(names)) != len(names):
+            raise VerificationError(f"duplicate projection names {names}")
+        for _, expr in plan.projections:
+            check_expression(expr, source)
+        return Schema([Field(n, e.dtype) for n, e in plan.projections])
+    if isinstance(plan, AggregationNode):
+        return _check_aggregation(plan, verify_logical_plan(plan.source))
+    if isinstance(plan, (SortNode, TopNNode)):
+        source = verify_logical_plan(plan.source)
+        for key, _descending in plan.sort_keys:
+            if key not in source:
+                raise VerificationError(
+                    f"sort key {key!r} not in input schema {source.names()}"
+                )
+        if isinstance(plan, TopNNode) and plan.count < 0:
+            raise VerificationError(f"negative top-N count {plan.count}")
+        return source
+    if isinstance(plan, LimitNode):
+        if plan.count < 0:
+            raise VerificationError(f"negative limit {plan.count}")
+        return verify_logical_plan(plan.source)
+    if isinstance(plan, OutputNode):
+        source = verify_logical_plan(plan.source)
+        for column in plan.column_names:
+            if column not in source:
+                raise VerificationError(
+                    f"output column {column!r} not in input schema {source.names()}"
+                )
+        return source.select(plan.column_names)
+    raise VerificationError(f"unknown plan node {type(plan).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Pushed-operator legality
+# --------------------------------------------------------------------------
+
+
+def verify_pushdown(pushed: Any, table_schema: Schema, split_count: int = 1) -> Schema:
+    """Check a ``PushedOperators`` chain stage by stage.
+
+    Returns the schema OCS will hand back (which must equal the residual
+    scan's schema).  ``split_count`` is how many pushdown requests the
+    scan fans out into; more than one forces partial aggregation.
+    """
+    if not pushed.columns:
+        raise VerificationError("pushdown must scan at least one column")
+    if len(set(pushed.columns)) != len(pushed.columns):
+        raise VerificationError(f"duplicate pushed columns {pushed.columns}")
+    for column in pushed.columns:
+        if column not in table_schema:
+            raise VerificationError(
+                f"pushed column {column!r} not in table schema "
+                f"{table_schema.names()}"
+            )
+    schema = table_schema.select(pushed.columns)
+
+    if pushed.filter is not None:
+        if check_expression(pushed.filter, schema) is not BOOL:
+            raise VerificationError(f"pushed filter must be BOOL: {pushed.filter!r}")
+
+    if pushed.projections is not None:
+        names = [name for name, _ in pushed.projections]
+        if len(set(names)) != len(names):
+            raise VerificationError(f"duplicate pushed projection names {names}")
+        for _, expr in pushed.projections:
+            check_expression(expr, schema)
+        schema = Schema([Field(n, e.dtype) for n, e in pushed.projections])
+
+    aggregation = pushed.aggregation
+    if aggregation is not None:
+        if aggregation.phase not in ("single", "partial"):
+            raise VerificationError(
+                f"pushed aggregation phase must be single/partial, "
+                f"got {aggregation.phase!r}"
+            )
+        if split_count > 1 and aggregation.phase != "partial":
+            raise VerificationError(
+                f"single-phase aggregation over {split_count} splits is "
+                f"unsound: per-split groups need a mergeable partial state"
+            )
+        fields: List[Field] = []
+        for key in aggregation.key_names:
+            if key not in schema:
+                raise VerificationError(
+                    f"pushed grouping key {key!r} is not a pushed scan/"
+                    f"projection column ({schema.names()})"
+                )
+            fields.append(schema.field(key))
+        if len(aggregation.arg_expressions) != len(aggregation.specs):
+            raise VerificationError(
+                "pushed aggregation arg_expressions/specs length mismatch"
+            )
+        for spec, arg_expr in zip(aggregation.specs, aggregation.arg_expressions):
+            if arg_expr is None:
+                if spec.arg is not None:
+                    raise VerificationError(
+                        f"aggregate {spec.func}({spec.arg}) pushed without "
+                        f"an argument expression"
+                    )
+                continue
+            dtype = check_expression(arg_expr, schema)
+            if spec.input_dtype is not None and dtype is not spec.input_dtype:
+                raise VerificationError(
+                    f"aggregate {spec.func}({spec.arg}) expects "
+                    f"{spec.input_dtype}, pushed argument evaluates to {dtype}"
+                )
+        fields.extend(_aggregate_output_fields(aggregation.specs, aggregation.phase))
+        schema = Schema(fields)
+        if aggregation.phase == "partial" and (
+            pushed.final_project is not None
+            or pushed.topn is not None
+            or pushed.sort is not None
+            or pushed.limit is not None
+        ):
+            raise VerificationError(
+                "nothing may ride above a partial aggregation (the residual "
+                "final aggregation must see the states verbatim)"
+            )
+
+    if pushed.final_project is not None:
+        if aggregation is None:
+            raise VerificationError(
+                "final_project requires a pushed aggregation below it"
+            )
+        for _, expr in pushed.final_project:
+            check_expression(expr, schema)
+        schema = Schema([Field(n, e.dtype) for n, e in pushed.final_project])
+
+    if pushed.topn is not None:
+        count, sort_keys = pushed.topn
+        if count < 0:
+            raise VerificationError(f"negative pushed top-N count {count}")
+        if not sort_keys:
+            raise VerificationError("pushed top-N requires sort keys")
+        for key, _descending in sort_keys:
+            if key not in schema:
+                raise VerificationError(
+                    f"pushed top-N key {key!r} not in schema {schema.names()}"
+                )
+    if pushed.sort is not None:
+        for key, _descending in pushed.sort:
+            if key not in schema:
+                raise VerificationError(
+                    f"pushed sort key {key!r} not in schema {schema.names()}"
+                )
+    if pushed.limit is not None and pushed.limit < 0:
+        raise VerificationError(f"negative pushed limit {pushed.limit}")
+    return schema
+
+
+# --------------------------------------------------------------------------
+# Substrait IR checking
+# --------------------------------------------------------------------------
+
+
+def _typed_sexpr(
+    expr: SExpression, input_types: Sequence[DataType], plan: SubstraitPlan
+) -> DataType:
+    if isinstance(expr, SFieldRef):
+        if not 0 <= expr.ordinal < len(input_types):
+            raise VerificationError(
+                f"field ordinal {expr.ordinal} out of range "
+                f"(width {len(input_types)})"
+            )
+        actual = input_types[expr.ordinal]
+        if expr.dtype is not actual:
+            raise VerificationError(
+                f"field ref ${expr.ordinal} typed {expr.dtype}, input is {actual}"
+            )
+        return actual
+    if isinstance(expr, SLiteral):
+        return expr.dtype
+    if isinstance(expr, SCAST):
+        _typed_sexpr(expr.operand, input_types, plan)
+        return expr.dtype
+    if isinstance(expr, SInList):
+        operand = _typed_sexpr(expr.operand, input_types, plan)
+        if operand is not expr.option_dtype:
+            raise VerificationError(
+                f"IN-list options typed {expr.option_dtype}, operand is {operand}"
+            )
+        return BOOL
+    if isinstance(expr, SFunctionCall):
+        name = plan.registry.name_of(expr.anchor)
+        declared_sig = plan.registry.signature_of(expr.anchor)
+        arg_types = [_typed_sexpr(a, input_types, plan) for a in expr.args]
+        try:
+            expected_sig = signature(name, arg_types)
+        except SubstraitError as exc:
+            raise VerificationError(str(exc)) from exc
+        if expected_sig != declared_sig:
+            raise VerificationError(
+                f"function anchor {expr.anchor} declares {declared_sig!r} but "
+                f"arguments recompute to {expected_sig!r}"
+            )
+        expected = _scalar_result_dtype(name, arg_types)
+        if expr.dtype is not expected:
+            raise VerificationError(
+                f"{name}({', '.join(str(t) for t in arg_types)}) must be "
+                f"{expected}, call claims {expr.dtype}"
+            )
+        return expected
+    raise VerificationError(f"unknown Substrait expression {type(expr).__name__}")
+
+
+def _scalar_result_dtype(name: str, arg_types: Sequence[DataType]) -> DataType:
+    if name in _BOOL_RESULT_FUNCTIONS:
+        return BOOL
+    if name in _ARITH_NAME_TO_OP:
+        if len(arg_types) != 2:
+            raise VerificationError(f"{name} takes two arguments")
+        try:
+            return arithmetic_result_type(
+                _ARITH_NAME_TO_OP[name], arg_types[0], arg_types[1]
+            )
+        except ExpressionError as exc:
+            raise VerificationError(str(exc)) from exc
+    if name == "negate":
+        return arg_types[0]
+    if name in SCALAR_FUNCTION_NAMES:
+        try:
+            return scalar_function_dtype(name, arg_types[0])
+        except ExpressionError as exc:
+            raise VerificationError(str(exc)) from exc
+    raise VerificationError(f"unknown scalar function {name!r}")
+
+
+def _measure_result_dtype(func: str, arg_types: Sequence[DataType]) -> DataType:
+    if func == "count":
+        return INT64
+    if func in ("avg", "variance", "stddev"):
+        return FLOAT64
+    if not arg_types:
+        raise VerificationError(f"aggregate {func!r} requires an argument")
+    if func == "sum":
+        return FLOAT64 if arg_types[0].is_floating else INT64
+    if func in ("min", "max"):
+        return arg_types[0]
+    raise VerificationError(f"unknown aggregate {func!r}")
+
+
+def _typed_rel(
+    rel: Relation, plan: SubstraitPlan, order_zone: str
+) -> List[DataType]:
+    """Type-check a relation subtree; returns its output dtypes.
+
+    ``order_zone`` enforces sort+fetch adjacency: ``"fetch"`` (the plan
+    root: fetch and sort allowed), ``"sort"`` (directly under a fetch:
+    sort allowed), ``"none"`` (anywhere else: neither).
+    """
+    if isinstance(rel, FetchRel):
+        if order_zone != "fetch":
+            raise VerificationError(
+                "fetch relation outside the root zone (top-N requires "
+                "sort+fetch adjacency at the plan root)"
+            )
+        return _typed_rel(rel.input, plan, "sort")
+    if isinstance(rel, SortRel):
+        if order_zone == "none":
+            raise VerificationError(
+                "sort relation below other operators (top-N requires "
+                "sort+fetch adjacency at the plan root)"
+            )
+        types = _typed_rel(rel.input, plan, "none")
+        for sort_field in rel.sort_fields:
+            if not 0 <= sort_field.ordinal < len(types):
+                raise VerificationError(
+                    f"sort ordinal {sort_field.ordinal} out of range"
+                )
+        return types
+    if isinstance(rel, ReadRel):
+        base_types = list(rel.base_schema.types)
+        types = [base_types[i] for i in rel.projection]
+        if rel.best_effort_filter is not None:
+            if _typed_sexpr(rel.best_effort_filter, types, plan) is not BOOL:
+                raise VerificationError("best-effort filter must be BOOL")
+        return types
+    if isinstance(rel, FilterRel):
+        types = _typed_rel(rel.input, plan, "none")
+        if _typed_sexpr(rel.condition, types, plan) is not BOOL:
+            raise VerificationError(f"filter condition must be BOOL: {rel.condition!r}")
+        return types
+    if isinstance(rel, ProjectRel):
+        types = _typed_rel(rel.input, plan, "none")
+        return [_typed_sexpr(e, types, plan) for e in rel.expressions_]
+    if isinstance(rel, AggregateRel):
+        types = _typed_rel(rel.input, plan, "none")
+        out: List[DataType] = [types[i] for i in rel.grouping]
+        for measure in rel.measures:
+            arg_types = [_typed_sexpr(a, types, plan) for a in measure.args]
+            declared_sig = plan.registry.signature_of(measure.anchor)
+            try:
+                expected_sig = signature(measure.function, arg_types)
+            except SubstraitError as exc:
+                raise VerificationError(str(exc)) from exc
+            if expected_sig != declared_sig:
+                raise VerificationError(
+                    f"measure anchor {measure.anchor} declares "
+                    f"{declared_sig!r} but arguments recompute to "
+                    f"{expected_sig!r}"
+                )
+            expected = _measure_result_dtype(measure.function, arg_types)
+            if measure.output_dtype is not expected:
+                raise VerificationError(
+                    f"measure {measure.function} must emit {expected}, "
+                    f"declares {measure.output_dtype}"
+                )
+            if measure.phase == "partial" and measure.function == "avg":
+                out.extend([FLOAT64, INT64])
+            elif measure.phase == "partial" and measure.function in (
+                "variance", "stddev",
+            ):
+                out.extend([FLOAT64, FLOAT64, INT64])
+            else:
+                out.append(expected)
+        return out
+    raise VerificationError(f"unknown relation node {type(rel).__name__}")
+
+
+def verify_substrait_plan(plan: SubstraitPlan) -> List[DataType]:
+    """Structural validation + full dtype recomputation over the IR."""
+    try:
+        validate_plan(plan)
+    except ValidationError as exc:
+        raise VerificationError(f"structural validation failed: {exc}") from exc
+    types = _typed_rel(plan.root, plan, "fetch")
+    if plan.root_names and len(plan.root_names) != len(types):
+        raise VerificationError(
+            f"root names ({len(plan.root_names)}) disagree with verified "
+            f"output width ({len(types)})"
+        )
+    return types
+
+
+# --------------------------------------------------------------------------
+# Optimizer-exit equivalence check
+# --------------------------------------------------------------------------
+
+_NODE_KIND: Dict[type, str] = {
+    FilterNode: "filter",
+    ProjectNode: "project",
+    AggregationNode: "aggregation",
+    TopNNode: "topn",
+    SortNode: "sort",
+    LimitNode: "limit",
+}
+
+
+def _linearize(plan: PlanNode) -> Tuple[TableScanNode, List[PlanNode]]:
+    """(scan leaf, operators above it root-first); rejects non-chains."""
+    chain: List[PlanNode] = []
+    node = plan
+    while True:
+        children = node.children()
+        if not children:
+            break
+        if len(children) != 1:
+            raise VerificationError(
+                f"{type(node).__name__} is not part of a linear scan chain"
+            )
+        chain.append(node)
+        node = children[0]
+    if not isinstance(node, TableScanNode):
+        raise VerificationError(
+            f"plan leaf is {type(node).__name__}, expected TableScanNode"
+        )
+    return node, chain
+
+
+def _schemas_agree(a: Schema, b: Schema) -> bool:
+    """Name+dtype equality; nullability is advisory and not compared."""
+    if a.names() != b.names():
+        return False
+    return all(fa.dtype is fb.dtype for fa, fb in zip(a, b))
+
+
+def _expand_pushed(scan: TableScanNode, base_schema: Schema, pushed: Any) -> PlanNode:
+    """Re-inflate pushed operators into logical nodes over the base scan."""
+    node: PlanNode = TableScanNode(
+        table=scan.table, table_schema=base_schema, columns=list(pushed.columns)
+    )
+    if pushed.filter is not None:
+        node = FilterNode(node, pushed.filter)
+    if pushed.projections is not None:
+        node = ProjectNode(node, list(pushed.projections))
+    aggregation = pushed.aggregation
+    if aggregation is not None:
+        # A fused projection lives in arg_expressions; re-insert it as an
+        # explicit projection so the expanded plan mirrors the pre-fusion
+        # pipeline (AggregationNode consumes plain argument columns).
+        fused = any(
+            expr is not None
+            and not (isinstance(expr, ColumnExpr) and expr.name == spec.arg)
+            for spec, expr in zip(aggregation.specs, aggregation.arg_expressions)
+        )
+        if fused:
+            current = node.output_schema()
+            projections: List[Tuple[str, Expr]] = [
+                (key, ColumnExpr(key, current.field(key).dtype))
+                for key in aggregation.key_names
+            ]
+            produced = {name for name, _ in projections}
+            for spec, expr in zip(aggregation.specs, aggregation.arg_expressions):
+                if spec.arg is not None and expr is not None and spec.arg not in produced:
+                    projections.append((spec.arg, expr))
+                    produced.add(spec.arg)
+            node = ProjectNode(node, projections)
+        node = AggregationNode(
+            node,
+            list(aggregation.key_names),
+            list(aggregation.specs),
+            phase=aggregation.phase,
+        )
+    if pushed.final_project is not None:
+        node = ProjectNode(node, list(pushed.final_project))
+    if pushed.topn is not None:
+        node = TopNNode(node, pushed.topn[0], list(pushed.topn[1]))
+    if pushed.sort is not None:
+        node = SortNode(node, list(pushed.sort))
+    if pushed.limit is not None:
+        node = LimitNode(node, pushed.limit)
+    return node
+
+
+def verify_optimized_plan(
+    pre_plan: PlanNode, residual_plan: PlanNode, split_count: int = 1
+) -> None:
+    """Equivalence check: pushed + residual ≡ the pre-optimization plan.
+
+    Three obligations, each a :class:`VerificationError` on failure:
+
+    1. The pushed operator chain is legal (:func:`verify_pushdown`) and
+       produces exactly the residual scan's schema.
+    2. The residual plan *and* the expanded plan (pushed operators
+       re-inflated over the original scan, residual operators on top)
+       type-check and agree with the pre-plan's output schema.
+    3. Operator coverage: every operator kind present in the pre-plan
+       appears either pushed or residual — nothing silently vanishes.
+    """
+    pre_output = verify_logical_plan(pre_plan)
+    residual_scan, residual_chain = _linearize(residual_plan)
+    handle = residual_scan.connector_handle
+    if handle is None or getattr(handle, "pushed", None) is None:
+        raise VerificationError("residual scan carries no pushed-operator handle")
+    pushed = handle.pushed
+    base_schema: Schema = handle.descriptor.table_schema
+
+    pushed_schema = verify_pushdown(pushed, base_schema, split_count)
+    if not _schemas_agree(pushed_schema, residual_scan.output_schema()):
+        raise VerificationError(
+            f"pushed pipeline returns {pushed_schema.names()} but the "
+            f"residual scan expects {residual_scan.output_schema().names()}"
+        )
+
+    residual_output = verify_logical_plan(residual_plan)
+    if not _schemas_agree(pre_output, residual_output):
+        raise VerificationError(
+            f"residual plan output {residual_output.names()} disagrees with "
+            f"pre-optimization output {pre_output.names()}"
+        )
+
+    pre_scan, pre_chain = _linearize(pre_plan)
+    expanded = _expand_pushed(pre_scan, base_schema, pushed)
+    for node in reversed(residual_chain):
+        expanded = node.with_source(expanded)
+    expanded_output = verify_logical_plan(expanded)
+    if not _schemas_agree(pre_output, expanded_output):
+        raise VerificationError(
+            f"expanded (pushed + residual) output {expanded_output.names()} "
+            f"disagrees with pre-optimization output {pre_output.names()}"
+        )
+
+    pre_kinds = {_NODE_KIND[type(n)] for n in pre_chain if type(n) in _NODE_KIND}
+    residual_kinds = {
+        _NODE_KIND[type(n)] for n in residual_chain if type(n) in _NODE_KIND
+    }
+    covered = residual_kinds | set(pushed.operator_names())
+    if pushed.aggregation is not None or pushed.final_project is not None:
+        # Fused or post-aggregation projections are absorbed rather than
+        # listed under their own operator name.
+        covered.add("project")
+    missing = pre_kinds - covered
+    if missing:
+        raise VerificationError(
+            f"operators {sorted(missing)} from the pre-optimization plan are "
+            f"neither pushed nor residual"
+        )

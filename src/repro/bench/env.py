@@ -57,6 +57,10 @@ class RunConfig:
     #: Record a span tree for the run (``QueryResult.trace``).  Off by
     #: default; enabling it never changes simulated timings.
     tracing: bool = False
+    #: ocs only: run the plan verifier (repro.analysis) at the optimizer
+    #: exit and the Substrait boundary.  None defers to the process-wide
+    #: default — on in tests, off in benchmarks (performance-neutral).
+    strict_verify: Optional[bool] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -114,9 +118,20 @@ class Environment:
         )
 
     def run(
-        self, sql: str, config: RunConfig, schema: str, catalog: str = "repro"
+        self,
+        sql: str,
+        config: RunConfig,
+        schema: str,
+        catalog: str = "repro",
+        *,
+        tie_break: str = "fifo",
+        observer=None,
     ) -> QueryResult:
-        """Execute one query under ``config`` on a fresh cluster."""
+        """Execute one query under ``config`` on a fresh cluster.
+
+        ``tie_break``/``observer`` instrument the simulator kernel for
+        the determinism harness; the defaults leave runs untouched.
+        """
         cluster = Cluster(
             self.store,
             self.testbed,
@@ -124,6 +139,8 @@ class Environment:
             strict_s3_types=config.strict_s3_types,
             faults=config.faults,
             tracing=config.tracing,
+            tie_break=tie_break,
+            sim_observer=observer,
         )
         connector = self._connector(cluster, config)
         coordinator = Coordinator(cluster, {catalog: connector})
@@ -164,5 +181,6 @@ class Environment:
                 cluster, self.metastore, policy=policy, monitor=self.monitor,
                 split_granularity=config.split_granularity,
                 retry_policy=config.retry,
+                strict_verify=config.strict_verify,
             )
         raise EngineError(f"unknown run mode {config.mode!r}")

@@ -34,7 +34,7 @@ MB = 10**6
 KB = 10**3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class NodeSpec:
     """Hardware description of one machine in the testbed."""
 

@@ -43,11 +43,15 @@ class Cluster:
         strict_s3_types: bool = True,
         faults: Optional[FaultSpec] = None,
         tracing: bool = False,
+        tie_break: str = "fifo",
+        sim_observer=None,
     ) -> None:
         self.testbed = testbed
         self.costs = costs
         self.store = store
-        self.sim = Simulator()
+        #: tie_break/sim_observer feed the determinism harness
+        #: (repro.analysis.determinism); production runs use the defaults.
+        self.sim = Simulator(tie_break=tie_break, observer=sim_observer)
         self.metrics = MetricsRegistry()
         #: One tracer shared by every component on the cluster, bound to
         #: the simulated clock.  Disabled by default: the no-op path makes

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.runtime import strict_verify_enabled
 from repro.arrowsim.record_batch import RecordBatch, concat_batches
 from repro.engine.cluster import Cluster
 from repro.engine.costing import presto_pipeline_cycles
@@ -228,7 +229,25 @@ class Coordinator:
             plan: PlanNode = plan_query(query)
             self._attach_handle(plan, handle)
         with tracer.span("optimize.global", parent=startup):
-            plan = GlobalOptimizer().optimize(plan)
+            if strict_verify_enabled():
+                # Global rewrites must preserve the analyzed plan's output
+                # schema; verify both sides under strict verification.
+                from repro.analysis.verifier import verify_logical_plan
+
+                pre_schema = verify_logical_plan(plan)
+                plan = GlobalOptimizer().optimize(plan)
+                post_schema = verify_logical_plan(plan)
+                if pre_schema.names() != post_schema.names() or any(
+                    a.dtype is not b.dtype for a, b in zip(pre_schema, post_schema)
+                ):
+                    from repro.errors import VerificationError
+
+                    raise VerificationError(
+                        f"global optimization changed the output schema from "
+                        f"{pre_schema.names()} to {post_schema.names()}"
+                    )
+            else:
+                plan = GlobalOptimizer().optimize(plan)
         plan_before = format_plan(plan)
         metrics.stages.charge(STAGE_OTHERS, sim.now - t0)
         tracer.end(startup)

@@ -323,6 +323,29 @@ class TraceError(ReproError):
 
 
 # --------------------------------------------------------------------------
+# Static analysis errors
+# --------------------------------------------------------------------------
+
+
+class VerificationError(ReproError):
+    """A plan failed the ``repro.analysis`` schema/legality verifier.
+
+    Raised by the plan verifier when bottom-up schema propagation finds a
+    dtype disagreement, a pushdown-legality rule is violated, or the
+    pushed + residual decomposition is not equivalent to the
+    pre-optimization plan.
+    """
+
+    code = "VERIFICATION"
+
+
+class DeterminismError(ReproError):
+    """The determinism digest harness observed divergent replays."""
+
+    code = "DETERMINISM"
+
+
+# --------------------------------------------------------------------------
 # Metastore errors
 # --------------------------------------------------------------------------
 

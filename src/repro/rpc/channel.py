@@ -164,7 +164,11 @@ class RpcClient:
         backoffless deadline race; retries are separate ``call``s and so
         get separate spans.
         """
-        span = self.tracer.start(f"rpc:{method}", parent=parent, attributes=attributes)
+        # The span closes in _traced()'s finally, not here: the attempt
+        # body is a generator and must carry its span across resumptions.
+        span = self.tracer.start(  # simlint: ignore[span-pair]
+            f"rpc:{method}", parent=parent, attributes=attributes
+        )
         span.set("peer", self.service.node.name)
         if deadline_s is None:
             body = self._call(method, payload, span)

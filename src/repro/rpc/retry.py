@@ -36,7 +36,7 @@ def _unit_jitter(salt: float, attempt: int) -> float:
     return (zlib.crc32(token) % 2**20) / 2**20
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class RetryPolicy:
     """How a caller retries transient storage failures."""
 

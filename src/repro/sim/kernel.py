@@ -253,13 +253,38 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a virtual clock over a heap of pending events."""
+    """The event loop: a virtual clock over a heap of pending events.
 
-    def __init__(self) -> None:
+    ``tie_break`` selects how events scheduled for the same instant are
+    ordered: ``"fifo"`` (schedule order, the production default) or
+    ``"lifo"`` (reversed).  A correct simulation must produce the same
+    *results* under both — the determinism harness
+    (``repro.analysis.determinism``) runs an adversarial LIFO replay to
+    flush out same-timestamp ordering hazards.
+
+    ``observer`` is an optional hook called as ``observer(time, seq,
+    event)`` after each event's callbacks run; the digest harness hangs a
+    state recorder here.  It must not schedule events.
+    """
+
+    def __init__(
+        self,
+        *,
+        tie_break: str = "fifo",
+        observer: Optional[Callable[[float, int, Event], None]] = None,
+    ) -> None:
+        if tie_break not in ("fifo", "lifo"):
+            raise SimulationError(f"unknown tie_break {tie_break!r} (want 'fifo' or 'lifo')")
         self.now: float = 0.0
+        self.tie_break = tie_break
+        self.observer = observer
+        self._tie_sign = 1 if tie_break == "fifo" else -1
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._dispatched = 0
+        self._last_dispatch_time: Optional[float] = None
+        self._tie_run = 0
+        self._max_tie_run = 0
 
     # -- factory helpers ----------------------------------------------------
 
@@ -282,19 +307,34 @@ class Simulator:
 
     def _enqueue(self, delay: float, event: Event) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self.now + delay, self._eid, event))
+        heapq.heappush(self._queue, (self.now + delay, self._tie_sign * self._eid, event))
 
     def step(self) -> None:
         """Dispatch the single next event."""
-        time, _, event = heapq.heappop(self._queue)
+        time, key, event = heapq.heappop(self._queue)
         if time < self.now:
             raise SimulationError("time went backwards")
+        # Same-instant events are where ordering hazards live: track the
+        # longest run so the determinism harness can report how much of
+        # the schedule rides on the tie-break policy.  Exact float
+        # equality is correct here — both values came off the same heap.
+        if time == self._last_dispatch_time:
+            self._tie_run += 1
+            if self._tie_run > self._max_tie_run:
+                self._max_tie_run = self._tie_run
+        else:
+            self._tie_run = 1
+            self._last_dispatch_time = time
+            if self._max_tie_run == 0:
+                self._max_tie_run = 1
         self.now = time
         self._dispatched += 1
         event.processed = True
         callbacks, event.callbacks = event.callbacks, []
         for callback in callbacks:
             callback(event)
+        if self.observer is not None:
+            self.observer(time, abs(key), event)
 
     def run(self, until: Optional[Event | float] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.
@@ -326,3 +366,13 @@ class Simulator:
     def events_dispatched(self) -> int:
         """Total number of events processed so far (for tests/metrics)."""
         return self._dispatched
+
+    @property
+    def max_simultaneous_events(self) -> int:
+        """Longest run of events dispatched at one simulated instant.
+
+        Runs longer than one are the only places a tie-break policy can
+        change dispatch order; the determinism harness uses this to size
+        the hazard surface it is probing.
+        """
+        return self._max_tie_run

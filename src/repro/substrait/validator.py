@@ -95,6 +95,16 @@ def _validate_rel(rel: Relation, plan: SubstraitPlan) -> int:
                 raise ValidationError(
                     f"grouping ordinal {ordinal} out of range (width {width})"
                 )
+        # All measures of one relation must split the same way: a mix of
+        # partial and single-phase measures cannot be merged by a single
+        # residual final aggregation (an AVG shipped single-phase next to
+        # a partial SUM has no mergeable state).
+        phases = {measure.phase for measure in rel.measures}
+        if len(phases) > 1:
+            raise ValidationError(
+                f"aggregate measures mix phases {sorted(phases)}; all "
+                f"measures must split consistently"
+            )
         out_width = len(rel.grouping)
         for measure in rel.measures:
             name = plan.registry.name_of(measure.anchor)

@@ -6,6 +6,7 @@ query run builds its own fresh cluster, so tests stay independent.
 
 import pytest
 
+from repro.analysis.runtime import set_strict_verify
 from repro.bench import Environment
 from repro.workloads import (
     DatasetSpec,
@@ -20,6 +21,18 @@ DEEPWATER_FILES = 4
 DEEPWATER_ROWS = 16384
 LINEITEM_FILES = 2
 LINEITEM_ROWS = 20000
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _strict_verify():
+    """Every optimizer/Substrait boundary is verified throughout the suite.
+
+    Benchmarks keep the default (off); tests get the full plan verifier so
+    any unsound pushdown rewrite fails loudly where it was produced.
+    """
+    previous = set_strict_verify(True)
+    yield
+    set_strict_verify(previous)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,165 @@
+"""Per-rule simlint tests: positives, suppression, scoping, repo cleanliness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, is_sim_scope, lint_file, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _lint_source(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path)
+
+
+def _rules(violations):
+    return [v.rule for v in violations]
+
+
+class TestRulePositives:
+    def test_wall_clock(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["wall-clock"]
+
+    def test_datetime_now(self, tmp_path):
+        source = "import datetime\n\ndef f():\n    return datetime.datetime.now()\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["wall-clock"]
+
+    def test_unseeded_random(self, tmp_path):
+        source = "import random\n\ndef f():\n    return random.random()\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["unseeded-random"]
+
+    def test_unseeded_numpy_default_rng(self, tmp_path):
+        source = "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["unseeded-random"]
+
+    def test_seeded_rng_allowed(self, tmp_path):
+        source = "import numpy as np\n\ndef f():\n    return np.random.default_rng(42)\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_float_equality(self, tmp_path):
+        source = "def f(x):\n    return x == 0.3\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["float-eq"]
+
+    def test_float_comparison_without_literal_allowed(self, tmp_path):
+        # Comparing two variables is not statically decidable; the rule
+        # only fires on float literals.
+        source = "def f(x, y):\n    return x == y\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_mutable_default(self, tmp_path):
+        source = "def f(items=[]):\n    return items\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["mutable-default"]
+
+    def test_bare_except(self, tmp_path):
+        source = "def f():\n    try:\n        pass\n    except:\n        pass\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["bare-except"]
+
+    def test_kwonly_config_dataclass(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(frozen=True)\n"
+            "class Spec:\n"
+            "    x: int = 1\n\n"
+            "    def validate(self):\n"
+            "        pass\n"
+        )
+        assert _rules(_lint_source(tmp_path, source)) == ["kwonly-config"]
+
+    def test_kwonly_config_satisfied(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(frozen=True, kw_only=True)\n"
+            "class Spec:\n"
+            "    x: int = 1\n\n"
+            "    def validate(self):\n"
+            "        pass\n"
+        )
+        assert _lint_source(tmp_path, source) == []
+
+    def test_non_config_dataclass_exempt(self, tmp_path):
+        # No validate() method -> not a config dataclass; positional
+        # construction stays fine.
+        source = (
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(frozen=True)\n"
+            "class Point:\n"
+            "    x: int\n"
+            "    y: int\n"
+        )
+        assert _lint_source(tmp_path, source) == []
+
+    def test_unpaired_span(self, tmp_path):
+        source = (
+            "def f(tracer):\n"
+            "    span = tracer.start('work')\n"
+            "    return span\n"
+        )
+        assert _rules(_lint_source(tmp_path, source)) == ["span-pair"]
+
+    def test_paired_span_allowed(self, tmp_path):
+        source = (
+            "def f(tracer):\n"
+            "    span = tracer.start('work')\n"
+            "    tracer.end(span)\n"
+        )
+        assert _lint_source(tmp_path, source) == []
+
+    def test_syntax_error_reported(self, tmp_path):
+        violations = _lint_source(tmp_path, "def f(:\n")
+        assert _rules(violations) == ["syntax"]
+
+
+class TestSuppression:
+    def test_targeted_suppression(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore[wall-clock]\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_blanket_suppression(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()  # simlint: ignore[float-eq]\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["wall-clock"]
+
+
+class TestScoping:
+    def test_sim_scope_classifier(self):
+        assert is_sim_scope(Path("src/repro/sim/kernel.py"))
+        assert not is_sim_scope(Path("tests/test_kernel.py"))
+        assert not is_sim_scope(Path("examples/quickstart.py"))
+        assert not is_sim_scope(Path("benchmarks/figure5.py"))
+
+    def test_sim_scoped_rule_skipped_in_tests(self, tmp_path):
+        # float-eq is sim-scoped: exact assertions in tests are idiomatic.
+        source = "def test_exact():\n    assert 0.5 == 0.5\n"
+        violations = _lint_source(tmp_path, source, name="tests/test_exact.py")
+        assert violations == []
+
+    def test_universal_rule_fires_everywhere(self, tmp_path):
+        # mutable-default is not sim-scoped; it fires in test code too.
+        source = "def helper(acc=[]):\n    return acc\n"
+        violations = _lint_source(tmp_path, source, name="tests/test_helper.py")
+        assert _rules(violations) == ["mutable-default"]
+
+
+class TestRepoClean:
+    def test_rule_catalog_stable(self):
+        assert set(RULES) == {
+            "wall-clock",
+            "unseeded-random",
+            "float-eq",
+            "mutable-default",
+            "kwonly-config",
+            "span-pair",
+            "bare-except",
+        }
+
+    def test_src_and_tests_lint_clean(self):
+        violations = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert violations == [], "\n".join(v.format() for v in violations)

@@ -9,11 +9,18 @@ from repro.rpc.channel import FRAME_OVERHEAD_BYTES
 from repro.sim import DEFAULT_COSTS, Link, SimNode, Simulator
 
 
+def _node_spec(name):
+    return NodeSpec(
+        name=name, cores=4, clock_ghz=1.0, memory_gb=8,
+        disk_bandwidth_bps=1e9, ipc_efficiency=1.0,
+    )
+
+
 @pytest.fixture()
 def setup():
     sim = Simulator()
-    client_node = SimNode(sim, NodeSpec("client", 4, 1.0, 8, 1e9, 1.0))
-    server_node = SimNode(sim, NodeSpec("server", 4, 1.0, 8, 1e9, 1.0))
+    client_node = SimNode(sim, _node_spec("client"))
+    server_node = SimNode(sim, _node_spec("server"))
     link = Link(sim, bandwidth_bps=1e6, latency_s=0.001)
     service = RpcService(sim, server_node, "echo-service", DEFAULT_COSTS)
     client = RpcClient(sim, client_node, link, service, DEFAULT_COSTS)
