@@ -50,6 +50,14 @@ def __getattr__(name: str):
         from repro.core.optimizer import PushdownPolicy
 
         return PushdownPolicy
+    if name == "ServiceSpec":
+        from repro.config import ServiceSpec
+
+        return ServiceSpec
+    if name in ("QueryService", "QueryHandle", "QueryTemplate"):
+        from repro import service as _service
+
+        return getattr(_service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
@@ -58,7 +66,11 @@ __all__ = [
     "DatasetSpec",
     "Environment",
     "PushdownPolicy",
+    "QueryHandle",
+    "QueryService",
+    "QueryTemplate",
     "RunConfig",
+    "ServiceSpec",
     "__version__",
     "connect",
 ]

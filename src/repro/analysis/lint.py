@@ -30,6 +30,12 @@ invariants of *this* codebase that no off-the-shelf tool knows:
 ``bare-except``
     No bare ``except:`` — it swallows ``Interrupt`` and
     ``SimDeadlockError``, corrupting process cleanup in the kernel.
+``module-state``
+    No module-level mutable containers (registries, queues, caches
+    created at import time): two services or replays in one process
+    would share them, breaking run isolation and determinism.  UPPER
+    constants and dunders are exempt; hold state on a class or build it
+    in a factory instead.  (Sim-scoped.)
 
 Suppress a finding in place with ``# simlint: ignore[rule]`` (or
 ``ignore[rule-a,rule-b]``, or a blanket ``ignore`` for every rule) on
@@ -58,10 +64,18 @@ RULES: Dict[str, str] = {
     "kwonly-config": "frozen config dataclass with validate() must be kw_only",
     "span-pair": "tracer.start() without tracer.end()/tracer.span() in function",
     "bare-except": "bare except swallows simulator control-flow exceptions",
+    "module-state": "module-level mutable container shared across runs",
 }
 
 #: Rules that only apply to simulation-reachable library code.
-SIM_SCOPED_RULES = frozenset({"wall-clock", "unseeded-random", "float-eq", "span-pair"})
+SIM_SCOPED_RULES = frozenset(
+    {"wall-clock", "unseeded-random", "float-eq", "span-pair", "module-state"}
+)
+
+#: Constructors whose module-level result is shared mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
 
 _WALL_CLOCK_TIME_FUNCS = frozenset(
     {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
@@ -154,6 +168,49 @@ class _Linter(ast.NodeVisitor):
         )
 
     # -- per-node rules ----------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_module_state(node)
+        self.generic_visit(node)
+
+    def _check_module_state(self, node: ast.Module) -> None:
+        """Flag import-time registries/queues (direct module-body assigns)."""
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not self._is_mutable_container(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.isupper() or (name.startswith("__") and name.endswith("__")):
+                    # UPPER constants (treated as frozen by convention) and
+                    # dunders like __all__ are not service state.
+                    continue
+                self._report(
+                    stmt, "module-state",
+                    f"module-level mutable container {name!r} is created at "
+                    f"import time and shared by every run in the process; "
+                    f"hold it on a class or build it in a factory",
+                )
+
+    @staticmethod
+    def _is_mutable_container(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return (
+                dotted is not None
+                and dotted.split(".")[-1] in _MUTABLE_CONSTRUCTORS
+            )
+        return False
 
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted_name(node.func)

@@ -6,6 +6,8 @@
     python -m repro.bench table2
     python -m repro.bench table3
     python -m repro.bench lossy          # extension: pushdown over SZ data
+    python -m repro.bench service --queries 32 --seed 0
+                                         # multi-tenant concurrent load (SLOs)
 """
 
 from __future__ import annotations
@@ -19,6 +21,17 @@ __all__ = ["main"]
 
 
 def main(argv: Optional[List[str]] = None) -> None:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    if argv and argv[0] == "service":
+        # The service bench has its own flag set (queries, seed, policy,
+        # admission limits); hand through before the artifact parser.
+        from repro.bench import service as service_bench
+
+        service_bench.main(argv[1:])
+        return
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,

@@ -142,7 +142,7 @@ class Environment:
             tie_break=tie_break,
             sim_observer=observer,
         )
-        connector = self._connector(cluster, config)
+        connector = self.build_connector(cluster, config)
         coordinator = Coordinator(cluster, {catalog: connector})
         session = Session(catalog=catalog, schema=schema)
         return coordinator.execute(sql, session)
@@ -163,12 +163,19 @@ class Environment:
             faults=config.faults if analyze else None,
             tracing=config.tracing,
         )
-        connector = self._connector(cluster, config)
+        connector = self.build_connector(cluster, config)
         coordinator = Coordinator(cluster, {catalog: connector})
         session = Session(catalog=catalog, schema=schema)
         return coordinator.explain(sql, session, analyze=analyze)
 
-    def _connector(self, cluster: Cluster, config: RunConfig):
+    def build_connector(self, cluster: Cluster, config: RunConfig):
+        """Wire the connector ``config`` names onto ``cluster``.
+
+        Public because the query service (:mod:`repro.service`) builds
+        one connector per distinct config on its long-lived shared
+        cluster, where :meth:`run`'s cluster-per-query model does not
+        apply.
+        """
         if config.mode == "hive-raw":
             return HiveConnector(
                 cluster, self.metastore, mode="raw", prune_columns=config.prune_columns

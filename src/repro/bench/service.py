@@ -1,0 +1,128 @@
+"""Multi-tenant service bench: seeded concurrent load on one cluster.
+
+    python -m repro.bench service --queries 32 --seed 0
+    python -m repro.bench service --queries 16 --policy fifo
+
+Two tenants share one simulated cluster: ``analytics`` submits TPC-H Q1
+over lineitem, ``hpc`` submits the Laghos mesh query.  Arrivals follow a
+seeded Poisson process (open loop), admission control fronts a bounded
+run queue, and the output is the SLO report — p50/p95/p99 latency,
+queue-wait vs execution breakdown, per-tenant throughput, rejections by
+error code — plus the event and result digests.  The entire output is
+deterministic for a fixed seed: CI runs this twice and diffs the bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.determinism import DigestRecorder
+from repro.bench.env import Environment
+from repro.config import ServiceSpec
+from repro.service import QueryService, QueryTemplate, open_loop
+from repro.workloads.datasets import DatasetSpec
+from repro.workloads.laghos import LAGHOS_QUERY, generate_laghos_file
+from repro.workloads.tpch import TPCH_Q1, generate_lineitem
+
+__all__ = ["build_environment", "run_bench", "main"]
+
+#: CI-sized datasets: big enough for multi-split queries, small enough
+#: that the 2x smoke run stays in seconds.
+LINEITEM_FILES, LINEITEM_ROWS = 2, 8_000
+LAGHOS_FILES, LAGHOS_ROWS = 2, 4_096
+
+
+def build_environment() -> Environment:
+    env = Environment()
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="lineitem",
+            bucket="tpch",
+            file_count=LINEITEM_FILES,
+            generator=lambda i: generate_lineitem(LINEITEM_ROWS, seed=7 + i),
+        )
+    )
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="hpc",
+            table_name="laghos",
+            bucket="hpc",
+            file_count=LAGHOS_FILES,
+            generator=lambda i: generate_laghos_file(LAGHOS_ROWS, i, seed=11),
+        )
+    )
+    return env
+
+
+def run_bench(
+    *,
+    queries: int,
+    seed: int,
+    policy: str,
+    max_active: int,
+    queue_depth: int,
+    mean_interarrival_s: float,
+) -> None:
+    spec = ServiceSpec(
+        max_active_queries=max_active,
+        max_queue_depth=queue_depth,
+        policy=policy,
+    )
+    recorder = DigestRecorder()
+    service = QueryService(build_environment(), spec, observer=recorder)
+    templates = [
+        QueryTemplate(tenant="analytics", sql=TPCH_Q1, schema="tpch", label="q1"),
+        QueryTemplate(tenant="hpc", sql=LAGHOS_QUERY, schema="hpc", label="laghos"),
+    ]
+    open_loop(
+        service,
+        templates,
+        queries=queries,
+        mean_interarrival_s=mean_interarrival_s,
+        seed=seed,
+    )
+    report = service.report()
+    print(
+        f"service bench: {queries} queries, seed {seed}, policy {policy}, "
+        f"max-active {max_active}, queue-depth {queue_depth}, "
+        f"mean interarrival {mean_interarrival_s * 1e3:.1f} ms"
+    )
+    print()
+    print(report.format())
+    print()
+    print(f"event digest : {recorder.final_digest}")
+    print(f"result digest: {report.digest()}")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench service",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--policy", choices=["fifo", "fair"], default="fair")
+    parser.add_argument("--max-active", type=int, default=3)
+    parser.add_argument("--queue-depth", type=int, default=4)
+    parser.add_argument(
+        "--mean-interarrival-ms",
+        type=float,
+        default=5.0,
+        help="mean Poisson interarrival gap in simulated milliseconds",
+    )
+    args = parser.parse_args(argv)
+    run_bench(
+        queries=args.queries,
+        seed=args.seed,
+        policy=args.policy,
+        max_active=args.max_active,
+        queue_depth=args.queue_depth,
+        mean_interarrival_s=args.mean_interarrival_ms / 1e3,
+    )
+
+
+if __name__ == "__main__":
+    main()

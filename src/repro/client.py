@@ -25,11 +25,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from repro.bench.env import Environment, RunConfig
-from repro.config import FaultSpec, TestbedSpec
+from repro.config import FaultSpec, ServiceSpec, TestbedSpec
 from repro.engine.coordinator import QueryResult
 from repro.errors import ConfigError
 from repro.metastore.catalog import TableDescriptor
 from repro.rpc.retry import RetryPolicy
+from repro.service.jobs import QueryHandle
 from repro.sim.costmodel import CostParams
 from repro.workloads.datasets import DatasetSpec
 
@@ -47,6 +48,7 @@ def connect(
     tracing: bool = False,
     retry: Optional[RetryPolicy] = None,
     catalog: str = "repro",
+    service: Optional[ServiceSpec] = None,
 ) -> "Client":
     """Open a simulated deployment and return a :class:`Client` for it.
 
@@ -58,7 +60,9 @@ def connect(
     * ``tracing`` — record a span tree on every query
       (``result.trace``); never changes simulated timings;
     * ``retry`` — deadline/backoff policy for pushdown RPCs;
-    * ``catalog`` — catalog name queries resolve against.
+    * ``catalog`` — catalog name queries resolve against;
+    * ``service`` — admission/scheduling limits for :meth:`Client.submit`
+      (defaults apply when omitted; see :class:`~repro.config.ServiceSpec`).
     """
     kwargs = {}
     if testbed is not None:
@@ -71,6 +75,7 @@ def connect(
         tracing=tracing,
         retry=retry,
         catalog=catalog,
+        service_spec=service,
     )
 
 
@@ -83,7 +88,10 @@ class Client:
     tracing: bool = False
     retry: Optional[RetryPolicy] = None
     catalog: str = "repro"
+    #: Admission/scheduling limits for :meth:`submit`; None = defaults.
+    service_spec: Optional[ServiceSpec] = None
     _schemas: Dict[str, int] = field(default_factory=dict)
+    _service: Optional[object] = field(default=None, repr=False)
 
     # -- datasets --------------------------------------------------------------
 
@@ -132,6 +140,66 @@ class Client:
             catalog=self.catalog,
             analyze=analyze,
         )
+
+    # -- concurrent submission -------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        config: Optional[RunConfig] = None,
+        schema: Optional[str] = None,
+        *,
+        tenant: str = "default",
+        at: Optional[float] = None,
+        memory_bytes: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> QueryHandle:
+        """Submit without waiting; returns a :class:`QueryHandle`.
+
+        Unlike :meth:`execute` (one fresh cluster per query), submitted
+        queries share one long-lived simulated cluster and pass through
+        the multi-tenant service's admission control and scheduler
+        (:mod:`repro.service`), so concurrent submissions contend for
+        the same workers and storage nodes.  ``handle.result()`` drives
+        the simulation to that query's completion; :meth:`gather`
+        finishes everything in flight.
+        """
+        return self._query_service().submit(
+            sql,
+            tenant=tenant,
+            schema=self._resolve_schema(schema),
+            config=self._effective_config(config),
+            at=at,
+            memory_bytes=memory_bytes,
+            label=label,
+        )
+
+    def gather(self, *handles: QueryHandle) -> list:
+        """Drain the service; return ``handles``' results in order.
+
+        Raises the first submission's error if one failed or was
+        rejected (inspect ``handle.status()`` / ``handle.exception()``
+        first to handle rejections without raising).
+        """
+        service = self._query_service()
+        service.drain()
+        return [handle.result() for handle in handles]
+
+    def service_report(self):
+        """SLO report over every :meth:`submit` so far (drains first)."""
+        return self._query_service().report()
+
+    def _query_service(self):
+        if self._service is None:
+            from repro.service.service import QueryService
+
+            self._service = QueryService(
+                self.environment,
+                self.service_spec,
+                catalog=self.catalog,
+                base_config=self._effective_config(None),
+            )
+        return self._service
 
     # -- internals -------------------------------------------------------------
 

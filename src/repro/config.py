@@ -144,6 +144,92 @@ class FaultSpec:
 
 
 @dataclass(frozen=True, kw_only=True)
+class ServiceSpec:
+    """Knobs of the multi-tenant query service (:mod:`repro.service`).
+
+    The service layers admission control and concurrent scheduling over
+    one shared simulated cluster: at most ``max_active_queries`` queries
+    execute at once, at most ``max_queue_depth`` more wait in the run
+    queue, and per-tenant in-flight / memory limits bound what any one
+    tenant can have admitted.  Every limit violation surfaces as a typed
+    :class:`~repro.errors.AdmissionError` subclass.
+    """
+
+    #: Queries executing concurrently on the shared cluster.
+    max_active_queries: int = 4
+    #: Bounded run queue; submissions beyond it are rejected with
+    #: ``ADMISSION_QUEUE_FULL``.
+    max_queue_depth: int = 32
+    #: Simulated seconds a query may wait in the queue before failing
+    #: with ``ADMISSION_QUEUE_TIMEOUT``; ``None`` waits forever.
+    queue_timeout_s: float | None = None
+    #: Max queued+running queries per tenant (``ADMISSION_TENANT_LIMIT``);
+    #: ``None`` leaves tenants unbounded.
+    per_tenant_max_inflight: int | None = None
+    #: Per-tenant budget over the memory estimates of admitted queries
+    #: (``ADMISSION_MEMORY_BUDGET``); ``None`` disables the budget.
+    per_tenant_memory_bytes: int | None = None
+    #: Memory estimate charged to a query that does not declare one.
+    default_query_memory_bytes: int = 64 * MB
+    #: Dispatch policy: "fifo" (arrival order) or "fair" (fair-share
+    #: across tenants: least-loaded, then least-served tenant first).
+    policy: str = "fifo"
+    #: Defer dispatch while any storage node's core queue is at least
+    #: this deep (backpressure); ``None`` disables the check.
+    backpressure_queue_depth: int | None = None
+    #: Re-check interval (simulated seconds) while backpressure holds.
+    backpressure_poll_s: float = 0.002
+    #: Record spans for every query; the SLO reporter derives latency,
+    #: queue-wait, and per-tenant throughput from them.
+    tracing: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.max_active_queries < 1:
+            raise ConfigError(
+                f"max_active_queries must be >= 1, got {self.max_active_queries}"
+            )
+        if self.max_queue_depth < 0:
+            raise ConfigError(
+                f"max_queue_depth cannot be negative, got {self.max_queue_depth}"
+            )
+        if self.queue_timeout_s is not None and self.queue_timeout_s <= 0:
+            raise ConfigError(
+                f"queue_timeout_s must be positive, got {self.queue_timeout_s}"
+            )
+        if self.per_tenant_max_inflight is not None and self.per_tenant_max_inflight < 1:
+            raise ConfigError(
+                f"per_tenant_max_inflight must be >= 1, "
+                f"got {self.per_tenant_max_inflight}"
+            )
+        if self.per_tenant_memory_bytes is not None and self.per_tenant_memory_bytes <= 0:
+            raise ConfigError(
+                f"per_tenant_memory_bytes must be positive, "
+                f"got {self.per_tenant_memory_bytes}"
+            )
+        if self.default_query_memory_bytes <= 0:
+            raise ConfigError(
+                f"default_query_memory_bytes must be positive, "
+                f"got {self.default_query_memory_bytes}"
+            )
+        if self.policy not in ("fifo", "fair"):
+            raise ConfigError(
+                f"policy must be 'fifo' or 'fair', got {self.policy!r}"
+            )
+        if self.backpressure_queue_depth is not None and self.backpressure_queue_depth < 1:
+            raise ConfigError(
+                f"backpressure_queue_depth must be >= 1, "
+                f"got {self.backpressure_queue_depth}"
+            )
+        if self.backpressure_poll_s <= 0:
+            raise ConfigError(
+                f"backpressure_poll_s must be positive, got {self.backpressure_poll_s}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
 class TestbedSpec:
     """The full three-node testbed of Table 1."""
 

@@ -75,6 +75,19 @@ class PushdownMonitor:
         if event.downgraded:
             self._total_downgrades += 1
 
+    def reset(self) -> None:
+        """Drop the window and lifetime totals (cluster/env reuse).
+
+        Consecutive runs on one environment share this monitor so the
+        sliding-window history accumulates *by design*; ``reset()`` is the
+        explicit boundary for callers (the query service, replay
+        harnesses) that need run-to-run isolation instead.
+        """
+        self._events.clear()
+        self._total_events = 0
+        self._total_failures = 0
+        self._total_downgrades = 0
+
     # -- queries ------------------------------------------------------------------
 
     def __len__(self) -> int:

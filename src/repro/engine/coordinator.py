@@ -101,6 +101,26 @@ class Coordinator:
         result = cluster.sim.run(until=process)
         return result
 
+    def query_process(
+        self,
+        sql: str,
+        session: Session,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        parent=None,
+        query_id: Optional[str] = None,
+    ):
+        """The query as a schedulable DES generator (re-entrant form).
+
+        :meth:`execute` drives one query to completion on an otherwise
+        idle cluster; the multi-tenant query service instead spawns many
+        of these concurrently on one shared cluster.  Each call gets its
+        own metrics registry and span root (parented under ``parent``
+        when given, so a service-level trace nests the query), and
+        ``query_id`` tags resource claims for per-query accounting.
+        """
+        return self._run_query(sql, session, metrics=metrics, parent=parent, query_id=query_id)
+
     def explain(self, sql: str, session: Session, analyze: bool = False) -> str:
         """Plan (without executing) and describe what would happen.
 
@@ -198,18 +218,31 @@ class Coordinator:
 
     # -- the query process ----------------------------------------------------------
 
-    def _run_query(self, sql: str, session: Session):
+    def _run_query(
+        self,
+        sql: str,
+        session: Session,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        parent=None,
+        query_id: Optional[str] = None,
+    ):
         cluster = self.cluster
         sim = cluster.sim
         costs = cluster.costs
-        metrics = cluster.metrics
+        # Per-query scoped: consecutive/concurrent queries on one shared
+        # cluster must not see each other's counters or stage windows.
+        metrics = metrics if metrics is not None else MetricsRegistry()
         tracer = cluster.tracer
 
         # (0) Coordination overhead ("others" in Table 3).  Every stage
         # window below is mirrored by a stage-tagged span over the same
         # instants, so span-derived totals reproduce ``stage_seconds``.
         query_start = sim.now
-        root = tracer.start("query", attributes={"sql": " ".join(sql.split())})
+        bytes_start = cluster.bytes_to_compute()
+        root = tracer.start(
+            "query", parent=parent, attributes={"sql": " ".join(sql.split())}
+        )
         t0 = sim.now
         startup = tracer.start("startup", parent=root, stage=STAGE_OTHERS)
         yield cluster.compute.execute(costs.coordinator_fixed_cycles, name="coordinate")
@@ -283,7 +316,10 @@ class Coordinator:
         # Split drivers (scan stage).
         split_processes = [
             sim.process(
-                self._run_split(connector, scan_handle, split, physical, metrics, root),
+                self._run_split(
+                    connector, scan_handle, split, physical, metrics, root,
+                    owner=query_id,
+                ),
                 name=f"split-{split.split_id}",
             )
             for split in splits
@@ -330,7 +366,11 @@ class Coordinator:
         return QueryResult(
             batch=batch,
             execution_seconds=elapsed,
-            data_moved_bytes=cluster.bytes_to_compute(),
+            # Delta over the link ledger: exact for a dedicated cluster;
+            # on a shared cluster concurrent queries interleave on the
+            # link, so the service reports per-query movement from the
+            # per-query ``bytes_received`` counter instead.
+            data_moved_bytes=cluster.bytes_to_compute() - bytes_start,
             splits=len(splits),
             plan_before=plan_before,
             plan_after=plan_after,
@@ -341,7 +381,8 @@ class Coordinator:
         )
 
     def _run_split(
-        self, connector: Connector, handle, split, physical: PhysicalPlan, metrics, parent=None
+        self, connector: Connector, handle, split, physical: PhysicalPlan, metrics,
+        parent=None, owner: Optional[str] = None,
     ):
         cluster = self.cluster
         sim = cluster.sim
@@ -353,7 +394,7 @@ class Coordinator:
             attributes={"split": split.split_id, "node": split.node_index},
         )
         try:
-            with cluster.scan_drivers.request() as driver:
+            with cluster.scan_drivers.request(owner=owner) as driver:
                 yield driver
                 # Data acquisition: storage round trip + page
                 # materialization.  Concurrent splits each open a stage

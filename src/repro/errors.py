@@ -285,6 +285,52 @@ class OcsPlanRejectedError(OcsError):
 
 
 # --------------------------------------------------------------------------
+# Query-service / admission errors
+# --------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for multi-tenant query-service failures."""
+
+    code = "SERVICE"
+
+
+class AdmissionError(ServiceError):
+    """Base class for admission-control rejections.
+
+    Every admission failure is *typed*: callers (and the SLO reporter)
+    switch on ``code`` to distinguish a full run queue from a tenant
+    quota from a memory budget without parsing messages.
+    """
+
+    code = "ADMISSION"
+
+
+class QueueFullError(AdmissionError):
+    """The service's bounded run queue is at capacity; try again later."""
+
+    code = "ADMISSION_QUEUE_FULL"
+
+
+class TenantLimitError(AdmissionError):
+    """The tenant already has its maximum in-flight queries admitted."""
+
+    code = "ADMISSION_TENANT_LIMIT"
+
+
+class MemoryBudgetError(AdmissionError):
+    """Admitting the query would exceed the tenant's memory budget."""
+
+    code = "ADMISSION_MEMORY_BUDGET"
+
+
+class QueueTimeoutError(AdmissionError):
+    """The query waited in the run queue longer than the configured bound."""
+
+    code = "ADMISSION_QUEUE_TIMEOUT"
+
+
+# --------------------------------------------------------------------------
 # Simulation errors
 # --------------------------------------------------------------------------
 

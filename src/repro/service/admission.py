@@ -1,0 +1,151 @@
+"""Admission control: bounded queue, per-tenant quotas, memory budgets.
+
+The controller is the service's gatekeeper.  Every submission is checked
+at its arrival instant against three limits from
+:class:`~repro.config.ServiceSpec`:
+
+* the service-wide **run queue bound** (``max_queue_depth``),
+* the tenant's **in-flight cap** (``per_tenant_max_inflight``, counting
+  queued + running queries), and
+* the tenant's **memory budget** (``per_tenant_memory_bytes``, summed
+  over the declared/estimated memory of the tenant's admitted queries).
+
+A violated limit produces a typed :class:`~repro.errors.AdmissionError`
+subclass — the caller sees a stable ``code`` (``ADMISSION_QUEUE_FULL``,
+``ADMISSION_TENANT_LIMIT``, ``ADMISSION_MEMORY_BUDGET``), never a parsed
+message.  The controller also keeps the per-tenant ledgers (running
+counts, service received, first/last activity) that the fair-share
+scheduler and the SLO reporter read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import ServiceSpec
+from repro.errors import (
+    AdmissionError,
+    MemoryBudgetError,
+    QueueFullError,
+    TenantLimitError,
+)
+from repro.service.jobs import JobStatus, QueryJob
+
+__all__ = ["TenantState", "AdmissionController"]
+
+
+@dataclass
+class TenantState:
+    """Per-tenant ledger: admission counters + scheduler inputs."""
+
+    name: str
+    #: Queued + running queries (what the in-flight cap bounds).
+    inflight: int = 0
+    #: Currently executing queries (fair-share load signal).
+    running: int = 0
+    #: Sum of memory estimates over admitted (queued + running) queries.
+    memory_admitted: int = 0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    #: Simulated execution seconds served to completed queries
+    #: (fair-share "service received" signal).
+    served_seconds: float = 0.0
+    first_submit: Optional[float] = None
+    last_finish: Optional[float] = None
+    rejections_by_code: Dict[str, int] = field(default_factory=dict)
+
+
+class AdmissionController:
+    """Stateless checks + stateful per-tenant ledgers."""
+
+    def __init__(self, spec: ServiceSpec) -> None:
+        self.spec = spec
+        self._tenants: Dict[str, TenantState] = {}
+
+    # -- ledgers ---------------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = TenantState(name=name)
+            self._tenants[name] = state
+        return state
+
+    def tenants(self) -> Dict[str, TenantState]:
+        return dict(self._tenants)
+
+    # -- the admission decision ------------------------------------------------
+
+    def check(self, job: QueryJob, queue_depth: int) -> Optional[AdmissionError]:
+        """The error admitting ``job`` would violate, or None to admit.
+
+        Pure decision — ledgers are only touched by :meth:`admit` /
+        :meth:`release`, so a rejection leaves no residue.
+        """
+        spec = self.spec
+        if queue_depth >= spec.max_queue_depth:
+            return QueueFullError(
+                f"run queue full ({queue_depth}/{spec.max_queue_depth}); "
+                f"rejecting {job.query_id} from tenant {job.tenant!r}"
+            )
+        state = self.tenant(job.tenant)
+        if (
+            spec.per_tenant_max_inflight is not None
+            and state.inflight >= spec.per_tenant_max_inflight
+        ):
+            return TenantLimitError(
+                f"tenant {job.tenant!r} already has {state.inflight} queries "
+                f"in flight (limit {spec.per_tenant_max_inflight})"
+            )
+        if spec.per_tenant_memory_bytes is not None:
+            projected = state.memory_admitted + job.memory_bytes
+            if projected > spec.per_tenant_memory_bytes:
+                return MemoryBudgetError(
+                    f"admitting {job.query_id} would put tenant {job.tenant!r} "
+                    f"at {projected} admitted bytes "
+                    f"(budget {spec.per_tenant_memory_bytes})"
+                )
+        return None
+
+    # -- ledger transitions ----------------------------------------------------
+
+    def record_submit(self, job: QueryJob, now: float) -> None:
+        state = self.tenant(job.tenant)
+        state.submitted += 1
+        if state.first_submit is None:
+            state.first_submit = now
+
+    def admit(self, job: QueryJob) -> None:
+        state = self.tenant(job.tenant)
+        state.inflight += 1
+        state.memory_admitted += job.memory_bytes
+
+    def record_reject(self, job: QueryJob, error: AdmissionError) -> None:
+        state = self.tenant(job.tenant)
+        state.rejected += 1
+        code = str(error.code)
+        state.rejections_by_code[code] = state.rejections_by_code.get(code, 0) + 1
+
+    def record_dispatch(self, job: QueryJob) -> None:
+        self.tenant(job.tenant).running += 1
+
+    def release(self, job: QueryJob, now: float) -> None:
+        """Return the job's admission holdings at its terminal transition."""
+        state = self.tenant(job.tenant)
+        state.inflight -= 1
+        state.memory_admitted -= job.memory_bytes
+        state.last_finish = now
+        if job.status is JobStatus.SUCCEEDED:
+            state.running -= 1
+            state.completed += 1
+            if job.result is not None:
+                state.served_seconds += job.result.execution_seconds
+        elif job.status is JobStatus.FAILED:
+            state.running -= 1
+            state.failed += 1
+        elif job.status is JobStatus.TIMED_OUT:
+            state.timed_out += 1

@@ -11,7 +11,7 @@ the primitive under the simulated RPC channels.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Event, Simulator
@@ -27,14 +27,20 @@ class Request(Event):
         with resource.request() as req:
             yield req
             ... # slot held here
+
+    ``owner`` is an optional accounting tag (e.g. a query id): the
+    resource charges slot-held seconds to it, so concurrent queries
+    sharing one pool stay attributable (``Resource.busy_seconds``).
     """
 
-    __slots__ = ("resource", "granted")
+    __slots__ = ("resource", "granted", "owner", "_granted_at")
 
-    def __init__(self, resource: "Resource") -> None:
+    def __init__(self, resource: "Resource", owner: Optional[str] = None) -> None:
         super().__init__(resource.sim)
         self.resource = resource
         self.granted = False
+        self.owner = owner
+        self._granted_at = 0.0
 
     def __enter__(self) -> "Request":
         return self
@@ -56,6 +62,8 @@ class Resource:
         # Occupancy statistics: time-weighted integral of in_use.
         self._busy_integral = 0.0
         self._last_change = sim.now
+        # Per-owner accounting: slot-held seconds charged on release.
+        self._owner_busy: Dict[str, float] = {}
 
     # -- accounting ---------------------------------------------------------
 
@@ -74,17 +82,21 @@ class Resource:
 
     # -- protocol -------------------------------------------------------------
 
-    def request(self) -> Request:
+    def request(self, owner: Optional[str] = None) -> Request:
         """Claim one slot; the returned event fires when the slot is granted."""
-        req = Request(self)
+        req = Request(self, owner=owner)
         if self.in_use < self.capacity:
-            self._note_change()
-            self.in_use += 1
-            req.granted = True
+            self._grant(req)
             req.succeed(req)
         else:
             self._waiters.append(req)
         return req
+
+    def _grant(self, req: Request) -> None:
+        self._note_change()
+        self.in_use += 1
+        req.granted = True
+        req._granted_at = self.sim.now
 
     def release(self, request: Request) -> None:
         """Return a slot to the pool, waking the oldest waiter if any."""
@@ -100,21 +112,31 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError("release without matching request")
         request.granted = False
+        if request.owner is not None:
+            self._owner_busy[request.owner] = self._owner_busy.get(
+                request.owner, 0.0
+            ) + (self.sim.now - request._granted_at)
         self._note_change()
         self.in_use -= 1
         while self._waiters:
             waiter = self._waiters.popleft()
             if waiter.triggered:  # cancelled/interrupted while queued
                 continue
-            self._note_change()
-            self.in_use += 1
-            waiter.granted = True
+            self._grant(waiter)
             waiter.succeed(waiter)
             break
 
     @property
     def queue_length(self) -> int:
         return len(self._waiters)
+
+    def busy_seconds(self, owner: str) -> float:
+        """Slot-held seconds charged to ``owner`` (released claims only)."""
+        return self._owner_busy.get(owner, 0.0)
+
+    def owners(self) -> Dict[str, float]:
+        """All per-owner slot-held seconds recorded so far."""
+        return dict(self._owner_busy)
 
 
 class Store:

@@ -17,7 +17,13 @@ never touches the simulation: traced and untraced runs have bit-identical
 simulated timings.  See ``docs/OBSERVABILITY.md`` for the span taxonomy.
 """
 
-from repro.trace.analysis import stage_totals, stage_windows, union_seconds
+from repro.trace.analysis import (
+    ServiceQueryBreakdown,
+    service_breakdown,
+    stage_totals,
+    stage_windows,
+    union_seconds,
+)
 from repro.trace.export import (
     chrome_trace_events,
     export_chrome_trace,
@@ -31,6 +37,7 @@ __all__ = [
     "NOOP_SPAN",
     "NOOP_TRACER",
     "STAGE_KEY",
+    "ServiceQueryBreakdown",
     "Span",
     "SpanContext",
     "Trace",
@@ -38,6 +45,7 @@ __all__ = [
     "chrome_trace_events",
     "export_chrome_trace",
     "render_tree",
+    "service_breakdown",
     "stage_totals",
     "stage_windows",
     "union_seconds",

@@ -113,6 +113,35 @@ class TestRulePositives:
         violations = _lint_source(tmp_path, "def f(:\n")
         assert _rules(violations) == ["syntax"]
 
+    def test_module_state_literal(self, tmp_path):
+        source = "registry = {}\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["module-state"]
+
+    def test_module_state_constructor(self, tmp_path):
+        source = (
+            "from collections import deque\n\n"
+            "pending: 'deque' = deque()\n"
+        )
+        assert _rules(_lint_source(tmp_path, source)) == ["module-state"]
+
+    def test_module_state_comprehension(self, tmp_path):
+        source = "lookup = {i: i * i for i in range(4)}\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["module-state"]
+
+    def test_module_state_upper_constant_exempt(self, tmp_path):
+        # UPPER names are constants by convention; dunders like __all__
+        # are module metadata, not service state.
+        source = "DEFAULTS = {'a': 1}\n__all__ = ['f']\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_module_state_immutable_allowed(self, tmp_path):
+        source = "modes = ('fifo', 'fair')\nnames = frozenset({'a'})\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_module_state_inside_function_allowed(self, tmp_path):
+        source = "def build():\n    registry = {}\n    return registry\n"
+        assert _lint_source(tmp_path, source) == []
+
 
 class TestSuppression:
     def test_targeted_suppression(self, tmp_path):
@@ -147,6 +176,12 @@ class TestScoping:
         violations = _lint_source(tmp_path, source, name="tests/test_helper.py")
         assert _rules(violations) == ["mutable-default"]
 
+    def test_module_state_skipped_in_tests(self, tmp_path):
+        # module-state is sim-scoped: test modules may keep scratch lists.
+        source = "collected = []\n"
+        violations = _lint_source(tmp_path, source, name="tests/test_scratch.py")
+        assert violations == []
+
 
 class TestRepoClean:
     def test_rule_catalog_stable(self):
@@ -158,6 +193,7 @@ class TestRepoClean:
             "kwonly-config",
             "span-pair",
             "bare-except",
+            "module-state",
         }
 
     def test_src_and_tests_lint_clean(self):
