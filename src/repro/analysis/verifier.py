@@ -43,6 +43,7 @@ from repro.errors import (
     ValidationError,
     VerificationError,
 )
+from repro.exchange.filters import BloomProbeExpr
 from repro.exec.aggregates import AggregateSpec
 from repro.exec.expressions import (
     SCALAR_FUNCTION_NAMES,
@@ -65,6 +66,7 @@ from repro.exec.expressions import (
 from repro.plan.nodes import (
     AggregationNode,
     FilterNode,
+    JoinNode,
     LimitNode,
     OutputNode,
     PlanNode,
@@ -75,6 +77,7 @@ from repro.plan.nodes import (
 )
 from repro.substrait.expressions import (
     SCAST,
+    SBloomProbe,
     SExpression,
     SFieldRef,
     SFunctionCall,
@@ -100,6 +103,7 @@ __all__ = [
     "verify_pushdown",
     "verify_substrait_plan",
     "verify_optimized_plan",
+    "verify_exchange_boundary",
 ]
 
 
@@ -200,6 +204,22 @@ def check_expression(expr: Expr, schema: Schema) -> DataType:
     if isinstance(expr, CastExpr):
         check_expression(expr.operand, schema)
         return expr.dtype
+    if isinstance(expr, BloomProbeExpr):
+        # Deterministic: membership in an immutable build-side bitset.
+        check_expression(expr.operand, schema)
+        bloom = expr.bloom
+        if bloom.num_bits < 8 or bloom.num_bits & (bloom.num_bits - 1):
+            raise VerificationError(
+                f"bloom num_bits must be a power of two >= 8, got {bloom.num_bits}"
+            )
+        if len(bloom.bits) * 8 != bloom.num_bits:
+            raise VerificationError(
+                f"bloom bitset holds {len(bloom.bits) * 8} bits, header says "
+                f"{bloom.num_bits}"
+            )
+        if expr.dtype is not BOOL:
+            raise VerificationError(f"bloom probe must be BOOL, got {expr.dtype}")
+        return BOOL
     raise VerificationError(
         f"unknown (potentially non-deterministic) expression node "
         f"{type(expr).__name__}"
@@ -318,7 +338,64 @@ def verify_logical_plan(plan: PlanNode) -> Schema:
                     f"output column {column!r} not in input schema {source.names()}"
                 )
         return source.select(plan.column_names)
+    if isinstance(plan, JoinNode):
+        return _check_join(plan)
     raise VerificationError(f"unknown plan node {type(plan).__name__}")
+
+
+def _check_join(plan: JoinNode) -> Schema:
+    """Join invariants: paired equi-keys with equal dtypes, and an output
+    schema that is exactly left ⊕ (renamed, collision-free) right."""
+    left = verify_logical_plan(plan.left)
+    right = verify_logical_plan(plan.right)
+    if plan.kind not in ("inner", "left"):
+        raise VerificationError(f"unknown join kind {plan.kind!r}")
+    if plan.distribution not in ("auto", "broadcast", "partitioned"):
+        raise VerificationError(
+            f"unknown join distribution {plan.distribution!r}"
+        )
+    if not plan.left_keys or len(plan.left_keys) != len(plan.right_keys):
+        raise VerificationError(
+            f"join must pair equal, non-empty key lists, got "
+            f"{plan.left_keys} / {plan.right_keys}"
+        )
+    for lk, rk in zip(plan.left_keys, plan.right_keys):
+        if lk not in left:
+            raise VerificationError(
+                f"join key {lk!r} not in left input {left.names()}"
+            )
+        if rk not in right:
+            raise VerificationError(
+                f"join key {rk!r} not in right input {right.names()}"
+            )
+        ldt = left.field(lk).dtype
+        rdt = right.field(rk).dtype
+        if ldt is not rdt:
+            raise VerificationError(
+                f"join key dtype mismatch: {lk} is {ldt}, {rk} is {rdt}"
+            )
+    fields = list(left.fields)
+    seen = set(left.names())
+    force_nullable = plan.kind == "left"
+    for f in right.fields:
+        out_name = plan.right_renames.get(f.name, f.name)
+        if out_name in seen:
+            raise VerificationError(
+                f"join output column {out_name!r} collides across sides "
+                f"(right_renames must disambiguate it)"
+            )
+        seen.add(out_name)
+        fields.append(
+            Field(out_name, f.dtype, nullable=f.nullable or force_nullable)
+        )
+    recomputed = Schema(fields)
+    declared = plan.output_schema()
+    if not _schemas_agree(recomputed, declared):
+        raise VerificationError(
+            f"join output schema {declared.names()} disagrees with "
+            f"left ⊕ renamed right {recomputed.names()}"
+        )
+    return recomputed
 
 
 # --------------------------------------------------------------------------
@@ -348,6 +425,14 @@ def verify_pushdown(pushed: Any, table_schema: Schema, split_count: int = 1) -> 
     if pushed.filter is not None:
         if check_expression(pushed.filter, schema) is not BOOL:
             raise VerificationError(f"pushed filter must be BOOL: {pushed.filter!r}")
+
+    dynamic_filter = getattr(pushed, "dynamic_filter", None)
+    if dynamic_filter is not None:
+        # Applied directly above the read (before projections rebind names).
+        if check_expression(dynamic_filter, schema) is not BOOL:
+            raise VerificationError(
+                f"pushed dynamic filter must be BOOL: {dynamic_filter!r}"
+            )
 
     if pushed.projections is not None:
         names = [name for name, _ in pushed.projections]
@@ -464,6 +549,11 @@ def _typed_sexpr(
     if isinstance(expr, SCAST):
         _typed_sexpr(expr.operand, input_types, plan)
         return expr.dtype
+    if isinstance(expr, SBloomProbe):
+        _typed_sexpr(expr.operand, input_types, plan)
+        if expr.dtype is not BOOL:
+            raise VerificationError(f"bloom probe must be BOOL, got {expr.dtype}")
+        return BOOL
     if isinstance(expr, SInList):
         operand = _typed_sexpr(expr.operand, input_types, plan)
         if operand is not expr.option_dtype:
@@ -776,3 +866,33 @@ def verify_optimized_plan(
             f"operators {sorted(missing)} from the pre-optimization plan are "
             f"neither pushed nor residual"
         )
+
+
+# --------------------------------------------------------------------------
+# Exchange boundaries
+# --------------------------------------------------------------------------
+
+
+def verify_exchange_boundary(scan: TableScanNode) -> None:
+    """The synthetic scan standing in for an exchange must carry no pushdown.
+
+    When the coordinator fragments the portion of a join plan *above* the
+    exchange, it substitutes a handle-less synthetic :class:`TableScanNode`
+    for the join: the exchange consumes engine pages produced by the join
+    tasks, not storage pages, so no operator may ride down through it into
+    a connector.  (Partial aggregation *below* the boundary is fine — that
+    is the per-task half of a two-phase aggregate, not a pushdown.)
+    """
+    handle = scan.connector_handle
+    if handle is None:
+        return
+    pushed = getattr(handle, "pushed", None)
+    if pushed is not None and pushed.any_pushdown:
+        raise VerificationError(
+            f"operators {pushed.operator_names()} pushed through an exchange "
+            f"boundary: the exchange input is engine pages, not a storage scan"
+        )
+    raise VerificationError(
+        "exchange-boundary scan carries a connector handle; it must stay "
+        "synthetic (no connector may bind to exchange output)"
+    )

@@ -8,6 +8,8 @@
     python -m repro.bench lossy          # extension: pushdown over SZ data
     python -m repro.bench service --queries 32 --seed 0
                                          # multi-tenant concurrent load (SLOs)
+    python -m repro.bench join --seed 0  # distributed join: no-pushdown vs
+                                         # static vs dynamic-filter pushdown
 """
 
 from __future__ import annotations
@@ -31,6 +33,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.bench import service as service_bench
 
         service_bench.main(argv[1:])
+        return
+    if argv and argv[0] == "join":
+        # Same: the join bench takes --scale/--query/--seed.
+        from repro.bench import join as join_bench
+
+        join_bench.main(argv[1:])
         return
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__,

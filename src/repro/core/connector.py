@@ -227,6 +227,9 @@ class OcsConnector(Connector):
         metrics.add("ocs_stored_bytes_read", report.stored_bytes_read)
         metrics.add("ocs_row_groups_pruned", report.row_groups_pruned)
         metrics.add("ocs_row_groups_read", report.row_groups_read)
+        if report.dynamic_rows_pruned:
+            pushdown_span.set("dynamic_rows_pruned", report.dynamic_rows_pruned)
+            metrics.add("ocs_dynamic_rows_pruned", report.dynamic_rows_pruned)
         self.monitor.record(
             PushdownEvent(
                 table=handle.descriptor.qualified_name,
@@ -238,6 +241,7 @@ class OcsConnector(Connector):
                 transfer_seconds=sim.now - t1,
                 estimated_rows=handle.estimated_output_rows,
                 attempts=attempts,
+                dynamic_rows_pruned=report.dynamic_rows_pruned,
             )
         )
         return PageSourceResult(

@@ -62,6 +62,11 @@ class PushedOperators:
     columns: List[str]
     #: WHERE predicate over the scanned columns.
     filter: Optional[Expr] = None
+    #: Join dynamic filter (min/max + Bloom over build keys), published by
+    #: the coordinator after the build side finishes — not by the local
+    #: optimizer.  Applied right above the ReadRel, before the static
+    #: filter's projections.
+    dynamic_filter: Optional[Expr] = None
     #: Expression projection evaluated before aggregation.
     projections: Optional[List[Tuple[str, Expr]]] = None
     aggregation: Optional[PushedAggregation] = None
@@ -77,6 +82,8 @@ class PushedOperators:
         names = []
         if self.filter is not None:
             names.append("filter")
+        if self.dynamic_filter is not None:
+            names.append("dynamic_filter")
         if self.projections is not None:
             names.append("project")
         if self.aggregation is not None:

@@ -37,6 +37,10 @@ class PushdownEvent:
     downgraded: bool = False
     #: RPC attempts made before the outcome (1 = no retries needed).
     attempts: int = 1
+    #: Rows the storage engine eliminated via a dynamic join filter
+    #: (Bloom/min-max published from a join's build side); 0 when the
+    #: request carried no dynamic filter.
+    dynamic_rows_pruned: int = 0
 
     @property
     def reduction_ratio(self) -> float:
@@ -125,6 +129,10 @@ class PushdownMonitor:
 
     def bytes_returned(self) -> int:
         return sum(e.bytes_returned for e in self._events)
+
+    def dynamic_rows_pruned(self) -> int:
+        """Total probe rows eliminated by dynamic join filters (window)."""
+        return sum(e.dynamic_rows_pruned for e in self._events)
 
     def operator_frequencies(self) -> Dict[str, int]:
         """How often each operator kind appeared in recent pushdowns."""

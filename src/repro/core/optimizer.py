@@ -57,6 +57,10 @@ class PushdownPolicy:
     aggregation_selectivity_threshold: float = 0.5
     #: Statistical model for range filters ("normal" per the paper).
     distribution: str = "normal"
+    #: When True, the coordinator publishes build-side join-key summaries
+    #: (min/max + Bloom) into the probe scan's pushed filter, so storage
+    #: prunes probe rows before they are shuffled.
+    dynamic_filters: bool = False
 
     def __post_init__(self) -> None:
         unknown = set(self.enabled) - ALL_OPS

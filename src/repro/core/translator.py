@@ -17,6 +17,7 @@ from typing import List
 
 from repro.arrowsim.dtypes import DataType
 from repro.core.handle import PushedOperators
+from repro.exec.expressions import AndExpr
 from repro.metastore.catalog import TableDescriptor
 from repro.substrait.convert import expression_to_substrait
 from repro.substrait.functions import FunctionRegistry
@@ -49,15 +50,30 @@ def build_pushdown_plan(
     names: List[str] = list(pushed.columns)
     types: List[DataType] = [table_schema.field(n).dtype for n in names]
 
+    dynamic_filter = getattr(pushed, "dynamic_filter", None)
+    best_effort_parts = [
+        expr for expr in (pushed.filter, dynamic_filter) if expr is not None
+    ]
     best_effort = None
-    if pushed.filter is not None:
-        best_effort = expression_to_substrait(pushed.filter, names, registry)
+    if best_effort_parts:
+        combined = (
+            best_effort_parts[0]
+            if len(best_effort_parts) == 1
+            else AndExpr(tuple(best_effort_parts))
+        )
+        best_effort = expression_to_substrait(combined, names, registry)
     rel: Relation = ReadRel(
         table=descriptor.qualified_name,
         base_schema=NamedStruct.from_schema(table_schema),
         projection=projection,
         best_effort_filter=best_effort,
     )
+
+    # The dynamic join filter gets its own FilterRel directly above the
+    # read (before the static filter) so the storage engine can attribute
+    # the rows it eliminates separately from WHERE-clause filtering.
+    if dynamic_filter is not None:
+        rel = FilterRel(rel, expression_to_substrait(dynamic_filter, names, registry))
 
     if pushed.filter is not None:
         rel = FilterRel(rel, expression_to_substrait(pushed.filter, names, registry))

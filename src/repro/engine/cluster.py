@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.config import FaultSpec, TestbedSpec
+from repro.exchange.shuffle import ExchangeFabric
 from repro.objectstore.store import ObjectStore
 from repro.ocs.frontend import OcsFrontend
 from repro.ocs.storage_node import OcsStorageNode
@@ -115,6 +116,23 @@ class Cluster:
         #: this pool is the worker's scan concurrency (cost model doc).
         self.scan_drivers = Resource(self.sim, costs.scan_stream_concurrency)
 
+        #: Worker-to-worker shuffle path.  The exchange fabric lives on
+        #: the compute node; pages cross a dedicated link (same class of
+        #: 10GbE as the storage path) so shuffle traffic is ledgered
+        #: separately from storage->compute movement and the fault
+        #: injector can drop shuffle frames independently.
+        self.link_exchange = Link(
+            self.sim, net.bandwidth_bps, net.latency_s,
+            name="exchange", faults=self.faults,
+        )
+        self.exchange = ExchangeFabric(
+            self.sim, self.compute, costs, tracer=self.tracer
+        )
+        self.exchange_client = RpcClient(
+            self.sim, self.compute, self.link_exchange, self.exchange.service,
+            costs, tracer=self.tracer,
+        )
+
     # -- placement -------------------------------------------------------------
 
     def node_for_key(self, index: int) -> int:
@@ -141,3 +159,7 @@ class Cluster:
 
     def bytes_from_compute(self) -> int:
         return self.link_cf.ledger.total_bytes(src=self.compute.name)
+
+    def shuffle_bytes(self) -> int:
+        """Bytes moved worker-to-worker over the exchange link."""
+        return self.link_exchange.ledger.total_bytes(dst=self.compute.name)

@@ -20,24 +20,34 @@ timings are bit-identical with tracing on or off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.runtime import strict_verify_enabled
 from repro.arrowsim.record_batch import RecordBatch, concat_batches
 from repro.engine.cluster import Cluster
-from repro.engine.costing import presto_pipeline_cycles
+from repro.engine.costing import choose_join_distribution, presto_pipeline_cycles
 from repro.engine.physical import PhysicalPlan, fragment_plan
 from repro.engine.session import Session
 from repro.engine.spi import Connector, PageSourceResult
-from repro.errors import NoSuchCatalogError
-from repro.exec.operators import run_operators
-from repro.plan.nodes import PlanNode, TableScanNode, format_plan
+from repro.errors import NoSuchCatalogError, PlanError
+from repro.exchange.filters import build_dynamic_filter
+from repro.exchange.partition import hash_partition
+from repro.exec.operators import HashJoinOperator, Operator, run_operators
+from repro.plan.nodes import (
+    JoinNode,
+    OutputNode,
+    PlanNode,
+    TableScanNode,
+    format_plan,
+)
 from repro.plan.optimizer import GlobalOptimizer
 from repro.plan.planner import plan_query
+from repro.rpc.retry import RetryPolicy
 from repro.sim.kernel import AllOf
 from repro.sim.metrics import MetricsRegistry
 from repro.sql.analyzer import analyze as analyze_statement
+from repro.sql.ast_nodes import TableName
 from repro.sql.parser import parse
 from repro.trace import Trace, render_tree, stage_totals
 
@@ -47,6 +57,7 @@ STAGE_ANALYSIS = "logical_plan_analysis"
 STAGE_SUBSTRAIT = "substrait_generation"
 STAGE_TRANSFER = "pushdown_and_transfer"
 STAGE_EXECUTION = "presto_execution"
+STAGE_EXCHANGE = "exchange"
 STAGE_OTHERS = "others"
 
 
@@ -140,11 +151,22 @@ class Coordinator:
         schema_name = statement.from_table.schema or session.schema
         connector = self.connector_for(catalog_name)
         handle = connector.get_table_handle(schema_name, statement.from_table.table)
-        query = analyze_statement(statement, handle.table_schema)
+        right_handle = self._right_handle(statement, session, catalog_name, connector)
+        if right_handle is not None:
+            query = analyze_statement(
+                statement, handle.table_schema,
+                right_schema=right_handle.table_schema,
+            )
+        else:
+            query = analyze_statement(statement, handle.table_schema)
         plan: PlanNode = plan_query(query)
-        self._attach_handle(plan, handle)
+        self._attach_handle(plan, handle, right_handle)
         plan = GlobalOptimizer().optimize(plan)
         before = format_plan(plan)
+
+        join = _find_join(plan)
+        if join is not None:
+            return self._explain_join(sql, connector, plan, before, join)
 
         optimizer = connector.plan_optimizer()
         metrics = MetricsRegistry()
@@ -183,6 +205,55 @@ class Coordinator:
         lines.append(f"Splits: {len(splits)}")
         return "\n".join(lines)
 
+    def _explain_join(
+        self, sql: str, connector: Connector, plan: PlanNode, before: str,
+        join: JoinNode,
+    ) -> str:
+        """EXPLAIN for a join: per-branch plans + exchange structure."""
+        metrics = MetricsRegistry()
+        branch_plans: List[PlanNode] = []
+        for branch in (join.left, join.right):
+            branch_plan: PlanNode = OutputNode(branch, branch.output_schema().names())
+            optimizer = connector.plan_optimizer()
+            if optimizer is not None:
+                branch_plan = optimizer.optimize(branch_plan, metrics)
+            branch_plans.append(branch_plan)
+        probe_plan, build_plan = branch_plans
+        workers = max(1, int(self.cluster.costs.exchange_partition_count))
+        distribution = join.distribution
+        if distribution == "auto":
+            distribution = choose_join_distribution(
+                build_rows=_handle_row_count(_find_scan(join.right).connector_handle),
+                probe_rows=_handle_row_count(_find_scan(join.left).connector_handle),
+                workers=workers,
+            )
+        probe_physical = fragment_plan(probe_plan)
+        build_physical = fragment_plan(build_plan)
+        probe_splits = connector.get_splits(probe_physical.scan.connector_handle)
+        build_splits = connector.get_splits(build_physical.scan.connector_handle)
+        lines = [
+            f"EXPLAIN {' '.join(sql.split())}",
+            "",
+            "Logical plan (after global optimization):",
+            before,
+            "",
+            f"Join distribution: {distribution} ({workers} join tasks)",
+            "",
+            f"Probe branch after {type(connector).__name__} local optimizer:",
+            format_plan(probe_plan),
+            "",
+            f"Build branch after {type(connector).__name__} local optimizer:",
+            format_plan(build_plan),
+        ]
+        for label, physical in (("probe", probe_physical), ("build", build_physical)):
+            pushed = getattr(physical.scan.connector_handle, "pushed", None)
+            if pushed is not None:
+                operators = pushed.operator_names() or ["(none)"]
+                lines += ["", f"Pushed to storage ({label}): {', '.join(operators)}"]
+        lines.append("")
+        lines.append(f"Splits: {len(probe_splits) + len(build_splits)}")
+        return "\n".join(lines)
+
     def _explain_analyze(self, sql: str, session: Session) -> str:
         """Run the query with tracing forced on; render tree + stages."""
         tracer = self.cluster.tracer
@@ -209,6 +280,7 @@ class Coordinator:
             STAGE_ANALYSIS,
             STAGE_SUBSTRAIT,
             STAGE_TRANSFER,
+            STAGE_EXCHANGE,
             STAGE_EXECUTION,
             STAGE_OTHERS,
         ):
@@ -256,11 +328,18 @@ class Coordinator:
         schema_name = statement.from_table.schema or session.schema
         connector = self.connector_for(catalog_name)
         handle = connector.get_table_handle(schema_name, statement.from_table.table)
+        right_handle = self._right_handle(statement, session, catalog_name, connector)
         with tracer.span("analyze", parent=startup):
-            query = analyze_statement(statement, handle.table_schema)
+            if right_handle is not None:
+                query = analyze_statement(
+                    statement, handle.table_schema,
+                    right_schema=right_handle.table_schema,
+                )
+            else:
+                query = analyze_statement(statement, handle.table_schema)
         with tracer.span("plan.logical", parent=startup):
             plan: PlanNode = plan_query(query)
-            self._attach_handle(plan, handle)
+            self._attach_handle(plan, handle, right_handle)
         with tracer.span("optimize.global", parent=startup):
             if strict_verify_enabled():
                 # Global rewrites must preserve the analyzed plan's output
@@ -284,6 +363,16 @@ class Coordinator:
         plan_before = format_plan(plan)
         metrics.stages.charge(STAGE_OTHERS, sim.now - t0)
         tracer.end(startup)
+
+        if _find_join(plan) is not None:
+            # Multi-stage (exchange) execution takes over from here:
+            # per-branch local optimization, build/probe scan stages, the
+            # shuffle, parallel join tasks, and the shared merge stage.
+            result = yield from self._run_join_query(
+                plan, plan_before, connector, metrics, root,
+                query_start, bytes_start, query_id,
+            )
+            return result
 
         # (4) Connector-specific (local) optimization — the SPI hook.
         t1 = sim.now
@@ -448,12 +537,421 @@ class Coordinator:
             tracer.end(split_span)
         return out
 
+    # -- the join (exchange) query process --------------------------------------
+
+    def _run_join_query(
+        self,
+        plan: PlanNode,
+        plan_before: str,
+        connector: Connector,
+        metrics: MetricsRegistry,
+        root,
+        query_start: float,
+        bytes_start: int,
+        query_id: Optional[str],
+    ):
+        """Multi-stage execution for plans containing one :class:`JoinNode`.
+
+        Stage order mirrors a distributed engine's exchange pipeline:
+
+        1. each join branch is locally optimized as its own linear scan
+           plan (so pushdown applies per table),
+        2. the build (right) side scans to completion,
+        3. its key summary is published as a *dynamic filter* into the
+           probe handle's pushed plan (when the connector's policy allows),
+        4. the probe side scans — OCS now prunes probe rows at storage,
+        5. both sides shuffle through the exchange fabric (broadcast or
+           hash-partitioned, cost-chosen from metastore row counts),
+        6. parallel join tasks build+probe their partition and run the
+           split-local operators of the fragment above the join,
+        7. a final merge stage runs the remaining operators.
+        """
+        cluster = self.cluster
+        sim = cluster.sim
+        costs = cluster.costs
+        tracer = cluster.tracer
+        join = _find_join(plan)
+        assert join is not None  # dispatch guarantees this
+
+        # (4) Per-branch connector-local optimization.  Each side of the
+        # join is a linear scan chain the connector already understands;
+        # a fresh optimizer per branch keeps its per-plan state scoped.
+        t1 = sim.now
+        local_opt = tracer.start("optimize.local", parent=root, stage=STAGE_ANALYSIS)
+        branch_plans: List[PlanNode] = []
+        for branch in (join.left, join.right):
+            branch_plan: PlanNode = OutputNode(branch, branch.output_schema().names())
+            optimizer = connector.plan_optimizer()
+            if optimizer is not None:
+                yield cluster.compute.execute(
+                    _count_nodes(branch_plan) * costs.plan_analysis_cycles_per_node,
+                    name="local-opt",
+                )
+                branch_plan = optimizer.optimize(branch_plan, metrics)
+            branch_plans.append(branch_plan)
+        probe_plan, build_plan = branch_plans
+        metrics.stages.charge(STAGE_ANALYSIS, sim.now - t1)
+        tracer.end(local_opt)
+
+        # Cost-based distribution: broadcast replicates the build side to
+        # every join task; partitioned shuffles both sides by join key.
+        workers = max(1, int(costs.exchange_partition_count))
+        distribution = join.distribution
+        if distribution == "auto":
+            distribution = choose_join_distribution(
+                build_rows=_handle_row_count(_find_scan(join.right).connector_handle),
+                probe_rows=_handle_row_count(_find_scan(join.left).connector_handle),
+                workers=workers,
+            )
+        join.distribution = distribution
+        plan_after = format_plan(
+            _replace_join(
+                plan,
+                replace(join, left=probe_plan, right=build_plan,
+                        distribution=distribution),
+            )
+        )
+
+        # (5) Physical planning + split scheduling for all three fragments.
+        t2 = sim.now
+        schedule = tracer.start("schedule", parent=root, stage=STAGE_OTHERS)
+        probe_physical = fragment_plan(probe_plan)
+        build_physical = fragment_plan(build_plan)
+        probe_handle = probe_physical.scan.connector_handle
+        build_handle = build_physical.scan.connector_handle
+        probe_splits = connector.get_splits(probe_handle)
+        build_splits = connector.get_splits(build_handle)
+        total_splits = len(probe_splits) + len(build_splits)
+        # The fragment above the join hangs off a synthetic scan standing
+        # in for the exchange; it stays handle-free because nothing can be
+        # pushed to storage through an exchange boundary.
+        join_schema = join.output_schema()
+        synthetic = TableScanNode(
+            table=TableName(table="$join"),
+            table_schema=join_schema,
+            columns=join_schema.names(),
+        )
+        if strict_verify_enabled():
+            from repro.analysis.verifier import verify_exchange_boundary
+
+            verify_exchange_boundary(synthetic)
+        above_physical = fragment_plan(_replace_join(plan, synthetic))
+        schedule.set("splits", total_splits)
+        schedule.set("distribution", distribution)
+        yield cluster.compute.execute(
+            total_splits * costs.schedule_cycles_per_split, name="schedule"
+        )
+        metrics.stages.charge(STAGE_OTHERS, sim.now - t2)
+        tracer.end(schedule)
+        metrics.add("splits", total_splits)
+
+        # (6) Build stage: the right side must finish before the dynamic
+        # filter can exist, so it runs to completion first.
+        build_span = tracer.start(
+            "build-stage", parent=root, attributes={"splits": len(build_splits)}
+        )
+        build_outs = yield AllOf(
+            sim,
+            [
+                sim.process(
+                    self._run_split(
+                        connector, build_handle, split, build_physical, metrics,
+                        build_span, owner=query_id,
+                    ),
+                    name=f"build-split-{split.split_id}",
+                )
+                for split in build_splits
+            ],
+        )
+        t3 = sim.now
+        build_final_ops = build_physical.final_operators()
+        build_batches = run_operators(
+            [b for out in build_outs for b in out], build_final_ops
+        )
+        build_cycles = presto_pipeline_cycles(build_final_ops, costs)
+        if build_cycles:
+            yield cluster.compute.execute_spread(build_cycles, name="build-final")
+        metrics.stages.charge(STAGE_EXECUTION, sim.now - t3)
+        tracer.end(build_span)
+
+        # (7) Publish the dynamic filter before any probe split is
+        # scheduled, so every probe scan benefits.
+        policy = getattr(connector, "policy", None)
+        pushed = getattr(probe_handle, "pushed", None)
+        if (
+            policy is not None
+            and getattr(policy, "dynamic_filters", False)
+            and pushed is not None
+            and build_batches
+        ):
+            probe_key = join.left_keys[0]
+            dyn = build_dynamic_filter(list(build_batches), join.right_keys[0])
+            probe_dtype = probe_handle.table_schema.field(probe_key).dtype
+            pushed.dynamic_filter = dyn.to_expression(probe_key, probe_dtype)
+            metrics.add("dynamic_filter_build_rows", dyn.build_rows)
+            metrics.add("dynamic_filter_distinct_keys", dyn.distinct_keys)
+            root.set("dynamic_filter_keys", dyn.distinct_keys)
+
+        # (8) Probe stage.
+        probe_span = tracer.start(
+            "probe-stage", parent=root, attributes={"splits": len(probe_splits)}
+        )
+        probe_outs = yield AllOf(
+            sim,
+            [
+                sim.process(
+                    self._run_split(
+                        connector, probe_handle, split, probe_physical, metrics,
+                        probe_span, owner=query_id,
+                    ),
+                    name=f"probe-split-{split.split_id}",
+                )
+                for split in probe_splits
+            ],
+        )
+        t4 = sim.now
+        probe_final_ops = probe_physical.final_operators()
+        probe_batches = run_operators(
+            [b for out in probe_outs for b in out], probe_final_ops
+        )
+        probe_cycles = presto_pipeline_cycles(probe_final_ops, costs)
+        if probe_cycles:
+            yield cluster.compute.execute_spread(probe_cycles, name="probe-final")
+        metrics.stages.charge(STAGE_EXECUTION, sim.now - t4)
+        tracer.end(probe_span)
+
+        # (9) Exchange stage: move pages through the shuffle fabric.
+        fabric = cluster.exchange
+        client = cluster.exchange_client
+        retry = getattr(connector, "retry_policy", None) or RetryPolicy()
+        t5 = sim.now
+        shuffle_start = cluster.shuffle_bytes()
+        pages_start = fabric.pages_received
+        retries_start = fabric.retries
+        ex_span = tracer.start(
+            "exchange", parent=root, stage=STAGE_EXCHANGE,
+            attributes={"distribution": distribution, "partitions": workers},
+        )
+        put_procs = []
+        seq = 0
+        if distribution == "broadcast":
+            # Replicate every build page to every join task; the probe
+            # side stays local (tasks read their round-robin share of the
+            # probe output without crossing the wire).
+            build_ex = fabric.create(workers)
+            for partition in range(workers):
+                for batch in build_batches:
+                    put_procs.append(
+                        sim.process(
+                            fabric.put(client, build_ex, partition, 0, seq,
+                                       [batch], retry, parent=ex_span),
+                            name=f"exchange-put-{seq}",
+                        )
+                    )
+                    seq += 1
+            if put_procs:
+                yield AllOf(sim, put_procs)
+            build_parts = [fabric.drain(build_ex, p) for p in range(workers)]
+            task_inputs = [
+                (list(build_parts[p].batches), probe_batches[p::workers],
+                 build_parts[p].nbytes)
+                for p in range(workers)
+            ]
+        else:
+            # Hash-partition both sides by join key and shuffle each
+            # partition to the task that owns it.
+            build_ex = fabric.create(workers)
+            probe_ex = fabric.create(workers)
+            partition_rows = 0
+            for batches, keys, ex_id in (
+                (build_batches, join.right_keys, build_ex),
+                (probe_batches, join.left_keys, probe_ex),
+            ):
+                for batch in batches:
+                    partition_rows += batch.num_rows
+                    for partition, part in enumerate(
+                        hash_partition(batch, list(keys), workers)
+                    ):
+                        if part.num_rows == 0:
+                            continue
+                        put_procs.append(
+                            sim.process(
+                                fabric.put(client, ex_id, partition, 0, seq,
+                                           [part], retry, parent=ex_span),
+                                name=f"exchange-put-{seq}",
+                            )
+                        )
+                        seq += 1
+            if partition_rows:
+                yield cluster.compute.execute(
+                    partition_rows * costs.exchange_partition_cycles_per_row,
+                    name="exchange-partition",
+                )
+            if put_procs:
+                yield AllOf(sim, put_procs)
+            build_parts = [fabric.drain(build_ex, p) for p in range(workers)]
+            probe_parts = [fabric.drain(probe_ex, p) for p in range(workers)]
+            task_inputs = [
+                (list(build_parts[p].batches), list(probe_parts[p].batches),
+                 build_parts[p].nbytes + probe_parts[p].nbytes)
+                for p in range(workers)
+            ]
+        shuffle_delta = cluster.shuffle_bytes() - shuffle_start
+        ex_span.set("bytes", shuffle_delta)
+        ex_span.set("pages", fabric.pages_received - pages_start)
+        metrics.add("exchange_bytes", shuffle_delta)
+        metrics.add("exchange_pages", fabric.pages_received - pages_start)
+        metrics.add("exchange_retries", fabric.retries - retries_start)
+        metrics.stages.charge(STAGE_EXCHANGE, sim.now - t5)
+        tracer.end(ex_span)
+
+        # (10) Parallel join tasks: one hash-join per partition, plus the
+        # split-local operators of the fragment above the join.
+        t6 = sim.now
+        join_span = tracer.start(
+            "join-stage", parent=root, stage=STAGE_EXECUTION,
+            attributes={"kind": join.kind, "tasks": workers},
+        )
+        build_schema = build_plan.output_schema()
+        task_outs = yield AllOf(
+            sim,
+            [
+                sim.process(
+                    self._join_task(
+                        p, join, build_schema, build_in, probe_in, nbytes,
+                        above_physical, metrics, join_span,
+                    ),
+                    name=f"join-task-{p}",
+                )
+                for p, (build_in, probe_in, nbytes) in enumerate(task_inputs)
+            ],
+        )
+        metrics.stages.charge(STAGE_EXECUTION, sim.now - t6)
+        tracer.end(join_span)
+
+        # (11) Merge (final) stage over the join tasks' outputs.
+        t7 = sim.now
+        final_span = tracer.start("final-stage", parent=root, stage=STAGE_EXECUTION)
+        final_ops = above_physical.final_operators()
+        results = run_operators([b for out in task_outs for b in out], final_ops)
+        final_cycles = presto_pipeline_cycles(final_ops, costs)
+        yield cluster.compute.execute_spread(final_cycles, name="final-stage")
+        metrics.stages.charge(STAGE_EXECUTION, sim.now - t7)
+        tracer.end(final_span)
+
+        batch = (
+            concat_batches(results)
+            if results
+            else RecordBatch.empty(plan.output_schema())
+        )
+        utilization = {
+            "compute_cores": cluster.compute.core_utilization(),
+            "frontend_cores": cluster.frontend.core_utilization(),
+            "link": cluster.link_cf.utilization(),
+            "exchange_link": cluster.link_exchange.utilization(),
+            "scan_drivers": cluster.scan_drivers.utilization(),
+        }
+        for i, node in enumerate(cluster.storage):
+            utilization[f"storage_cores[{i}]"] = node.core_utilization()
+        elapsed = sim.now - query_start
+        stage_seconds = dict(metrics.stages.items())
+        total = sum(stage_seconds.values())
+        if total > elapsed > 0:
+            scale = elapsed / total
+            stage_seconds = {k: v * scale for k, v in stage_seconds.items()}
+        tracer.end(root)
+        return QueryResult(
+            batch=batch,
+            execution_seconds=elapsed,
+            data_moved_bytes=cluster.bytes_to_compute() - bytes_start,
+            splits=total_splits,
+            plan_before=plan_before,
+            plan_after=plan_after,
+            metrics=metrics,
+            stage_seconds=stage_seconds,
+            utilization=utilization,
+            trace=tracer.trace(root=root) if tracer.recording else None,
+        )
+
+    def _join_task(
+        self,
+        index: int,
+        join: JoinNode,
+        build_schema,
+        build_batches,
+        probe_batches,
+        deserialize_bytes: int,
+        above_physical: PhysicalPlan,
+        metrics: MetricsRegistry,
+        parent,
+    ):
+        """One join task: pay exchange deserialization, build, probe."""
+        cluster = self.cluster
+        costs = cluster.costs
+        tracer = cluster.tracer
+        span = tracer.start(
+            f"join-task-{index}", parent=parent, stage=STAGE_EXECUTION,
+            attributes={"partition": index},
+        )
+        try:
+            if deserialize_bytes:
+                yield cluster.compute.execute(
+                    deserialize_bytes * costs.arrow_deserialize_cycles_per_byte,
+                    name="exchange-deserialize",
+                )
+            op = HashJoinOperator(
+                kind=join.kind,
+                left_keys=list(join.left_keys),
+                right_keys=list(join.right_keys),
+                right_schema=build_schema,
+                right_renames=dict(join.right_renames),
+            )
+            for build_batch in build_batches:
+                op.add_build(build_batch)
+            op.finish_build()
+            task_ops: List[Operator] = [op]
+            task_ops.extend(above_physical.split_operators())
+            out = run_operators(list(probe_batches), task_ops)
+            cycles = presto_pipeline_cycles(task_ops, costs)
+            if cycles:
+                yield cluster.compute.execute(cycles, name=f"join-task-{index}")
+            span.set("build_rows", op.build_rows)
+            span.set("probe_rows", op.rows_in)
+            for task_op in task_ops:
+                metrics.add(f"rows_into_{task_op.name}", task_op.rows_in)
+        finally:
+            tracer.end(span)
+        return out
+
+    def _right_handle(
+        self, statement, session: Session, catalog_name: str, connector: Connector
+    ):
+        """Resolve the joined table's handle (None for single-table queries)."""
+        if not statement.joins:
+            return None
+        join_clause = statement.joins[0]
+        right_catalog = join_clause.table.catalog or session.catalog
+        if right_catalog != catalog_name:
+            raise PlanError(
+                f"cross-catalog joins are not supported "
+                f"({catalog_name} vs {right_catalog})"
+            )
+        right_schema_name = join_clause.table.schema or session.schema
+        return connector.get_table_handle(right_schema_name, join_clause.table.table)
+
     @staticmethod
-    def _attach_handle(plan: PlanNode, handle) -> None:
+    def _attach_handle(plan: PlanNode, handle, right_handle=None) -> None:
         node: Optional[PlanNode] = plan
         while node is not None:
             if isinstance(node, TableScanNode):
                 node.connector_handle = handle
+                return
+            if isinstance(node, JoinNode):
+                Coordinator._attach_handle(node.left, handle)
+                Coordinator._attach_handle(
+                    node.right,
+                    right_handle if right_handle is not None else handle,
+                )
                 return
             children = node.children()
             node = children[0] if children else None
@@ -465,3 +963,41 @@ def _count_nodes(plan: PlanNode) -> int:
     for child in plan.children():
         count += _count_nodes(child)
     return count
+
+
+def _find_join(plan: PlanNode) -> Optional[JoinNode]:
+    """The plan's join, if any.  Joins sit below a linear operator chain."""
+    node: Optional[PlanNode] = plan
+    while node is not None:
+        if isinstance(node, JoinNode):
+            return node
+        children = node.children()
+        node = children[0] if children else None
+    return None
+
+
+def _find_scan(plan: PlanNode) -> TableScanNode:
+    """The leaf scan of a linear (join-free) chain."""
+    node: Optional[PlanNode] = plan
+    while node is not None:
+        if isinstance(node, TableScanNode):
+            return node
+        children = node.children()
+        node = children[0] if children else None
+    raise PlanError("plan branch has no table scan")
+
+
+def _replace_join(plan: PlanNode, new_node: PlanNode) -> PlanNode:
+    """Rebuild ``plan`` with its join substituted by ``new_node``."""
+    if isinstance(plan, JoinNode):
+        return new_node
+    children = plan.children()
+    if not children:
+        raise PlanError("plan contains no join to replace")
+    return plan.with_source(_replace_join(children[0], new_node))
+
+
+def _handle_row_count(handle) -> int:
+    """Metastore row count behind a connector handle (0 when unknown)."""
+    descriptor = getattr(handle, "descriptor", None)
+    return int(getattr(descriptor, "row_count", 0) or 0)

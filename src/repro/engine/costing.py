@@ -13,6 +13,7 @@ from typing import Sequence
 from repro.exec.operators import (
     FilterOperator,
     HashAggregationOperator,
+    HashJoinOperator,
     LimitOperator,
     Operator,
     ProjectOperator,
@@ -21,7 +22,11 @@ from repro.exec.operators import (
 )
 from repro.sim.costmodel import CostParams
 
-__all__ = ["presto_operator_cycles", "presto_pipeline_cycles"]
+__all__ = [
+    "presto_operator_cycles",
+    "presto_pipeline_cycles",
+    "choose_join_distribution",
+]
 
 
 def presto_operator_cycles(op: Operator, costs: CostParams) -> float:
@@ -43,6 +48,11 @@ def presto_operator_cycles(op: Operator, costs: CostParams) -> float:
             costs.group_hash_cycles_per_row
             + len(op.specs) * costs.agg_update_cycles_per_row_per_func
         )
+    if isinstance(op, HashJoinOperator):
+        return base + (
+            op.build_rows * costs.join_build_cycles_per_row
+            + op.rows_in * costs.join_probe_cycles_per_row
+        )
     if isinstance(op, TopNOperator):
         return base + op.rows_in * costs.topn_cycles_per_row
     if isinstance(op, SortOperator):
@@ -53,3 +63,22 @@ def presto_operator_cycles(op: Operator, costs: CostParams) -> float:
 def presto_pipeline_cycles(operators: Sequence[Operator], costs: CostParams) -> float:
     """Total cycles for a chain of already-run operators."""
     return sum(presto_operator_cycles(op, costs) for op in operators)
+
+
+def choose_join_distribution(
+    build_rows: int, probe_rows: int, workers: int
+) -> str:
+    """Pick how join inputs move: replicate the build side or shuffle both.
+
+    Broadcast ships the build side to every worker (``build_rows * workers``
+    rows over the exchange) but leaves the probe side in place;
+    hash-partitioning ships each side once (``build_rows + probe_rows``).
+    Rows moved is the whole cost difference in this model — per-row CPU on
+    the join itself is identical either way — so compare those directly,
+    preferring broadcast on ties (it needs one exchange stage, not two).
+    """
+    if workers <= 1:
+        return "broadcast"
+    if build_rows * workers <= build_rows + probe_rows:
+        return "broadcast"
+    return "partitioned"

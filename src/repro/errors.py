@@ -229,6 +229,46 @@ class SchedulingError(EngineError):
 
 
 # --------------------------------------------------------------------------
+# Exchange / join errors
+# --------------------------------------------------------------------------
+
+
+class ExchangeError(EngineError):
+    """Base class for distributed-exchange (shuffle) failures."""
+
+    code = "EXCHANGE"
+
+
+class ExchangeFaultError(ExchangeError):
+    """A shuffle page was lost after every retry attempt.
+
+    Raised when the exchange's retrying put exhausts its
+    :class:`~repro.rpc.retry.RetryPolicy` against injected link faults —
+    the exchange's analogue of a pushdown RPC's terminal ``UNAVAILABLE``.
+    """
+
+    code = "EXCHANGE_FAULT"
+
+
+class ExchangePartitionError(ExchangeError):
+    """A shuffle page addressed a partition the exchange never created."""
+
+    code = "EXCHANGE_PARTITION"
+
+
+class JoinError(EngineError):
+    """Base class for join planning/execution failures."""
+
+    code = "JOIN"
+
+
+class JoinKeyMismatchError(JoinError):
+    """Join key columns have unequal types on the two sides."""
+
+    code = "JOIN_KEY_MISMATCH"
+
+
+# --------------------------------------------------------------------------
 # Substrait / RPC / OCS errors
 # --------------------------------------------------------------------------
 

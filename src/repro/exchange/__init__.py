@@ -1,0 +1,46 @@
+"""Distributed exchange: hash partitioning, shuffle pages, dynamic filters.
+
+The subsystem behind multi-stage (join) query execution:
+
+- :mod:`repro.exchange.hashing` — deterministic vectorized value hashing
+  shared by partition assignment and Bloom membership.
+- :mod:`repro.exchange.partition` — split batches by hash of join keys.
+- :mod:`repro.exchange.shuffle` — :class:`ExchangeFabric`, the RPC-backed
+  page store that moves Arrow-IPC framed pages over the simulated
+  exchange link with backpressure and retry-on-fault.
+- :mod:`repro.exchange.filters` — build-side :class:`DynamicFilter`
+  (min/max + Bloom) pushed into the probe side's OCS scan.
+"""
+
+from repro.exchange.filters import (
+    BloomFilter,
+    BloomProbeExpr,
+    DynamicFilter,
+    build_dynamic_filter,
+)
+from repro.exchange.hashing import combine_hashes, hash_column, mix64
+from repro.exchange.partition import hash_partition, partition_indices
+from repro.exchange.shuffle import (
+    DrainResult,
+    ExchangeFabric,
+    ExchangePage,
+    decode_page,
+    encode_page,
+)
+
+__all__ = [
+    "BloomFilter",
+    "BloomProbeExpr",
+    "DynamicFilter",
+    "build_dynamic_filter",
+    "combine_hashes",
+    "hash_column",
+    "mix64",
+    "hash_partition",
+    "partition_indices",
+    "DrainResult",
+    "ExchangeFabric",
+    "ExchangePage",
+    "decode_page",
+    "encode_page",
+]

@@ -13,7 +13,7 @@ IEEE-754 total order) so multi-key ASC/DESC sorts are a single stable
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +29,7 @@ __all__ = [
     "ProjectOperator",
     "FilterOperator",
     "HashAggregationOperator",
+    "HashJoinOperator",
     "SortOperator",
     "TopNOperator",
     "LimitOperator",
@@ -184,6 +185,160 @@ class HashAggregationOperator(Operator):
         merged = concat_batches(self._pages)
         self._pages.clear()
         return grouped_aggregate(merged, self.key_names, self.specs, phase=self.phase)
+
+
+class HashJoinOperator(Operator):
+    """Vectorized equi-join: build on the right input, probe with the left.
+
+    ``add_build`` accepts the (smaller / broadcast / co-partitioned) right
+    side; ``process`` then streams left pages through.  Matching is exact:
+    per probe page the build and probe key columns are dictionary-encoded
+    together (``np.unique`` over their concatenation) and matched with a
+    sorted-codes ``searchsorted``, so there are no hash-collision false
+    positives.  Rows whose key is NULL never match (SQL equi-join
+    semantics); a LEFT join emits unmatched probe rows with NULL-extended
+    build columns.  Output rows stay in probe order (build duplicates in
+    build order), which keeps multi-stage replays byte-identical.
+    """
+
+    name = "hashjoin"
+
+    def __init__(
+        self,
+        kind: str,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        right_schema: Schema,
+        right_renames: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__()
+        if kind not in ("inner", "left"):
+            raise ExecutionError(f"unsupported join kind {kind!r}")
+        if not left_keys or len(left_keys) != len(right_keys):
+            raise ExecutionError("join needs positionally paired key columns")
+        self.kind = kind
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.right_schema = right_schema
+        self.right_renames = dict(right_renames or {})
+        self.build_rows = 0
+        self._build_pages: List[RecordBatch] = []
+        self._build: Optional[RecordBatch] = None
+
+    # -- build side ----------------------------------------------------------
+
+    def add_build(self, batch: RecordBatch) -> None:
+        if self._build is not None:
+            raise ExecutionError("build side already finished")
+        self.build_rows += batch.num_rows
+        self._build_pages.append(batch)
+
+    def finish_build(self) -> None:
+        if self._build is not None:
+            return
+        if self._build_pages:
+            self._build = concat_batches(self._build_pages)
+        else:
+            self._build = RecordBatch.empty(self.right_schema)
+        self._build_pages.clear()
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _comparable(col: ColumnArray) -> np.ndarray:
+        values = col.values
+        if col.dtype.name == "string":
+            return values.astype(str)
+        if col.dtype.is_floating:
+            return _sortable_bits(values)
+        return values
+
+    def _key_codes(
+        self, probe: RecordBatch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Joint dictionary codes for build/probe keys; NULL keys -> -1."""
+        assert self._build is not None
+        build = self._build
+        nb, npr = build.num_rows, probe.num_rows
+        build_codes = np.zeros(nb, dtype=np.int64)
+        probe_codes = np.zeros(npr, dtype=np.int64)
+        build_null = np.zeros(nb, dtype=bool)
+        probe_null = np.zeros(npr, dtype=bool)
+        for left_name, right_name in zip(self.left_keys, self.right_keys):
+            bcol = build.column(right_name)
+            pcol = probe.column(left_name)
+            combined = np.concatenate(
+                [self._comparable(bcol), self._comparable(pcol)]
+            )
+            uniq, inverse = np.unique(combined, return_inverse=True)
+            inverse = inverse.reshape(-1).astype(np.int64)
+            radix = np.int64(len(uniq) + 1)
+            build_codes = build_codes * radix + inverse[:nb]
+            probe_codes = probe_codes * radix + inverse[nb:]
+            build_null |= ~bcol.is_valid()
+            probe_null |= ~pcol.is_valid()
+        build_codes[build_null] = -1
+        probe_codes[probe_null] = -1
+        return build_codes, probe_codes
+
+    def output_schema(self, probe_schema: Schema) -> Schema:
+        fields = list(probe_schema.fields)
+        force_nullable = self.kind == "left"
+        for f in self.right_schema.fields:
+            fields.append(
+                Field(
+                    self.right_renames.get(f.name, f.name),
+                    f.dtype,
+                    nullable=f.nullable or force_nullable,
+                )
+            )
+        return Schema(fields)
+
+    # -- probe side ----------------------------------------------------------
+
+    def _process(self, batch: RecordBatch) -> Optional[RecordBatch]:
+        if self._build is None:
+            self.finish_build()
+        assert self._build is not None
+        build = self._build
+        build_codes, probe_codes = self._key_codes(batch)
+        keep = build_codes >= 0
+        order = np.argsort(build_codes[keep], kind="stable")
+        build_index = np.flatnonzero(keep)[order]
+        sorted_codes = build_codes[keep][order]
+        lo = np.searchsorted(sorted_codes, probe_codes, side="left")
+        hi = np.searchsorted(sorted_codes, probe_codes, side="right")
+        counts = (hi - lo).astype(np.int64)
+        counts[probe_codes < 0] = 0
+        if self.kind == "left":
+            emit = np.maximum(counts, 1)
+        else:
+            emit = counts
+        total = int(emit.sum())
+        if total == 0:
+            return RecordBatch.empty(self.output_schema(batch.schema))
+        probe_idx = np.repeat(np.arange(batch.num_rows, dtype=np.int64), emit)
+        starts = np.cumsum(emit) - emit
+        pos_in_group = np.arange(total, dtype=np.int64) - np.repeat(starts, emit)
+        matched = np.repeat(counts > 0, emit)
+        build_pos = np.repeat(lo, emit) + pos_in_group
+        if build_index.size:
+            safe_pos = np.where(matched, build_pos, 0)
+            build_idx = build_index[np.minimum(safe_pos, build_index.size - 1)]
+        else:
+            build_idx = np.zeros(total, dtype=np.int64)
+        columns: List[ColumnArray] = list(batch.take(probe_idx).columns)
+        for f in build.schema.fields:
+            col = build.column(f.name)
+            if build.num_rows:
+                values = col.values[np.where(matched, build_idx, 0)]
+                validity = col.is_valid()[np.where(matched, build_idx, 0)]
+            else:
+                values = f.dtype.empty_array(total)
+                validity = np.zeros(total, dtype=bool)
+            validity = validity & matched
+            columns.append(ColumnArray(f.dtype, values, validity))
+        return RecordBatch(self.output_schema(batch.schema), columns)
 
 
 class SortOperator(Operator):

@@ -20,6 +20,7 @@ from repro.arrowsim.dtypes import BOOL, DataType
 from repro.arrowsim.record_batch import RecordBatch, concat_batches
 from repro.arrowsim.schema import Field, Schema
 from repro.errors import OcsPlanRejectedError, SubstraitError
+from repro.exchange.filters import BloomProbeExpr
 from repro.exec.aggregates import AggregateSpec
 from repro.exec.expressions import (
     AndExpr,
@@ -67,6 +68,8 @@ class OcsCostReport:
     rows_returned: int = 0
     row_groups_pruned: int = 0
     row_groups_read: int = 0
+    #: Rows eliminated by dynamic-filter (Bloom) predicates at the store.
+    dynamic_rows_pruned: int = 0
 
     @property
     def total_cpu_cycles(self) -> float:
@@ -82,6 +85,7 @@ class OcsCostReport:
         self.rows_returned += other.rows_returned
         self.row_groups_pruned += other.row_groups_pruned
         self.row_groups_read += other.row_groups_read
+        self.dynamic_rows_pruned += other.dynamic_rows_pruned
 
 
 def _positional(batch: RecordBatch) -> RecordBatch:
@@ -197,6 +201,12 @@ class EmbeddedEngine:
             report.compute_cycles += (
                 op.rows_in * predicate.node_count() * costs.vector_op_cycles_per_value
             )
+            if any(isinstance(node, BloomProbeExpr) for node in predicate.walk()):
+                # This FilterRel carries a dynamic join filter: attribute
+                # its eliminations so the monitor can report what the
+                # build side saved the network.
+                rows_out = sum(b.num_rows for b in out)
+                report.dynamic_rows_pruned += op.rows_in - rows_out
             return [_positional(b) for b in out]
 
         if isinstance(rel, ProjectRel):

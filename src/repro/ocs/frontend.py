@@ -117,6 +117,7 @@ def encode_response(arrow: bytes, report: OcsCostReport) -> bytes:
         report.rows_returned,
         report.row_groups_pruned,
         report.row_groups_read,
+        report.dynamic_rows_pruned,
         int(report.total_cpu_cycles),
     ):
         out += encode_varint(int(value))
@@ -130,7 +131,7 @@ def decode_response(buf: bytes) -> Tuple[bytes, OcsCostReport]:
     arrow_len, pos = _read_varint(buf, pos)
     arrow, pos = _take(buf, pos, arrow_len)
     values = []
-    for _ in range(7):
+    for _ in range(8):
         value, pos = _read_varint(buf, pos)
         values.append(value)
     report = OcsCostReport(
@@ -140,7 +141,8 @@ def decode_response(buf: bytes) -> Tuple[bytes, OcsCostReport]:
         rows_returned=values[3],
         row_groups_pruned=values[4],
         row_groups_read=values[5],
-        compute_cycles=float(values[6]),
+        dynamic_rows_pruned=values[6],
+        compute_cycles=float(values[7]),
     )
     return arrow, report
 

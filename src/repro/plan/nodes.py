@@ -14,8 +14,8 @@ PlanNodes are merged into a modified TableScan operator").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Tuple
 
 from repro.arrowsim.schema import Field, Schema
 from repro.errors import PlanError
@@ -29,6 +29,7 @@ __all__ = [
     "FilterNode",
     "ProjectNode",
     "AggregationNode",
+    "JoinNode",
     "SortNode",
     "TopNNode",
     "LimitNode",
@@ -144,6 +145,50 @@ class AggregationNode(PlanNode):
         keys = ", ".join(self.key_names)
         phase = f" phase={self.phase}" if self.phase != "single" else ""
         return f"Aggregation[keys=({keys}) {aggs}{phase}]"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Equi-join of two sub-plans (hash join at execution time).
+
+    ``left_keys[i]`` pairs with ``right_keys[i]``; ``right_keys`` use the
+    *right table's own* column names while ``right_renames`` maps them
+    into the joined scope (collisions become ``table$column``).  The
+    output schema is left ⊕ renamed right; a LEFT join makes every right
+    column nullable.  ``distribution`` starts as ``"auto"`` and is fixed
+    to ``"broadcast"`` or ``"partitioned"`` by the engine's cost-based
+    chooser once table row counts are known.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    kind: str  # "inner" | "left"
+    left_keys: List[str]
+    right_keys: List[str]
+    right_renames: Dict[str, str] = field(default_factory=dict)
+    distribution: str = "auto"  # auto | broadcast | partitioned
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self) -> Schema:
+        fields = list(self.left.output_schema().fields)
+        force_nullable = self.kind == "left"
+        for f in self.right.output_schema().fields:
+            fields.append(
+                Field(
+                    self.right_renames.get(f.name, f.name),
+                    f.dtype,
+                    nullable=f.nullable or force_nullable,
+                )
+            )
+        return Schema(fields)
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"{lk} = {rk}" for lk, rk in zip(self.left_keys, self.right_keys)
+        )
+        return f"Join[{self.kind} on ({pairs}) distribution={self.distribution}]"
 
 
 @dataclass

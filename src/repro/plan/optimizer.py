@@ -38,6 +38,7 @@ from repro.exec.expressions import (
 from repro.plan.nodes import (
     AggregationNode,
     FilterNode,
+    JoinNode,
     LimitNode,
     OutputNode,
     PlanNode,
@@ -102,6 +103,13 @@ def _map_expressions(node: PlanNode, fn: Callable[[Expr], Expr]) -> PlanNode:
 
 def _transform_up(node: PlanNode, fn: Callable[[PlanNode], PlanNode]) -> PlanNode:
     """Apply ``fn`` bottom-up over the tree."""
+    if isinstance(node, JoinNode):
+        node = replace(
+            node,
+            left=_transform_up(node.left, fn),
+            right=_transform_up(node.right, fn),
+        )
+        return fn(node)
     source = getattr(node, "source", None)
     if source is not None:
         node = node.with_source(_transform_up(source, fn))
@@ -209,6 +217,26 @@ class ProjectionPruningRule:
             return AggregationNode(
                 self._prune(node.source, needed), list(node.key_names), list(specs),
                 phase=node.phase,
+            )
+        if isinstance(node, JoinNode):
+            left_needed: Optional[Set[str]] = None
+            right_needed: Optional[Set[str]] = None
+            if required is not None:
+                left_names = set(node.left.output_schema().names())
+                joined_to_right = {v: k for k, v in node.right_renames.items()}
+                right_names = set(node.right.output_schema().names())
+                left_needed = {c for c in required if c in left_names}
+                left_needed |= set(node.left_keys)
+                right_needed = {
+                    joined_to_right.get(c, c)
+                    for c in required
+                    if joined_to_right.get(c, c) in right_names and c not in left_names
+                }
+                right_needed |= set(node.right_keys)
+            return replace(
+                node,
+                left=self._prune(node.left, left_needed),
+                right=self._prune(node.right, right_needed),
             )
         if isinstance(node, TableScanNode):
             if required is None:

@@ -14,13 +14,16 @@ scan -> filter -> aggregation shape (that is why Laghos has no Project).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
+from repro.arrowsim.schema import Schema
 from repro.errors import PlanError
-from repro.exec.expressions import ColumnExpr, Expr
+from repro.exec.expressions import AndExpr, ColumnExpr, Expr
+from repro.sql.ast_nodes import TableName
 from repro.plan.nodes import (
     AggregationNode,
     FilterNode,
+    JoinNode,
     LimitNode,
     OutputNode,
     PlanNode,
@@ -31,7 +34,23 @@ from repro.plan.nodes import (
 )
 from repro.sql.analyzer import AnalyzedQuery
 
-__all__ = ["LogicalPlanner", "plan_query"]
+__all__ = ["LogicalPlanner", "plan_query", "rename_columns"]
+
+
+def rename_columns(expr: Expr, mapping: Dict[str, str]) -> Expr:
+    """Rewrite every column reference through ``mapping`` (identity kept)."""
+    if isinstance(expr, ColumnExpr):
+        new_name = mapping.get(expr.name, expr.name)
+        return expr if new_name == expr.name else replace(expr, name=new_name)
+    updates: Dict[str, object] = {}
+    for attr in ("left", "right", "operand"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr):
+            updates[attr] = rename_columns(child, mapping)
+    operands = getattr(expr, "operands", None)
+    if isinstance(operands, tuple):
+        updates["operands"] = tuple(rename_columns(o, mapping) for o in operands)
+    return replace(expr, **updates) if updates else expr  # type: ignore[arg-type]
 
 
 class LogicalPlanner:
@@ -42,13 +61,7 @@ class LogicalPlanner:
 
     def plan(self) -> OutputNode:
         query = self.query
-        node: PlanNode = TableScanNode(
-            table=query.table,
-            table_schema=query.table_schema,
-            columns=query.required_columns or query.table_schema.names()[:1],
-        )
-        if query.where is not None:
-            node = FilterNode(node, query.where)
+        node = self._plan_source()
 
         if query.is_aggregate:
             node = self._plan_aggregation(node)
@@ -76,6 +89,92 @@ class LogicalPlanner:
             name for name, _ in query.output_items if name not in query.hidden_outputs
         ]
         return OutputNode(node, visible)
+
+    # -- source (scan / join) ----------------------------------------------------
+
+    def _plan_source(self) -> PlanNode:
+        """Scan + WHERE for single-table queries; scan-join-filter for joins."""
+        query = self.query
+        join = query.join
+        required = query.required_columns or query.table_schema.names()[:1]
+        if join is None:
+            node: PlanNode = TableScanNode(
+                table=query.table,
+                table_schema=query.table_schema,
+                columns=required,
+            )
+            if query.where is not None:
+                node = FilterNode(node, query.where)
+            return node
+
+        left_names = set(join.left_schema.names())
+        joined_to_right = {v: k for k, v in join.right_renames.items()}
+        left_cols = [c for c in required if c in left_names]
+        right_cols = [joined_to_right[c] for c in required if c in joined_to_right]
+
+        # Split WHERE conjuncts: a conjunct reading only one side's columns
+        # runs below the join on that branch (so it can be pushed all the
+        # way into the scan); mixed conjuncts stay above.  Right-side
+        # conjuncts of a LEFT join must stay above the join — filtering the
+        # preserved side's partner before the join changes NULL-extension.
+        left_preds: List[Expr] = []
+        right_preds: List[Expr] = []
+        post_preds: List[Expr] = []
+        if query.where is not None:
+            conjuncts = (
+                query.where.operands
+                if isinstance(query.where, AndExpr)
+                else (query.where,)
+            )
+            for conjunct in conjuncts:
+                refs = conjunct.column_refs()
+                if refs <= left_names:
+                    left_preds.append(conjunct)
+                elif refs <= set(joined_to_right) and join.kind == "inner":
+                    right_preds.append(rename_columns(conjunct, joined_to_right))
+                else:
+                    post_preds.append(conjunct)
+
+        def branch(
+            table: TableName, schema: Schema, columns: List[str], preds: List[Expr]
+        ) -> PlanNode:
+            node: PlanNode = TableScanNode(
+                table=table,
+                table_schema=schema,
+                columns=columns,
+            )
+            if preds:
+                node = FilterNode(
+                    node, preds[0] if len(preds) == 1 else AndExpr(tuple(preds))
+                )
+            return node
+
+        left_node = branch(
+            join.left_table,
+            join.left_schema,
+            left_cols or join.left_schema.names()[:1],
+            left_preds,
+        )
+        right_node = branch(
+            join.right_table,
+            join.right_schema,
+            right_cols or join.right_schema.names()[:1],
+            right_preds,
+        )
+        node = JoinNode(
+            left=left_node,
+            right=right_node,
+            kind=join.kind,
+            left_keys=list(join.left_keys),
+            right_keys=list(join.right_keys),
+            right_renames=dict(join.right_renames),
+        )
+        if post_preds:
+            node = FilterNode(
+                node,
+                post_preds[0] if len(post_preds) == 1 else AndExpr(tuple(post_preds)),
+            )
+        return node
 
     # -- aggregation ------------------------------------------------------------
 

@@ -142,6 +142,23 @@ class CostParams:
     #: Per-split scheduling + task setup cost at the coordinator.
     schedule_cycles_per_split: float = 2_000_000.0
 
+    # -- Exchange / hash join ---------------------------------------------------
+    #: Hash + scatter per row when splitting a batch into shuffle partitions.
+    exchange_partition_cycles_per_row: float = 12.0
+    #: Buffer append + bookkeeping per exchange page at the receiver.
+    exchange_page_ingest_cycles: float = 50_000.0
+    #: Per-stage backpressure: shuffle pages a sender may have in flight
+    #: before its next put blocks on the receiver's acknowledgement.
+    exchange_max_inflight_pages: int = 4
+    #: Hash-table insert per build-side row of a hash join.
+    join_build_cycles_per_row: float = 30.0
+    #: Hash-table probe per probe-side row of a hash join.
+    join_probe_cycles_per_row: float = 25.0
+    #: Parallel join tasks a distributed join fans out into (each task
+    #: owns one hash-partition of the key space, or one replica of the
+    #: build table under broadcast).
+    exchange_partition_count: int = 4
+
     # -- helpers -------------------------------------------------------------------
 
     def sort_cycles(self, rows: int) -> float:

@@ -29,8 +29,8 @@ from repro.arrowsim.dtypes import (
     STRING,
 )
 from repro.arrowsim.dtypes import dtype_from_name
-from repro.arrowsim.schema import Schema
-from repro.errors import AnalysisError
+from repro.arrowsim.schema import Field, Schema
+from repro.errors import AnalysisError, JoinKeyMismatchError
 from repro.exec.aggregates import AggregateSpec
 from repro.exec.expressions import (
     SCALAR_FUNCTION_NAMES,
@@ -52,7 +52,7 @@ from repro.exec.expressions import (
 )
 from repro.sql import ast_nodes as ast
 
-__all__ = ["AnalyzedQuery", "Analyzer", "analyze", "AggregateCall"]
+__all__ = ["AnalyzedQuery", "AnalyzedJoin", "Analyzer", "analyze", "AggregateCall"]
 
 _EPOCH = datetime.date(1970, 1, 1)
 
@@ -85,6 +85,30 @@ class AggregateCall:
 
 
 @dataclass
+class AnalyzedJoin:
+    """A resolved two-table equi-join.
+
+    The *joined scope* is ``left_schema`` ⊕ renamed right columns: a right
+    column whose name collides with a left column appears downstream as
+    ``{right_table}${name}``.  ``right_renames`` maps every original right
+    column name to its joined-scope name (identity when no collision), so
+    the planner can translate residual predicates back into the right
+    table's native names for pushdown.
+    """
+
+    kind: str  # "inner" | "left"
+    left_table: ast.TableName
+    right_table: ast.TableName
+    left_schema: Schema
+    right_schema: Schema
+    #: Equi-join key column names, positionally paired; ``right_keys``
+    #: uses the right table's original names.
+    left_keys: Tuple[str, ...] = ()
+    right_keys: Tuple[str, ...] = ()
+    right_renames: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
 class AnalyzedQuery:
     """Everything the planner needs, fully resolved and typed."""
 
@@ -110,6 +134,9 @@ class AnalyzedQuery:
     hidden_outputs: List[str] = field(default_factory=list)
     limit: Optional[int] = None
     distinct: bool = False
+    #: Present when the query joins two tables; ``table_schema`` is then
+    #: the joined scope (left ⊕ renamed right).
+    join: Optional[AnalyzedJoin] = None
 
     @property
     def required_columns(self) -> List[str]:
@@ -124,23 +151,133 @@ class AnalyzedQuery:
             exprs.extend(expr for _, expr in self.output_items)
         for expr in exprs:
             refs |= expr.column_refs()
+        if self.join is not None:
+            # The join itself reads its key columns on both sides.
+            refs |= set(self.join.left_keys)
+            refs |= {self.join.right_renames[k] for k in self.join.right_keys}
         # Preserve table column order for determinism.
         return [n for n in self.table_schema.names() if n in refs]
 
 
 class Analyzer:
-    """Analyzes one SELECT statement against a table schema."""
+    """Analyzes one SELECT statement against a table schema.
 
-    def __init__(self, statement: ast.SelectStatement, table_schema: Schema) -> None:
+    For join queries ``right_schema`` supplies the joined table's schema
+    and ``self.schema`` becomes the joined scope (left ⊕ renamed right).
+    """
+
+    def __init__(
+        self,
+        statement: ast.SelectStatement,
+        table_schema: Schema,
+        right_schema: Optional[Schema] = None,
+    ) -> None:
         self.statement = statement
         self.schema = table_schema
         self._agg_calls: List[Tuple[ast.FunctionCall, AggregateCall]] = []
         self._key_by_ast: Dict[ast.Expression, Tuple[str, Expr]] = {}
+        self._join: Optional[AnalyzedJoin] = None
+        if statement.joins:
+            if len(statement.joins) > 1:
+                raise AnalysisError("at most one JOIN per query is supported")
+            if right_schema is None:
+                raise AnalysisError(
+                    "join analysis requires the joined table's schema"
+                )
+            self._join = self._build_join_scope(statement.joins[0], right_schema)
+
+    def _build_join_scope(
+        self, join: ast.JoinClause, right_schema: Schema
+    ) -> AnalyzedJoin:
+        """Construct the joined scope and install it as ``self.schema``."""
+        left_schema = self.schema
+        left_names = set(left_schema.names())
+        fields = list(left_schema.fields)
+        renames: Dict[str, str] = {}
+        for f in right_schema:
+            name = f.name
+            if name in left_names:
+                name = f"{join.table.table}${name}"
+                if name in left_names:
+                    raise AnalysisError(
+                        f"cannot disambiguate column {f.name!r} of joined "
+                        f"table {join.table.table!r}"
+                    )
+            renames[f.name] = name
+            # A probe-preserving LEFT join makes every right column nullable.
+            nullable = f.nullable or join.kind == "left"
+            fields.append(Field(name, f.dtype, nullable))
+        self.schema = Schema(fields)
+        return AnalyzedJoin(
+            kind=join.kind,
+            left_table=self.statement.from_table,
+            right_table=join.table,
+            left_schema=left_schema,
+            right_schema=right_schema,
+            right_renames=renames,
+        )
+
+    def _analyze_join_condition(self) -> None:
+        """Resolve ``ON`` into positionally paired equi-join key columns.
+
+        Works on the AST (not resolved expressions) so a key-type
+        mismatch surfaces as :class:`JoinKeyMismatchError` rather than a
+        generic comparison-coercion failure.
+        """
+        assert self._join is not None
+        join = self._join
+        conjuncts: List[ast.Expression] = []
+        stack = [self.statement.joins[0].condition]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.BinaryOp) and node.op.upper() == "AND":
+                stack.extend((node.right, node.left))
+            else:
+                conjuncts.append(node)
+        joined_to_right = {v: k for k, v in join.right_renames.items()}
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        for term in conjuncts:
+            if not (
+                isinstance(term, ast.BinaryOp)
+                and term.op == "="
+                and isinstance(term.left, ast.ColumnRef)
+                and isinstance(term.right, ast.ColumnRef)
+            ):
+                raise AnalysisError(
+                    f"JOIN ON supports only equi-join conjuncts "
+                    f"(column = column), got {term.to_sql()}"
+                )
+            sides: Dict[str, str] = {}
+            for ref in (term.left, term.right):
+                name = self._scope_name(ref)
+                sides["right" if name in joined_to_right else "left"] = name
+            if len(sides) != 2:
+                raise AnalysisError(
+                    "each JOIN ON conjunct must compare a left-table column "
+                    "with a right-table column"
+                )
+            left_dtype = join.left_schema.field(sides["left"]).dtype
+            right_original = joined_to_right[sides["right"]]
+            right_dtype = join.right_schema.field(right_original).dtype
+            if left_dtype is not right_dtype:
+                raise JoinKeyMismatchError(
+                    f"join key types differ: {sides['left']} is {left_dtype}, "
+                    f"{right_original} is {right_dtype}"
+                )
+            left_keys.append(sides["left"])
+            right_keys.append(right_original)
+        if not left_keys:
+            raise AnalysisError("JOIN ON must name at least one key pair")
+        join.left_keys = tuple(left_keys)
+        join.right_keys = tuple(right_keys)
 
     # -- public ----------------------------------------------------------------
 
     def analyze(self) -> AnalyzedQuery:
         stmt = self.statement
+        if self._join is not None:
+            self._analyze_join_condition()
         where = None
         if stmt.where is not None:
             where = self._resolve_scalar(stmt.where, allow_aggregates=False)
@@ -160,6 +297,7 @@ class Analyzer:
             is_aggregate=is_aggregate,
             limit=stmt.limit,
             distinct=stmt.distinct,
+            join=self._join,
         )
 
         if is_aggregate:
@@ -218,8 +356,9 @@ class Analyzer:
             return ColumnExpr(call.spec.output, call.spec.output_dtype)
         if isinstance(node, ast.ColumnRef):
             # A bare column in an aggregate query must be a group key.
+            scoped = self._scope_name(node)
             for name, expr in self._key_by_ast.values():
-                if isinstance(expr, ColumnExpr) and expr.name == node.name:
+                if isinstance(expr, ColumnExpr) and expr.name == scoped:
                     return ColumnExpr(name, expr.dtype)
             raise AnalysisError(
                 f"column {node.name!r} must appear in GROUP BY or inside an aggregate"
@@ -330,11 +469,8 @@ class Analyzer:
         if isinstance(node, ast.ColumnRef):
             if scope == "post":
                 return self._resolve_post_agg(node)
-            f = self.schema.field(node.name) if node.name in self.schema else None
-            if f is None:
-                raise AnalysisError(
-                    f"unknown column {node.name!r}; table has {self.schema.names()}"
-                )
+            name = self._scope_name(node)
+            f = self.schema.field(name)
             return ColumnExpr(f.name, f.dtype)
         if isinstance(node, ast.Star):
             raise AnalysisError("* only valid in COUNT(*) or top-level SELECT")
@@ -445,6 +581,57 @@ class Analyzer:
 
     # -- helpers -----------------------------------------------------------------------
 
+    def _scope_name(self, node: ast.ColumnRef) -> str:
+        """Resolve a (possibly qualified) column ref to its scope name.
+
+        In a join scope, unqualified names present in both tables are
+        ambiguous; a qualifier selects the side, and right-side names
+        translate through the collision renames.
+        """
+        join = self._join
+        if join is None:
+            if node.qualifier and node.qualifier != self.statement.from_table.table:
+                raise AnalysisError(
+                    f"unknown table qualifier {node.qualifier!r} "
+                    f"(FROM {self.statement.from_table.table})"
+                )
+            if node.name not in self.schema:
+                raise AnalysisError(
+                    f"unknown column {node.name!r}; table has {self.schema.names()}"
+                )
+            return node.name
+        in_left = node.name in join.left_schema
+        in_right = node.name in join.right_schema
+        if node.qualifier == join.left_table.table:
+            if not in_left:
+                raise AnalysisError(
+                    f"table {join.left_table.table!r} has no column {node.name!r}"
+                )
+            return node.name
+        if node.qualifier == join.right_table.table:
+            if not in_right:
+                raise AnalysisError(
+                    f"table {join.right_table.table!r} has no column {node.name!r}"
+                )
+            return join.right_renames[node.name]
+        if node.qualifier:
+            raise AnalysisError(
+                f"unknown table qualifier {node.qualifier!r} (expected "
+                f"{join.left_table.table!r} or {join.right_table.table!r})"
+            )
+        if in_left and in_right:
+            raise AnalysisError(
+                f"column {node.name!r} is ambiguous; qualify it with "
+                f"{join.left_table.table!r} or {join.right_table.table!r}"
+            )
+        if in_left:
+            return node.name
+        if in_right:
+            return join.right_renames[node.name]
+        raise AnalysisError(
+            f"unknown column {node.name!r}; joined scope has {self.schema.names()}"
+        )
+
     @staticmethod
     def _literal(value: object) -> LiteralExpr:
         if value is None:
@@ -515,6 +702,10 @@ class Analyzer:
         return name
 
 
-def analyze(statement: ast.SelectStatement, table_schema: Schema) -> AnalyzedQuery:
-    """Analyze ``statement`` against ``table_schema``."""
-    return Analyzer(statement, table_schema).analyze()
+def analyze(
+    statement: ast.SelectStatement,
+    table_schema: Schema,
+    right_schema: Optional[Schema] = None,
+) -> AnalyzedQuery:
+    """Analyze ``statement`` against ``table_schema`` (+ join schema)."""
+    return Analyzer(statement, table_schema, right_schema).analyze()

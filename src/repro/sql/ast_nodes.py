@@ -28,6 +28,7 @@ __all__ = [
     "SelectItem",
     "OrderItem",
     "TableName",
+    "JoinClause",
     "SelectStatement",
     "AGGREGATE_FUNCTIONS",
 ]
@@ -95,8 +96,13 @@ class IntervalLiteral(Expression):
 @dataclass(frozen=True)
 class ColumnRef(Expression):
     name: str
+    #: Optional table qualifier (``lineitem.orderkey``); needed once a
+    #: query joins two tables whose schemas share column names.
+    qualifier: Optional[str] = None
 
     def to_sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
         return self.name
 
 
@@ -236,6 +242,22 @@ class TableName:
 
 
 @dataclass(frozen=True)
+class JoinClause:
+    """``[INNER|LEFT [OUTER]] JOIN table ON condition``.
+
+    ``kind`` is normalized to ``"inner"`` or ``"left"`` by the parser.
+    """
+
+    kind: str
+    table: TableName
+    condition: Expression
+
+    def to_sql(self) -> str:
+        keyword = "LEFT JOIN" if self.kind == "left" else "JOIN"
+        return f"{keyword} {self.table.to_sql()} ON {self.condition.to_sql()}"
+
+
+@dataclass(frozen=True)
 class SelectStatement:
     select_items: Tuple[SelectItem, ...]
     from_table: TableName
@@ -245,6 +267,7 @@ class SelectStatement:
     order_by: Tuple[OrderItem, ...] = field(default_factory=tuple)
     limit: Optional[int] = None
     distinct: bool = False
+    joins: Tuple[JoinClause, ...] = field(default_factory=tuple)
 
     def to_sql(self) -> str:
         parts = ["SELECT"]
@@ -252,6 +275,8 @@ class SelectStatement:
             parts.append("DISTINCT")
         parts.append(", ".join(i.to_sql() for i in self.select_items))
         parts.append(f"FROM {self.from_table.to_sql()}")
+        for join in self.joins:
+            parts.append(join.to_sql())
         if self.where is not None:
             parts.append(f"WHERE {self.where.to_sql()}")
         if self.group_by:

@@ -29,6 +29,7 @@ KEYWORDS = frozenset(
     AND OR NOT BETWEEN IN IS NULL TRUE FALSE LIKE
     CAST DATE INTERVAL DAY MONTH YEAR
     COUNT SUM AVG MIN MAX
+    JOIN INNER LEFT OUTER ON
     """.split()
 )
 

@@ -3,8 +3,9 @@
 Grammar (precedence low to high)::
 
     select    := SELECT [DISTINCT] item (, item)* FROM qualified
-                 [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
+                 (join)* [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
                  [ORDER BY order (, order)*] [LIMIT int]
+    join      := (JOIN | INNER JOIN | LEFT [OUTER] JOIN) qualified ON expr
     expr      := or
     or        := and (OR and)*
     and       := not (AND not)*
@@ -98,6 +99,12 @@ class Parser:
             items.append(self._select_item())
         self._expect(TokenKind.KEYWORD, "FROM")
         table = self._table_name()
+        joins: List[ast.JoinClause] = []
+        while True:
+            join = self._join_clause()
+            if join is None:
+                break
+            joins.append(join)
         where = self._expression() if self._keyword("WHERE") else None
         group_by: List[ast.Expression] = []
         if self._keyword("GROUP"):
@@ -125,7 +132,25 @@ class Parser:
             order_by=tuple(order_by),
             limit=limit,
             distinct=distinct,
+            joins=tuple(joins),
         )
+
+    def _join_clause(self) -> Optional[ast.JoinClause]:
+        if self._keyword("INNER"):
+            self._expect(TokenKind.KEYWORD, "JOIN")
+            kind = "inner"
+        elif self._keyword("LEFT"):
+            self._keyword("OUTER")
+            self._expect(TokenKind.KEYWORD, "JOIN")
+            kind = "left"
+        elif self._keyword("JOIN"):
+            kind = "inner"
+        else:
+            return None
+        table = self._table_name()
+        self._expect(TokenKind.KEYWORD, "ON")
+        condition = self._expression()
+        return ast.JoinClause(kind=kind, table=table, condition=condition)
 
     def _select_item(self) -> ast.SelectItem:
         expr = self._expression()
@@ -312,6 +337,10 @@ class Parser:
             self._advance()
             if self._check(TokenKind.PUNCT, "("):
                 return self._function_call(token.text)
+            if self._check(TokenKind.PUNCT, "."):
+                self._advance()
+                column = self._expect(TokenKind.IDENT)
+                return ast.ColumnRef(column.text, qualifier=token.text)
             return ast.ColumnRef(token.text)
 
         if token.matches(TokenKind.PUNCT, "("):

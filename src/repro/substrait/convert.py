@@ -32,8 +32,10 @@ from repro.exec.expressions import (
     arithmetic_result_type,
     scalar_function_dtype,
 )
+from repro.exchange.filters import BloomFilter, BloomProbeExpr
 from repro.substrait.expressions import (
     SCAST,
+    SBloomProbe,
     SExpression,
     SFieldRef,
     SFunctionCall,
@@ -114,6 +116,13 @@ def expression_to_substrait(
         if isinstance(node, ScalarFuncExpr):
             anchor = registry.anchor_for(node.name, [node.operand.dtype])
             return SFunctionCall(anchor, (convert(node.operand),), node.dtype)
+        if isinstance(node, BloomProbeExpr):
+            return SBloomProbe(
+                convert(node.operand),
+                node.bloom.bits,
+                node.bloom.num_bits,
+                node.bloom.hashes,
+            )
         raise SubstraitError(f"cannot translate expression {type(node).__name__}")
 
     return convert(expr)
@@ -135,6 +144,11 @@ def substrait_to_expression(
             return CastExpr(convert(node.operand), node.dtype)
         if isinstance(node, SInList):
             return InExpr(convert(node.operand), node.options, negated=node.negated)
+        if isinstance(node, SBloomProbe):
+            return BloomProbeExpr(
+                convert(node.operand),
+                BloomFilter(bits=node.bits, num_bits=node.num_bits, hashes=node.hashes),
+            )
         if isinstance(node, SFunctionCall):
             name = registry.name_of(node.anchor)
             args = [convert(a) for a in node.args]

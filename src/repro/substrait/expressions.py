@@ -21,6 +21,7 @@ __all__ = [
     "SFunctionCall",
     "SCAST",
     "SInList",
+    "SBloomProbe",
 ]
 
 
@@ -105,3 +106,32 @@ class SInList(SExpression):
     def __repr__(self) -> str:
         neg = "not-" if self.negated else ""
         return f"{neg}in({self.operand!r}, {list(self.options)!r})"
+
+
+@dataclass(frozen=True)
+class SBloomProbe(SExpression):
+    """Membership of an expression's hash in a serialized Bloom filter.
+
+    The transport form of a dynamic join filter: ``bits`` is the raw
+    filter bitset (``num_bits`` is a power of two; ``hashes`` probe
+    positions per test).  Hash semantics are fixed by
+    :mod:`repro.exchange.hashing`, which both the coordinator (producer)
+    and the OCS embedded engine (consumer) share.
+    """
+
+    operand: SExpression
+    bits: bytes
+    num_bits: int
+    hashes: int
+
+    def children(self) -> Tuple[SExpression, ...]:
+        return (self.operand,)
+
+    @property
+    def dtype(self) -> DataType:  # type: ignore[override]
+        from repro.arrowsim.dtypes import BOOL
+
+        return BOOL
+
+    def __repr__(self) -> str:
+        return f"bloom({self.operand!r}, {self.num_bits}b/{self.hashes}h)"

@@ -16,6 +16,7 @@ from repro.errors import SerdeError
 from repro.formats.statistics import decode_stat_value, encode_stat_value
 from repro.substrait.expressions import (
     SCAST,
+    SBloomProbe,
     SExpression,
     SFieldRef,
     SFunctionCall,
@@ -47,7 +48,7 @@ __all__ = [
 _MAGIC = b"SBP1"
 
 _REL_READ, _REL_FILTER, _REL_PROJECT, _REL_AGG, _REL_SORT, _REL_FETCH = range(1, 7)
-_EXPR_FIELD, _EXPR_LIT, _EXPR_FUNC, _EXPR_CAST, _EXPR_IN = range(1, 6)
+_EXPR_FIELD, _EXPR_LIT, _EXPR_FUNC, _EXPR_CAST, _EXPR_IN, _EXPR_BLOOM = range(1, 7)
 
 
 def _write_str(out: bytearray, text: str) -> None:
@@ -92,6 +93,13 @@ def _encode_expr(out: bytearray, expr: SExpression) -> None:
         for option in expr.options:
             out += encode_stat_value(expr.option_dtype, option)
         out.append(int(expr.negated))
+    elif isinstance(expr, SBloomProbe):
+        out.append(_EXPR_BLOOM)
+        _encode_expr(out, expr.operand)
+        out += encode_varint(expr.num_bits)
+        out += encode_varint(expr.hashes)
+        out += encode_varint(len(expr.bits))
+        out += expr.bits
     else:
         raise SerdeError(f"cannot serialize expression {type(expr).__name__}")
 
@@ -133,6 +141,17 @@ def _decode_expr(buf: bytes, pos: int) -> Tuple[SExpression, int]:
             options.append(value)
         negated = bool(buf[pos])
         return SInList(operand, tuple(options), option_dtype, negated), pos + 1
+    if tag == _EXPR_BLOOM:
+        operand, pos = _decode_expr(buf, pos)
+        num_bits, pos = decode_varint(buf, pos)
+        hashes, pos = decode_varint(buf, pos)
+        nbytes, pos = decode_varint(buf, pos)
+        if pos + nbytes > len(buf):
+            raise SerdeError(
+                f"truncated bloom bits: need {nbytes} bytes, have {len(buf) - pos}"
+            )
+        bits = buf[pos : pos + nbytes]
+        return SBloomProbe(operand, bits, num_bits, hashes), pos + nbytes
     raise SerdeError(f"unknown expression tag {tag}")
 
 

@@ -13,6 +13,7 @@ from repro.arrowsim.dtypes import BOOL
 from repro.errors import ValidationError
 from repro.substrait.expressions import (
     SCAST,
+    SBloomProbe,
     SExpression,
     SFieldRef,
     SFunctionCall,
@@ -55,6 +56,20 @@ def _validate_expr(expr: SExpression, input_width: int, plan: SubstraitPlan) -> 
         return
     if isinstance(expr, SInList):
         _validate_expr(expr.operand, input_width, plan)
+        return
+    if isinstance(expr, SBloomProbe):
+        _validate_expr(expr.operand, input_width, plan)
+        if expr.num_bits < 8 or expr.num_bits & (expr.num_bits - 1):
+            raise ValidationError(
+                f"bloom num_bits must be a power of two >= 8, got {expr.num_bits}"
+            )
+        if len(expr.bits) * 8 != expr.num_bits:
+            raise ValidationError(
+                f"bloom bitset holds {len(expr.bits) * 8} bits, header says "
+                f"{expr.num_bits}"
+            )
+        if expr.hashes < 1:
+            raise ValidationError(f"bloom needs >= 1 hash, got {expr.hashes}")
         return
     raise ValidationError(f"unknown expression node {type(expr).__name__}")
 

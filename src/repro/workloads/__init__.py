@@ -12,9 +12,10 @@ movement number in the evaluation:
 * :mod:`~repro.workloads.deepwater` — asteroid-impact timesteps;
   ``v02 > 0.1`` keeps ~18% of rows (paper: 30 GB -> 5.37 GB) and GROUP
   BY timestep yields one group per file.
-* :mod:`~repro.workloads.tpch` — a from-scratch ``lineitem`` dbgen
-  following the TPC-H spec's distributions; Q1 aggregates to exactly 4
-  (returnflag, linestatus) groups.
+* :mod:`~repro.workloads.tpch` — from-scratch ``lineitem`` and
+  ``orders`` dbgen following the TPC-H spec's distributions; Q1
+  aggregates to exactly 4 (returnflag, linestatus) groups, and the
+  Q3-/Q12-class join queries drive the distributed exchange.
 
 Row counts scale down from the paper's (the simulator's cost model works
 on the actual bytes, and selectivity — hence every ratio — is scale-
@@ -32,7 +33,16 @@ from repro.workloads.deepwater import (
     deepwater_schema,
     generate_deepwater_file,
 )
-from repro.workloads.tpch import TPCH_Q1, TPCH_Q6, generate_lineitem, lineitem_schema
+from repro.workloads.tpch import (
+    TPCH_Q1,
+    TPCH_Q3,
+    TPCH_Q6,
+    TPCH_Q12,
+    generate_lineitem,
+    generate_orders,
+    lineitem_schema,
+    orders_schema,
+)
 from repro.workloads.datasets import DatasetSpec, build_dataset
 
 __all__ = [
@@ -41,12 +51,16 @@ __all__ = [
     "LAGHOS_QUERY",
     "LAGHOS_QUERY_ORIGINAL",
     "TPCH_Q1",
+    "TPCH_Q12",
+    "TPCH_Q3",
     "TPCH_Q6",
     "build_dataset",
     "deepwater_schema",
     "generate_deepwater_file",
     "generate_laghos_file",
     "generate_lineitem",
+    "generate_orders",
     "laghos_schema",
     "lineitem_schema",
+    "orders_schema",
 ]

@@ -1,8 +1,13 @@
-"""From-scratch TPC-H ``lineitem`` generator and Query 1.
+"""From-scratch TPC-H ``lineitem``/``orders`` generators and queries.
 
-Follows the TPC-H specification's column definitions and distributions
-(section 4.2.3 of the spec) closely enough that Q1's semantics hold
-exactly:
+Ships the four TPC-H-derived queries the benches use: single-table Q1
+(pricing summary) and Q6 (revenue change), plus two-table Q3-class and
+Q12-class join queries over ``orders`` x ``lineitem`` that exercise the
+distributed exchange and dynamic-filter pushdown.
+
+``lineitem`` follows the TPC-H specification's column definitions and
+distributions (section 4.2.3 of the spec) closely enough that Q1's
+semantics hold exactly:
 
 * ``quantity``    uniform integer [1, 50] (stored as float64, as engines
   commonly read DECIMAL);
@@ -17,8 +22,15 @@ exactly:
   1995-06-17, else N; ``linestatus`` is F when shipped before that date,
   else O — giving Q1 its exactly four (returnflag, linestatus) groups.
 
-Scale: TPC-H SF-1 has ~6,001,215 lineitem rows; ``generate_lineitem``
-takes an explicit row count so experiments can scale down.
+``orders`` mirrors the spec's distributions for the columns the join
+queries touch: ``orderkey`` densely covers the key range ``lineitem``
+draws from (so the join has true foreign-key semantics), ``orderdate``
+is uniform over 1992-01-01 .. 1998-08-02 (Q3's ``orderdate < DATE
+'1995-03-15'`` keeps ~48%), and ``orderpriority`` is uniform over the
+five spec values (Q12's two-priority predicate keeps ~40%).
+
+Scale: TPC-H SF-1 has ~6,001,215 lineitem rows and 1,500,000 orders;
+the generators take explicit row counts so experiments can scale down.
 """
 
 from __future__ import annotations
@@ -32,9 +44,21 @@ from repro.arrowsim.dtypes import DATE32, FLOAT64, INT64, STRING
 from repro.arrowsim.record_batch import RecordBatch
 from repro.arrowsim.schema import Field, Schema
 
-__all__ = ["lineitem_schema", "generate_lineitem", "TPCH_Q1", "TPCH_Q6", "SF1_ROWS"]
+__all__ = [
+    "lineitem_schema",
+    "generate_lineitem",
+    "orders_schema",
+    "generate_orders",
+    "TPCH_Q1",
+    "TPCH_Q3",
+    "TPCH_Q6",
+    "TPCH_Q12",
+    "SF1_ROWS",
+    "SF1_ORDERS",
+]
 
 SF1_ROWS = 6_001_215
+SF1_ORDERS = 1_500_000
 
 #: TPC-H Query 1 (pricing summary report), Presto dialect.
 TPCH_Q1 = """
@@ -61,6 +85,35 @@ SELECT SUM(extendedprice * discount) AS revenue
 FROM lineitem
 WHERE shipdate >= DATE '1994-01-01' AND shipdate < DATE '1995-01-01'
   AND discount BETWEEN 0.05 AND 0.07 AND quantity < 24
+"""
+
+#: TPC-H Query 3 class (shipping priority), two-table form: the
+#: ``customer`` dimension is dropped (our engine joins two tables), the
+#: join shape — filtered ``orders`` probing a filtered ``lineitem``
+#: build — is preserved.
+TPCH_Q3 = """
+SELECT lineitem.orderkey, SUM(extendedprice * (1 - discount)) AS revenue,
+       orderdate, shippriority
+FROM orders JOIN lineitem ON orders.orderkey = lineitem.orderkey
+WHERE orderdate < DATE '1995-03-15' AND shipdate > DATE '1995-03-15'
+GROUP BY lineitem.orderkey, orderdate, shippriority
+ORDER BY revenue DESC, orderdate
+LIMIT 10
+"""
+
+#: TPC-H Query 12 class (shipping modes and order priority): the spec's
+#: CASE-based high/low split becomes a priority filter + plain count, so
+#: the build side (priority-filtered lineitem rows in the shipmode/date
+#: window) is very selective — the dynamic-filter showcase.
+TPCH_Q12 = """
+SELECT shipmode, COUNT(*) AS line_count
+FROM orders JOIN lineitem ON orders.orderkey = lineitem.orderkey
+WHERE shipmode IN ('MAIL', 'SHIP')
+  AND commitdate < receiptdate
+  AND receiptdate >= DATE '1994-01-01' AND receiptdate < DATE '1995-01-01'
+  AND orderpriority IN ('1-URGENT', '2-HIGH')
+GROUP BY shipmode
+ORDER BY shipmode
 """
 
 _EPOCH = datetime.date(1970, 1, 1)
@@ -173,6 +226,77 @@ def generate_lineitem(rows: int, seed: int = 0, start_row: int = 0) -> RecordBat
             ColumnArray(DATE32, receiptdate),
             ColumnArray(STRING, shipinstruct),
             ColumnArray(STRING, shipmode),
+            ColumnArray(STRING, comment),
+        ],
+    )
+
+
+_ORDERPRIORITY = np.array(
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"], dtype=object
+)
+_ORDERSTATUS = np.array(["F", "O", "P"], dtype=object)
+
+
+def orders_schema() -> Schema:
+    return Schema(
+        [
+            Field("orderkey", INT64, nullable=False),
+            Field("custkey", INT64, nullable=False),
+            Field("orderstatus", STRING, nullable=False),
+            Field("totalprice", FLOAT64, nullable=False),
+            Field("orderdate", DATE32, nullable=False),
+            Field("orderpriority", STRING, nullable=False),
+            Field("clerk", STRING, nullable=False),
+            Field("shippriority", INT64, nullable=False),
+            Field("comment", STRING, nullable=False),
+        ]
+    )
+
+
+def generate_orders(rows: int, seed: int = 0, start_key: int = 0) -> RecordBatch:
+    """``rows`` orders with keys ``start_key+1 .. start_key+rows``.
+
+    Pair files with :func:`generate_lineitem` using the same offsets
+    (``start_key = start_row``) and every lineitem ``orderkey`` resolves
+    to exactly one order — dbgen's foreign-key property.  (lineitem uses
+    roughly the first quarter of each file's key range, so most orders
+    have no line items, which is what makes the reverse dynamic filter
+    selective.)
+    """
+    rng = np.random.default_rng(seed + 37 * start_key)
+
+    orderkey = np.arange(start_key + 1, start_key + 1 + rows, dtype=np.int64)
+    custkey = rng.integers(1, 150_001, size=rows).astype(np.int64)
+    orderstatus = _ORDERSTATUS[rng.integers(0, len(_ORDERSTATUS), size=rows)]
+    totalprice = np.round(901.0 + rng.random(rows) * (555_285.16 - 901.0), 2)
+    orderdate = rng.integers(_ORDERDATE_LO, _ORDERDATE_HI - 151, size=rows).astype(
+        np.int32
+    )
+    orderpriority = _ORDERPRIORITY[rng.integers(0, len(_ORDERPRIORITY), size=rows)]
+    clerk = np.array(
+        [f"Clerk#{n:09d}" for n in rng.integers(1, 1_001, size=rows)], dtype=object
+    )
+    shippriority = np.zeros(rows, dtype=np.int64)
+    word_idx = rng.integers(0, len(_COMMENT_WORDS), size=(rows, 3))
+    comment = np.array(
+        [
+            " ".join((_COMMENT_WORDS[a], _COMMENT_WORDS[b], _COMMENT_WORDS[c]))
+            for a, b, c in word_idx
+        ],
+        dtype=object,
+    )
+
+    return RecordBatch(
+        orders_schema(),
+        [
+            ColumnArray(INT64, orderkey),
+            ColumnArray(INT64, custkey),
+            ColumnArray(STRING, orderstatus),
+            ColumnArray(FLOAT64, totalprice),
+            ColumnArray(DATE32, orderdate),
+            ColumnArray(STRING, orderpriority),
+            ColumnArray(STRING, clerk),
+            ColumnArray(INT64, shippriority),
             ColumnArray(STRING, comment),
         ],
     )

@@ -13,6 +13,7 @@ from repro.workloads import (
     generate_deepwater_file,
     generate_laghos_file,
     generate_lineitem,
+    generate_orders,
 )
 
 LAGHOS_FILES = 4
@@ -21,6 +22,8 @@ DEEPWATER_FILES = 4
 DEEPWATER_ROWS = 16384
 LINEITEM_FILES = 2
 LINEITEM_ROWS = 20000
+ORDERS_FILES = 2
+ORDERS_ROWS = 20000
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -66,6 +69,19 @@ def small_env():
             file_count=LINEITEM_FILES,
             generator=lambda i: generate_lineitem(
                 LINEITEM_ROWS, seed=17, start_row=i * LINEITEM_ROWS
+            ),
+            row_group_rows=8192,
+        )
+    )
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="orders",
+            bucket="data",
+            file_count=ORDERS_FILES,
+            # Same offsets as lineitem: every lineitem orderkey resolves.
+            generator=lambda i: generate_orders(
+                ORDERS_ROWS, seed=19, start_key=i * ORDERS_ROWS
             ),
             row_group_rows=8192,
         )
