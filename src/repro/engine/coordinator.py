@@ -675,7 +675,10 @@ class Coordinator:
         tracer.end(build_span)
 
         # (7) Publish the dynamic filter before any probe split is
-        # scheduled, so every probe scan benefits.
+        # scheduled, so every probe scan benefits.  Only an inner join may
+        # prune probe rows at storage: an outer join preserves the probe
+        # side, so a pushed range/Bloom predicate would drop rows that must
+        # surface NULL-extended (including probe rows with NULL keys).
         policy = getattr(connector, "policy", None)
         pushed = getattr(probe_handle, "pushed", None)
         if (
@@ -683,6 +686,7 @@ class Coordinator:
             and getattr(policy, "dynamic_filters", False)
             and pushed is not None
             and build_batches
+            and join.kind == "inner"
         ):
             probe_key = join.left_keys[0]
             dyn = build_dynamic_filter(list(build_batches), join.right_keys[0])

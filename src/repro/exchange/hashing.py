@@ -16,6 +16,7 @@ from repro.arrowsim.array import ColumnArray
 
 __all__ = ["mix64", "hash_column", "combine_hashes"]
 
+_CRC_SALT = 0x9E3779B9
 _SPLITMIX_INC = np.uint64(0x9E3779B97F4A7C15)
 _MIX_A = np.uint64(0xBF58476D1CE4E5B9)
 _MIX_B = np.uint64(0x94D049BB133111EB)
@@ -46,8 +47,15 @@ def hash_column(column: ColumnArray) -> np.ndarray:
     elif values.dtype.kind == "b":
         raw = values.astype(np.uint64)
     else:
+        # Two independently-seeded crc32s packed into 64 bits: a single
+        # crc32 caps row-hash entropy at 2^32, which degrades the Bloom
+        # filter's false-positive rate and collides distinct strings at
+        # the ~65k birthday bound.
         raw = np.fromiter(
-            (zlib.crc32(str(v).encode("utf-8")) for v in values),
+            (
+                (zlib.crc32(b, _CRC_SALT) << 32) | zlib.crc32(b)
+                for b in (str(v).encode("utf-8") for v in values)
+            ),
             dtype=np.uint64,
             count=len(values),
         )

@@ -250,7 +250,11 @@ class HashJoinOperator(Operator):
         if col.dtype.name == "string":
             return values.astype(str)
         if col.dtype.is_floating:
-            return _sortable_bits(values)
+            # Normalize -0.0 so it equals +0.0, matching SQL equality and
+            # the exchange/Bloom hashing (hash_column does the same).
+            normalized = np.asarray(values, dtype=np.float64).copy()
+            normalized[normalized == 0.0] = 0.0  # simlint: ignore[float-eq]
+            return _sortable_bits(normalized)
         return values
 
     def _key_codes(

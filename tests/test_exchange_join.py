@@ -570,12 +570,19 @@ class TestBroadcastJoin:
         expected = int(np.sum(np.asarray(lineitem["orderkey"]) <= 500))
         assert result.to_pydict()["n"] == [expected]
 
-    def test_left_join_preserves_probe_rows(self, dim_env):
+    @pytest.mark.parametrize(
+        "config", [STATIC, DYNAMIC], ids=["static", "dynamic"]
+    )
+    def test_left_join_preserves_probe_rows(self, dim_env, config):
+        # Under DYNAMIC this also guards against the build side's min/max +
+        # Bloom filter being pushed into the probe scan: a left outer join
+        # preserves unmatched probe rows, so no dynamic filter may prune
+        # them at storage.
         sql = (
             "SELECT COUNT(*) AS n FROM lineitem "
             "LEFT OUTER JOIN orders ON lineitem.orderkey = orders.orderkey"
         )
-        result = dim_env.run(sql, STATIC, schema="tpch")
+        result = dim_env.run(sql, config, schema="tpch")
         assert result.to_pydict()["n"] == [20_000]
 
 
