@@ -9,6 +9,9 @@
 3. **Determinism checker** (:mod:`repro.analysis.determinism`) — digest
    replays and adversarial tie-break runs over the simulator kernel
    (``python -m repro.analysis.determinism``).
+4. **Backend parity harness** (:mod:`repro.analysis.parity`) — fused
+   vs tree-walk execution backends must be digest-identical
+   (``python -m repro.analysis.parity``).
 
 See ``docs/STATIC_ANALYSIS.md`` for the invariant list and rule catalog.
 """
@@ -34,6 +37,9 @@ _LAZY = {
     "LintViolation": "repro.analysis.lint",
     "lint_file": "repro.analysis.lint",
     "lint_paths": "repro.analysis.lint",
+    "BackendParityReport": "repro.analysis.parity",
+    "check_backend_parity": "repro.analysis.parity",
+    "check_suite_parity": "repro.analysis.parity",
 }
 
 
@@ -47,6 +53,9 @@ def __getattr__(name: str) -> object:
 
 
 __all__ = [
+    "BackendParityReport",
+    "check_backend_parity",
+    "check_suite_parity",
     "DeterminismReport",
     "DigestRecorder",
     "ReplayReport",

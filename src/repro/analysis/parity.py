@@ -1,0 +1,164 @@
+"""Backend parity harness: fused kernels vs the tree-walk reference.
+
+The fused execution backend (:mod:`repro.exec.kernels`) is only
+admissible if it is *observationally identical* to the tree-walk
+reference backend — same rows, same bytes, under every query shape.
+This module turns that claim into a checked invariant at the analysis
+layer, alongside the determinism harness it builds on:
+
+* :func:`check_backend_parity` runs one query twice on the same
+  environment — once per backend — and compares the canonical
+  (row-order-independent) result digests from
+  :mod:`repro.analysis.determinism`.
+* :func:`check_suite_parity` sweeps a list of (sql, config, schema)
+  cases and returns one report per case; the test suite drives it over
+  every suite query (TPC-H, HPC, sensor workloads) in both raw and
+  pushdown modes.
+* ``python -m repro.analysis.parity`` runs the built-in seeded harness
+  workload under both backends, additionally replaying the fused run
+  through the determinism checker (FIFO/FIFO/LIFO) so backend parity is
+  wired into the same digest rail CI already gates on.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.analysis.determinism import (
+    HARNESS_QUERY,
+    _build_harness_env,
+    canonical_result_digest,
+    check_determinism,
+)
+from repro.errors import DeterminismError
+
+__all__ = [
+    "BackendParityReport",
+    "check_backend_parity",
+    "check_suite_parity",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class BackendParityReport:
+    """Digest comparison of one query run under both exec backends."""
+
+    label: str
+    sql: str
+    tree_digest: str
+    fused_digest: str
+    tree_rows: int
+    fused_rows: int
+    tree_seconds: float
+    fused_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.tree_digest == self.fused_digest
+
+    @property
+    def sim_speedup(self) -> float:
+        """Simulated-time ratio (tree / fused); >= 1.0 means fused is
+        no slower under the cost model."""
+        if self.fused_seconds <= 0.0:
+            return 1.0
+        return self.tree_seconds / self.fused_seconds
+
+    def raise_if_failed(self) -> None:
+        if self.ok:
+            return
+        raise DeterminismError(
+            f"backend parity violation for {self.label!r}: tree digest "
+            f"{self.tree_digest[:16]}… ({self.tree_rows} rows) != fused "
+            f"digest {self.fused_digest[:16]}… ({self.fused_rows} rows)"
+        )
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        return (
+            f"parity[{self.label}]: {status} rows={self.tree_rows} "
+            f"digest={self.tree_digest[:16]} sim_speedup={self.sim_speedup:.3f}"
+        )
+
+
+def check_backend_parity(
+    env: Any,
+    sql: str,
+    config: Any,
+    schema: str,
+    catalog: str = "repro",
+) -> BackendParityReport:
+    """Run ``sql`` under tree-walk and fused backends; digest-compare.
+
+    ``config`` is a :class:`repro.bench.env.RunConfig`; its
+    ``exec_backend`` field is overridden in both directions so any
+    config can be handed in as the base.
+    """
+    tree = env.run(sql, replace(config, exec_backend="tree"), schema, catalog)
+    fused = env.run(sql, replace(config, exec_backend="fused"), schema, catalog)
+    return BackendParityReport(
+        label=config.label,
+        sql=sql,
+        tree_digest=canonical_result_digest(tree.batch),
+        fused_digest=canonical_result_digest(fused.batch),
+        tree_rows=tree.rows,
+        fused_rows=fused.rows,
+        tree_seconds=tree.execution_seconds,
+        fused_seconds=fused.execution_seconds,
+    )
+
+
+def check_suite_parity(
+    env: Any,
+    cases: Iterable[Tuple[str, Any, str]],
+    catalog: str = "repro",
+) -> List[BackendParityReport]:
+    """Parity-check every ``(sql, config, schema)`` case; raise on the
+    first mismatch after checking them all."""
+    reports = [
+        check_backend_parity(env, sql, config, schema, catalog)
+        for sql, config, schema in cases
+    ]
+    for report in reports:
+        report.raise_if_failed()
+    return reports
+
+
+def _harness_cases() -> Sequence[Tuple[str, Any, str]]:
+    from repro.bench.env import RunConfig
+
+    return (
+        (HARNESS_QUERY, RunConfig(label="parity-ocs", mode="ocs"), "lab"),
+        (HARNESS_QUERY, RunConfig(label="parity-raw", mode="hive-raw"), "lab"),
+    )
+
+
+def main() -> int:
+    from repro.bench.env import RunConfig
+
+    env = _build_harness_env()
+    failed = False
+    for sql, config, schema in _harness_cases():
+        report = check_backend_parity(env, sql, config, schema)
+        print(report.summary())
+        failed = failed or not report.ok
+    # The fused backend must also be deterministic in its own right:
+    # replay it through the FIFO/FIFO/LIFO digest checker.
+    det = check_determinism(
+        env,
+        HARNESS_QUERY,
+        RunConfig(label="determinism-fused", mode="ocs", exec_backend="fused"),
+        schema="lab",
+    )
+    print(det.summary())
+    if failed or not det.ok:
+        return 1
+    print("backend parity harness: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@
                                          # multi-tenant concurrent load (SLOs)
     python -m repro.bench join --seed 0  # distributed join: no-pushdown vs
                                          # static vs dynamic-filter pushdown
+    python -m repro.bench kernels        # fused vs tree-walk kernel bench
+    python -m repro.bench snapshot --check BENCH_6.json
+                                         # per-PR perf-regression gate
 """
 
 from __future__ import annotations
@@ -40,6 +43,19 @@ def main(argv: Optional[List[str]] = None) -> None:
 
         join_bench.main(argv[1:])
         return
+    if argv and argv[0] == "kernels":
+        # Same: the kernel bench takes --scale/--json.
+        from repro.bench import kernels as kernels_bench
+
+        kernels_bench.main(argv[1:])
+        return
+    if argv and argv[0] == "snapshot":
+        # Same: the snapshot tool takes --out/--check and sets exit code.
+        import sys
+
+        from repro.bench import snapshot as snapshot_bench
+
+        sys.exit(snapshot_bench.main(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,

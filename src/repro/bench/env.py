@@ -16,6 +16,7 @@ from repro.connectors.hive import HiveConnector
 from repro.core import OcsConnector, PushdownMonitor, PushdownPolicy
 from repro.engine import Cluster, Coordinator, QueryResult, Session
 from repro.errors import ConfigError, EngineError
+from repro.exec.backend import EXEC_BACKENDS
 from repro.metastore.catalog import HiveMetastore, TableDescriptor
 from repro.objectstore.store import ObjectStore
 from repro.rpc.retry import RetryPolicy
@@ -61,6 +62,10 @@ class RunConfig:
     #: exit and the Substrait boundary.  None defers to the process-wide
     #: default — on in tests, off in benchmarks (performance-neutral).
     strict_verify: Optional[bool] = None
+    #: Compute-side execution backend: "tree" (tree-walk reference) or
+    #: "fused" (single-pass vectorized kernels — see docs/KERNELS.md).
+    #: Both are digest-identical; "tree" stays the default.
+    exec_backend: str = "tree"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -76,6 +81,11 @@ class RunConfig:
             raise ConfigError(
                 f"split_granularity must be 'node' or 'file', "
                 f"got {self.split_granularity!r}"
+            )
+        if self.exec_backend not in EXEC_BACKENDS:
+            raise ConfigError(
+                f"unknown exec backend {self.exec_backend!r}; "
+                f"expected one of {EXEC_BACKENDS}"
             )
 
     # Named configurations used throughout the benches -----------------------
@@ -143,7 +153,9 @@ class Environment:
             sim_observer=observer,
         )
         connector = self.build_connector(cluster, config)
-        coordinator = Coordinator(cluster, {catalog: connector})
+        coordinator = Coordinator(
+            cluster, {catalog: connector}, exec_backend=config.exec_backend
+        )
         session = Session(catalog=catalog, schema=schema)
         return coordinator.execute(sql, session)
 
@@ -164,7 +176,9 @@ class Environment:
             tracing=config.tracing,
         )
         connector = self.build_connector(cluster, config)
-        coordinator = Coordinator(cluster, {catalog: connector})
+        coordinator = Coordinator(
+            cluster, {catalog: connector}, exec_backend=config.exec_backend
+        )
         session = Session(catalog=catalog, schema=schema)
         return coordinator.explain(sql, session, analyze=analyze)
 

@@ -21,7 +21,7 @@ timings are bit-identical with tracing on or off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.runtime import strict_verify_enabled
 from repro.arrowsim.record_batch import RecordBatch, concat_batches
@@ -33,6 +33,7 @@ from repro.engine.spi import Connector, PageSourceResult
 from repro.errors import NoSuchCatalogError, PlanError
 from repro.exchange.filters import build_dynamic_filter
 from repro.exchange.partition import hash_partition
+from repro.exec.backend import ExecBackend, get_backend
 from repro.exec.operators import HashJoinOperator, Operator, run_operators
 from repro.plan.nodes import (
     JoinNode,
@@ -91,9 +92,17 @@ class QueryResult:
 class Coordinator:
     """Plans and runs queries against registered catalogs on one cluster."""
 
-    def __init__(self, cluster: Cluster, catalogs: Dict[str, Connector]) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        catalogs: Dict[str, Connector],
+        exec_backend: Union[str, ExecBackend] = "tree",
+    ) -> None:
         self.cluster = cluster
         self.catalogs = dict(catalogs)
+        #: Compiles every compute-side operator pipeline before it runs
+        #: (tree-walk reference vs fused vectorized kernels).
+        self.backend = get_backend(exec_backend)
 
     def connector_for(self, name: str) -> Connector:
         try:
@@ -419,7 +428,7 @@ class Coordinator:
         t3 = sim.now
         final_span = tracer.start("final-stage", parent=root, stage=STAGE_EXECUTION)
         batches: List[RecordBatch] = [b for out in split_outputs for b in out]
-        final_ops = physical.final_operators()
+        final_ops = self.backend.compile(physical.final_operators())
         results = run_operators(batches, final_ops)
         final_cycles = presto_pipeline_cycles(final_ops, costs)
         yield cluster.compute.execute_spread(final_cycles, name="final-stage")
@@ -523,7 +532,7 @@ class Coordinator:
                     "split-operators", parent=split_span, stage=STAGE_EXECUTION
                 )
                 try:
-                    split_ops = physical.split_operators()
+                    split_ops = self.backend.compile(physical.split_operators())
                     out = run_operators(source.batches, split_ops)
                     cycles = presto_pipeline_cycles(split_ops, cluster.costs)
                     if cycles:
@@ -664,7 +673,7 @@ class Coordinator:
             ],
         )
         t3 = sim.now
-        build_final_ops = build_physical.final_operators()
+        build_final_ops = self.backend.compile(build_physical.final_operators())
         build_batches = run_operators(
             [b for out in build_outs for b in out], build_final_ops
         )
@@ -714,7 +723,7 @@ class Coordinator:
             ],
         )
         t4 = sim.now
-        probe_final_ops = probe_physical.final_operators()
+        probe_final_ops = self.backend.compile(probe_physical.final_operators())
         probe_batches = run_operators(
             [b for out in probe_outs for b in out], probe_final_ops
         )
@@ -836,7 +845,7 @@ class Coordinator:
         # (11) Merge (final) stage over the join tasks' outputs.
         t7 = sim.now
         final_span = tracer.start("final-stage", parent=root, stage=STAGE_EXECUTION)
-        final_ops = above_physical.final_operators()
+        final_ops = self.backend.compile(above_physical.final_operators())
         results = run_operators([b for out in task_outs for b in out], final_ops)
         final_cycles = presto_pipeline_cycles(final_ops, costs)
         yield cluster.compute.execute_spread(final_cycles, name="final-stage")
@@ -914,7 +923,7 @@ class Coordinator:
                 op.add_build(build_batch)
             op.finish_build()
             task_ops: List[Operator] = [op]
-            task_ops.extend(above_physical.split_operators())
+            task_ops.extend(self.backend.compile(above_physical.split_operators()))
             out = run_operators(list(probe_batches), task_ops)
             cycles = presto_pipeline_cycles(task_ops, costs)
             if cycles:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.exec.kernels import FusedFilterProjectOperator
 from repro.exec.operators import (
     FilterOperator,
     HashAggregationOperator,
@@ -35,6 +36,12 @@ def presto_operator_cycles(op: Operator, costs: CostParams) -> float:
         # Pass-through slicing: no per-row materialization.
         return op.rows_in * 5.0
     base = op.rows_in * costs.presto_row_overhead_per_op
+    if isinstance(op, FusedFilterProjectOperator):
+        # One pass over the page chain: per-row operator overhead is paid
+        # once for the whole fused run, and expression cost is charged on
+        # the cells *actually evaluated* (short-circuit selection + CSE
+        # mean far fewer cells than the tree-walk equivalent).
+        return base + op.eval_cell_ops * costs.vector_op_cycles_per_value
     if isinstance(op, FilterOperator):
         return base + (
             op.rows_in * op.predicate.node_count() * costs.vector_op_cycles_per_value

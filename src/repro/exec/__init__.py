@@ -25,6 +25,14 @@ from repro.exec.expressions import (
     OrExpr,
 )
 from repro.exec.aggregates import AggregateSpec, grouped_aggregate, global_aggregate
+from repro.exec.backend import (
+    EXEC_BACKENDS,
+    ExecBackend,
+    FusedBackend,
+    TreeWalkBackend,
+    get_backend,
+)
+from repro.exec.kernels import FusedFilterProjectOperator, FusionStats, fuse_operators
 from repro.exec.operators import (
     FilterOperator,
     HashAggregationOperator,
@@ -43,8 +51,13 @@ __all__ = [
     "CastExpr",
     "ColumnExpr",
     "CompareExpr",
+    "EXEC_BACKENDS",
+    "ExecBackend",
     "Expr",
     "FilterOperator",
+    "FusedBackend",
+    "FusedFilterProjectOperator",
+    "FusionStats",
     "HashAggregationOperator",
     "InExpr",
     "IsNullExpr",
@@ -57,6 +70,9 @@ __all__ = [
     "ProjectOperator",
     "SortOperator",
     "TopNOperator",
+    "TreeWalkBackend",
+    "fuse_operators",
+    "get_backend",
     "global_aggregate",
     "grouped_aggregate",
     "run_operators",

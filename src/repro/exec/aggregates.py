@@ -100,14 +100,40 @@ def _factorize(col: ColumnArray) -> Tuple[np.ndarray, int]:
     return codes, max(size, 1)
 
 
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _combine_codes(
+    combined: np.ndarray, bound: int, codes: np.ndarray, size: int
+) -> Tuple[np.ndarray, int]:
+    """Mixed-radix fuse of one more key column, with overflow protection.
+
+    ``combined`` holds codes in ``[0, bound)``.  ``combined * size + codes``
+    silently wraps int64 once the running radix product exceeds 2**63 —
+    several high-cardinality keys can then merge distinct groups (or go
+    negative).  When the next step would overflow, re-factorize ``combined``
+    to dense codes first; density bounds the new radix by the row count, so
+    the product stays representable.
+    """
+    size = max(size, 1)
+    if bound > _INT64_MAX // size:
+        _, combined = np.unique(combined, return_inverse=True)
+        combined = combined.astype(np.int64).reshape(-1)
+        bound = int(combined.max()) + 1 if len(combined) else 1
+        if bound > _INT64_MAX // size:  # pragma: no cover - needs >3e9 rows
+            raise ExecutionError("group-key cardinality overflows int64 radix")
+    return combined * size + codes, bound * size
+
+
 def _group_rows(
     batch: RecordBatch, key_names: Sequence[str]
 ) -> Tuple[np.ndarray, np.ndarray, int]:
     """(group id per row, representative row per group, group count)."""
     combined = np.zeros(batch.num_rows, dtype=np.int64)
+    bound = 1
     for name in key_names:
         codes, size = _factorize(batch.column(name))
-        combined = combined * size + codes
+        combined, bound = _combine_codes(combined, bound, codes, size)
     _, first_idx, inverse = np.unique(combined, return_index=True, return_inverse=True)
     return inverse.reshape(-1), first_idx, len(first_idx)
 
@@ -123,7 +149,8 @@ def _dedup_for_distinct(
     """Keep one row per (group, value) pair, dropping NULLs."""
     valid = col.is_valid()
     codes, size = _factorize(col)
-    pair = gids * max(size, 1) + codes
+    bound = int(gids.max()) + 1 if len(gids) else 1
+    pair, _ = _combine_codes(gids, bound, codes, size)
     _, keep = np.unique(pair, return_index=True)
     keep = keep[valid[keep]]
     return gids[keep], col.take(keep)

@@ -1,0 +1,79 @@
+"""Pluggable execution backends for compute-side operator pipelines.
+
+The coordinator routes every operator pipeline (split operators, final
+stages, the operators stacked above a hash join) through a backend's
+``compile`` hook before running it.  The tree-walk backend is the
+identity — one operator per plan node, expressions re-evaluated
+per reference — and is the reference for correctness.  The fused backend
+compiles Filter/Project runs into single-pass vectorized kernels
+(:mod:`repro.exec.kernels`); it must be digest-identical to tree-walk on
+every query, which the parity harness (:mod:`repro.analysis.parity`)
+asserts.
+
+The OCS embedded engine intentionally stays on the tree-walk path:
+storage-side execution models the paper's OCS runtime, and keeping it on
+the reference path means pushed-vs-local comparisons always pit the
+fused compute path against an independent evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.exec.kernels import FusionStats, fuse_operators
+from repro.exec.operators import Operator
+
+__all__ = [
+    "EXEC_BACKENDS",
+    "ExecBackend",
+    "FusedBackend",
+    "TreeWalkBackend",
+    "get_backend",
+]
+
+#: Valid ``RunConfig.exec_backend`` / ``Coordinator`` backend names.
+EXEC_BACKENDS = ("tree", "fused")
+
+
+class ExecBackend:
+    """Compiles operator pipelines before the coordinator runs them."""
+
+    name = "base"
+
+    def compile(self, operators: Sequence[Operator]) -> List[Operator]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class TreeWalkBackend(ExecBackend):
+    """Reference backend: runs plans exactly as fragmented (identity)."""
+
+    name = "tree"
+
+    def compile(self, operators: Sequence[Operator]) -> List[Operator]:
+        return list(operators)
+
+
+class FusedBackend(ExecBackend):
+    """Fuses Filter/Project chains into single-pass vectorized kernels."""
+
+    name = "fused"
+
+    def __init__(self) -> None:
+        self.stats = FusionStats()
+
+    def compile(self, operators: Sequence[Operator]) -> List[Operator]:
+        return fuse_operators(operators, self.stats)
+
+
+def get_backend(backend: Union[str, ExecBackend]) -> ExecBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, ExecBackend):
+        return backend
+    if backend == "tree":
+        return TreeWalkBackend()
+    if backend == "fused":
+        return FusedBackend()
+    raise ConfigError(
+        f"unknown exec backend {backend!r}; expected one of {EXEC_BACKENDS}"
+    )

@@ -169,9 +169,14 @@ class ArithExpr(Expr):
             elif self.op == "/":
                 if integral:
                     zero = rv == 0
-                    safe = np.where(zero, 1, rv)
-                    # Presto truncates integer division toward zero.
-                    values = np.trunc(lv / safe).astype(target)
+                    safe = np.where(zero, 1, rv).astype(target)
+                    # Presto truncates integer division toward zero.  Stay in
+                    # integer arithmetic: routing through float64 (lv / safe)
+                    # loses precision for |values| > 2**53.
+                    lt = lv.astype(target)
+                    quot = np.floor_divide(lt, safe)
+                    rem = lt - quot * safe
+                    values = quot + ((rem != 0) & ((lt < 0) != (safe < 0)))
                     if zero.any():
                         extra = ~zero
                         validity = extra if validity is None else (validity & extra)
@@ -180,7 +185,9 @@ class ArithExpr(Expr):
             elif self.op == "%":
                 zero = rv == 0
                 safe = np.where(zero, 1, rv)
-                values = np.remainder(lv, safe).astype(target)
+                # SQL/Presto mod takes the dividend's sign (mod(-7, 3) = -1);
+                # np.remainder takes the divisor's — np.fmod matches SQL.
+                values = np.fmod(lv.astype(target), safe.astype(target))
                 if zero.any():
                     extra = ~zero
                     validity = extra if validity is None else (validity & extra)
@@ -369,6 +376,23 @@ class IsNullExpr(Expr):
         return f"({self.operand!r} {suffix})"
 
 
+def _round_half_away_from_zero(values: np.ndarray) -> np.ndarray:
+    """Presto ``round``: halves round away from zero (round(2.5) = 3).
+
+    ``np.round`` is half-to-even (banker's rounding), which disagrees on
+    every .5 input.  Integer inputs pass through untouched so they never
+    take a lossy trip through float64.
+    """
+    if values.dtype.kind in "iub":
+        return values
+    v = np.asarray(values, dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        rounded = np.copysign(np.floor(np.abs(v) + 0.5), v)
+        # Floats >= 2**52 are already integral, and adding 0.5 there can
+        # round *up* in float arithmetic — leave them (and inf/NaN) alone.
+        return np.where(np.abs(v) >= 2.0**52, v, rounded)
+
+
 #: Scalar math functions: name -> (numpy ufunc, preserves-input-dtype).
 #: Functions that don't preserve the input dtype return float64.
 _SCALAR_FUNCS = {
@@ -376,7 +400,7 @@ _SCALAR_FUNCS = {
     "sqrt": (np.sqrt, False),
     "floor": (np.floor, False),
     "ceil": (np.ceil, False),
-    "round": (np.round, True),
+    "round": (_round_half_away_from_zero, True),
     "ln": (np.log, False),
     "exp": (np.exp, False),
 }

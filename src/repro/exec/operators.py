@@ -268,6 +268,8 @@ class HashJoinOperator(Operator):
         probe_codes = np.zeros(npr, dtype=np.int64)
         build_null = np.zeros(nb, dtype=bool)
         probe_null = np.zeros(npr, dtype=bool)
+        bound = 1
+        int64_max = np.iinfo(np.int64).max
         for left_name, right_name in zip(self.left_keys, self.right_keys):
             bcol = build.column(right_name)
             pcol = probe.column(left_name)
@@ -276,9 +278,22 @@ class HashJoinOperator(Operator):
             )
             uniq, inverse = np.unique(combined, return_inverse=True)
             inverse = inverse.reshape(-1).astype(np.int64)
-            radix = np.int64(len(uniq) + 1)
+            radix = int(len(uniq)) + 1
+            if bound > int64_max // radix:
+                # The mixed-radix combine would wrap int64 (several
+                # high-cardinality keys): wrapped codes go negative (rows
+                # silently treated as NULL keys) or collide (false matches).
+                # Re-encode build+probe codes *jointly* to dense codes —
+                # joint encoding preserves cross-array equality, density
+                # bounds the radix by total row count.
+                codes = np.concatenate([build_codes, probe_codes])
+                _, dense = np.unique(codes, return_inverse=True)
+                dense = dense.astype(np.int64).reshape(-1)
+                build_codes, probe_codes = dense[:nb], dense[nb:]
+                bound = int(dense.max()) + 1 if len(dense) else 1
             build_codes = build_codes * radix + inverse[:nb]
             probe_codes = probe_codes * radix + inverse[nb:]
+            bound *= radix
             build_null |= ~bcol.is_valid()
             probe_null |= ~pcol.is_valid()
         build_codes[build_null] = -1

@@ -85,7 +85,9 @@ class QueryService:
             sim_observer=observer,
         )
         self.sim = self.cluster.sim
-        self.coordinator = Coordinator(self.cluster, {})
+        self.coordinator = Coordinator(
+            self.cluster, {}, exec_backend=self.base_config.exec_backend
+        )
         self.admission = AdmissionController(self.spec)
         self.jobs: List[QueryJob] = []
         self._queue: List[QueryJob] = []

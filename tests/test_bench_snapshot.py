@@ -1,0 +1,82 @@
+"""Unit tests for the per-PR benchmark snapshot regression gate."""
+
+from repro.bench.snapshot import MIN_WALL_SPEEDUP, compare
+
+
+def _doc(**overrides):
+    doc = {
+        "snapshot": 6,
+        "kernels": {
+            "tree_wall_s": 0.004,
+            "fused_wall_s": 0.002,
+            "wall_speedup": 2.0,
+            "micro_digest": "abc",
+            "sim": {
+                "ocs": {
+                    "rows": 100,
+                    "sim_tree_s": 0.2,
+                    "sim_fused_s": 0.19,
+                    "bytes_moved": 1000,
+                    "digest": "abc",
+                }
+            },
+        },
+        "table3": {"rows": 1, "total_s": 0.25},
+        "join": {"configs": {"dynamic-filter": {"seconds": 0.2, "moved_bytes": 500}}},
+        "service": {"makespan_s": 0.4, "digest": "svc"},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        assert compare(_doc(), _doc()) == []
+
+    def test_small_improvement_passes(self):
+        current = _doc()
+        current["table3"]["total_s"] = 0.20
+        assert compare(_doc(), current) == []
+
+    def test_sim_time_regression_fails(self):
+        current = _doc()
+        current["table3"] = {"rows": 1, "total_s": 0.30}
+        violations = compare(_doc(), current)
+        assert any("table3.total_s" in v for v in violations)
+
+    def test_bytes_regression_fails(self):
+        current = _doc()
+        current["join"]["configs"]["dynamic-filter"]["moved_bytes"] = 600
+        violations = compare(_doc(), current)
+        assert any("moved_bytes" in v for v in violations)
+
+    def test_within_tolerance_passes(self):
+        current = _doc()
+        current["table3"]["total_s"] = 0.25 * 1.05  # +5% < 10% tolerance
+        assert compare(_doc(), current) == []
+
+    def test_digest_change_fails(self):
+        current = _doc()
+        current["service"]["digest"] = "other"
+        violations = compare(_doc(), current)
+        assert any("service.digest" in v for v in violations)
+
+    def test_missing_metric_fails(self):
+        current = _doc()
+        del current["table3"]
+        violations = compare(_doc(), current)
+        assert any("missing" in v for v in violations)
+
+    def test_wall_speedup_floor(self):
+        current = _doc()
+        current["kernels"]["wall_speedup"] = MIN_WALL_SPEEDUP - 0.1
+        violations = compare(_doc(), current)
+        assert any("wall-clock speedup" in v for v in violations)
+
+    def test_wall_clock_absolutes_not_gated(self):
+        # Raw wall-clock seconds are machine-dependent; only the
+        # same-machine speedup ratio is gated.
+        current = _doc()
+        current["kernels"]["tree_wall_s"] = 0.4
+        current["kernels"]["fused_wall_s"] = 0.2
+        assert compare(_doc(), current) == []
