@@ -58,11 +58,16 @@ def __getattr__(name: str):
         from repro import service as _service
 
         return getattr(_service, name)
+    if name in ("Stage", "StageGraph", "DagScheduler", "SchedulerSpec"):
+        from repro import engine as _engine
+
+        return getattr(_engine, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 __all__ = [
     "Client",
+    "DagScheduler",
     "DatasetSpec",
     "Environment",
     "PushdownPolicy",
@@ -70,7 +75,10 @@ __all__ = [
     "QueryService",
     "QueryTemplate",
     "RunConfig",
+    "SchedulerSpec",
     "ServiceSpec",
+    "Stage",
+    "StageGraph",
     "__version__",
     "connect",
 ]

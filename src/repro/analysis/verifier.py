@@ -104,6 +104,7 @@ __all__ = [
     "verify_substrait_plan",
     "verify_optimized_plan",
     "verify_exchange_boundary",
+    "verify_stage_graph",
 ]
 
 
@@ -896,3 +897,58 @@ def verify_exchange_boundary(scan: TableScanNode) -> None:
         "exchange-boundary scan carries a connector handle; it must stay "
         "synthetic (no connector may bind to exchange output)"
     )
+
+
+# --------------------------------------------------------------------------
+# Stage graphs (DAG typing)
+# --------------------------------------------------------------------------
+
+
+def verify_stage_graph(graph: Any) -> None:
+    """Structural + edge-schema checks over a lowered stage graph.
+
+    Rejects, before anything runs:
+
+    * edges naming a producer absent from the graph,
+    * cycles (no topological order exists),
+    * orphan stages — a non-sink stage nothing consumes would be pure
+      wasted work, and a graph with zero sinks has no result,
+    * schema-mismatched edges: when a consumer declares the schema it
+      expects from a producer (``input_schemas``) and the producer
+      declares an ``output_schema``, names and dtypes must agree
+      exactly (dtype identity, matching the engine's singleton dtypes).
+
+    Untyped edges (either side ``None``/undeclared) are allowed — some
+    payloads are not batch streams (a dynamic-filter handshake, an
+    exchange's drained partition list keeps the producer's schema).
+    """
+    stages = {stage.stage_id: stage for stage in graph}
+    if not stages:
+        raise VerificationError("stage graph is empty")
+    for stage in stages.values():
+        for dep in stage.inputs:
+            if dep not in stages:
+                raise VerificationError(
+                    f"stage {stage.stage_id!r} reads from unknown stage {dep!r}"
+                )
+    graph.topological()  # raises PlanError on cycles
+    consumed = {dep for stage in stages.values() for dep in stage.inputs}
+    sinks = [sid for sid in stages if sid not in consumed]
+    if not sinks:
+        raise VerificationError("stage graph has no sink stage")
+    if len(sinks) > 1:
+        raise VerificationError(
+            f"stage graph has {len(sinks)} sinks {sorted(sinks)}; orphan "
+            f"stages produce work nothing consumes"
+        )
+    for stage in stages.values():
+        for dep, expected in stage.input_schemas.items():
+            produced = stages[dep].output_schema
+            if expected is None or produced is None:
+                continue
+            if not _schemas_agree(produced, expected):
+                raise VerificationError(
+                    f"edge {dep!r} -> {stage.stage_id!r} schema mismatch: "
+                    f"producer emits {produced.names()} but consumer "
+                    f"expects {expected.names()}"
+                )

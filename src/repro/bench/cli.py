@@ -11,7 +11,9 @@
     python -m repro.bench join --seed 0  # distributed join: no-pushdown vs
                                          # static vs dynamic-filter pushdown
     python -m repro.bench kernels        # fused vs tree-walk kernel bench
-    python -m repro.bench snapshot --check BENCH_6.json
+    python -m repro.bench dag --seed 0   # straggler bench: speculative
+                                         # split re-execution on/off
+    python -m repro.bench snapshot --check BENCH_7.json
                                          # per-PR perf-regression gate
 """
 
@@ -42,6 +44,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.bench import join as join_bench
 
         join_bench.main(argv[1:])
+        return
+    if argv and argv[0] == "dag":
+        # Same: the straggler bench takes --scale/--seed.
+        from repro.bench import dag as dag_bench
+
+        dag_bench.main(argv[1:])
         return
     if argv and argv[0] == "kernels":
         # Same: the kernel bench takes --scale/--json.

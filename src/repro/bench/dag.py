@@ -1,0 +1,243 @@
+"""Straggler benchmark: speculative split re-execution on a degraded node.
+
+The paper's NDP deployments degrade gradually — a storage node's
+embedded engine runs slow while its plain object-GET path keeps full
+speed.  This bench injects exactly that: per trial, one storage node's
+pushdown service is slowed by a deterministically drawn multiplier, and
+the same single-table scan runs twice — speculation off, then on
+(:class:`~repro.engine.scheduler.SchedulerSpec`).  With speculation on,
+the DAG scheduler launches a raw-GET backup for each straggling split
+and the first result wins.
+
+Reported: per-trial seconds for both modes, then p50/p99 across trials.
+The headline is the p99 — stragglers dominate tail latency, so
+speculation must beat no-speculation there while every trial's result
+digest stays identical (speculation changes latency, never results).
+Output is deterministic for a fixed ``--seed`` (simulated time only),
+so two reruns diff clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.determinism import canonical_result_digest
+from repro.bench.env import Environment, RunConfig
+from repro.bench.report import format_table
+from repro.config import DEFAULT_TESTBED, FaultSpec
+from repro.core import PushdownPolicy
+from repro.engine import SchedulerSpec
+from repro.workloads import DatasetSpec, generate_lineitem
+
+__all__ = [
+    "DagBenchResult",
+    "SCALES",
+    "TrialRow",
+    "build_environment",
+    "format_dag_table",
+    "run_dag_bench",
+]
+
+#: scale -> (lineitem files, rows/file, storage nodes, trials).
+SCALES: Dict[str, Tuple[int, int, int, int]] = {
+    "smoke": (8, 20_000, 4, 8),
+    "sf0.1": (16, 75_000, 4, 16),
+}
+
+#: The scanned query: selective filter + small group-by, so split service
+#: time is dominated by the pushdown work the fault slows down.
+SQL = (
+    "SELECT returnflag, SUM(extendedprice) AS s, COUNT(*) AS n "
+    "FROM lineitem WHERE discount > 0.02 "
+    "GROUP BY returnflag ORDER BY returnflag"
+)
+
+#: Degradation severity range (pushdown wall-time multiplier on the
+#: degraded node).  Drawn per trial from a seeded RNG, so the trial set
+#: spans mild to severe stragglers.
+_MULT_RANGE = (4.0, 60.0)
+
+
+@dataclass(frozen=True)
+class TrialRow:
+    """One trial: one degraded node, same query with and without backups."""
+
+    trial: int
+    node: int
+    multiplier: float
+    off_seconds: float
+    on_seconds: float
+    backups: int
+    wins: int
+    digest_identical: bool
+
+
+@dataclass(frozen=True)
+class DagBenchResult:
+    trials: List[TrialRow]
+    p50_off_s: float
+    p99_off_s: float
+    p50_on_s: float
+    p99_on_s: float
+    #: First trial's result digest (identical across every run and mode).
+    digest: str
+    #: Every trial's speculation run re-ran with the same seed and
+    #: matched byte-for-byte (digest + simulated seconds + metrics).
+    replay_identical: bool
+
+    @property
+    def identical(self) -> bool:
+        return all(t.digest_identical for t in self.trials)
+
+    @property
+    def p99_speedup(self) -> float:
+        return self.p99_off_s / self.p99_on_s if self.p99_on_s else 0.0
+
+
+def build_environment(scale: str, seed: int) -> Environment:
+    files, rows, nodes, _ = SCALES[scale]
+    testbed = dataclasses.replace(DEFAULT_TESTBED, storage_node_count=nodes)
+    env = Environment(testbed=testbed)
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="lineitem",
+            bucket="data",
+            file_count=files,
+            generator=lambda i: generate_lineitem(
+                rows, seed=17 + seed, start_row=i * rows
+            ),
+            row_group_rows=8192,
+        )
+    )
+    return env
+
+
+def _config(label: str, faults: FaultSpec, speculation: bool) -> RunConfig:
+    return RunConfig(
+        label=label,
+        mode="ocs",
+        policy=PushdownPolicy.filter_only(),
+        split_granularity="file",
+        faults=faults,
+        scheduler=SchedulerSpec(
+            speculation=speculation, speculation_quorum=0.25
+        ),
+    )
+
+
+def _percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ranked = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ranked)))
+    return ranked[rank - 1]
+
+
+def run_dag_bench(scale: str, seed: int) -> DagBenchResult:
+    """Run the trial sweep; returns per-trial rows and tail percentiles."""
+    _, _, nodes, trials = SCALES[scale]
+    env = build_environment(scale, seed)
+    rng = np.random.default_rng(1000 + seed)
+    rows: List[TrialRow] = []
+    digest: Optional[str] = None
+    replay_identical = True
+    for trial in range(trials):
+        node = int(rng.integers(0, nodes))
+        mult = round(float(rng.uniform(*_MULT_RANGE)), 2)
+        faults = FaultSpec(
+            storage_latency_multipliers={node: mult}, seed=seed + trial
+        )
+        off = env.run(SQL, _config("spec-off", faults, False), "tpch")
+        on = env.run(SQL, _config("spec-on", faults, True), "tpch")
+        replay = env.run(SQL, _config("spec-on", faults, True), "tpch")
+        d_off = canonical_result_digest(off.batch)
+        d_on = canonical_result_digest(on.batch)
+        if digest is None:
+            digest = d_on
+        replay_identical = replay_identical and (
+            canonical_result_digest(replay.batch) == d_on
+            and replay.execution_seconds == on.execution_seconds
+            and replay.metrics.snapshot() == on.metrics.snapshot()
+        )
+        rows.append(
+            TrialRow(
+                trial=trial,
+                node=node,
+                multiplier=mult,
+                off_seconds=off.execution_seconds,
+                on_seconds=on.execution_seconds,
+                backups=int(on.metrics.value("speculative_backups")),
+                wins=int(on.metrics.value("speculative_wins")),
+                digest_identical=d_off == d_on == digest,
+            )
+        )
+    off_s = [t.off_seconds for t in rows]
+    on_s = [t.on_seconds for t in rows]
+    return DagBenchResult(
+        trials=rows,
+        p50_off_s=_percentile(off_s, 50),
+        p99_off_s=_percentile(off_s, 99),
+        p50_on_s=_percentile(on_s, 50),
+        p99_on_s=_percentile(on_s, 99),
+        digest=digest or "",
+        replay_identical=replay_identical,
+    )
+
+
+def format_dag_table(scale: str, result: DagBenchResult) -> str:
+    body = [
+        [
+            str(t.trial),
+            str(t.node),
+            f"{t.multiplier:.2f}",
+            f"{t.off_seconds:.4f}",
+            f"{t.on_seconds:.4f}",
+            str(t.backups),
+            str(t.wins),
+            "yes" if t.digest_identical else "NO",
+        ]
+        for t in result.trials
+    ]
+    table = format_table(
+        [
+            "trial",
+            "node",
+            "slowdown",
+            "spec-off s",
+            "spec-on s",
+            "backups",
+            "wins",
+            "digest ok",
+        ],
+        body,
+    )
+    return (
+        f"DAG straggler benchmark ({scale}): speculative split re-execution\n"
+        f"{table}\n"
+        f"p50: {result.p50_off_s:.4f}s off vs {result.p50_on_s:.4f}s on | "
+        f"p99: {result.p99_off_s:.4f}s off vs {result.p99_on_s:.4f}s on "
+        f"({result.p99_speedup:.2f}x)\n"
+        f"digests identical across modes and trials: "
+        f"{'yes' if result.identical else 'NO'}\n"
+        f"seeded speculation reruns byte-identical: "
+        f"{'yes' if result.replay_identical else 'NO'}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=list(SCALES), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = run_dag_bench(args.scale, args.seed)
+    print(format_dag_table(args.scale, result))
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,7 @@ from typing import Optional
 from repro.config import DEFAULT_TESTBED, FaultSpec, TestbedSpec
 from repro.connectors.hive import HiveConnector
 from repro.core import OcsConnector, PushdownMonitor, PushdownPolicy
-from repro.engine import Cluster, Coordinator, QueryResult, Session
+from repro.engine import Cluster, Coordinator, QueryResult, SchedulerSpec, Session
 from repro.errors import ConfigError, EngineError
 from repro.exec.backend import EXEC_BACKENDS
 from repro.metastore.catalog import HiveMetastore, TableDescriptor
@@ -66,6 +66,10 @@ class RunConfig:
     #: "fused" (single-pass vectorized kernels — see docs/KERNELS.md).
     #: Both are digest-identical; "tree" stays the default.
     exec_backend: str = "tree"
+    #: DAG-scheduler policy (speculation, stage restarts — see
+    #: docs/SCHEDULER.md).  ``None`` keeps the defaults: speculation off,
+    #: restart on exchange faults.
+    scheduler: Optional["SchedulerSpec"] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -154,7 +158,8 @@ class Environment:
         )
         connector = self.build_connector(cluster, config)
         coordinator = Coordinator(
-            cluster, {catalog: connector}, exec_backend=config.exec_backend
+            cluster, {catalog: connector}, exec_backend=config.exec_backend,
+            scheduler=config.scheduler,
         )
         session = Session(catalog=catalog, schema=schema)
         return coordinator.execute(sql, session)
@@ -177,7 +182,8 @@ class Environment:
         )
         connector = self.build_connector(cluster, config)
         coordinator = Coordinator(
-            cluster, {catalog: connector}, exec_backend=config.exec_backend
+            cluster, {catalog: connector}, exec_backend=config.exec_backend,
+            scheduler=config.scheduler,
         )
         session = Session(catalog=catalog, schema=schema)
         return coordinator.explain(sql, session, analyze=analyze)

@@ -1,10 +1,10 @@
 """Per-PR benchmark snapshot (``BENCH_<n>.json``) + regression gate.
 
-``collect`` runs the kernel, Table-3, join, and service benches at CI
-scale and folds their headline numbers into one JSON document.  The
-committed snapshot (``BENCH_6.json`` at the repo root) is the previous
-PR's baseline; CI regenerates the snapshot and ``compare``s it against
-the committed file, failing on:
+``collect`` runs the kernel, Table-3, join, service, and DAG-straggler
+benches at CI scale and folds their headline numbers into one JSON
+document.  The committed snapshot (``BENCH_7.json`` at the repo root)
+is the previous PR's baseline; CI regenerates the snapshot and
+``compare``s it against the committed file, failing on:
 
 * any *simulated* metric (seconds / bytes) more than 10% worse —
   simulated numbers are deterministic, so a fresh run matches the
@@ -14,9 +14,12 @@ the committed file, failing on:
 * fused wall-clock speedup below the 1.5x floor — the only
   machine-dependent gate, expressed as a same-machine tree/fused ratio
   so CI host speed cancels out (the baseline's speedup is recorded but
-  not ratcheted: best-of-N jitter between reruns exceeds 10%).
+  not ratcheted: best-of-N jitter between reruns exceeds 10%);
+* the DAG scheduler's speculative execution failing to beat
+  no-speculation on p99 latency, changing a result digest, or losing
+  seeded-replay byte-identity.
 
-Regenerate with ``python -m repro.bench snapshot --out BENCH_6.json``.
+Regenerate with ``python -m repro.bench snapshot --out BENCH_7.json``.
 """
 
 from __future__ import annotations
@@ -26,13 +29,14 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.bench import dag as dag_bench
 from repro.bench import join as join_bench
 from repro.bench import table3 as table3_bench
 from repro.bench.kernels import run_kernel_bench
 
 __all__ = ["SNAPSHOT_VERSION", "collect", "compare", "main"]
 
-SNAPSHOT_VERSION = 6
+SNAPSHOT_VERSION = 7
 
 #: Relative worsening tolerated on lower-is-better simulated metrics.
 TOLERANCE = 0.10
@@ -46,6 +50,8 @@ _TABLE3_ROWS = 131_072
 _JOIN_SCALE = "smoke"
 _JOIN_QUERY = "q3"
 _SERVICE_QUERIES = 8
+_DAG_SCALE = "smoke"
+_DAG_SEED = 0
 
 
 def _collect_service() -> Dict[str, object]:
@@ -106,12 +112,27 @@ def collect() -> Dict[str, object]:
         },
     }
 
+    dag_result = dag_bench.run_dag_bench(_DAG_SCALE, _DAG_SEED)
+    dag_doc: Dict[str, object] = {
+        "scale": _DAG_SCALE,
+        "trials": len(dag_result.trials),
+        "p50_off_s": dag_result.p50_off_s,
+        "p99_off_s": dag_result.p99_off_s,
+        "p50_on_s": dag_result.p50_on_s,
+        "p99_on_s": dag_result.p99_on_s,
+        "p99_speedup": dag_result.p99_speedup,
+        "identical": dag_result.identical,
+        "replay_identical": dag_result.replay_identical,
+        "digest": dag_result.digest,
+    }
+
     return {
         "snapshot": SNAPSHOT_VERSION,
         "kernels": kernels.to_json_dict(),
         "table3": table3_doc,
         "join": join_doc,
         "service": _collect_service(),
+        "dag": dag_doc,
     }
 
 
@@ -182,6 +203,22 @@ def compare(baseline: Dict[str, object], current: Dict[str, object]) -> List[str
             f"fused wall-clock speedup {cur_speedup:.2f}x below the "
             f"{MIN_WALL_SPEEDUP:.1f}x floor (baseline {base_speedup:.2f}x)"
         )
+
+    dag = current.get("dag")
+    if isinstance(dag, dict):
+        p99_on = float(dag.get("p99_on_s", 0.0))
+        p99_off = float(dag.get("p99_off_s", 0.0))
+        if p99_on >= p99_off:
+            violations.append(
+                f"dag: speculation p99 {p99_on:.6g}s does not beat "
+                f"no-speculation p99 {p99_off:.6g}s"
+            )
+        if not dag.get("identical", False):
+            violations.append("dag: speculation changed a result digest")
+        if not dag.get("replay_identical", False):
+            violations.append(
+                "dag: seeded speculation reruns were not byte-identical"
+            )
     return violations
 
 

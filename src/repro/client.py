@@ -27,6 +27,8 @@ from typing import Dict, Optional
 from repro.bench.env import Environment, RunConfig
 from repro.config import FaultSpec, ServiceSpec, TestbedSpec
 from repro.engine.coordinator import QueryResult
+from repro.engine.dag import Stage, StageGraph
+from repro.engine.scheduler import DagScheduler, SchedulerSpec
 from repro.errors import ConfigError
 from repro.metastore.catalog import TableDescriptor
 from repro.rpc.retry import RetryPolicy
@@ -34,7 +36,18 @@ from repro.service.jobs import QueryHandle
 from repro.sim.costmodel import CostParams
 from repro.workloads.datasets import DatasetSpec
 
-__all__ = ["connect", "Client", "DEFAULT_CONFIG"]
+__all__ = [
+    "connect",
+    "Client",
+    "DEFAULT_CONFIG",
+    # Stage-DAG scheduler API, re-exported for embedders: build graphs
+    # (Stage/StageGraph), run them (DagScheduler), tune policy
+    # (SchedulerSpec, e.g. ``RunConfig(scheduler=...)``).
+    "Stage",
+    "StageGraph",
+    "DagScheduler",
+    "SchedulerSpec",
+]
 
 #: Per-query default: the paper's full-pushdown Presto-OCS configuration.
 DEFAULT_CONFIG = RunConfig(label="ocs", mode="ocs")

@@ -26,7 +26,7 @@ from repro.metastore.catalog import HiveMetastore
 from repro.ocs.embedded_engine import EmbeddedEngine
 from repro.ocs.frontend import OcsFrontend, PushdownRequest, decode_response, encode_request
 from repro.rpc.retry import RetryPolicy, retrying_call
-from repro.sim.metrics import MetricsRegistry
+from repro.sim.metrics import MetricsRegistry, StageAccountant
 from repro.substrait.plan import SubstraitPlan
 from repro.substrait.serde import serialize_plan
 from repro.trace import Span
@@ -112,7 +112,7 @@ class OcsConnector(Connector):
         cluster = self.cluster
         sim = cluster.sim
         costs = cluster.costs
-        stages = metrics.stages
+        stages = StageAccountant(sim, metrics.stages)
         tracer = cluster.tracer
         pushed: PushedOperators = handle.pushed
 
@@ -123,8 +123,8 @@ class OcsConnector(Connector):
         # The spans here mirror the stage windows exactly: the substrait
         # span covers the paused interval, the pushdown span the resumed
         # transfer window up to this page source's return.
-        stages.end(STAGE_TRANSFER, sim.now)
-        stages.begin(STAGE_SUBSTRAIT, sim.now)
+        stages.end(STAGE_TRANSFER)
+        stages.begin(STAGE_SUBSTRAIT)
         substrait_span = tracer.start(
             "substrait.generate", parent=trace, stage=STAGE_SUBSTRAIT
         )
@@ -144,8 +144,8 @@ class OcsConnector(Connector):
         yield cluster.compute.execute(generation_cycles, name="substrait-gen")
         substrait_span.set("plan_bytes", len(plan_bytes))
         tracer.end(substrait_span)
-        stages.end(STAGE_SUBSTRAIT, sim.now)
-        stages.begin(STAGE_TRANSFER, sim.now)
+        stages.end(STAGE_SUBSTRAIT)
+        stages.begin(STAGE_TRANSFER)
         pushdown_span = tracer.start(
             "pushdown", parent=trace, stage=STAGE_TRANSFER,
             attributes={"node": split.node_index},
@@ -250,6 +250,31 @@ class OcsConnector(Connector):
             ingest_cycles=ingest,
             transfer_seconds=sim.now - t1,
         )
+
+    def speculative_page_source(
+        self,
+        handle: OcsTableHandle,
+        split: ConnectorSplit,
+        metrics: MetricsRegistry,
+        trace: Span | None = None,
+    ) -> Generator:
+        """Backup attempt for a straggling split: the raw-GET path.
+
+        Node-granularity splits cannot re-home (each split *is* one
+        storage node's data), but the degraded path sidesteps a slow
+        pushdown engine entirely: fetch the objects whole through the
+        conventional gateway and run the same pushed plan on the
+        compute node's embedded engine.  Identical batches by
+        construction — the same property the fault-tolerance fallback
+        relies on — which is what lets the scheduler race it against
+        the primary with first-result-wins.
+        """
+        plan = build_pushdown_plan(handle.descriptor, handle.pushed)
+        result = yield from self._fallback_source(
+            handle, split, plan, metrics, parent=trace
+        )
+        metrics.add("speculative_fallback_splits", 1)
+        return result
 
     # -- graceful degradation ----------------------------------------------------
 

@@ -15,6 +15,8 @@ optional :class:`~repro.engine.spi.ConnectorPlanOptimizer`.
 
 from repro.engine.cluster import Cluster
 from repro.engine.coordinator import Coordinator, QueryResult
+from repro.engine.dag import Stage, StageContext, StageGraph
+from repro.engine.scheduler import DagScheduler, SchedulerSpec
 from repro.engine.session import Session
 from repro.engine.spi import (
     Connector,
@@ -31,7 +33,12 @@ __all__ = [
     "ConnectorSplit",
     "ConnectorTableHandle",
     "Coordinator",
+    "DagScheduler",
     "PageSourceResult",
     "QueryResult",
+    "SchedulerSpec",
     "Session",
+    "Stage",
+    "StageContext",
+    "StageGraph",
 ]

@@ -1,9 +1,20 @@
 """The coordinator: the paper's Figure 3 pipeline end to end.
 
 ``execute`` runs one SQL statement: parse -> analyze -> logical plan ->
-global optimize -> connector local optimize -> fragment -> schedule
-splits -> drive execution on the simulated cluster -> gather results.
-All real computation happens inline; all timing comes from the DES.
+global optimize -> connector local optimize -> **lower to a stage
+graph** -> hand the graph to the DAG scheduler -> gather results.  All
+real computation happens inline; all timing comes from the DES.
+
+Queries no longer run down hard-coded pipelines.  :meth:`Coordinator.
+_lower` turns every plan — single-table scans and chains of equi-joins
+alike — into a typed :class:`~repro.engine.dag.StageGraph` (scan,
+filter, exchange, join, aggregate, merge stages with schema-carrying
+edges), and :class:`~repro.engine.scheduler.DagScheduler` runs any
+stage the moment its inputs complete.  That one change buys N-way
+joins (TPC-H Q3's customer ⋈ orders ⋈ lineitem lowers to two join
+levels), concurrent independent scans, speculative re-execution of
+straggler splits, and stage-level restart after exchange faults —
+without per-shape coordinator code.
 
 Stage attribution matches Table 3's rows: ``logical_plan_analysis``
 (connector plan traversal), ``substrait_generation`` (charged by the OCS
@@ -12,29 +23,34 @@ connector's page source), ``pushdown_and_transfer`` (storage round trip
 ``others`` (coordination fixed costs + scheduling).
 
 When the cluster's tracer records, the coordinator opens one root span
-per query and mirrors every stage window with a ``stage``-tagged child
-span, so the Table 3 breakdown is re-derivable from the span tree alone
+per query, the scheduler wraps each stage in an (untagged)
+``stage:<id>`` span, and every stage window is mirrored by a
+``stage``-tagged child span over the same instants, so the Table 3
+breakdown is re-derivable from the span tree alone
 (:func:`repro.trace.stage_totals`); spans add no simulated cost, so the
 timings are bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.analysis.runtime import strict_verify_enabled
 from repro.arrowsim.record_batch import RecordBatch, concat_batches
+from repro.arrowsim.schema import Schema
 from repro.engine.cluster import Cluster
 from repro.engine.costing import choose_join_distribution, presto_pipeline_cycles
+from repro.engine.dag import Stage, StageContext, StageGraph
 from repro.engine.physical import PhysicalPlan, fragment_plan
+from repro.engine.scheduler import DagScheduler, SchedulerSpec, run_splits
 from repro.engine.session import Session
-from repro.engine.spi import Connector, PageSourceResult
+from repro.engine.spi import Connector, ConnectorSplit, PageSourceResult
 from repro.errors import NoSuchCatalogError, PlanError
 from repro.exchange.filters import build_dynamic_filter
 from repro.exchange.partition import hash_partition
 from repro.exec.backend import ExecBackend, get_backend
-from repro.exec.operators import HashJoinOperator, Operator, run_operators
+from repro.exec.operators import HashJoinOperator, HashAggregationOperator, Operator, run_operators
 from repro.plan.nodes import (
     JoinNode,
     OutputNode,
@@ -46,7 +62,7 @@ from repro.plan.optimizer import GlobalOptimizer
 from repro.plan.planner import plan_query
 from repro.rpc.retry import RetryPolicy
 from repro.sim.kernel import AllOf
-from repro.sim.metrics import MetricsRegistry
+from repro.sim.metrics import MetricsRegistry, StageAccountant
 from repro.sql.analyzer import analyze as analyze_statement
 from repro.sql.ast_nodes import TableName
 from repro.sql.parser import parse
@@ -80,6 +96,8 @@ class QueryResult:
     utilization: Dict[str, float] = field(default_factory=dict)
     #: The query's span tree when the cluster ran with tracing enabled.
     trace: Optional[Trace] = None
+    #: The stage graph the query ran through (EXPLAIN renders this).
+    stage_graph: Optional[StageGraph] = None
 
     @property
     def rows(self) -> int:
@@ -87,6 +105,34 @@ class QueryResult:
 
     def to_pydict(self) -> Dict[str, list]:
         return self.batch.to_pydict()
+
+
+@dataclass
+class _Branch:
+    """One scan branch of the lowered graph (base table or join build)."""
+
+    stage_id: str
+    table: str
+    plan: PlanNode
+    physical: PhysicalPlan
+    handle: Any
+    splits: List[ConnectorSplit]
+
+
+@dataclass
+class _Lowered:
+    """Everything :meth:`Coordinator._lower` produced for one query."""
+
+    graph: StageGraph
+    plan_after: str
+    branches: List[_Branch]
+    total_splits: int
+    #: Plan-node count driving the local-optimization cycle charge
+    #: (0 when the connector has no local optimizer).
+    analysis_nodes: int
+    output_schema: Schema
+    result_stage: str
+    has_exchange: bool
 
 
 class Coordinator:
@@ -97,12 +143,15 @@ class Coordinator:
         cluster: Cluster,
         catalogs: Dict[str, Connector],
         exec_backend: Union[str, ExecBackend] = "tree",
+        scheduler: Optional[SchedulerSpec] = None,
     ) -> None:
         self.cluster = cluster
         self.catalogs = dict(catalogs)
         #: Compiles every compute-side operator pipeline before it runs
         #: (tree-walk reference vs fused vectorized kernels).
         self.backend = get_backend(exec_backend)
+        #: Restart/speculation policy handed to every query's scheduler.
+        self.scheduler_spec = scheduler if scheduler is not None else SchedulerSpec()
 
     def connector_for(self, name: str) -> Connector:
         try:
@@ -146,122 +195,75 @@ class Coordinator:
 
         Shows the optimized logical plan, the plan after the connector's
         local optimizer, the operators merged into the scan handle with
-        their selectivity estimates, and the split structure — Presto's
-        EXPLAIN, extended with the paper's pushdown vocabulary.
+        their selectivity estimates, the split structure, and the stage
+        graph the scheduler would run — Presto's EXPLAIN, extended with
+        the paper's pushdown vocabulary.
 
         With ``analyze=True`` the query actually runs (with tracing
-        forced on) and the output is the recorded span tree plus the
-        span-derived Table 3 stage breakdown — ``EXPLAIN ANALYZE``.
+        forced on) and the output is the recorded span tree, the
+        span-derived Table 3 stage breakdown, and the stage graph with
+        per-stage timings — ``EXPLAIN ANALYZE``.
         """
         if analyze:
             return self._explain_analyze(sql, session)
-        statement = parse(sql)
-        catalog_name = statement.from_table.catalog or session.catalog
-        schema_name = statement.from_table.schema or session.schema
-        connector = self.connector_for(catalog_name)
-        handle = connector.get_table_handle(schema_name, statement.from_table.table)
-        right_handle = self._right_handle(statement, session, catalog_name, connector)
-        if right_handle is not None:
-            query = analyze_statement(
-                statement, handle.table_schema,
-                right_schema=right_handle.table_schema,
-            )
+        plan, plan_before, connector = self._plan_statement(sql, session)
+        lowered = self._lower(plan, connector, MetricsRegistry())
+
+        lines = [
+            f"EXPLAIN {' '.join(sql.split())}",
+            "",
+            "Logical plan (after global optimization):",
+            plan_before,
+        ]
+        if len(lowered.branches) == 1:
+            # Single-table: the classic EXPLAIN shape.
+            branch = lowered.branches[0]
+            lines += [
+                "",
+                f"After {type(connector).__name__} local optimizer:",
+                lowered.plan_after,
+            ]
+            lines += self._pushed_lines(branch.handle)
         else:
-            query = analyze_statement(statement, handle.table_schema)
-        plan: PlanNode = plan_query(query)
-        self._attach_handle(plan, handle, right_handle)
-        plan = GlobalOptimizer().optimize(plan)
-        before = format_plan(plan)
-
-        join = _find_join(plan)
-        if join is not None:
-            return self._explain_join(sql, connector, plan, before, join)
-
-        optimizer = connector.plan_optimizer()
-        metrics = MetricsRegistry()
-        if optimizer is not None:
-            plan = optimizer.optimize(plan, metrics)
-        after = format_plan(plan)
-
-        physical = fragment_plan(plan)
-        scan_handle = physical.scan.connector_handle
-        splits = connector.get_splits(scan_handle)
-
-        lines = [
-            f"EXPLAIN {' '.join(sql.split())}",
-            "",
-            "Logical plan (after global optimization):",
-            before,
-            "",
-            f"After {type(connector).__name__} local optimizer:",
-            after,
-        ]
-        pushed = getattr(scan_handle, "pushed", None)
-        if pushed is not None:
-            operators = pushed.operator_names() or ["(none)"]
-            lines += ["", f"Pushed to storage: {', '.join(operators)}"]
-            if getattr(scan_handle, "estimated_selectivity", None) is not None:
-                lines.append(
-                    f"  estimated filter selectivity: "
-                    f"{scan_handle.estimated_selectivity:.4%}"
-                )
-            if getattr(scan_handle, "estimated_output_rows", None) is not None:
-                lines.append(
-                    f"  estimated aggregation groups: "
-                    f"{scan_handle.estimated_output_rows:,}"
-                )
+            lines += [
+                "",
+                f"After {type(connector).__name__} local optimizer:",
+                lowered.plan_after,
+            ]
+            for branch in lowered.branches:
+                lines += [
+                    "",
+                    f"Branch {branch.stage_id} after "
+                    f"{type(connector).__name__} local optimizer:",
+                    format_plan(branch.plan),
+                ]
+                lines += self._pushed_lines(branch.handle, label=branch.stage_id)
         lines.append("")
-        lines.append(f"Splits: {len(splits)}")
+        lines.append("Stage graph:")
+        lines.append(lowered.graph.render())
+        lines.append("")
+        lines.append(f"Splits: {lowered.total_splits}")
         return "\n".join(lines)
 
-    def _explain_join(
-        self, sql: str, connector: Connector, plan: PlanNode, before: str,
-        join: JoinNode,
-    ) -> str:
-        """EXPLAIN for a join: per-branch plans + exchange structure."""
-        metrics = MetricsRegistry()
-        branch_plans: List[PlanNode] = []
-        for branch in (join.left, join.right):
-            branch_plan: PlanNode = OutputNode(branch, branch.output_schema().names())
-            optimizer = connector.plan_optimizer()
-            if optimizer is not None:
-                branch_plan = optimizer.optimize(branch_plan, metrics)
-            branch_plans.append(branch_plan)
-        probe_plan, build_plan = branch_plans
-        workers = max(1, int(self.cluster.costs.exchange_partition_count))
-        distribution = join.distribution
-        if distribution == "auto":
-            distribution = choose_join_distribution(
-                build_rows=_handle_row_count(_find_scan(join.right).connector_handle),
-                probe_rows=_handle_row_count(_find_scan(join.left).connector_handle),
-                workers=workers,
+    @staticmethod
+    def _pushed_lines(handle, label: Optional[str] = None) -> List[str]:
+        pushed = getattr(handle, "pushed", None)
+        if pushed is None:
+            return []
+        operators = pushed.operator_names() or ["(none)"]
+        suffix = f" ({label})" if label else ""
+        lines = ["", f"Pushed to storage{suffix}: {', '.join(operators)}"]
+        if getattr(handle, "estimated_selectivity", None) is not None:
+            lines.append(
+                f"  estimated filter selectivity: "
+                f"{handle.estimated_selectivity:.4%}"
             )
-        probe_physical = fragment_plan(probe_plan)
-        build_physical = fragment_plan(build_plan)
-        probe_splits = connector.get_splits(probe_physical.scan.connector_handle)
-        build_splits = connector.get_splits(build_physical.scan.connector_handle)
-        lines = [
-            f"EXPLAIN {' '.join(sql.split())}",
-            "",
-            "Logical plan (after global optimization):",
-            before,
-            "",
-            f"Join distribution: {distribution} ({workers} join tasks)",
-            "",
-            f"Probe branch after {type(connector).__name__} local optimizer:",
-            format_plan(probe_plan),
-            "",
-            f"Build branch after {type(connector).__name__} local optimizer:",
-            format_plan(build_plan),
-        ]
-        for label, physical in (("probe", probe_physical), ("build", build_physical)):
-            pushed = getattr(physical.scan.connector_handle, "pushed", None)
-            if pushed is not None:
-                operators = pushed.operator_names() or ["(none)"]
-                lines += ["", f"Pushed to storage ({label}): {', '.join(operators)}"]
-        lines.append("")
-        lines.append(f"Splits: {len(probe_splits) + len(build_splits)}")
-        return "\n".join(lines)
+        if getattr(handle, "estimated_output_rows", None) is not None:
+            lines.append(
+                f"  estimated aggregation groups: "
+                f"{handle.estimated_output_rows:,}"
+            )
+        return lines
 
     def _explain_analyze(self, sql: str, session: Session) -> str:
         """Run the query with tracing forced on; render tree + stages."""
@@ -295,60 +297,50 @@ class Coordinator:
         ):
             seconds = totals.get(stage, 0.0)
             lines.append(f"  {stage:<24} {seconds * 1e3:10.3f} ms")
+        if result.stage_graph is not None:
+            timings: Dict[str, float] = {}
+            for span in result.trace:
+                if span.name.startswith("stage:") and span.end is not None:
+                    sid = span.name[len("stage:"):]
+                    timings[sid] = timings.get(sid, 0.0) + span.duration
+            lines.append("")
+            lines.append("Stage graph (per-stage wall time):")
+            lines.append(result.stage_graph.render(timings=timings))
         return "\n".join(lines)
 
-    # -- the query process ----------------------------------------------------------
+    # -- planning --------------------------------------------------------------
 
-    def _run_query(
-        self,
-        sql: str,
-        session: Session,
-        *,
-        metrics: Optional[MetricsRegistry] = None,
-        parent=None,
-        query_id: Optional[str] = None,
-    ):
-        cluster = self.cluster
-        sim = cluster.sim
-        costs = cluster.costs
-        # Per-query scoped: consecutive/concurrent queries on one shared
-        # cluster must not see each other's counters or stage windows.
-        metrics = metrics if metrics is not None else MetricsRegistry()
-        tracer = cluster.tracer
+    def _plan_statement(self, sql: str, session: Session, tracer=None, startup=None):
+        """parse -> analyze -> logical plan -> global optimize.
 
-        # (0) Coordination overhead ("others" in Table 3).  Every stage
-        # window below is mirrored by a stage-tagged span over the same
-        # instants, so span-derived totals reproduce ``stage_seconds``.
-        query_start = sim.now
-        bytes_start = cluster.bytes_to_compute()
-        root = tracer.start(
-            "query", parent=parent, attributes={"sql": " ".join(sql.split())}
-        )
-        t0 = sim.now
-        startup = tracer.start("startup", parent=root, stage=STAGE_OTHERS)
-        yield cluster.compute.execute(costs.coordinator_fixed_cycles, name="coordinate")
+        Shared by :meth:`explain` (no tracer) and the query process
+        (spans parented under ``startup``).  Returns the optimized
+        plan, its rendering, and the resolved connector.
+        """
+        from repro.trace.tracer import NOOP_TRACER
 
-        # (1-3) Parse, analyze, logical plan, global optimization.  These
-        # run inline (instantaneous in simulated time) — their spans are
-        # zero-width markers recording the pipeline's structure.
+        tracer = tracer if tracer is not None else NOOP_TRACER
         with tracer.span("parse", parent=startup):
             statement = parse(sql)
         catalog_name = statement.from_table.catalog or session.catalog
         schema_name = statement.from_table.schema or session.schema
         connector = self.connector_for(catalog_name)
         handle = connector.get_table_handle(schema_name, statement.from_table.table)
-        right_handle = self._right_handle(statement, session, catalog_name, connector)
+        join_handles = self._join_handles(statement, session, catalog_name, connector)
         with tracer.span("analyze", parent=startup):
-            if right_handle is not None:
+            if join_handles:
                 query = analyze_statement(
                     statement, handle.table_schema,
-                    right_schema=right_handle.table_schema,
+                    join_schemas=[h.table_schema for h in join_handles],
                 )
             else:
                 query = analyze_statement(statement, handle.table_schema)
         with tracer.span("plan.logical", parent=startup):
             plan: PlanNode = plan_query(query)
-            self._attach_handle(plan, handle, right_handle)
+            handles_by_table = {statement.from_table.table: handle}
+            for clause, join_handle in zip(statement.joins, join_handles):
+                handles_by_table[clause.table.table] = join_handle
+            self._attach_handles(plan, handles_by_table)
         with tracer.span("optimize.global", parent=startup):
             if strict_verify_enabled():
                 # Global rewrites must preserve the analyzed plan's output
@@ -369,97 +361,120 @@ class Coordinator:
                     )
             else:
                 plan = GlobalOptimizer().optimize(plan)
-        plan_before = format_plan(plan)
-        metrics.stages.charge(STAGE_OTHERS, sim.now - t0)
+        return plan, format_plan(plan), connector
+
+    # -- the query process ----------------------------------------------------------
+
+    def _run_query(
+        self,
+        sql: str,
+        session: Session,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        parent=None,
+        query_id: Optional[str] = None,
+    ):
+        cluster = self.cluster
+        sim = cluster.sim
+        costs = cluster.costs
+        # Per-query scoped: consecutive/concurrent queries on one shared
+        # cluster must not see each other's counters or stage windows.
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        tracer = cluster.tracer
+        accountant = StageAccountant(sim, metrics.stages)
+
+        # (0) Coordination overhead ("others" in Table 3).  Every stage
+        # window below is mirrored by a stage-tagged span over the same
+        # instants, so span-derived totals reproduce ``stage_seconds``.
+        query_start = sim.now
+        bytes_start = cluster.bytes_to_compute()
+        retries_start = cluster.exchange.retries
+        root = tracer.start(
+            "query", parent=parent, attributes={"sql": " ".join(sql.split())}
+        )
+        startup = tracer.start("startup", parent=root, stage=STAGE_OTHERS)
+        with accountant.charged(STAGE_OTHERS):
+            yield cluster.compute.execute(
+                costs.coordinator_fixed_cycles, name="coordinate"
+            )
+
+            # (1-3) Parse, analyze, logical plan, global optimization.
+            # These run inline (instantaneous in simulated time) — their
+            # spans are zero-width markers recording pipeline structure.
+            plan, plan_before, connector = self._plan_statement(
+                sql, session, tracer=tracer, startup=startup
+            )
         tracer.end(startup)
 
-        if _find_join(plan) is not None:
-            # Multi-stage (exchange) execution takes over from here:
-            # per-branch local optimization, build/probe scan stages, the
-            # shuffle, parallel join tasks, and the shared merge stage.
-            result = yield from self._run_join_query(
-                plan, plan_before, connector, metrics, root,
-                query_start, bytes_start, query_id,
-            )
-            return result
-
-        # (4) Connector-specific (local) optimization — the SPI hook.
-        t1 = sim.now
+        # (4) Connector-specific (local) optimization + lowering to the
+        # stage graph.  The lowering itself is pure (no simulated time);
+        # the traversal cost it reports is charged here.
         local_opt = tracer.start("optimize.local", parent=root, stage=STAGE_ANALYSIS)
-        optimizer = connector.plan_optimizer()
-        if optimizer is not None:
-            node_count = _count_nodes(plan)
-            yield cluster.compute.execute(
-                node_count * costs.plan_analysis_cycles_per_node, name="local-opt"
-            )
-            plan = optimizer.optimize(plan, metrics)
-        plan_after = format_plan(plan)
-        metrics.stages.charge(STAGE_ANALYSIS, sim.now - t1)
+        with accountant.charged(STAGE_ANALYSIS):
+            lowered = self._lower(plan, connector, metrics)
+            if lowered.analysis_nodes:
+                yield cluster.compute.execute(
+                    lowered.analysis_nodes * costs.plan_analysis_cycles_per_node,
+                    name="local-opt",
+                )
         tracer.end(local_opt)
 
-        # (5) Physical planning + (6) split generation and scheduling.
-        t2 = sim.now
+        # (5) Split scheduling cost ("others").
         schedule = tracer.start("schedule", parent=root, stage=STAGE_OTHERS)
-        physical = fragment_plan(plan)
-        scan_handle = physical.scan.connector_handle
-        splits = connector.get_splits(scan_handle)
-        schedule.set("splits", len(splits))
-        yield cluster.compute.execute(
-            len(splits) * costs.schedule_cycles_per_split, name="schedule"
-        )
-        metrics.stages.charge(STAGE_OTHERS, sim.now - t2)
-        tracer.end(schedule)
-        metrics.add("splits", len(splits))
-
-        # Split drivers (scan stage).
-        split_processes = [
-            sim.process(
-                self._run_split(
-                    connector, scan_handle, split, physical, metrics, root,
-                    owner=query_id,
-                ),
-                name=f"split-{split.split_id}",
+        schedule.set("splits", lowered.total_splits)
+        schedule.set("stages", len(lowered.graph))
+        with accountant.charged(STAGE_OTHERS):
+            yield cluster.compute.execute(
+                lowered.total_splits * costs.schedule_cycles_per_split,
+                name="schedule",
             )
-            for split in splits
-        ]
-        split_outputs = yield AllOf(sim, split_processes)
+        tracer.end(schedule)
+        metrics.add("splits", lowered.total_splits)
 
-        # Merge (final) stage.
-        t3 = sim.now
-        final_span = tracer.start("final-stage", parent=root, stage=STAGE_EXECUTION)
-        batches: List[RecordBatch] = [b for out in split_outputs for b in out]
-        final_ops = self.backend.compile(physical.final_operators())
-        results = run_operators(batches, final_ops)
-        final_cycles = presto_pipeline_cycles(final_ops, costs)
-        yield cluster.compute.execute_spread(final_cycles, name="final-stage")
-        metrics.stages.charge(STAGE_EXECUTION, sim.now - t3)
-        tracer.end(final_span)
+        # (6) Run the graph.  Any ready stage launches the instant its
+        # inputs complete; stage-level restart and split speculation are
+        # the scheduler's business, not the lowering's.
+        scheduler = DagScheduler(
+            sim,
+            lowered.graph,
+            self.scheduler_spec,
+            tracer=tracer,
+            metrics=metrics,
+            accountant=accountant,
+            parent=root,
+            query_id=query_id,
+        )
+        stage_results = yield from scheduler.run()
+        results = stage_results[lowered.result_stage]
 
         batch = (
             concat_batches(results)
             if results
-            else RecordBatch.empty(plan.output_schema())
+            else RecordBatch.empty(lowered.output_schema)
         )
+        # Retries on the exchange link, attributed to this query's window
+        # (exact on a dedicated cluster, like the data-moved ledger).
+        retries_delta = cluster.exchange.retries - retries_start
+        if retries_delta:
+            metrics.add("exchange_retries", retries_delta)
         utilization = {
             "compute_cores": cluster.compute.core_utilization(),
             "frontend_cores": cluster.frontend.core_utilization(),
             "link": cluster.link_cf.utilization(),
             "scan_drivers": cluster.scan_drivers.utilization(),
         }
+        if lowered.has_exchange:
+            utilization["exchange_link"] = cluster.link_exchange.utilization()
         for i, node in enumerate(cluster.storage):
             utilization[f"storage_cores[{i}]"] = node.core_utilization()
         # Stage attribution must partition the wall time: window union
         # keeps concurrent splits from double charging, but stages that
         # overlap *each other* (e.g. one split transferring while another
         # runs operators) can still push the sum past the elapsed time.
-        # Scale the reported copy down so Table 3 always partitions;
-        # serial runs are untouched (total <= elapsed there).
+        # The accountant scales the reported copy down so Table 3 always
+        # partitions; serial runs are untouched (total <= elapsed there).
         elapsed = sim.now - query_start
-        stage_seconds = dict(metrics.stages.items())
-        total = sum(stage_seconds.values())
-        if total > elapsed > 0:
-            scale = elapsed / total
-            stage_seconds = {k: v * scale for k, v in stage_seconds.items()}
+        stage_seconds = accountant.partitioned(elapsed)
         tracer.end(root)
         return QueryResult(
             batch=batch,
@@ -469,422 +484,757 @@ class Coordinator:
             # link, so the service reports per-query movement from the
             # per-query ``bytes_received`` counter instead.
             data_moved_bytes=cluster.bytes_to_compute() - bytes_start,
-            splits=len(splits),
+            splits=lowered.total_splits,
             plan_before=plan_before,
-            plan_after=plan_after,
+            plan_after=lowered.plan_after,
             metrics=metrics,
             stage_seconds=stage_seconds,
             utilization=utilization,
             trace=tracer.trace(root=root) if tracer.recording else None,
+            stage_graph=lowered.graph,
         )
 
-    def _run_split(
-        self, connector: Connector, handle, split, physical: PhysicalPlan, metrics,
-        parent=None, owner: Optional[str] = None,
-    ):
-        cluster = self.cluster
-        sim = cluster.sim
-        stages = metrics.stages
-        tracer = cluster.tracer
-        split_span = tracer.start(
-            f"split-{split.split_id}",
-            parent=parent,
-            attributes={"split": split.split_id, "node": split.node_index},
-        )
-        try:
-            with cluster.scan_drivers.request(owner=owner) as driver:
-                yield driver
-                # Data acquisition: storage round trip + page
-                # materialization.  Concurrent splits each open a stage
-                # *window*; the timer unions overlapping windows so
-                # wall-clock is charged once, not once per split
-                # (otherwise the per-stage sum could exceed the query's
-                # elapsed time).  The OCS page source pauses the transfer
-                # window around IR generation so the substrait stage stays
-                # separable; its connector-side spans carry the matching
-                # stage tags, so only the ingest tail is tagged here.
-                stages.begin(STAGE_TRANSFER, sim.now)
-                try:
-                    source: PageSourceResult = yield sim.process(
-                        connector.page_source(handle, split, metrics, trace=split_span),
-                        name=f"page-source-{split.split_id}",
-                    )
-                    ingest_span = tracer.start(
-                        "ingest",
-                        parent=split_span,
-                        stage=STAGE_TRANSFER,
-                        attributes={"bytes": source.bytes_received},
-                    )
-                    try:
-                        if source.ingest_cycles:
-                            yield cluster.compute.execute(
-                                source.ingest_cycles, name="ingest"
-                            )
-                    finally:
-                        tracer.end(ingest_span)
-                finally:
-                    stages.end(STAGE_TRANSFER, sim.now)
-                metrics.add("bytes_received", source.bytes_received)
+    # -- lowering: logical plan -> stage graph ----------------------------------
 
-                # Split-local operators (real work + cost charge).
-                stages.begin(STAGE_EXECUTION, sim.now)
-                ops_span = tracer.start(
-                    "split-operators", parent=split_span, stage=STAGE_EXECUTION
-                )
-                try:
-                    split_ops = self.backend.compile(physical.split_operators())
-                    out = run_operators(source.batches, split_ops)
-                    cycles = presto_pipeline_cycles(split_ops, cluster.costs)
-                    if cycles:
-                        yield cluster.compute.execute(cycles, name="split-ops")
-                finally:
-                    stages.end(STAGE_EXECUTION, sim.now)
-                    tracer.end(ops_span)
-                for op in split_ops:
-                    metrics.add(f"rows_into_{op.name}", op.rows_in)
-        finally:
-            tracer.end(split_span)
-        return out
+    def _lower(self, plan: PlanNode, connector: Connector, metrics: MetricsRegistry) -> _Lowered:
+        """Lower an optimized logical plan to a typed stage graph.
 
-    # -- the join (exchange) query process --------------------------------------
+        Pure — no simulated time passes — so EXPLAIN can lower without
+        executing.  The same graph value is then run by the scheduler.
 
-    def _run_join_query(
-        self,
-        plan: PlanNode,
-        plan_before: str,
-        connector: Connector,
-        metrics: MetricsRegistry,
-        root,
-        query_start: float,
-        bytes_start: int,
-        query_id: Optional[str],
-    ):
-        """Multi-stage execution for plans containing one :class:`JoinNode`.
-
-        Stage order mirrors a distributed engine's exchange pipeline:
-
-        1. each join branch is locally optimized as its own linear scan
-           plan (so pushdown applies per table),
-        2. the build (right) side scans to completion,
-        3. its key summary is published as a *dynamic filter* into the
-           probe handle's pushed plan (when the connector's policy allows),
-        4. the probe side scans — OCS now prunes probe rows at storage,
-        5. both sides shuffle through the exchange fabric (broadcast or
-           hash-partitioned, cost-chosen from metastore row counts),
-        6. parallel join tasks build+probe their partition and run the
-           split-local operators of the fragment above the join,
-        7. a final merge stage runs the remaining operators.
+        Single-table plans lower to ``scan -> [aggregate] -> merge``.  A
+        chain of N equi-joins lowers to N+1 scan stages (each branch
+        locally optimized, so pushdown applies per table), per-join
+        exchange stages (two for a partitioned join, one for broadcast —
+        the probe side of a broadcast join feeds the join stage
+        directly), one join stage per level running the fragment between
+        this join and the next, an optional ``dynamic-filter`` stage
+        gating the base scan on the first build side, and the shared
+        ``aggregate``/``merge`` tail.
         """
-        cluster = self.cluster
-        sim = cluster.sim
-        costs = cluster.costs
-        tracer = cluster.tracer
-        join = _find_join(plan)
-        assert join is not None  # dispatch guarantees this
+        costs = self.cluster.costs
+        graph = StageGraph()
+        optimizer_factory = connector.plan_optimizer
+        joins = _join_chain(plan)
+        analysis_nodes = 0
 
-        # (4) Per-branch connector-local optimization.  Each side of the
-        # join is a linear scan chain the connector already understands;
-        # a fresh optimizer per branch keeps its per-plan state scoped.
-        t1 = sim.now
-        local_opt = tracer.start("optimize.local", parent=root, stage=STAGE_ANALYSIS)
-        branch_plans: List[PlanNode] = []
-        for branch in (join.left, join.right):
-            branch_plan: PlanNode = OutputNode(branch, branch.output_schema().names())
-            optimizer = connector.plan_optimizer()
+        if not joins:
+            optimizer = optimizer_factory()
             if optimizer is not None:
-                yield cluster.compute.execute(
-                    _count_nodes(branch_plan) * costs.plan_analysis_cycles_per_node,
-                    name="local-opt",
+                analysis_nodes = _count_nodes(plan)
+                plan = optimizer.optimize(plan, metrics)
+            plan_after = format_plan(plan)
+            physical = fragment_plan(plan)
+            handle = physical.scan.connector_handle
+            splits = connector.get_splits(handle)
+            branch = _Branch(
+                stage_id=f"scan:0:{physical.scan.table.table}",
+                table=physical.scan.table.table,
+                plan=plan,
+                physical=physical,
+                handle=handle,
+                splits=splits,
+            )
+            graph.add(
+                Stage(
+                    stage_id=branch.stage_id,
+                    kind="scan",
+                    run=self._scan_stage(connector, branch, finish=False),
+                    output_schema=physical.split_schema,
+                    attributes={"table": branch.table, "splits": len(splits)},
                 )
-                branch_plan = optimizer.optimize(branch_plan, metrics)
-            branch_plans.append(branch_plan)
-        probe_plan, build_plan = branch_plans
-        metrics.stages.charge(STAGE_ANALYSIS, sim.now - t1)
-        tracer.end(local_opt)
+            )
+            result_stage = self._add_tail_stages(
+                graph, physical, source=branch.stage_id,
+                output_schema=plan.output_schema(),
+            )
+            lowered = _Lowered(
+                graph=graph,
+                plan_after=plan_after,
+                branches=[branch],
+                total_splits=len(splits),
+                analysis_nodes=analysis_nodes,
+                output_schema=plan.output_schema(),
+                result_stage=result_stage,
+                has_exchange=False,
+            )
+            self._verify_lowered(lowered)
+            return lowered
 
-        # Cost-based distribution: broadcast replicates the build side to
-        # every join task; partitioned shuffles both sides by join key.
+        # --- join chain ----------------------------------------------------
         workers = max(1, int(costs.exchange_partition_count))
-        distribution = join.distribution
-        if distribution == "auto":
-            distribution = choose_join_distribution(
-                build_rows=_handle_row_count(_find_scan(join.right).connector_handle),
-                probe_rows=_handle_row_count(_find_scan(join.left).connector_handle),
-                workers=workers,
-            )
-        join.distribution = distribution
-        plan_after = format_plan(
-            _replace_join(
-                plan,
-                replace(join, left=probe_plan, right=build_plan,
-                        distribution=distribution),
-            )
-        )
 
-        # (5) Physical planning + split scheduling for all three fragments.
-        t2 = sim.now
-        schedule = tracer.start("schedule", parent=root, stage=STAGE_OTHERS)
-        probe_physical = fragment_plan(probe_plan)
-        build_physical = fragment_plan(build_plan)
-        probe_handle = probe_physical.scan.connector_handle
-        build_handle = build_physical.scan.connector_handle
-        probe_splits = connector.get_splits(probe_handle)
-        build_splits = connector.get_splits(build_handle)
-        total_splits = len(probe_splits) + len(build_splits)
-        # The fragment above the join hangs off a synthetic scan standing
-        # in for the exchange; it stays handle-free because nothing can be
-        # pushed to storage through an exchange boundary.
-        join_schema = join.output_schema()
-        synthetic = TableScanNode(
-            table=TableName(table="$join"),
-            table_schema=join_schema,
-            columns=join_schema.names(),
+        # Scan branches: the base table (probe of join 0) plus one build
+        # branch per join level.  Each is wrapped in an OutputNode and
+        # locally optimized as its own linear plan, so per-table pushdown
+        # (and later the dynamic filter) applies normally.
+        branch_sources = [joins[0].left] + [join.right for join in joins]
+        branches: List[_Branch] = []
+        for index, source in enumerate(branch_sources):
+            branch_plan: PlanNode = OutputNode(source, source.output_schema().names())
+            optimizer = optimizer_factory()
+            if optimizer is not None:
+                analysis_nodes += _count_nodes(branch_plan)
+                branch_plan = optimizer.optimize(branch_plan, metrics)
+            physical = fragment_plan(branch_plan)
+            handle = physical.scan.connector_handle
+            branches.append(
+                _Branch(
+                    stage_id=f"scan:{index}:{physical.scan.table.table}",
+                    table=physical.scan.table.table,
+                    plan=branch_plan,
+                    physical=physical,
+                    handle=handle,
+                    splits=connector.get_splits(handle),
+                )
+            )
+
+        # Dynamic filter: the first join's finished build side prunes the
+        # base scan at storage.  Only for an inner join (an outer join
+        # preserves the probe side, so pushed pruning would drop rows
+        # that must surface NULL-extended) and only when the base scan
+        # has a pushed plan to fold the filter into.
+        policy = getattr(connector, "policy", None)
+        base, first_build = branches[0], branches[1]
+        dynamic_filter_stage: Optional[str] = None
+        if (
+            policy is not None
+            and getattr(policy, "dynamic_filters", False)
+            and getattr(base.handle, "pushed", None) is not None
+            and joins[0].kind == "inner"
+        ):
+            dynamic_filter_stage = "dynamic-filter:0"
+            graph.add(
+                Stage(
+                    stage_id=dynamic_filter_stage,
+                    kind="filter",
+                    run=self._dynamic_filter_stage(joins[0], base, first_build),
+                    inputs=(first_build.stage_id,),
+                    input_schemas={
+                        first_build.stage_id: first_build.plan.output_schema()
+                    },
+                    output_schema=first_build.plan.output_schema(),
+                    attributes={"target": base.stage_id},
+                )
+            )
+
+        for index, branch in enumerate(branches):
+            inputs = ()
+            if index == 0 and dynamic_filter_stage is not None:
+                # The handshake edge: the base scan may not start before
+                # the filter lands in its pushed plan.  Untyped — the
+                # payload is a signal, not a batch stream.
+                inputs = (dynamic_filter_stage,)
+            graph.add(
+                Stage(
+                    stage_id=branch.stage_id,
+                    kind="scan",
+                    run=self._scan_stage(connector, branch, finish=True),
+                    inputs=inputs,
+                    output_schema=branch.plan.output_schema(),
+                    attributes={"table": branch.table, "splits": len(branch.splits)},
+                )
+            )
+
+        # Per-join exchange + join stages up the left-deep spine.  The
+        # fragment each join's tasks run is the chain between this join
+        # and the next (residual filters), or — at the top — the
+        # split-operator half of the fragment above the whole chain.
+        above_physical, segment_physicals = self._fragment_above(plan, joins)
+        probe_source = branches[0].stage_id
+        probe_schema = branches[0].plan.output_schema()
+        retry = getattr(connector, "retry_policy", None) or RetryPolicy()
+        for index, join in enumerate(joins):
+            build_branch = branches[index + 1]
+            build_schema = build_branch.plan.output_schema()
+            distribution = join.distribution
+            if distribution == "auto":
+                distribution = choose_join_distribution(
+                    build_rows=_subtree_row_count(join.right),
+                    probe_rows=_subtree_row_count(join.left),
+                    workers=workers,
+                )
+            join.distribution = distribution
+
+            build_ex = f"exchange:build:{index}"
+            graph.add(
+                Stage(
+                    stage_id=build_ex,
+                    kind="exchange",
+                    run=self._exchange_stage(
+                        source=build_branch.stage_id,
+                        keys=list(join.right_keys),
+                        workers=workers,
+                        distribution=distribution,
+                        retry=retry,
+                        index=index,
+                        side="build",
+                    ),
+                    inputs=(build_branch.stage_id,),
+                    input_schemas={build_branch.stage_id: build_schema},
+                    output_schema=build_schema,
+                    attributes={"distribution": distribution, "partitions": workers},
+                )
+            )
+            segment = (
+                segment_physicals[index]
+                if index < len(segment_physicals)
+                else above_physical
+            )
+            join_inputs: List[str] = [build_ex]
+            join_input_schemas: Dict[str, Schema] = {build_ex: build_schema}
+            if distribution == "broadcast":
+                # The probe side stays local: join tasks read their
+                # round-robin share of the probe output directly.
+                join_inputs.append(probe_source)
+                join_input_schemas[probe_source] = probe_schema
+            else:
+                probe_ex = f"exchange:probe:{index}"
+                graph.add(
+                    Stage(
+                        stage_id=probe_ex,
+                        kind="exchange",
+                        run=self._exchange_stage(
+                            source=probe_source,
+                            keys=list(join.left_keys),
+                            workers=workers,
+                            distribution=distribution,
+                            retry=retry,
+                            index=index,
+                            side="probe",
+                        ),
+                        inputs=(probe_source,),
+                        input_schemas={probe_source: probe_schema},
+                        output_schema=probe_schema,
+                        attributes={
+                            "distribution": distribution,
+                            "partitions": workers,
+                        },
+                    )
+                )
+                join_inputs.append(probe_ex)
+                join_input_schemas[probe_ex] = probe_schema
+            join_stage = f"join:{index}"
+            graph.add(
+                Stage(
+                    stage_id=join_stage,
+                    kind="join",
+                    run=self._join_stage(
+                        join=join,
+                        index=index,
+                        workers=workers,
+                        distribution=distribution,
+                        build_schema=build_schema,
+                        build_source=build_ex,
+                        probe_source=(
+                            probe_source
+                            if distribution == "broadcast"
+                            else f"exchange:probe:{index}"
+                        ),
+                        segment=segment,
+                    ),
+                    inputs=tuple(join_inputs),
+                    input_schemas=join_input_schemas,
+                    output_schema=segment.split_schema,
+                    attributes={
+                        "kind": join.kind,
+                        "distribution": distribution,
+                        "tasks": workers,
+                    },
+                )
+            )
+            probe_source = join_stage
+            probe_schema = segment.split_schema
+
+        result_stage = self._add_tail_stages(
+            graph, above_physical, source=probe_source,
+            output_schema=plan.output_schema(),
         )
+        lowered = _Lowered(
+            graph=graph,
+            plan_after=format_plan(plan),
+            branches=branches,
+            total_splits=sum(len(b.splits) for b in branches),
+            analysis_nodes=analysis_nodes,
+            output_schema=plan.output_schema(),
+            result_stage=result_stage,
+            has_exchange=True,
+        )
+        self._verify_lowered(lowered)
+        return lowered
+
+    @staticmethod
+    def _verify_lowered(lowered: _Lowered) -> None:
         if strict_verify_enabled():
+            from repro.analysis.verifier import verify_stage_graph
+
+            verify_stage_graph(lowered.graph)
+
+    def _fragment_above(self, plan: PlanNode, joins: List[JoinNode]):
+        """Physical fragments for everything above each join level.
+
+        Returns ``(above_physical, segment_physicals)``: the fragment
+        above the *top* join (its split half runs in the top join's
+        tasks; its final half becomes the aggregate/merge stages) and,
+        for each join below the top, the residual chain between it and
+        the next join (filters the planner left above that join), each
+        hung off a handle-free synthetic scan typed with the join's
+        output schema.
+        """
+        strict = strict_verify_enabled()
+        segment_physicals: List[PhysicalPlan] = []
+        for index in range(len(joins) - 1):
+            lower, upper = joins[index], joins[index + 1]
+            synthetic = _synthetic_scan(lower, index)
+            if strict:
+                from repro.analysis.verifier import verify_exchange_boundary
+
+                verify_exchange_boundary(synthetic)
+            node: PlanNode = upper.left
+            segment: List[PlanNode] = []
+            while node is not lower:
+                segment.append(node)
+                children = node.children()
+                if len(children) != 1:
+                    raise PlanError(
+                        f"non-linear fragment between join {index} and "
+                        f"{index + 1}: {node.name}"
+                    )
+                node = children[0]
+            rebuilt: PlanNode = synthetic
+            for seg_node in reversed(segment):
+                rebuilt = seg_node.with_source(rebuilt)
+            segment_physicals.append(fragment_plan(rebuilt))
+
+        top = joins[-1]
+        synthetic = _synthetic_scan(top, len(joins) - 1)
+        if strict:
             from repro.analysis.verifier import verify_exchange_boundary
 
             verify_exchange_boundary(synthetic)
         above_physical = fragment_plan(_replace_join(plan, synthetic))
-        schedule.set("splits", total_splits)
-        schedule.set("distribution", distribution)
-        yield cluster.compute.execute(
-            total_splits * costs.schedule_cycles_per_split, name="schedule"
-        )
-        metrics.stages.charge(STAGE_OTHERS, sim.now - t2)
-        tracer.end(schedule)
-        metrics.add("splits", total_splits)
+        return above_physical, segment_physicals
 
-        # (6) Build stage: the right side must finish before the dynamic
-        # filter can exist, so it runs to completion first.
-        build_span = tracer.start(
-            "build-stage", parent=root, attributes={"splits": len(build_splits)}
-        )
-        build_outs = yield AllOf(
-            sim,
-            [
-                sim.process(
-                    self._run_split(
-                        connector, build_handle, split, build_physical, metrics,
-                        build_span, owner=query_id,
-                    ),
-                    name=f"build-split-{split.split_id}",
+    def _add_tail_stages(
+        self,
+        graph: StageGraph,
+        physical: PhysicalPlan,
+        source: str,
+        output_schema: Schema,
+    ) -> str:
+        """Add the aggregate (if any) and merge stages; returns the sink id."""
+        merge_input = source
+        merge_schema = graph.stage(source).output_schema
+        if physical.agg_schema is not None:
+            graph.add(
+                Stage(
+                    stage_id="aggregate",
+                    kind="aggregate",
+                    run=self._aggregate_stage(physical),
+                    inputs=(source,),
+                    input_schemas={source: merge_schema},
+                    output_schema=physical.agg_schema,
                 )
-                for split in build_splits
-            ],
+            )
+            merge_input = "aggregate"
+            merge_schema = physical.agg_schema
+        graph.add(
+            Stage(
+                stage_id="merge",
+                kind="merge",
+                run=self._merge_stage(physical),
+                inputs=(merge_input,),
+                input_schemas={merge_input: merge_schema},
+                output_schema=output_schema,
+            )
         )
-        t3 = sim.now
-        build_final_ops = self.backend.compile(build_physical.final_operators())
-        build_batches = run_operators(
-            [b for out in build_outs for b in out], build_final_ops
-        )
-        build_cycles = presto_pipeline_cycles(build_final_ops, costs)
-        if build_cycles:
-            yield cluster.compute.execute_spread(build_cycles, name="build-final")
-        metrics.stages.charge(STAGE_EXECUTION, sim.now - t3)
-        tracer.end(build_span)
+        return "merge"
 
-        # (7) Publish the dynamic filter before any probe split is
-        # scheduled, so every probe scan benefits.  Only an inner join may
-        # prune probe rows at storage: an outer join preserves the probe
-        # side, so a pushed range/Bloom predicate would drop rows that must
-        # surface NULL-extended (including probe rows with NULL keys).
-        policy = getattr(connector, "policy", None)
-        pushed = getattr(probe_handle, "pushed", None)
-        if (
-            policy is not None
-            and getattr(policy, "dynamic_filters", False)
-            and pushed is not None
-            and build_batches
-            and join.kind == "inner"
-        ):
-            probe_key = join.left_keys[0]
-            dyn = build_dynamic_filter(list(build_batches), join.right_keys[0])
-            probe_dtype = probe_handle.table_schema.field(probe_key).dtype
-            pushed.dynamic_filter = dyn.to_expression(probe_key, probe_dtype)
-            metrics.add("dynamic_filter_build_rows", dyn.build_rows)
-            metrics.add("dynamic_filter_distinct_keys", dyn.distinct_keys)
-            root.set("dynamic_filter_keys", dyn.distinct_keys)
+    # -- stage bodies ----------------------------------------------------------
 
-        # (8) Probe stage.
-        probe_span = tracer.start(
-            "probe-stage", parent=root, attributes={"splits": len(probe_splits)}
-        )
-        probe_outs = yield AllOf(
-            sim,
-            [
-                sim.process(
+    def _scan_stage(self, connector: Connector, branch: _Branch, finish: bool):
+        """Build the scan-stage body: split fan-out + branch final ops.
+
+        ``finish`` runs the branch plan's final operators (the
+        OutputNode projection of a join branch) inside the stage; the
+        single-table scan leaves its final operators to the
+        aggregate/merge tail instead.
+        """
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            sim = ctx.sim
+            speculative = _has_speculative_source(connector)
+            # Stamped by each split when it acquires a scan driver, so
+            # the scheduler's straggler clock measures service time, not
+            # driver-queue wait.
+            service_starts: List[Optional[float]] = [None] * len(branch.splits)
+
+            def launch_primary(i: int):
+                split = branch.splits[i]
+
+                def note_start(now: float, index: int = i) -> None:
+                    service_starts[index] = now
+
+                return sim.process(
                     self._run_split(
-                        connector, probe_handle, split, probe_physical, metrics,
-                        probe_span, owner=query_id,
+                        connector, branch.handle, split, branch.physical,
+                        ctx.metrics, ctx.span, owner=ctx.query_id,
+                        on_service_start=note_start,
                     ),
-                    name=f"probe-split-{split.split_id}",
+                    name=f"split-{split.split_id}",
                 )
-                for split in probe_splits
-            ],
-        )
-        t4 = sim.now
-        probe_final_ops = self.backend.compile(probe_physical.final_operators())
-        probe_batches = run_operators(
-            [b for out in probe_outs for b in out], probe_final_ops
-        )
-        probe_cycles = presto_pipeline_cycles(probe_final_ops, costs)
-        if probe_cycles:
-            yield cluster.compute.execute_spread(probe_cycles, name="probe-final")
-        metrics.stages.charge(STAGE_EXECUTION, sim.now - t4)
-        tracer.end(probe_span)
 
-        # (9) Exchange stage: move pages through the shuffle fabric.
-        fabric = cluster.exchange
-        client = cluster.exchange_client
-        retry = getattr(connector, "retry_policy", None) or RetryPolicy()
-        t5 = sim.now
-        shuffle_start = cluster.shuffle_bytes()
-        pages_start = fabric.pages_received
-        retries_start = fabric.retries
-        ex_span = tracer.start(
-            "exchange", parent=root, stage=STAGE_EXCHANGE,
-            attributes={"distribution": distribution, "partitions": workers},
-        )
-        put_procs = []
-        seq = 0
-        if distribution == "broadcast":
-            # Replicate every build page to every join task; the probe
-            # side stays local (tasks read their round-robin share of the
-            # probe output without crossing the wire).
-            build_ex = fabric.create(workers)
-            for partition in range(workers):
-                for batch in build_batches:
-                    put_procs.append(
-                        sim.process(
-                            fabric.put(client, build_ex, partition, 0, seq,
-                                       [batch], retry, parent=ex_span),
-                            name=f"exchange-put-{seq}",
-                        )
-                    )
-                    seq += 1
-            if put_procs:
-                yield AllOf(sim, put_procs)
-            build_parts = [fabric.drain(build_ex, p) for p in range(workers)]
-            task_inputs = [
-                (list(build_parts[p].batches), probe_batches[p::workers],
-                 build_parts[p].nbytes)
-                for p in range(workers)
-            ]
-        else:
-            # Hash-partition both sides by join key and shuffle each
-            # partition to the task that owns it.
-            build_ex = fabric.create(workers)
-            probe_ex = fabric.create(workers)
-            partition_rows = 0
-            for batches, keys, ex_id in (
-                (build_batches, join.right_keys, build_ex),
-                (probe_batches, join.left_keys, probe_ex),
-            ):
-                for batch in batches:
-                    partition_rows += batch.num_rows
-                    for partition, part in enumerate(
-                        hash_partition(batch, list(keys), workers)
-                    ):
-                        if part.num_rows == 0:
-                            continue
-                        put_procs.append(
-                            sim.process(
-                                fabric.put(client, ex_id, partition, 0, seq,
-                                           [part], retry, parent=ex_span),
-                                name=f"exchange-put-{seq}",
+            def launch_backup(i: int):
+                if not speculative:
+                    return None
+                split = branch.splits[i]
+                return sim.process(
+                    self._run_split(
+                        connector, branch.handle, split, branch.physical,
+                        ctx.metrics, ctx.span, owner=ctx.query_id,
+                        source_factory=connector.speculative_page_source,
+                        label=f"split-{split.split_id}:speculative",
+                        queued=False,
+                    ),
+                    name=f"split-{split.split_id}:speculative",
+                )
+
+            outs = yield from run_splits(
+                ctx, self.scheduler_spec, branch.splits, launch_primary, launch_backup,
+                service_starts=service_starts,
+            )
+            batches = [b for out in outs for b in out]
+            if not finish:
+                return batches
+            final_ops = self.backend.compile(branch.physical.final_operators())
+            if not final_ops:
+                return batches
+            with ctx.accountant.window(STAGE_EXECUTION):
+                span = cluster.tracer.start(
+                    "scan-final", parent=ctx.span, stage=STAGE_EXECUTION
+                )
+                try:
+                    batches = run_operators(batches, final_ops)
+                    cycles = presto_pipeline_cycles(final_ops, cluster.costs)
+                    if cycles:
+                        yield cluster.compute.execute_spread(cycles, name="scan-final")
+                finally:
+                    cluster.tracer.end(span)
+            return batches
+
+        return run
+
+    def _dynamic_filter_stage(self, join: JoinNode, base: _Branch, build: _Branch):
+        """Fold the finished build side's key summary into the base scan."""
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            build_batches = inputs[build.stage_id]
+            pushed = getattr(base.handle, "pushed", None)
+            if pushed is not None and build_batches:
+                probe_key = join.left_keys[0]
+                dyn = build_dynamic_filter(list(build_batches), join.right_keys[0])
+                probe_dtype = base.handle.table_schema.field(probe_key).dtype
+                pushed.dynamic_filter = dyn.to_expression(probe_key, probe_dtype)
+                ctx.metrics.add("dynamic_filter_build_rows", dyn.build_rows)
+                ctx.metrics.add("dynamic_filter_distinct_keys", dyn.distinct_keys)
+                if ctx.parent is not None:
+                    ctx.parent.set("dynamic_filter_keys", dyn.distinct_keys)
+            return build_batches
+            yield  # pragma: no cover - marks this body as a generator
+
+        return run
+
+    def _exchange_stage(
+        self,
+        source: str,
+        keys: List[str],
+        workers: int,
+        distribution: str,
+        retry: RetryPolicy,
+        index: int,
+        side: str,
+    ):
+        """Shuffle one side of a join through the exchange fabric.
+
+        A fresh exchange id per invocation makes the stage restartable:
+        pages from an abandoned attempt sit in a buffer nobody drains.
+        Returns the per-partition :class:`DrainResult` list.
+        """
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            sim = ctx.sim
+            costs = cluster.costs
+            fabric = cluster.exchange
+            client = cluster.exchange_client
+            batches = inputs[source]
+            exchange_id = fabric.create(workers)
+            with ctx.accountant.window(STAGE_EXCHANGE):
+                span = cluster.tracer.start(
+                    "exchange", parent=ctx.span, stage=STAGE_EXCHANGE,
+                    attributes={
+                        "side": side, "distribution": distribution,
+                        "partitions": workers,
+                    },
+                )
+                try:
+                    put_procs = []
+                    seq = 0
+                    if distribution == "broadcast":
+                        # Replicate every page to every join task.
+                        for partition in range(workers):
+                            for batch in batches:
+                                put_procs.append(
+                                    sim.process(
+                                        fabric.put(client, exchange_id, partition,
+                                                   0, seq, [batch], retry,
+                                                   parent=span),
+                                        name=f"exchange-put-{seq}",
+                                    )
+                                )
+                                seq += 1
+                    else:
+                        partition_rows = sum(b.num_rows for b in batches)
+                        if partition_rows:
+                            yield cluster.compute.execute(
+                                partition_rows * costs.exchange_partition_cycles_per_row,
+                                name="exchange-partition",
                             )
+                        for batch in batches:
+                            for partition, part in enumerate(
+                                hash_partition(batch, list(keys), workers)
+                            ):
+                                if part.num_rows == 0:
+                                    continue
+                                put_procs.append(
+                                    sim.process(
+                                        fabric.put(client, exchange_id, partition,
+                                                   0, seq, [part], retry,
+                                                   parent=span),
+                                        name=f"exchange-put-{seq}",
+                                    )
+                                )
+                                seq += 1
+                    page_bytes = 0
+                    if put_procs:
+                        framed = yield AllOf(sim, put_procs)
+                        page_bytes = sum(framed)
+                    parts = [fabric.drain(exchange_id, p) for p in range(workers)]
+                    span.set("bytes", page_bytes)
+                    span.set("pages", len(put_procs))
+                    ctx.metrics.add("exchange_bytes", page_bytes)
+                    ctx.metrics.add("exchange_pages", len(put_procs))
+                finally:
+                    cluster.tracer.end(span)
+            return parts
+
+        return run
+
+    def _join_stage(
+        self,
+        join: JoinNode,
+        index: int,
+        workers: int,
+        distribution: str,
+        build_schema: Schema,
+        build_source: str,
+        probe_source: str,
+        segment: PhysicalPlan,
+    ):
+        """Parallel hash-join tasks for one join level."""
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            sim = ctx.sim
+            build_parts = inputs[build_source]
+            if distribution == "broadcast":
+                probe_batches = inputs[probe_source]
+                task_inputs = [
+                    (list(build_parts[p].batches), probe_batches[p::workers],
+                     build_parts[p].nbytes)
+                    for p in range(workers)
+                ]
+            else:
+                probe_parts = inputs[probe_source]
+                task_inputs = [
+                    (list(build_parts[p].batches), list(probe_parts[p].batches),
+                     build_parts[p].nbytes + probe_parts[p].nbytes)
+                    for p in range(workers)
+                ]
+            with ctx.accountant.window(STAGE_EXECUTION):
+                span = cluster.tracer.start(
+                    "join-stage", parent=ctx.span, stage=STAGE_EXECUTION,
+                    attributes={
+                        "kind": join.kind, "tasks": workers, "level": index,
+                    },
+                )
+                try:
+                    task_outs = yield AllOf(
+                        sim,
+                        [
+                            sim.process(
+                                self._join_task(
+                                    p, join, build_schema, build_in, probe_in,
+                                    nbytes, segment.split_operators, ctx.metrics,
+                                    span,
+                                ),
+                                name=f"join-task-{p}",
+                            )
+                            for p, (build_in, probe_in, nbytes) in enumerate(
+                                task_inputs
+                            )
+                        ],
+                    )
+                finally:
+                    cluster.tracer.end(span)
+            return [b for out in task_outs for b in out]
+
+        return run
+
+    def _aggregate_stage(self, physical: PhysicalPlan):
+        """Merge-side aggregation: final operators up to the last agg."""
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            (batches,) = inputs.values()
+            raw = physical.final_operators()
+            agg_ops = self.backend.compile(raw[: _aggregation_cut(raw)])
+            with ctx.accountant.window(STAGE_EXECUTION):
+                span = cluster.tracer.start(
+                    "aggregate-stage", parent=ctx.span, stage=STAGE_EXECUTION
+                )
+                try:
+                    results = run_operators(batches, agg_ops)
+                    cycles = presto_pipeline_cycles(agg_ops, cluster.costs)
+                    if cycles:
+                        yield cluster.compute.execute_spread(
+                            cycles, name="aggregate-stage"
                         )
-                        seq += 1
-            if partition_rows:
-                yield cluster.compute.execute(
-                    partition_rows * costs.exchange_partition_cycles_per_row,
-                    name="exchange-partition",
+                finally:
+                    cluster.tracer.end(span)
+            return results
+
+        return run
+
+    def _merge_stage(self, physical: PhysicalPlan):
+        """The final stage: remaining operators over its input batches."""
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            (batches,) = inputs.values()
+            raw = physical.final_operators()
+            if physical.agg_schema is not None:
+                raw = raw[_aggregation_cut(raw):]
+            ops = self.backend.compile(raw)
+            with ctx.accountant.window(STAGE_EXECUTION):
+                span = cluster.tracer.start(
+                    "final-stage", parent=ctx.span, stage=STAGE_EXECUTION
                 )
-            if put_procs:
-                yield AllOf(sim, put_procs)
-            build_parts = [fabric.drain(build_ex, p) for p in range(workers)]
-            probe_parts = [fabric.drain(probe_ex, p) for p in range(workers)]
-            task_inputs = [
-                (list(build_parts[p].batches), list(probe_parts[p].batches),
-                 build_parts[p].nbytes + probe_parts[p].nbytes)
-                for p in range(workers)
-            ]
-        shuffle_delta = cluster.shuffle_bytes() - shuffle_start
-        ex_span.set("bytes", shuffle_delta)
-        ex_span.set("pages", fabric.pages_received - pages_start)
-        metrics.add("exchange_bytes", shuffle_delta)
-        metrics.add("exchange_pages", fabric.pages_received - pages_start)
-        metrics.add("exchange_retries", fabric.retries - retries_start)
-        metrics.stages.charge(STAGE_EXCHANGE, sim.now - t5)
-        tracer.end(ex_span)
+                try:
+                    results = run_operators(batches, ops)
+                    cycles = presto_pipeline_cycles(ops, cluster.costs)
+                    yield cluster.compute.execute_spread(cycles, name="final-stage")
+                finally:
+                    cluster.tracer.end(span)
+            return results
 
-        # (10) Parallel join tasks: one hash-join per partition, plus the
-        # split-local operators of the fragment above the join.
-        t6 = sim.now
-        join_span = tracer.start(
-            "join-stage", parent=root, stage=STAGE_EXECUTION,
-            attributes={"kind": join.kind, "tasks": workers},
+        return run
+
+    # -- split + join-task processes --------------------------------------------
+
+    def _run_split(
+        self, connector: Connector, handle, split, physical: PhysicalPlan, metrics,
+        parent=None, owner: Optional[str] = None,
+        source_factory: Optional[Callable] = None, label: Optional[str] = None,
+        queued: bool = True,
+        on_service_start: Optional[Callable[[float], None]] = None,
+    ):
+        cluster = self.cluster
+        tracer = cluster.tracer
+        name = label if label is not None else f"split-{split.split_id}"
+        split_span = tracer.start(
+            name,
+            parent=parent,
+            attributes={"split": split.split_id, "node": split.node_index},
         )
-        build_schema = build_plan.output_schema()
-        task_outs = yield AllOf(
-            sim,
-            [
-                sim.process(
-                    self._join_task(
-                        p, join, build_schema, build_in, probe_in, nbytes,
-                        above_physical, metrics, join_span,
-                    ),
-                    name=f"join-task-{p}",
+        try:
+            if queued:
+                with cluster.scan_drivers.request(owner=owner) as driver:
+                    yield driver
+                    if on_service_start is not None:
+                        on_service_start(cluster.sim.now)
+                    out = yield from self._split_body(
+                        connector, handle, split, physical, metrics,
+                        split_span, source_factory,
+                    )
+            else:
+                # Speculative backups run on spare driver capacity: the
+                # whole point is to route around a stuck primary, so the
+                # backup must not queue behind the very driver slot that
+                # primary occupies.
+                out = yield from self._split_body(
+                    connector, handle, split, physical, metrics,
+                    split_span, source_factory,
                 )
-                for p, (build_in, probe_in, nbytes) in enumerate(task_inputs)
-            ],
-        )
-        metrics.stages.charge(STAGE_EXECUTION, sim.now - t6)
-        tracer.end(join_span)
+        finally:
+            tracer.end(split_span)
+        return out
 
-        # (11) Merge (final) stage over the join tasks' outputs.
-        t7 = sim.now
-        final_span = tracer.start("final-stage", parent=root, stage=STAGE_EXECUTION)
-        final_ops = self.backend.compile(above_physical.final_operators())
-        results = run_operators([b for out in task_outs for b in out], final_ops)
-        final_cycles = presto_pipeline_cycles(final_ops, costs)
-        yield cluster.compute.execute_spread(final_cycles, name="final-stage")
-        metrics.stages.charge(STAGE_EXECUTION, sim.now - t7)
-        tracer.end(final_span)
+    def _split_body(
+        self, connector: Connector, handle, split, physical: PhysicalPlan, metrics,
+        split_span, source_factory: Optional[Callable],
+    ):
+        cluster = self.cluster
+        sim = cluster.sim
+        stages = StageAccountant(sim, metrics.stages)
+        tracer = cluster.tracer
+        factory = source_factory if source_factory is not None else connector.page_source
+        # Data acquisition: storage round trip + page materialization.
+        # Concurrent splits each open a stage *window*; the timer unions
+        # overlapping windows so wall-clock is charged once, not once per
+        # split (otherwise the per-stage sum could exceed the query's
+        # elapsed time).  The OCS page source pauses the transfer window
+        # around IR generation so the substrait stage stays separable;
+        # its connector-side spans carry the matching stage tags, so only
+        # the ingest tail is tagged here.
+        with stages.window(STAGE_TRANSFER):
+            source: PageSourceResult = yield sim.process(
+                factory(handle, split, metrics, trace=split_span),
+                name=f"page-source-{split.split_id}",
+            )
+            ingest_span = tracer.start(
+                "ingest",
+                parent=split_span,
+                stage=STAGE_TRANSFER,
+                attributes={"bytes": source.bytes_received},
+            )
+            try:
+                if source.ingest_cycles:
+                    yield cluster.compute.execute(
+                        source.ingest_cycles, name="ingest"
+                    )
+            finally:
+                tracer.end(ingest_span)
+        metrics.add("bytes_received", source.bytes_received)
 
-        batch = (
-            concat_batches(results)
-            if results
-            else RecordBatch.empty(plan.output_schema())
+        # Split-local operators (real work + cost charge).
+        stages.begin(STAGE_EXECUTION)
+        ops_span = tracer.start(
+            "split-operators", parent=split_span, stage=STAGE_EXECUTION
         )
-        utilization = {
-            "compute_cores": cluster.compute.core_utilization(),
-            "frontend_cores": cluster.frontend.core_utilization(),
-            "link": cluster.link_cf.utilization(),
-            "exchange_link": cluster.link_exchange.utilization(),
-            "scan_drivers": cluster.scan_drivers.utilization(),
-        }
-        for i, node in enumerate(cluster.storage):
-            utilization[f"storage_cores[{i}]"] = node.core_utilization()
-        elapsed = sim.now - query_start
-        stage_seconds = dict(metrics.stages.items())
-        total = sum(stage_seconds.values())
-        if total > elapsed > 0:
-            scale = elapsed / total
-            stage_seconds = {k: v * scale for k, v in stage_seconds.items()}
-        tracer.end(root)
-        return QueryResult(
-            batch=batch,
-            execution_seconds=elapsed,
-            data_moved_bytes=cluster.bytes_to_compute() - bytes_start,
-            splits=total_splits,
-            plan_before=plan_before,
-            plan_after=plan_after,
-            metrics=metrics,
-            stage_seconds=stage_seconds,
-            utilization=utilization,
-            trace=tracer.trace(root=root) if tracer.recording else None,
-        )
+        try:
+            split_ops = self.backend.compile(physical.split_operators())
+            out = run_operators(source.batches, split_ops)
+            cycles = presto_pipeline_cycles(split_ops, cluster.costs)
+            if cycles:
+                yield cluster.compute.execute(cycles, name="split-ops")
+        finally:
+            stages.end(STAGE_EXECUTION)
+            tracer.end(ops_span)
+        for op in split_ops:
+            metrics.add(f"rows_into_{op.name}", op.rows_in)
+        return out
 
     def _join_task(
         self,
@@ -894,7 +1244,7 @@ class Coordinator:
         build_batches,
         probe_batches,
         deserialize_bytes: int,
-        above_physical: PhysicalPlan,
+        above_operators: Callable[[], List[Operator]],
         metrics: MetricsRegistry,
         parent,
     ):
@@ -923,7 +1273,7 @@ class Coordinator:
                 op.add_build(build_batch)
             op.finish_build()
             task_ops: List[Operator] = [op]
-            task_ops.extend(self.backend.compile(above_physical.split_operators()))
+            task_ops.extend(self.backend.compile(above_operators()))
             out = run_operators(list(probe_batches), task_ops)
             cycles = presto_pipeline_cycles(task_ops, costs)
             if cycles:
@@ -936,39 +1286,50 @@ class Coordinator:
             tracer.end(span)
         return out
 
-    def _right_handle(
+    # -- handle resolution -------------------------------------------------------
+
+    def _join_handles(
         self, statement, session: Session, catalog_name: str, connector: Connector
-    ):
-        """Resolve the joined table's handle (None for single-table queries)."""
-        if not statement.joins:
-            return None
-        join_clause = statement.joins[0]
-        right_catalog = join_clause.table.catalog or session.catalog
-        if right_catalog != catalog_name:
-            raise PlanError(
-                f"cross-catalog joins are not supported "
-                f"({catalog_name} vs {right_catalog})"
+    ) -> List[Any]:
+        """Resolve each JOIN clause's table handle (empty without joins)."""
+        handles = []
+        for join_clause in statement.joins:
+            join_catalog = join_clause.table.catalog or session.catalog
+            if join_catalog != catalog_name:
+                raise PlanError(
+                    f"cross-catalog joins are not supported "
+                    f"({catalog_name} vs {join_catalog})"
+                )
+            join_schema_name = join_clause.table.schema or session.schema
+            handles.append(
+                connector.get_table_handle(join_schema_name, join_clause.table.table)
             )
-        right_schema_name = join_clause.table.schema or session.schema
-        return connector.get_table_handle(right_schema_name, join_clause.table.table)
+        return handles
 
     @staticmethod
-    def _attach_handle(plan: PlanNode, handle, right_handle=None) -> None:
-        node: Optional[PlanNode] = plan
-        while node is not None:
+    def _attach_handles(plan: PlanNode, handles_by_table: Dict[str, Any]) -> None:
+        """Bind each scan to its table's handle (keyed by table name —
+        the analyzer rejects duplicate table names, so names are ids)."""
+        attached = False
+
+        def visit(node: PlanNode) -> None:
+            nonlocal attached
             if isinstance(node, TableScanNode):
-                node.connector_handle = handle
+                try:
+                    node.connector_handle = handles_by_table[node.table.table]
+                except KeyError:
+                    raise NoSuchCatalogError(
+                        f"no handle resolved for scanned table "
+                        f"{node.table.table!r}"
+                    ) from None
+                attached = True
                 return
-            if isinstance(node, JoinNode):
-                Coordinator._attach_handle(node.left, handle)
-                Coordinator._attach_handle(
-                    node.right,
-                    right_handle if right_handle is not None else handle,
-                )
-                return
-            children = node.children()
-            node = children[0] if children else None
-        raise NoSuchCatalogError("plan has no table scan to attach a handle to")
+            for child in node.children():
+                visit(child)
+
+        visit(plan)
+        if not attached:
+            raise NoSuchCatalogError("plan has no table scan to attach a handle to")
 
 
 def _count_nodes(plan: PlanNode) -> int:
@@ -978,8 +1339,19 @@ def _count_nodes(plan: PlanNode) -> int:
     return count
 
 
+def _join_chain(plan: PlanNode) -> List[JoinNode]:
+    """All joins down the left-deep spine, bottom-up (join 0 first)."""
+    joins: List[JoinNode] = []
+    node: Optional[PlanNode] = _find_join(plan)
+    while node is not None:
+        joins.append(node)
+        node = _find_join(node.left)
+    joins.reverse()
+    return joins
+
+
 def _find_join(plan: PlanNode) -> Optional[JoinNode]:
-    """The plan's join, if any.  Joins sit below a linear operator chain."""
+    """The topmost join below a linear operator chain, if any."""
     node: Optional[PlanNode] = plan
     while node is not None:
         if isinstance(node, JoinNode):
@@ -989,19 +1361,8 @@ def _find_join(plan: PlanNode) -> Optional[JoinNode]:
     return None
 
 
-def _find_scan(plan: PlanNode) -> TableScanNode:
-    """The leaf scan of a linear (join-free) chain."""
-    node: Optional[PlanNode] = plan
-    while node is not None:
-        if isinstance(node, TableScanNode):
-            return node
-        children = node.children()
-        node = children[0] if children else None
-    raise PlanError("plan branch has no table scan")
-
-
 def _replace_join(plan: PlanNode, new_node: PlanNode) -> PlanNode:
-    """Rebuild ``plan`` with its join substituted by ``new_node``."""
+    """Rebuild ``plan`` with its topmost join substituted by ``new_node``."""
     if isinstance(plan, JoinNode):
         return new_node
     children = plan.children()
@@ -1010,7 +1371,51 @@ def _replace_join(plan: PlanNode, new_node: PlanNode) -> PlanNode:
     return plan.with_source(_replace_join(children[0], new_node))
 
 
+def _synthetic_scan(join: JoinNode, index: int) -> TableScanNode:
+    """A handle-free scan standing in for ``join``'s exchanged output.
+
+    The fragment above a join hangs off this synthetic scan; it stays
+    handle-free because nothing can be pushed to storage through an
+    exchange boundary (the exchange carries engine pages, not objects).
+    """
+    join_schema = join.output_schema()
+    return TableScanNode(
+        table=TableName(table=f"$join:{index}"),
+        table_schema=join_schema,
+        columns=join_schema.names(),
+    )
+
+
+def _subtree_row_count(plan: PlanNode) -> int:
+    """Metastore row-count estimate for a join input: the sum over every
+    scan in the subtree (a joined subtree can only shrink below that —
+    a usable upper bound for the broadcast-vs-partitioned choice)."""
+    if isinstance(plan, TableScanNode):
+        return _handle_row_count(plan.connector_handle)
+    return sum(_subtree_row_count(child) for child in plan.children())
+
+
 def _handle_row_count(handle) -> int:
     """Metastore row count behind a connector handle (0 when unknown)."""
     descriptor = getattr(handle, "descriptor", None)
     return int(getattr(descriptor, "row_count", 0) or 0)
+
+
+def _aggregation_cut(ops: List[Operator]) -> int:
+    """Index just past the last aggregation operator in a compiled
+    final pipeline — the aggregate/merge stage boundary.  Operator
+    fusion never crosses an aggregation, so the position is stable
+    across backends."""
+    cut = 0
+    for i, op in enumerate(ops):
+        if isinstance(op, HashAggregationOperator):
+            cut = i + 1
+    return cut
+
+
+def _has_speculative_source(connector: Connector) -> bool:
+    """True when the connector overrides the speculative-source hook."""
+    return (
+        type(connector).speculative_page_source
+        is not Connector.speculative_page_source
+    )

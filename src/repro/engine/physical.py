@@ -19,9 +19,10 @@ Operator instances are stateful, so the fragments are *factories*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
 
+from repro.arrowsim.schema import Schema
 from repro.errors import PlanError
 from repro.exec.expressions import ColumnExpr
 from repro.exec.operators import (
@@ -50,12 +51,22 @@ __all__ = ["PhysicalPlan", "fragment_plan"]
 
 @dataclass
 class PhysicalPlan:
-    """Executable fragments plus the scan they hang off."""
+    """Executable fragments plus the scan they hang off.
+
+    ``split_schema`` is the schema of the batches crossing the
+    split/merge boundary (what each split driver emits); ``agg_schema``
+    is the schema right after the *last* merge-stage aggregation, or
+    ``None`` when the merge stage has no aggregation.  The stage-graph
+    lowering uses both to type the edges between scan, aggregate, and
+    merge stages.
+    """
 
     scan: TableScanNode
     split_operators: Callable[[], List[Operator]]
     final_operators: Callable[[], List[Operator]]
     output_names: List[str]
+    split_schema: Schema
+    agg_schema: Optional[Schema] = None
 
 
 def _linearize(plan: PlanNode) -> List[PlanNode]:
@@ -87,16 +98,26 @@ def fragment_plan(plan: PlanNode) -> PhysicalPlan:
     final_builders: List[Callable[[], Operator]] = []
     merged = False
     output_names: List[str] = []
+    split_schema = scan.output_schema()
+    agg_schema: Optional[Schema] = None
 
     for node in chain[1:]:
         if isinstance(node, FilterNode):
             predicate = node.predicate
             builder = lambda predicate=predicate: FilterOperator(predicate)
-            (final_builders if merged else split_builders).append(builder)
+            if merged:
+                final_builders.append(builder)
+            else:
+                split_builders.append(builder)
+                split_schema = node.output_schema()
         elif isinstance(node, ProjectNode):
             projections = list(node.projections)
             builder = lambda projections=projections: ProjectOperator(projections)
-            (final_builders if merged else split_builders).append(builder)
+            if merged:
+                final_builders.append(builder)
+            else:
+                split_builders.append(builder)
+                split_schema = node.output_schema()
         elif isinstance(node, AggregationNode):
             keys, specs = list(node.key_names), list(node.specs)
             phase = "final" if node.phase == "final" else "single"
@@ -124,7 +145,9 @@ def fragment_plan(plan: PlanNode) -> PhysicalPlan:
                         keys, specs, phase="final"
                     )
                 )
+                split_schema = replace(node, phase="partial").output_schema()
             merged = True
+            agg_schema = node.output_schema()
         elif isinstance(node, TopNNode):
             count, sort_keys = node.count, list(node.sort_keys)
             if not merged:
@@ -167,4 +190,6 @@ def fragment_plan(plan: PlanNode) -> PhysicalPlan:
         split_operators=lambda: [b() for b in split_builders],
         final_operators=lambda: [b() for b in final_builders],
         output_names=output_names,
+        split_schema=split_schema,
+        agg_schema=agg_schema,
     )

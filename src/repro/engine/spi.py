@@ -114,3 +114,22 @@ class Connector(ABC):
     def plan_optimizer(self) -> Optional[ConnectorPlanOptimizer]:
         """The connector's local optimizer, if it has one."""
         return None
+
+    def speculative_page_source(
+        self,
+        handle: ConnectorTableHandle,
+        split: ConnectorSplit,
+        metrics: MetricsRegistry,
+        trace: Optional[Span] = None,
+    ) -> Optional[Generator]:
+        """An *alternative* page source for straggler speculation.
+
+        The scheduler launches this as a backup attempt when ``split``'s
+        primary page source is straggling (e.g. a degraded storage
+        node's pushdown engine running slow).  The backup must produce
+        batches byte-identical to the primary's — speculation may change
+        latency, never results.  Connectors with no alternative data
+        path return ``None`` (the default): that split then simply
+        waits for its primary.
+        """
+        return None

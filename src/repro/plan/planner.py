@@ -93,11 +93,12 @@ class LogicalPlanner:
     # -- source (scan / join) ----------------------------------------------------
 
     def _plan_source(self) -> PlanNode:
-        """Scan + WHERE for single-table queries; scan-join-filter for joins."""
+        """Scan + WHERE for single-table queries; a left-deep join chain
+        (scan branches + per-level residual filters) for join queries."""
         query = self.query
-        join = query.join
+        joins = query.joins
         required = query.required_columns or query.table_schema.names()[:1]
-        if join is None:
+        if not joins:
             node: PlanNode = TableScanNode(
                 table=query.table,
                 table_schema=query.table_schema,
@@ -107,19 +108,33 @@ class LogicalPlanner:
                 node = FilterNode(node, query.where)
             return node
 
-        left_names = set(join.left_schema.names())
-        joined_to_right = {v: k for k, v in join.right_renames.items()}
-        left_cols = [c for c in required if c in left_names]
-        right_cols = [joined_to_right[c] for c in required if c in joined_to_right]
+        # Scope s holds the table introduced by join s-1 (scope 0 is the
+        # FROM table).  Each scope's columns carry their *joined-scope*
+        # (collision-renamed) names; ``to_original[s]`` translates back to
+        # the table's native names for branch-local predicates and scans.
+        scope_names: List[set] = [set(joins[0].left_schema.names())]
+        to_original: List[Dict[str, str]] = [
+            {n: n for n in joins[0].left_schema.names()}
+        ]
+        for join in joins:
+            scope_names.append(set(join.right_renames.values()))
+            to_original.append({v: k for k, v in join.right_renames.items()})
 
-        # Split WHERE conjuncts: a conjunct reading only one side's columns
-        # runs below the join on that branch (so it can be pushed all the
-        # way into the scan); mixed conjuncts stay above.  Right-side
-        # conjuncts of a LEFT join must stay above the join — filtering the
-        # preserved side's partner before the join changes NULL-extension.
-        left_preds: List[Expr] = []
-        right_preds: List[Expr] = []
-        post_preds: List[Expr] = []
+        def scope_of(name: str) -> int:
+            for s, names in enumerate(scope_names):
+                if name in names:
+                    return s
+            raise PlanError(f"column {name!r} belongs to no join scope")
+
+        # Split WHERE conjuncts.  A conjunct reading one scope only runs
+        # below the join chain on that branch (so it can be pushed all the
+        # way into the scan) — unless the scope is the NULL-extended right
+        # side of a LEFT join, where pre-join filtering would change
+        # NULL-extension.  Everything else runs right above the highest
+        # join that brings its columns into scope (filters on the left
+        # input of later joins commute past them).
+        branch_preds: List[List[Expr]] = [[] for _ in range(len(joins) + 1)]
+        above_preds: List[List[Expr]] = [[] for _ in joins]
         if query.where is not None:
             conjuncts = (
                 query.where.operands
@@ -127,13 +142,16 @@ class LogicalPlanner:
                 else (query.where,)
             )
             for conjunct in conjuncts:
-                refs = conjunct.column_refs()
-                if refs <= left_names:
-                    left_preds.append(conjunct)
-                elif refs <= set(joined_to_right) and join.kind == "inner":
-                    right_preds.append(rename_columns(conjunct, joined_to_right))
+                scopes = {scope_of(ref) for ref in conjunct.column_refs()}
+                top = max(scopes, default=0)
+                if scopes <= {0}:
+                    branch_preds[0].append(conjunct)
+                elif len(scopes) == 1 and joins[top - 1].kind == "inner":
+                    branch_preds[top].append(
+                        rename_columns(conjunct, to_original[top])
+                    )
                 else:
-                    post_preds.append(conjunct)
+                    above_preds[max(top - 1, 0)].append(conjunct)
 
         def branch(
             table: TableName, schema: Schema, columns: List[str], preds: List[Expr]
@@ -149,31 +167,36 @@ class LogicalPlanner:
                 )
             return node
 
-        left_node = branch(
-            join.left_table,
-            join.left_schema,
-            left_cols or join.left_schema.names()[:1],
-            left_preds,
+        def branch_columns(s: int, schema: Schema) -> List[str]:
+            cols = [to_original[s][c] for c in required if c in scope_names[s]]
+            return cols or schema.names()[:1]
+
+        node = branch(
+            joins[0].left_table,
+            joins[0].left_schema,
+            branch_columns(0, joins[0].left_schema),
+            branch_preds[0],
         )
-        right_node = branch(
-            join.right_table,
-            join.right_schema,
-            right_cols or join.right_schema.names()[:1],
-            right_preds,
-        )
-        node = JoinNode(
-            left=left_node,
-            right=right_node,
-            kind=join.kind,
-            left_keys=list(join.left_keys),
-            right_keys=list(join.right_keys),
-            right_renames=dict(join.right_renames),
-        )
-        if post_preds:
-            node = FilterNode(
-                node,
-                post_preds[0] if len(post_preds) == 1 else AndExpr(tuple(post_preds)),
+        for index, join in enumerate(joins):
+            right_node = branch(
+                join.right_table,
+                join.right_schema,
+                branch_columns(index + 1, join.right_schema),
+                branch_preds[index + 1],
             )
+            node = JoinNode(
+                left=node,
+                right=right_node,
+                kind=join.kind,
+                left_keys=list(join.left_keys),
+                right_keys=list(join.right_keys),
+                right_renames=dict(join.right_renames),
+            )
+            if above_preds[index]:
+                preds = above_preds[index]
+                node = FilterNode(
+                    node, preds[0] if len(preds) == 1 else AndExpr(tuple(preds))
+                )
         return node
 
     # -- aggregation ------------------------------------------------------------

@@ -86,7 +86,8 @@ class QueryService:
         )
         self.sim = self.cluster.sim
         self.coordinator = Coordinator(
-            self.cluster, {}, exec_backend=self.base_config.exec_backend
+            self.cluster, {}, exec_backend=self.base_config.exec_backend,
+            scheduler=self.base_config.scheduler,
         )
         self.admission = AdmissionController(self.spec)
         self.jobs: List[QueryJob] = []

@@ -9,10 +9,11 @@ seconds into named stages so the Table 3 bench can print the same rows;
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
-__all__ = ["Counter", "StageTimer", "MetricsRegistry"]
+__all__ = ["Counter", "StageTimer", "StageAccountant", "MetricsRegistry"]
 
 
 @dataclass
@@ -90,6 +91,82 @@ class StageTimer:
 
     def items(self) -> Iterator[Tuple[str, float]]:
         return iter(sorted(self._stages.items()))
+
+
+class StageAccountant:
+    """Clock-bound facade over a :class:`StageTimer`.
+
+    Every stage-attribution site used to read the simulator clock by
+    hand (``stages.begin(stage, sim.now)`` ... ``stages.end(stage,
+    sim.now)``) and re-implement the same try/finally unwinding; the
+    coordinator additionally duplicated the "scale stage totals down so
+    they partition the elapsed wall time" normalization at each of its
+    result-construction sites.  The accountant owns both patterns:
+
+    * :meth:`window` — a context manager opening one union window of a
+      stage (concurrent windows of the same stage are unioned by the
+      underlying timer, so N concurrent splits charge wall time once);
+    * :meth:`charged` — a context manager charging the elapsed simulated
+      time of its body to a stage (serial code paths);
+    * :meth:`begin` / :meth:`end` / :meth:`charge` — clock-free
+      passthroughs for sites that pause/resume windows across
+      component boundaries (e.g. the OCS page source separating IR
+      generation from the transfer window that surrounds it);
+    * :meth:`partitioned` — the Table-3 normalization: a copy of the
+      per-stage totals scaled so their sum never exceeds ``elapsed``.
+
+    The accountant is stateless beyond its two references, so any
+    number of them may wrap the same timer (coordinator + connector).
+    ``clock`` is anything with a ``now`` attribute (the simulator).
+    """
+
+    def __init__(self, clock, timer: StageTimer) -> None:
+        self.clock = clock
+        self.timer = timer
+
+    def begin(self, stage: str) -> None:
+        self.timer.begin(stage, self.clock.now)
+
+    def end(self, stage: str) -> None:
+        self.timer.end(stage, self.clock.now)
+
+    def charge(self, stage: str, seconds: float) -> None:
+        self.timer.charge(stage, seconds)
+
+    @contextmanager
+    def window(self, stage: str):
+        """Open one union window of ``stage`` for the body's duration."""
+        self.begin(stage)
+        try:
+            yield self
+        finally:
+            self.end(stage)
+
+    @contextmanager
+    def charged(self, stage: str):
+        """Charge the body's elapsed simulated time to ``stage``."""
+        start = self.clock.now
+        try:
+            yield self
+        finally:
+            self.timer.charge(stage, max(0.0, self.clock.now - start))
+
+    def partitioned(self, elapsed: float) -> Dict[str, float]:
+        """Per-stage totals scaled so they partition ``elapsed``.
+
+        Window union keeps concurrent work *within* one stage from
+        double charging, but stages that overlap *each other* (one
+        split transferring while another runs operators) can still push
+        the per-stage sum past the elapsed wall time.  The returned
+        copy is scaled down so the sum never exceeds ``elapsed``;
+        serial runs (sum <= elapsed) are returned untouched.
+        """
+        stage_seconds = dict(self.timer.items())
+        total = sum(stage_seconds.values())
+        if total > elapsed > 0:
+            scale = elapsed / total
+            stage_seconds = {k: v * scale for k, v in stage_seconds.items()}
+        return stage_seconds
 
 
 class MetricsRegistry:

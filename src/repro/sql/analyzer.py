@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arrowsim.dtypes import (
     BOOL,
@@ -86,14 +86,19 @@ class AggregateCall:
 
 @dataclass
 class AnalyzedJoin:
-    """A resolved two-table equi-join.
+    """One resolved equi-join step of a left-deep join chain.
 
     The *joined scope* is ``left_schema`` ⊕ renamed right columns: a right
-    column whose name collides with a left column appears downstream as
-    ``{right_table}${name}``.  ``right_renames`` maps every original right
-    column name to its joined-scope name (identity when no collision), so
-    the planner can translate residual predicates back into the right
-    table's native names for pushdown.
+    column whose name collides with a column already in scope appears
+    downstream as ``{right_table}${name}``.  ``right_renames`` maps every
+    original right column name to its joined-scope name (identity when no
+    collision), so the planner can translate residual predicates back into
+    the right table's native names for pushdown.
+
+    For chained joins (``FROM a JOIN b ... JOIN c ...``) the "left" side
+    of join *i* is the accumulated scope of the FROM table and every
+    earlier join, so ``left_keys`` may name renamed columns introduced by
+    an earlier join step.
     """
 
     kind: str  # "inner" | "left"
@@ -101,8 +106,8 @@ class AnalyzedJoin:
     right_table: ast.TableName
     left_schema: Schema
     right_schema: Schema
-    #: Equi-join key column names, positionally paired; ``right_keys``
-    #: uses the right table's original names.
+    #: Equi-join key column names, positionally paired; ``left_keys`` uses
+    #: joined-scope names, ``right_keys`` the right table's original names.
     left_keys: Tuple[str, ...] = ()
     right_keys: Tuple[str, ...] = ()
     right_renames: Dict[str, str] = field(default_factory=dict)
@@ -134,9 +139,14 @@ class AnalyzedQuery:
     hidden_outputs: List[str] = field(default_factory=list)
     limit: Optional[int] = None
     distinct: bool = False
-    #: Present when the query joins two tables; ``table_schema`` is then
-    #: the joined scope (left ⊕ renamed right).
-    join: Optional[AnalyzedJoin] = None
+    #: One entry per JOIN clause, in syntactic order (a left-deep chain);
+    #: ``table_schema`` is then the full joined scope.
+    joins: List[AnalyzedJoin] = field(default_factory=list)
+
+    @property
+    def join(self) -> Optional[AnalyzedJoin]:
+        """The sole join of a two-table query (None otherwise)."""
+        return self.joins[0] if len(self.joins) == 1 else None
 
     @property
     def required_columns(self) -> List[str]:
@@ -151,19 +161,35 @@ class AnalyzedQuery:
             exprs.extend(expr for _, expr in self.output_items)
         for expr in exprs:
             refs |= expr.column_refs()
-        if self.join is not None:
-            # The join itself reads its key columns on both sides.
-            refs |= set(self.join.left_keys)
-            refs |= {self.join.right_renames[k] for k in self.join.right_keys}
+        for join in self.joins:
+            # Every join step reads its key columns on both sides.
+            refs |= set(join.left_keys)
+            refs |= {join.right_renames[k] for k in join.right_keys}
         # Preserve table column order for determinism.
         return [n for n in self.table_schema.names() if n in refs]
+
+
+@dataclass(frozen=True)
+class _Scope:
+    """One table visible in the query's namespace.
+
+    ``renames`` maps the table's original column names to their names in
+    the accumulated joined scope (identity for the FROM table and for
+    non-colliding joined columns).
+    """
+
+    table: str
+    schema: Schema
+    renames: Dict[str, str]
 
 
 class Analyzer:
     """Analyzes one SELECT statement against a table schema.
 
-    For join queries ``right_schema`` supplies the joined table's schema
-    and ``self.schema`` becomes the joined scope (left ⊕ renamed right).
+    For join queries ``join_schemas`` supplies one schema per JOIN
+    clause (in syntactic order) and ``self.schema`` becomes the full
+    joined scope: the FROM table's columns followed by each joined
+    table's columns, collision-renamed to ``{table}${column}``.
     """
 
     def __init__(
@@ -171,25 +197,43 @@ class Analyzer:
         statement: ast.SelectStatement,
         table_schema: Schema,
         right_schema: Optional[Schema] = None,
+        *,
+        join_schemas: Optional[Sequence[Schema]] = None,
     ) -> None:
         self.statement = statement
         self.schema = table_schema
         self._agg_calls: List[Tuple[ast.FunctionCall, AggregateCall]] = []
         self._key_by_ast: Dict[ast.Expression, Tuple[str, Expr]] = {}
-        self._join: Optional[AnalyzedJoin] = None
+        self._scopes: List[_Scope] = [
+            _Scope(
+                table=statement.from_table.table,
+                schema=table_schema,
+                renames={n: n for n in table_schema.names()},
+            )
+        ]
+        self._joins: List[AnalyzedJoin] = []
         if statement.joins:
-            if len(statement.joins) > 1:
-                raise AnalysisError("at most one JOIN per query is supported")
-            if right_schema is None:
+            if join_schemas is None:
+                join_schemas = [right_schema] if right_schema is not None else None
+            if join_schemas is None or len(join_schemas) != len(statement.joins):
                 raise AnalysisError(
-                    "join analysis requires the joined table's schema"
+                    "join analysis requires the joined table's schema "
+                    f"for each of the {len(statement.joins)} JOIN clause(s)"
                 )
-            self._join = self._build_join_scope(statement.joins[0], right_schema)
+            for clause, schema in zip(statement.joins, join_schemas):
+                self._joins.append(self._build_join_scope(clause, schema))
+        elif right_schema is not None or join_schemas:
+            raise AnalysisError("join schema given but the query has no JOIN")
 
     def _build_join_scope(
         self, join: ast.JoinClause, right_schema: Schema
     ) -> AnalyzedJoin:
-        """Construct the joined scope and install it as ``self.schema``."""
+        """Extend the accumulated scope by one joined table."""
+        if any(scope.table == join.table.table for scope in self._scopes):
+            raise AnalysisError(
+                f"duplicate table {join.table.table!r} in FROM/JOIN; "
+                f"self-joins are not supported"
+            )
         left_schema = self.schema
         left_names = set(left_schema.names())
         fields = list(left_schema.fields)
@@ -208,6 +252,9 @@ class Analyzer:
             nullable = f.nullable or join.kind == "left"
             fields.append(Field(name, f.dtype, nullable))
         self.schema = Schema(fields)
+        self._scopes.append(
+            _Scope(table=join.table.table, schema=right_schema, renames=renames)
+        )
         return AnalyzedJoin(
             kind=join.kind,
             left_table=self.statement.from_table,
@@ -217,24 +264,27 @@ class Analyzer:
             right_renames=renames,
         )
 
-    def _analyze_join_condition(self) -> None:
-        """Resolve ``ON`` into positionally paired equi-join key columns.
+    def _analyze_join_condition(self, index: int) -> None:
+        """Resolve join ``index``'s ON into paired equi-join key columns.
 
         Works on the AST (not resolved expressions) so a key-type
         mismatch surfaces as :class:`JoinKeyMismatchError` rather than a
-        generic comparison-coercion failure.
+        generic comparison-coercion failure.  The condition may only
+        reference the newly joined table and tables already in scope
+        (the FROM table plus earlier joins).
         """
-        assert self._join is not None
-        join = self._join
+        join = self._joins[index]
         conjuncts: List[ast.Expression] = []
-        stack = [self.statement.joins[0].condition]
+        stack = [self.statement.joins[index].condition]
         while stack:
             node = stack.pop()
             if isinstance(node, ast.BinaryOp) and node.op.upper() == "AND":
                 stack.extend((node.right, node.left))
             else:
                 conjuncts.append(node)
-        joined_to_right = {v: k for k, v in join.right_renames.items()}
+        # Scopes visible to this ON clause: FROM + joins 0..index.
+        visible = self._scopes[: index + 2]
+        right_scope = visible[-1]
         left_keys: List[str] = []
         right_keys: List[str] = []
         for term in conjuncts:
@@ -250,14 +300,16 @@ class Analyzer:
                 )
             sides: Dict[str, str] = {}
             for ref in (term.left, term.right):
-                name = self._scope_name(ref)
-                sides["right" if name in joined_to_right else "left"] = name
+                name = self._scope_name(ref, scopes=visible)
+                is_right = name in set(right_scope.renames.values())
+                sides["right" if is_right else "left"] = name
             if len(sides) != 2:
                 raise AnalysisError(
                     "each JOIN ON conjunct must compare a left-table column "
                     "with a right-table column"
                 )
             left_dtype = join.left_schema.field(sides["left"]).dtype
+            joined_to_right = {v: k for k, v in right_scope.renames.items()}
             right_original = joined_to_right[sides["right"]]
             right_dtype = join.right_schema.field(right_original).dtype
             if left_dtype is not right_dtype:
@@ -276,8 +328,8 @@ class Analyzer:
 
     def analyze(self) -> AnalyzedQuery:
         stmt = self.statement
-        if self._join is not None:
-            self._analyze_join_condition()
+        for index in range(len(self._joins)):
+            self._analyze_join_condition(index)
         where = None
         if stmt.where is not None:
             where = self._resolve_scalar(stmt.where, allow_aggregates=False)
@@ -297,7 +349,7 @@ class Analyzer:
             is_aggregate=is_aggregate,
             limit=stmt.limit,
             distinct=stmt.distinct,
-            join=self._join,
+            joins=list(self._joins),
         )
 
         if is_aggregate:
@@ -581,15 +633,20 @@ class Analyzer:
 
     # -- helpers -----------------------------------------------------------------------
 
-    def _scope_name(self, node: ast.ColumnRef) -> str:
+    def _scope_name(
+        self, node: ast.ColumnRef, scopes: Optional[List[_Scope]] = None
+    ) -> str:
         """Resolve a (possibly qualified) column ref to its scope name.
 
-        In a join scope, unqualified names present in both tables are
-        ambiguous; a qualifier selects the side, and right-side names
-        translate through the collision renames.
+        In a join scope, unqualified names present in more than one table
+        are ambiguous; a qualifier selects the table, and the name
+        translates through that table's collision renames.  ``scopes``
+        restricts visibility (used while resolving ON conditions, which
+        cannot see tables joined later in the chain).
         """
-        join = self._join
-        if join is None:
+        if scopes is None:
+            scopes = self._scopes
+        if len(scopes) == 1:
             if node.qualifier and node.qualifier != self.statement.from_table.table:
                 raise AnalysisError(
                     f"unknown table qualifier {node.qualifier!r} "
@@ -600,36 +657,30 @@ class Analyzer:
                     f"unknown column {node.name!r}; table has {self.schema.names()}"
                 )
             return node.name
-        in_left = node.name in join.left_schema
-        in_right = node.name in join.right_schema
-        if node.qualifier == join.left_table.table:
-            if not in_left:
-                raise AnalysisError(
-                    f"table {join.left_table.table!r} has no column {node.name!r}"
-                )
-            return node.name
-        if node.qualifier == join.right_table.table:
-            if not in_right:
-                raise AnalysisError(
-                    f"table {join.right_table.table!r} has no column {node.name!r}"
-                )
-            return join.right_renames[node.name]
+        table_names = [scope.table for scope in scopes]
         if node.qualifier:
+            for scope in scopes:
+                if scope.table == node.qualifier:
+                    if node.name not in scope.schema:
+                        raise AnalysisError(
+                            f"table {scope.table!r} has no column {node.name!r}"
+                        )
+                    return scope.renames[node.name]
             raise AnalysisError(
-                f"unknown table qualifier {node.qualifier!r} (expected "
-                f"{join.left_table.table!r} or {join.right_table.table!r})"
+                f"unknown table qualifier {node.qualifier!r} "
+                f"(expected one of {table_names})"
             )
-        if in_left and in_right:
+        matches = [scope for scope in scopes if node.name in scope.schema]
+        if len(matches) > 1:
+            owners = " or ".join(repr(scope.table) for scope in matches)
             raise AnalysisError(
-                f"column {node.name!r} is ambiguous; qualify it with "
-                f"{join.left_table.table!r} or {join.right_table.table!r}"
+                f"column {node.name!r} is ambiguous; qualify it with {owners}"
             )
-        if in_left:
-            return node.name
-        if in_right:
-            return join.right_renames[node.name]
+        if matches:
+            return matches[0].renames[node.name]
         raise AnalysisError(
-            f"unknown column {node.name!r}; joined scope has {self.schema.names()}"
+            f"unknown column {node.name!r}; joined scope has "
+            f"{[f.name for scope in scopes for f in scope.schema]}"
         )
 
     @staticmethod
@@ -706,6 +757,14 @@ def analyze(
     statement: ast.SelectStatement,
     table_schema: Schema,
     right_schema: Optional[Schema] = None,
+    *,
+    join_schemas: Optional[Sequence[Schema]] = None,
 ) -> AnalyzedQuery:
-    """Analyze ``statement`` against ``table_schema`` (+ join schema)."""
-    return Analyzer(statement, table_schema, right_schema).analyze()
+    """Analyze ``statement`` against ``table_schema`` (+ join schemas).
+
+    ``right_schema`` is the single-join shorthand; chained joins pass
+    one schema per JOIN clause via ``join_schemas``.
+    """
+    return Analyzer(
+        statement, table_schema, right_schema, join_schemas=join_schemas
+    ).analyze()

@@ -36,8 +36,11 @@ from repro.workloads.deepwater import (
 from repro.workloads.tpch import (
     TPCH_Q1,
     TPCH_Q3,
+    TPCH_Q3_FULL,
     TPCH_Q6,
     TPCH_Q12,
+    customer_schema,
+    generate_customer,
     generate_lineitem,
     generate_orders,
     lineitem_schema,
@@ -53,9 +56,12 @@ __all__ = [
     "TPCH_Q1",
     "TPCH_Q12",
     "TPCH_Q3",
+    "TPCH_Q3_FULL",
     "TPCH_Q6",
     "build_dataset",
+    "customer_schema",
     "deepwater_schema",
+    "generate_customer",
     "generate_deepwater_file",
     "generate_laghos_file",
     "generate_lineitem",

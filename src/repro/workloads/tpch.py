@@ -49,16 +49,21 @@ __all__ = [
     "generate_lineitem",
     "orders_schema",
     "generate_orders",
+    "customer_schema",
+    "generate_customer",
     "TPCH_Q1",
     "TPCH_Q3",
+    "TPCH_Q3_FULL",
     "TPCH_Q6",
     "TPCH_Q12",
     "SF1_ROWS",
     "SF1_ORDERS",
+    "SF1_CUSTOMERS",
 ]
 
 SF1_ROWS = 6_001_215
 SF1_ORDERS = 1_500_000
+SF1_CUSTOMERS = 150_000
 
 #: TPC-H Query 1 (pricing summary report), Presto dialect.
 TPCH_Q1 = """
@@ -96,6 +101,23 @@ SELECT lineitem.orderkey, SUM(extendedprice * (1 - discount)) AS revenue,
        orderdate, shippriority
 FROM orders JOIN lineitem ON orders.orderkey = lineitem.orderkey
 WHERE orderdate < DATE '1995-03-15' AND shipdate > DATE '1995-03-15'
+GROUP BY lineitem.orderkey, orderdate, shippriority
+ORDER BY revenue DESC, orderdate
+LIMIT 10
+"""
+
+#: TPC-H Query 3 (shipping priority), full three-table form: the
+#: ``customer`` dimension is back, so the plan is a two-level join chain
+#: — ``(orders ⋈ lineitem) ⋈ customer`` — lowered to a stage DAG with
+#: independent scans for all three tables.  The segment predicate
+#: (``mktsegment``) routes to the customer branch for pushdown.
+TPCH_Q3_FULL = """
+SELECT lineitem.orderkey, SUM(extendedprice * (1 - discount)) AS revenue,
+       orderdate, shippriority
+FROM orders JOIN lineitem ON orders.orderkey = lineitem.orderkey
+            JOIN customer ON orders.custkey = customer.custkey
+WHERE mktsegment = 'BUILDING'
+  AND orderdate < DATE '1995-03-15' AND shipdate > DATE '1995-03-15'
 GROUP BY lineitem.orderkey, orderdate, shippriority
 ORDER BY revenue DESC, orderdate
 LIMIT 10
@@ -250,6 +272,78 @@ def orders_schema() -> Schema:
             Field("shippriority", INT64, nullable=False),
             Field("comment", STRING, nullable=False),
         ]
+    )
+
+
+_MKTSEGMENT = np.array(
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"], dtype=object
+)
+
+
+def customer_schema() -> Schema:
+    return Schema(
+        [
+            Field("custkey", INT64, nullable=False),
+            Field("name", STRING, nullable=False),
+            Field("address", STRING, nullable=False),
+            Field("nationkey", INT64, nullable=False),
+            Field("phone", STRING, nullable=False),
+            Field("acctbal", FLOAT64, nullable=False),
+            Field("mktsegment", STRING, nullable=False),
+            Field("comment", STRING, nullable=False),
+        ]
+    )
+
+
+def generate_customer(rows: int, seed: int = 0, start_key: int = 0) -> RecordBatch:
+    """``rows`` customers with keys ``start_key+1 .. start_key+rows``.
+
+    ``custkey`` densely covers its range, matching dbgen: every order
+    whose ``custkey`` falls inside the generated range resolves to
+    exactly one customer.  ``mktsegment`` is uniform over the five spec
+    segments, so Q3's ``mktsegment = 'BUILDING'`` keeps ~20% of rows.
+    """
+    rng = np.random.default_rng(seed + 41 * start_key)
+
+    custkey = np.arange(start_key + 1, start_key + 1 + rows, dtype=np.int64)
+    name = np.array([f"Customer#{k:09d}" for k in custkey], dtype=object)
+    word_idx = rng.integers(0, len(_COMMENT_WORDS), size=(rows, 2))
+    address = np.array(
+        [" ".join((_COMMENT_WORDS[a], _COMMENT_WORDS[b])) for a, b in word_idx],
+        dtype=object,
+    )
+    nationkey = rng.integers(0, 25, size=rows).astype(np.int64)
+    phone = np.array(
+        [
+            f"{10 + n}-{rng.integers(100, 1000)}-{rng.integers(100, 1000)}-"
+            f"{rng.integers(1000, 10000)}"
+            for n in nationkey
+        ],
+        dtype=object,
+    )
+    acctbal = np.round(-999.99 + rng.random(rows) * (9999.99 + 999.99), 2)
+    mktsegment = _MKTSEGMENT[rng.integers(0, len(_MKTSEGMENT), size=rows)]
+    word_idx = rng.integers(0, len(_COMMENT_WORDS), size=(rows, 3))
+    comment = np.array(
+        [
+            " ".join((_COMMENT_WORDS[a], _COMMENT_WORDS[b], _COMMENT_WORDS[c]))
+            for a, b, c in word_idx
+        ],
+        dtype=object,
+    )
+
+    return RecordBatch(
+        customer_schema(),
+        [
+            ColumnArray(INT64, custkey),
+            ColumnArray(STRING, name),
+            ColumnArray(STRING, address),
+            ColumnArray(INT64, nationkey),
+            ColumnArray(STRING, phone),
+            ColumnArray(FLOAT64, acctbal),
+            ColumnArray(STRING, mktsegment),
+            ColumnArray(STRING, comment),
+        ],
     )
 
 

@@ -10,6 +10,7 @@ from repro.analysis.runtime import set_strict_verify
 from repro.bench import Environment
 from repro.workloads import (
     DatasetSpec,
+    generate_customer,
     generate_deepwater_file,
     generate_laghos_file,
     generate_lineitem,
@@ -24,6 +25,8 @@ LINEITEM_FILES = 2
 LINEITEM_ROWS = 20000
 ORDERS_FILES = 2
 ORDERS_ROWS = 20000
+CUSTOMER_FILES = 1
+CUSTOMER_ROWS = 30000
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -83,6 +86,21 @@ def small_env():
             generator=lambda i: generate_orders(
                 ORDERS_ROWS, seed=19, start_key=i * ORDERS_ROWS
             ),
+            row_group_rows=8192,
+        )
+    )
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="customer",
+            bucket="data",
+            # Dense custkeys from 1: a ~20% slice of the orders fact
+            # table's custkey range, so the Q3_FULL customer join both
+            # prunes (most orders miss) and matches (inner-join hits).
+            generator=lambda i: generate_customer(
+                CUSTOMER_ROWS, seed=23, start_key=i * CUSTOMER_ROWS
+            ),
+            file_count=CUSTOMER_FILES,
             row_group_rows=8192,
         )
     )

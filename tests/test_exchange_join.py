@@ -262,11 +262,32 @@ class TestDistributionChoice:
 
 
 class TestJoinAnalysis:
-    def test_second_join_rejected(self):
+    def test_join_chain_analyzes_bottom_up(self):
         stmt = parse(
             "SELECT a FROM t JOIN u ON t.a = u.b JOIN v ON t.a = v.c"
         )
-        with pytest.raises(AnalysisError, match="at most one JOIN"):
+        query = analyze(
+            stmt,
+            Schema([Field("a", INT64)]),
+            join_schemas=[
+                Schema([Field("b", INT64)]),
+                Schema([Field("c", INT64)]),
+            ],
+        )
+        assert len(query.joins) == 2
+        assert query.joins[0].left_keys == ("a",)
+        assert query.joins[0].right_keys == ("b",)
+        assert query.joins[1].right_keys == ("c",)
+        # Join 1's left side is the accumulated scope of t ⋈ u.
+        assert query.joins[1].left_schema.names() == ["a", "b"]
+        # The single-join compat accessor only answers for 2-table plans.
+        assert query.join is None
+
+    def test_join_chain_schema_count_must_match(self):
+        stmt = parse(
+            "SELECT a FROM t JOIN u ON t.a = u.b JOIN v ON t.a = v.c"
+        )
+        with pytest.raises(AnalysisError, match="each of the 2 JOIN"):
             analyze(stmt, Schema([Field("a", INT64)]), Schema([Field("b", INT64)]))
 
     def test_join_without_right_schema_rejected(self):
@@ -597,12 +618,20 @@ class TestServiceJoinSubmission:
 
 
 class TestJoinExplain:
-    def test_explain_shows_branches_and_distribution(self, small_env):
+    def test_explain_renders_stage_graph_and_branches(self, small_env):
         text = small_env.explain(TPCH_Q3, STATIC, schema="tpch")
-        assert "Join distribution: partitioned" in text
-        assert "Probe branch" in text
-        assert "Build branch" in text
-        assert "Pushed to storage (build): filter" in text
+        assert "Stage graph:" in text
+        # One scan stage per branch, exchanges on both sides (the build
+        # is too large to broadcast), one join level, and the tail.
+        assert "scan:0:orders" in text
+        assert "scan:1:lineitem" in text
+        assert "exchange:build:0" in text
+        assert "exchange:probe:0" in text
+        assert "join:0" in text and "distribution=partitioned" in text
+        assert "[aggregate] <- join:0" in text
+        assert "[merge    ] <- aggregate" in text
+        # Per-branch pushdown still surfaces per scan stage.
+        assert "Pushed to storage (scan:1:lineitem): filter" in text
 
     def test_cross_catalog_join_rejected(self, small_env):
         with pytest.raises(PlanError, match="cross-catalog"):
