@@ -12,11 +12,20 @@
 4. **Backend parity harness** (:mod:`repro.analysis.parity`) — fused
    vs tree-walk execution backends must be digest-identical
    (``python -m repro.analysis.parity``).
+5. **Race sanitizer** (:mod:`repro.analysis.sanitizer`) — SimTSan, a
+   vector-clock happens-before detector for same-instant accesses to
+   shared simulated state, gated by ``strict_sanitize``
+   (``python -m repro.analysis.race``).
 
 See ``docs/STATIC_ANALYSIS.md`` for the invariant list and rule catalog.
 """
 
-from repro.analysis.runtime import set_strict_verify, strict_verify_enabled
+from repro.analysis.runtime import (
+    set_strict_sanitize,
+    set_strict_verify,
+    strict_sanitize_enabled,
+    strict_verify_enabled,
+)
 from repro.analysis.verifier import (
     check_expression,
     verify_logical_plan,
@@ -40,6 +49,14 @@ _LAZY = {
     "BackendParityReport": "repro.analysis.parity",
     "check_backend_parity": "repro.analysis.parity",
     "check_suite_parity": "repro.analysis.parity",
+    "check_dag_determinism": "repro.analysis.determinism",
+    "check_service_determinism": "repro.analysis.determinism",
+    "run_service_recorded": "repro.analysis.determinism",
+    "AccessInfo": "repro.analysis.sanitizer",
+    "RaceReport": "repro.analysis.sanitizer",
+    "SimTSan": "repro.analysis.sanitizer",
+    "run_self_test": "repro.analysis.race",
+    "run_bench_suites": "repro.analysis.race",
 }
 
 
@@ -65,8 +82,18 @@ __all__ = [
     "LintViolation",
     "lint_file",
     "lint_paths",
+    "check_dag_determinism",
+    "check_service_determinism",
+    "run_service_recorded",
+    "AccessInfo",
+    "RaceReport",
+    "SimTSan",
+    "run_self_test",
+    "run_bench_suites",
     "set_strict_verify",
     "strict_verify_enabled",
+    "set_strict_sanitize",
+    "strict_sanitize_enabled",
     "check_expression",
     "verify_logical_plan",
     "verify_optimized_plan",

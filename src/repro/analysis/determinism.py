@@ -16,8 +16,15 @@ module turns that claim into a checked invariant:
   adversarial order, some same-timestamp pair of events races on shared
   state — a genuine ordering hazard, not a formatting difference.
 
-Run the built-in harness (a quickstart-style seeded sensor workload under
-full OCS pushdown) with ``python -m repro.analysis.determinism``.
+Run the built-in harness with ``python -m repro.analysis.determinism``.
+It covers three suites: a quickstart-style seeded sensor workload under
+full OCS pushdown (``query``), one straggler trial of the dag bench with
+speculation on (``dag``, via :func:`check_dag_determinism`), and a
+seeded multi-tenant service run (``service``, via
+:func:`check_service_determinism` — there the adversarial LIFO replay
+must reproduce the *entire* SLO digest, timings included, because
+same-instant submission and dispatch ordering is exactly what admission
+control serializes).
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ __all__ = [
     "canonical_result_digest",
     "run_recorded",
     "check_determinism",
+    "check_dag_determinism",
+    "run_service_recorded",
+    "check_service_determinism",
     "main",
 ]
 
@@ -239,6 +249,106 @@ def check_determinism(
 
 
 # --------------------------------------------------------------------------
+# Bench suites: dag (speculation) and service (multi-tenant)
+# --------------------------------------------------------------------------
+
+
+def check_dag_determinism(seed: int = 0) -> DeterminismReport:
+    """One straggler trial of the dag bench under the replay harness.
+
+    Speculation plus a degraded storage node is the scheduler's densest
+    same-instant territory — backup launches, primary/backup completion
+    ties, split settlement.  The adversarial LIFO replay asserts none of
+    it leaks into query results.
+    """
+    from repro.bench import dag
+    from repro.bench.env import RunConfig
+    from repro.config import FaultSpec
+    from repro.core import PushdownPolicy
+    from repro.engine import SchedulerSpec
+
+    env = dag.build_environment("smoke", seed)
+    config = RunConfig(
+        label="determinism-dag",
+        mode="ocs",
+        policy=PushdownPolicy.filter_only(),
+        split_granularity="file",
+        faults=FaultSpec(storage_latency_multipliers={0: 20.0}, seed=seed),
+        scheduler=SchedulerSpec(speculation=True, speculation_quorum=0.25),
+    )
+    return check_determinism(env, dag.SQL, config, schema="tpch")
+
+
+def run_service_recorded(
+    *, queries: int = 8, seed: int = 0, tie_break: str = "fifo"
+) -> ReplayReport:
+    """One seeded multi-tenant service run with a recorder attached.
+
+    The ``result_digest`` is the SLO report digest: per-query status,
+    latency/queue-wait/execution timings, and result values.  Service
+    runs must reproduce all of it — not just result rows — because
+    admission control serializes same-instant submissions by dispatch
+    order, and that serialization must not depend on the tie-break
+    policy.
+    """
+    from repro.bench.service import build_environment
+    from repro.config import ServiceSpec
+    from repro.service import QueryService, QueryTemplate, open_loop
+    from repro.workloads.laghos import LAGHOS_QUERY
+    from repro.workloads.tpch import TPCH_Q1
+
+    recorder = DigestRecorder()
+    spec = ServiceSpec(max_active_queries=2, max_queue_depth=8)
+    service = QueryService(
+        build_environment(), spec, tie_break=tie_break, observer=recorder
+    )
+    templates = [
+        QueryTemplate(tenant="analytics", sql=TPCH_Q1, schema="tpch", label="q1"),
+        QueryTemplate(tenant="hpc", sql=LAGHOS_QUERY, schema="hpc", label="laghos"),
+    ]
+    open_loop(
+        service,
+        templates,
+        queries=queries,
+        mean_interarrival_s=0.05,
+        seed=seed,
+    )
+    # report() drains the service, which is what actually runs the
+    # simulation — snapshot the recorder only afterwards.
+    report = service.report()
+    return ReplayReport(
+        tie_break=tie_break,
+        events=len(recorder.digests),
+        event_digests=list(recorder.digests),
+        result_digest=report.digest(),
+        execution_seconds=service.sim.now,
+        max_simultaneous=recorder.max_simultaneous,
+    )
+
+
+def check_service_determinism(queries: int = 8, seed: int = 0) -> DeterminismReport:
+    """Two FIFO service replays diffed per event + one adversarial LIFO."""
+    baseline = run_service_recorded(queries=queries, seed=seed, tie_break="fifo")
+    replay = run_service_recorded(queries=queries, seed=seed, tie_break="fifo")
+    adversarial = run_service_recorded(queries=queries, seed=seed, tie_break="lifo")
+    notes: List[str] = []
+    if baseline.max_simultaneous <= 1:
+        notes.append(
+            "note: no same-timestamp event runs observed; the adversarial "
+            "replay exercised nothing"
+        )
+    return DeterminismReport(
+        baseline=baseline,
+        replay=replay,
+        adversarial=adversarial,
+        first_divergence=_first_divergence(
+            baseline.event_digests, replay.event_digests
+        ),
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------------
 # Built-in harness (CI entry point)
 # --------------------------------------------------------------------------
 
@@ -286,18 +396,32 @@ LIMIT 10
 """
 
 
-def main() -> int:
+def _check_query_suite() -> DeterminismReport:
     from repro.bench.env import RunConfig
 
     env = _build_harness_env()
-    report = check_determinism(
+    return check_determinism(
         env,
         HARNESS_QUERY,
         RunConfig(label="determinism", mode="ocs"),
         schema="lab",
     )
-    print(report.summary())
-    if report.ok:
+
+
+def main() -> int:
+    suites = [
+        ("query", _check_query_suite),
+        ("dag", check_dag_determinism),
+        ("service", check_service_determinism),
+    ]
+    ok = True
+    for name, check in suites:
+        report = check()
+        print(f"== {name} ==")
+        print(report.summary())
+        print()
+        ok = ok and report.ok
+    if ok:
         print("determinism harness: clean")
         return 0
     return 1

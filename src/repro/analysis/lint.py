@@ -36,6 +36,19 @@ invariants of *this* codebase that no off-the-shelf tool knows:
     would share them, breaking run isolation and determinism.  UPPER
     constants and dunders are exempt; hold state on a class or build it
     in a factory instead.  (Sim-scoped.)
+``unordered-iter``
+    No iterating directly over a set expression (``{...}`` literal, set
+    comprehension, ``set()``/``frozenset()`` call) in sim-reachable
+    code — set iteration is hash order, which ``PYTHONHASHSEED`` can
+    reshuffle between processes, so anything the loop feeds into a
+    shared registry or commit path becomes order-sensitive.  Wrap the
+    iterable in ``sorted(...)``.  (Sim-scoped.)
+``zero-timeout``
+    No literal ``.timeout(0)`` / ``.timeout(0.0)`` — a zero-delay timer
+    schedules at the *current* instant and races every other
+    same-instant event under the kernel tie-break policy.  Use
+    ``Simulator.barrier()`` for a tie-break-insensitive sync point, or
+    a positive delay.  (Sim-scoped.)
 
 Suppress a finding in place with ``# simlint: ignore[rule]`` (or
 ``ignore[rule-a,rule-b]``, or a blanket ``ignore`` for every rule) on
@@ -65,11 +78,14 @@ RULES: Dict[str, str] = {
     "span-pair": "tracer.start() without tracer.end()/tracer.span() in function",
     "bare-except": "bare except swallows simulator control-flow exceptions",
     "module-state": "module-level mutable container shared across runs",
+    "unordered-iter": "iteration over a set expression is hash-ordered",
+    "zero-timeout": "timeout(0) races every same-instant event; use barrier()",
 }
 
 #: Rules that only apply to simulation-reachable library code.
 SIM_SCOPED_RULES = frozenset(
-    {"wall-clock", "unseeded-random", "float-eq", "span-pair", "module-state"}
+    {"wall-clock", "unseeded-random", "float-eq", "span-pair", "module-state",
+     "unordered-iter", "zero-timeout"}
 )
 
 #: Constructors whose module-level result is shared mutable state.
@@ -217,7 +233,58 @@ class _Linter(ast.NodeVisitor):
         if dotted is not None:
             self._check_wall_clock(node, dotted)
             self._check_unseeded_random(node, dotted)
+        self._check_zero_timeout(node)
         self.generic_visit(node)
+
+    def _check_zero_timeout(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "timeout"):
+            return
+        if not node.args:
+            return
+        delay = node.args[0]
+        if isinstance(delay, ast.Constant) and isinstance(
+            delay.value, (int, float)
+        ) and not isinstance(delay.value, bool) and delay.value == 0:
+            self._report(
+                node, "zero-timeout",
+                "timeout(0) schedules at the current instant and races every "
+                "other same-instant event under the tie-break policy; use "
+                "Simulator.barrier() for a sync point, or a positive delay",
+            )
+
+    # -- unordered iteration ----------------------------------------------
+
+    @staticmethod
+    def _is_set_expression(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return dotted in ("set", "frozenset")
+        return False
+
+    def _check_unordered_iter(self, iter_node: ast.expr) -> None:
+        if self._is_set_expression(iter_node):
+            self._report(
+                iter_node, "unordered-iter",
+                "iterating a set is hash order (PYTHONHASHSEED-dependent); "
+                "wrap in sorted(...) before feeding shared state",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for generator in getattr(node, "generators", []):
+            self._check_unordered_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
 
     def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
         parts = dotted.split(".")

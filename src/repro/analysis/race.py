@@ -1,0 +1,213 @@
+"""SimTSan CLI: run the smoke benches under the race sanitizer.
+
+``python -m repro.analysis.race`` does two things:
+
+1. **Self-test** — a seeded synthetic cluster of racy actors (two
+   same-instant writers to one shared key with no happens-before edge,
+   plus a read/write pair) runs under a sink-mode
+   :class:`~repro.analysis.sanitizer.SimTSan`.  The sanitizer *must*
+   report both races with the planted access sites; a detector that
+   stays silent here is broken, so the harness fails closed.
+2. **Bench sweep** — the table3, join, dag, and service smoke benches
+   run with ``strict_sanitize`` on.  These are the repo's own
+   workloads; any report means a same-instant access to shared
+   simulated state whose outcome rides the kernel tie-break policy.
+
+Exit status is 0 only when the self-test races are caught *and* every
+bench suite comes back clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.runtime import set_strict_sanitize
+from repro.errors import SanitizerError
+
+__all__ = ["SuiteRow", "run_self_test", "run_bench_suites", "main"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class SuiteRow:
+    """Outcome of one sanitized suite."""
+
+    name: str
+    clean: bool
+    detail: str
+
+
+# --------------------------------------------------------------------------
+# Self-test: planted races the sanitizer must catch
+# --------------------------------------------------------------------------
+
+
+def run_self_test(seed: int = 0) -> List[SuiteRow]:
+    """Plant two races in a synthetic actor cluster; both must be caught.
+
+    ``seed`` shifts the racing instant (binary-exact multiples of 0.25)
+    so replays under different seeds still collide at one timestamp.
+    """
+    from repro.analysis.sanitizer import RaceReport, SimTSan
+    from repro.sim.kernel import ProcessGenerator, Simulator
+
+    instant = 0.25 * (1 + seed % 4)
+    sim = Simulator()
+    reports: List[RaceReport] = []
+    sanitizer = SimTSan(sim, sink=reports).install()
+    try:
+        shared = {"hits": 0}
+
+        def writer(tag: str) -> ProcessGenerator:
+            yield sim.timeout(instant)
+            sanitizer.record_write(("self-test", "counter"), f"self_test.{tag}")
+            shared["hits"] += 1
+
+        def reader() -> ProcessGenerator:
+            yield sim.timeout(2 * instant)
+            sanitizer.record_read(("self-test", "window"), "self_test.reader")
+            return shared["hits"]
+
+        def appender() -> ProcessGenerator:
+            yield sim.timeout(2 * instant)
+            sanitizer.record_write(("self-test", "window"), "self_test.appender")
+
+        sim.process(writer("writer_a"), name="writer-a")
+        sim.process(writer("writer_b"), name="writer-b")
+        sim.process(reader(), name="reader")
+        sim.process(appender(), name="appender")
+        sim.run()
+    finally:
+        sanitizer.uninstall()
+
+    sites = {(r.first.site, r.second.site) for r in reports}
+
+    def caught(a: str, b: str) -> bool:
+        return (a, b) in sites or (b, a) in sites
+
+    rows = [
+        SuiteRow(
+            name="self-test w/w",
+            clean=caught("self_test.writer_a", "self_test.writer_b"),
+            detail="two same-instant writers, no happens-before edge",
+        ),
+        SuiteRow(
+            name="self-test r/w",
+            clean=caught("self_test.reader", "self_test.appender"),
+            detail="same-instant read racing a write on one key",
+        ),
+    ]
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Bench sweep: the repo's own workloads must come back clean
+# --------------------------------------------------------------------------
+
+
+def _suite_table3(rows: int) -> None:
+    from repro.bench.table3 import run_table3
+
+    run_table3(rows=rows)
+
+
+def _suite_join() -> None:
+    from repro.bench.join import QUERIES, build_environment, run_join_bench
+
+    env = build_environment("smoke", seed=0)
+    run_join_bench(env, QUERIES["q3"])
+
+
+def _suite_dag(seed: int) -> None:
+    """One straggler trial: degraded storage node, speculation on."""
+    from repro.bench import dag
+    from repro.bench.env import RunConfig
+    from repro.config import FaultSpec
+    from repro.core import PushdownPolicy
+    from repro.engine import SchedulerSpec
+
+    env = dag.build_environment("smoke", seed)
+    config = RunConfig(
+        label="race-dag",
+        mode="ocs",
+        policy=PushdownPolicy.filter_only(),
+        split_granularity="file",
+        faults=FaultSpec(storage_latency_multipliers={0: 20.0}, seed=seed),
+        scheduler=SchedulerSpec(speculation=True, speculation_quorum=0.25),
+    )
+    env.run(dag.SQL, config, "tpch")
+
+
+def _suite_service(seed: int) -> None:
+    from repro.bench.service import build_environment
+    from repro.config import ServiceSpec
+    from repro.service import QueryService, QueryTemplate, open_loop
+    from repro.workloads.laghos import LAGHOS_QUERY
+    from repro.workloads.tpch import TPCH_Q1
+
+    spec = ServiceSpec(max_active_queries=2, max_queue_depth=8)
+    service = QueryService(build_environment(), spec)
+    templates = [
+        QueryTemplate(tenant="analytics", sql=TPCH_Q1, schema="tpch", label="q1"),
+        QueryTemplate(tenant="hpc", sql=LAGHOS_QUERY, schema="hpc", label="laghos"),
+    ]
+    open_loop(service, templates, queries=8, mean_interarrival_s=0.05, seed=seed)
+
+
+def _sanitized(name: str, fn: Callable[[], None]) -> SuiteRow:
+    """Run ``fn`` with the process-wide sanitizer default forced on."""
+    previous = set_strict_sanitize(True)
+    try:
+        fn()
+    except SanitizerError as exc:
+        return SuiteRow(name=name, clean=False, detail=str(exc))
+    finally:
+        set_strict_sanitize(previous)
+    return SuiteRow(name=name, clean=True, detail="no races")
+
+
+def run_bench_suites(rows: int = 8192, seed: int = 0) -> List[SuiteRow]:
+    return [
+        _sanitized("table3", lambda: _suite_table3(rows)),
+        _sanitized("join", _suite_join),
+        _sanitized("dag", lambda: _suite_dag(seed)),
+        _sanitized("service", lambda: _suite_service(seed)),
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.race",
+        description="run the smoke benches under the SimTSan race sanitizer",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=8192, help="table3 rows (default 8192)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    args = parser.parse_args(argv)
+
+    self_rows = run_self_test(args.seed)
+    ok = True
+    for row in self_rows:
+        status = "caught" if row.clean else "MISSED"
+        ok = ok and row.clean
+        print(f"{row.name:<14} {status:<8} {row.detail}")
+
+    bench_rows = run_bench_suites(rows=args.rows, seed=args.seed)
+    for row in bench_rows:
+        status = "clean" if row.clean else "RACES"
+        ok = ok and row.clean
+        print(f"{row.name:<14} {status:<8} {row.detail}")
+
+    print()
+    if ok:
+        print("race harness: self-test races caught, benches clean")
+        return 0
+    print("race harness: FAILED")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

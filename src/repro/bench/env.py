@@ -19,6 +19,7 @@ from repro.errors import ConfigError, EngineError
 from repro.exec.backend import EXEC_BACKENDS
 from repro.metastore.catalog import HiveMetastore, TableDescriptor
 from repro.objectstore.store import ObjectStore
+from repro.analysis.runtime import strict_sanitize_enabled
 from repro.rpc.retry import RetryPolicy
 from repro.sim.costmodel import DEFAULT_COSTS, CostParams
 from repro.workloads.datasets import DatasetSpec, build_dataset
@@ -62,6 +63,11 @@ class RunConfig:
     #: exit and the Substrait boundary.  None defers to the process-wide
     #: default — on in tests, off in benchmarks (performance-neutral).
     strict_verify: Optional[bool] = None
+    #: Run SimTSan (repro.analysis.sanitizer), the happens-before race
+    #: detector, over this run's simulator.  None defers to the
+    #: process-wide default — on in tests, off in benchmarks (the off
+    #: path is zero-cost: digests and simulated time are byte-identical).
+    strict_sanitize: Optional[bool] = None
     #: Compute-side execution backend: "tree" (tree-walk reference) or
     #: "fused" (single-pass vectorized kernels — see docs/KERNELS.md).
     #: Both are digest-identical; "tree" stays the default.
@@ -145,6 +151,11 @@ class Environment:
 
         ``tie_break``/``observer`` instrument the simulator kernel for
         the determinism harness; the defaults leave runs untouched.
+
+        With ``strict_sanitize`` resolved on (explicitly or via the
+        process default), the run executes under SimTSan and any
+        same-instant race raises :class:`~repro.errors.SanitizerError`
+        at the run boundary.
         """
         cluster = Cluster(
             self.store,
@@ -162,7 +173,17 @@ class Environment:
             scheduler=config.scheduler,
         )
         session = Session(catalog=catalog, schema=schema)
-        return coordinator.execute(sql, session)
+        if not strict_sanitize_enabled(config.strict_sanitize):
+            return coordinator.execute(sql, session)
+        from repro.analysis.sanitizer import install as install_sanitizer
+
+        sanitizer = install_sanitizer(cluster.sim)
+        try:
+            result = coordinator.execute(sql, session)
+        finally:
+            sanitizer.uninstall()
+        sanitizer.raise_if_races()
+        return result
 
     def explain(
         self,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.sim import santrack
 
 __all__ = ["PushdownEvent", "PushdownMonitor"]
 
@@ -69,9 +70,28 @@ class PushdownMonitor:
         self._total_failures = 0
         self._total_downgrades = 0
 
+    def _track(self, kind: str, site: str) -> None:
+        """SimTSan hook.  ``record`` is classified as a commutative
+        update: every statistic the optimizer consumes (rates, sums,
+        frequencies) is insertion-order independent.  Window *order*
+        (``recent()``, eviction at capacity) is deliberately not
+        modeled as ordered state — nothing decision-making reads it
+        mid-run."""
+        sanitizer = santrack.active()
+        if sanitizer is None:
+            return
+        key = ("pushdown-monitor", id(self))
+        if kind == "u":
+            sanitizer.record_update(key, site, depth=1)
+        elif kind == "w":
+            sanitizer.record_write(key, site, depth=1)
+        else:
+            sanitizer.record_read(key, site, depth=1)
+
     # -- EventListener surface -----------------------------------------------
 
     def record(self, event: PushdownEvent) -> None:
+        self._track("u", "monitor.record")
         self._events.append(event)
         self._total_events += 1
         if not event.success:
@@ -87,6 +107,7 @@ class PushdownMonitor:
         explicit boundary for callers (the query service, replay
         harnesses) that need run-to-run isolation instead.
         """
+        self._track("w", "monitor.reset")
         self._events.clear()
         self._total_events = 0
         self._total_failures = 0
@@ -95,47 +116,57 @@ class PushdownMonitor:
     # -- queries ------------------------------------------------------------------
 
     def __len__(self) -> int:
+        self._track("r", "monitor.len")
         return len(self._events)
 
     @property
     def total_events(self) -> int:
+        self._track("r", "monitor.total_events")
         return self._total_events
 
     @property
     def total_downgrades(self) -> int:
+        self._track("r", "monitor.total_downgrades")
         return self._total_downgrades
 
     def success_rate(self) -> float:
         """Fraction of windowed requests that executed successfully."""
+        self._track("r", "monitor.success_rate")
         if not self._events:
             return 1.0
         return sum(1 for e in self._events if e.success) / len(self._events)
 
     def downgrade_rate(self) -> float:
         """Fraction of windowed requests that fell back to a raw scan."""
+        self._track("r", "monitor.downgrade_rate")
         if not self._events:
             return 0.0
         return sum(1 for e in self._events if e.downgraded) / len(self._events)
 
     def downgraded_events(self) -> List[PushdownEvent]:
+        self._track("r", "monitor.downgraded_events")
         return [e for e in self._events if e.downgraded]
 
     def mean_reduction_ratio(self) -> float:
         """Average rows-out/rows-in across the window (successes only)."""
+        self._track("r", "monitor.mean_reduction_ratio")
         ratios = [e.reduction_ratio for e in self._events if e.success]
         if not ratios:
             return 1.0
         return sum(ratios) / len(ratios)
 
     def bytes_returned(self) -> int:
+        self._track("r", "monitor.bytes_returned")
         return sum(e.bytes_returned for e in self._events)
 
     def dynamic_rows_pruned(self) -> int:
         """Total probe rows eliminated by dynamic join filters (window)."""
+        self._track("r", "monitor.dynamic_rows_pruned")
         return sum(e.dynamic_rows_pruned for e in self._events)
 
     def operator_frequencies(self) -> Dict[str, int]:
         """How often each operator kind appeared in recent pushdowns."""
+        self._track("r", "monitor.operator_frequencies")
         freq: Dict[str, int] = {}
         for event in self._events:
             for op in event.operators:
@@ -143,10 +174,12 @@ class PushdownMonitor:
         return freq
 
     def recent(self, count: int = 10) -> List[PushdownEvent]:
+        self._track("r", "monitor.recent")
         return list(self._events)[-count:]
 
     def mean_estimate_error(self) -> Optional[float]:
         """Mean relative estimate error over events that carried estimates."""
+        self._track("r", "monitor.mean_estimate_error")
         errors = [
             e.estimate_error for e in self._events if e.estimate_error is not None
         ]

@@ -28,20 +28,33 @@ Three responsibilities, all stage-generic:
 
 Determinism: all scheduling decisions depend only on simulated time and
 insertion order — completions are collected by scanning the launch-order
-list, winners are resolved primary-before-backup, and the speculation
-threshold is frozen the first time the quorum is reached — so two seeded
-runs replay identically.
+list, the speculation threshold is frozen the first time the quorum is
+reached, and a primary/backup tie at one instant is settled *after* a
+kernel barrier (so the verdict — primary wins — cannot ride on the
+event tie-break policy) — so two seeded runs replay identically under
+either tie-break.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.engine.dag import Stage, StageContext, StageGraph
 from repro.errors import ConfigError, ExchangeFaultError
-from repro.sim.kernel import AnyOf, Process
+from repro.sim import santrack
+from repro.sim.kernel import AnyOf, Event, Process, Simulator
 from repro.sim.metrics import MetricsRegistry, StageAccountant
 from repro.trace.tracer import NOOP_TRACER
 
@@ -96,14 +109,14 @@ class DagScheduler:
 
     def __init__(
         self,
-        sim,
+        sim: Simulator,
         graph: StageGraph,
         spec: Optional[SchedulerSpec] = None,
         *,
-        tracer=None,
+        tracer: Optional[Any] = None,
         metrics: Optional[MetricsRegistry] = None,
         accountant: Optional[StageAccountant] = None,
-        parent=None,
+        parent: Optional[Any] = None,
         query_id: Optional[str] = None,
     ) -> None:
         self.sim = sim
@@ -119,7 +132,7 @@ class DagScheduler:
         self.parent = parent
         self.query_id = query_id
 
-    def run(self):
+    def run(self) -> Generator[Event, Any, Dict[str, Any]]:
         """DES generator: run every stage; returns {stage_id: output}.
 
         A stage launches the instant its last input completes.  The
@@ -134,6 +147,7 @@ class DagScheduler:
         launch_order: List[str] = []
 
         def launch_ready() -> None:
+            sanitizer = santrack.active()
             ready = [
                 stage
                 for stage in waiting.values()
@@ -141,6 +155,11 @@ class DagScheduler:
             ]
             for stage in ready:
                 del waiting[stage.stage_id]
+                if sanitizer is not None:
+                    for dep in stage.inputs:
+                        sanitizer.record_read(
+                            ("dag-results", id(self), dep), "dag.read_input"
+                        )
                 inputs = {dep: results[dep] for dep in stage.inputs}
                 running[stage.stage_id] = self.sim.process(
                     self._supervise(stage, inputs), name=f"stage:{stage.stage_id}"
@@ -152,16 +171,28 @@ class DagScheduler:
             yield AnyOf(self.sim, list(running.values()))
             # Several stages can complete at the same instant; collect
             # them all (in launch order, for determinism) before
-            # launching the newly unblocked ones.
+            # launching the newly unblocked ones.  ``AnyOf`` carries a
+            # happens-before edge only from the *first* completer, so
+            # each additionally collected process donates its clock via
+            # ``observe_completion`` — downstream stages are then
+            # causally ordered after every input they consume.
+            sanitizer = santrack.active()
             for stage_id in [s for s in launch_order if s in running]:
                 process = running[stage_id]
                 if process.triggered:
+                    if sanitizer is not None:
+                        sanitizer.observe_completion(process)
+                        sanitizer.record_write(
+                            ("dag-results", id(self), stage_id), "dag.commit"
+                        )
                     results[stage_id] = process.value
                     del running[stage_id]
             launch_ready()
         return results
 
-    def _supervise(self, stage: Stage, inputs: Dict[str, Any]):
+    def _supervise(
+        self, stage: Stage, inputs: Dict[str, Any]
+    ) -> Generator[Event, Any, Any]:
         """One stage's lifecycle: run, and restart on restartable faults.
 
         The stage span is per-attempt, attribute-tagged with the attempt
@@ -207,7 +238,7 @@ def run_splits(
     launch_backup: Callable[[int], Optional[Process]],
     *,
     service_starts: Optional[List[Optional[float]]] = None,
-):
+) -> Generator[Event, Any, List[Any]]:
     """DES generator: run a stage's split fan-out, speculating on stragglers.
 
     ``launch_primary(i)`` / ``launch_backup(i)`` spawn the i-th split's
@@ -217,9 +248,16 @@ def run_splits(
 
     First-result-wins: when both attempts of a split are in flight the
     earlier completion settles it and the other attempt is interrupted
-    (its resource claims unwind via the DES ``with`` blocks).  Ties at
-    the same instant settle for the primary, keeping healthy-cluster
-    replays byte-identical with speculation on or off.
+    (its resource claims unwind via the DES ``with`` blocks).  A backup
+    completion observed while the primary is still alive is *not*
+    settled at the wake: whether a same-instant primary completion has
+    dispatched yet depends on the kernel tie-break policy (SimTSan
+    flagged exactly this write/write pair on the split result).  The
+    verdict is deferred past a kernel :class:`~repro.sim.kernel.Barrier`
+    — which fires only after every other event at the instant — and
+    primaries that completed by then win the tie under either policy,
+    keeping healthy-cluster replays byte-identical with speculation on
+    or off.
 
     Straggler detection is *service-time* based.  ``service_starts`` is
     a shared list the split bodies stamp (``sim.now``) when they acquire
@@ -245,11 +283,19 @@ def run_splits(
     backups: Dict[int, Process] = {}
     results: List[Any] = [None] * n
     settled: List[bool] = [False] * n
+    #: Splits whose backup completed while the primary was still alive;
+    #: settled only after a barrier so same-instant primary completions
+    #: get to dispatch first (primary wins ties under either tie-break).
+    pending: List[int] = []
     durations: List[float] = []
     threshold: Optional[float] = None
     speculate = spec.speculation
 
     def settle(index: int, winner: Process, loser: Optional[Process]) -> None:
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            sanitizer.observe_completion(winner)
+            sanitizer.record_write(("split-results", id(results), index), "dag.settle")
         results[index] = winner.value
         settled[index] = True
         if loser is not None and loser.is_alive:
@@ -285,7 +331,7 @@ def run_splits(
         yield AnyOf(sim, events)
 
         for i in range(n):
-            if settled[i]:
+            if settled[i] or i in pending:
                 continue
             primary, backup = primaries[i], backups.get(i)
             if primary.triggered:
@@ -293,8 +339,27 @@ def run_splits(
                 durations.append(sim.now - (started if started is not None else start))
                 settle(i, primary, backup)
             elif backup is not None and backup.triggered:
-                ctx.metrics.add("speculative_wins", 1)
-                settle(i, backup, primary)
+                # Primary still alive at this wake; its own completion
+                # may be queued at this very instant.  Defer the verdict
+                # past a barrier instead of letting dispatch order pick
+                # the winner.
+                pending.append(i)
+
+        if pending:
+            yield sim.barrier()
+            for i in pending:
+                primary, backup = primaries[i], backups.get(i)
+                assert backup is not None
+                if primary.triggered:
+                    started = service_starts[i]
+                    durations.append(
+                        sim.now - (started if started is not None else start)
+                    )
+                    settle(i, primary, backup)
+                else:
+                    ctx.metrics.add("speculative_wins", 1)
+                    settle(i, backup, primary)
+            pending.clear()
 
         if speculate and threshold is None:
             quorum = max(1, math.ceil(spec.speculation_quorum * n))

@@ -431,6 +431,23 @@ class DeterminismError(ReproError):
     code = "DETERMINISM"
 
 
+class SanitizerError(ReproError):
+    """SimTSan found a same-instant data race on shared simulated state.
+
+    Two accesses to one shared surface (a metrics counter, an exchange
+    buffer, an admission ledger, ...) happened at the same simulated
+    timestamp with causally unordered vector clocks and at least one
+    side mutating — the observable outcome depends on the kernel's
+    tie-break policy.  Carries the :class:`RaceReport` as ``report``.
+    """
+
+    code = "RACE"
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 # --------------------------------------------------------------------------
 # Metastore errors
 # --------------------------------------------------------------------------

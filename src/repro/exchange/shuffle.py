@@ -16,7 +16,7 @@ matter how page arrivals interleaved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.arrowsim.ipc import deserialize_batches, serialize_batches
 from repro.arrowsim.record_batch import RecordBatch
@@ -29,6 +29,7 @@ from repro.errors import (
 )
 from repro.rpc.channel import RpcClient, RpcService
 from repro.rpc.retry import RetryPolicy, retrying_call
+from repro.sim import santrack
 from repro.sim.costmodel import CostParams
 from repro.sim.kernel import ProcessGenerator, Simulator
 from repro.sim.node import SimNode
@@ -116,6 +117,11 @@ class ExchangeFabric:
         self._partitions: Dict[int, int] = {}
         self._inflight: Dict[int, Resource] = {}
         self._buffers: Dict[Tuple[int, int], Dict[Tuple[int, int], bytes]] = {}
+        #: Partitions already drained.  A put landing afterwards is a
+        #: zombie: a deadline-abandoned server handler finishing after
+        #: the consumer consumed the buffer.  Accepting it would leave
+        #: residue a re-drain double-counts and inflate page metrics.
+        self._closed: Set[Tuple[int, int]] = set()
         self._next_exchange_id = 0
         self.pages_received = 0
         self.bytes_received = 0
@@ -219,10 +225,23 @@ class ExchangeFabric:
             self.costs.exchange_page_ingest_cycles, name="exchange-ingest"
         )
         key = (page.sender, page.seq)
-        if key in buffer:
+        if (page.exchange_id, page.partition) in self._closed:
+            # Zombie put: the consumer already drained this partition.
+            # Ack and count as a duplicate instead of inserting residue.
+            self.duplicate_pages += 1
+        elif key in buffer:
             # Retried put whose original landed: ack again, count once.
             self.duplicate_pages += 1
         else:
+            sanitizer = santrack.active()
+            if sanitizer is not None:
+                # Inserts of distinct (sender, seq) keys commute (drain
+                # sorts), so this is an update; it still conflicts with
+                # a same-instant drain (write), the zombie-put hazard.
+                sanitizer.record_update(
+                    ("exchange", id(self), page.exchange_id, page.partition),
+                    "exchange.put",
+                )
             buffer[key] = page.body
             self.pages_received += 1
             self.bytes_received += len(page.body)
@@ -241,6 +260,12 @@ class ExchangeFabric:
             raise ExchangePartitionError(
                 f"exchange {exchange_id} has no partition {partition}"
             )
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            sanitizer.record_write(
+                ("exchange", id(self), exchange_id, partition), "exchange.drain"
+            )
+        self._closed.add((exchange_id, partition))
         batches: List[RecordBatch] = []
         nbytes = 0
         for key in sorted(buffer):

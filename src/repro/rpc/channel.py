@@ -30,6 +30,7 @@ import inspect
 from typing import Callable, Dict, Generator, Optional, Tuple
 
 from repro.errors import LinkDropError, RpcError, RpcStatusError, StatusCode
+from repro.sim import santrack
 from repro.sim.costmodel import CostParams
 from repro.sim.kernel import AnyOf, Process, Simulator
 from repro.sim.network import Link
@@ -209,6 +210,13 @@ class RpcClient:
             raise RpcStatusError(
                 StatusCode.DEADLINE_EXCEEDED, f"{method!r} exceeded {deadline_s:g}s deadline"
             )
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            # The timer may have won the AnyOf race with the response
+            # completing at the same instant; the wake then carries no
+            # happens-before edge from ``work``, so donate its clock
+            # before the caller consumes the response.
+            sanitizer.observe_completion(work)
         return work.value
 
     def _call(self, method: str, payload: bytes, span: Optional[Span] = None):

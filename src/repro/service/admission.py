@@ -31,6 +31,7 @@ from repro.errors import (
     TenantLimitError,
 )
 from repro.service.jobs import JobStatus, QueryJob
+from repro.sim import santrack
 
 __all__ = ["TenantState", "AdmissionController"]
 
@@ -66,6 +67,20 @@ class AdmissionController:
         self.spec = spec
         self._tenants: Dict[str, TenantState] = {}
 
+    def _track(self, kind: str, tenant: str, site: str) -> None:
+        """SimTSan hook, keyed per tenant ledger.  Ledger transitions are
+        commutative updates (counter adds/subtracts); :meth:`check` is a
+        read, so a same-instant check racing another actor's admit or
+        release — the check-then-act admission hazard — is flagged."""
+        sanitizer = santrack.active()
+        if sanitizer is None:
+            return
+        key = ("tenant", id(self), tenant)
+        if kind == "u":
+            sanitizer.record_update(key, site, depth=1)
+        else:
+            sanitizer.record_read(key, site, depth=1)
+
     # -- ledgers ---------------------------------------------------------------
 
     def tenant(self, name: str) -> TenantState:
@@ -86,6 +101,7 @@ class AdmissionController:
         Pure decision — ledgers are only touched by :meth:`admit` /
         :meth:`release`, so a rejection leaves no residue.
         """
+        self._track("r", job.tenant, "admission.check")
         spec = self.spec
         if queue_depth >= spec.max_queue_depth:
             return QueueFullError(
@@ -114,27 +130,32 @@ class AdmissionController:
     # -- ledger transitions ----------------------------------------------------
 
     def record_submit(self, job: QueryJob, now: float) -> None:
+        self._track("u", job.tenant, "admission.record_submit")
         state = self.tenant(job.tenant)
         state.submitted += 1
         if state.first_submit is None:
             state.first_submit = now
 
     def admit(self, job: QueryJob) -> None:
+        self._track("u", job.tenant, "admission.admit")
         state = self.tenant(job.tenant)
         state.inflight += 1
         state.memory_admitted += job.memory_bytes
 
     def record_reject(self, job: QueryJob, error: AdmissionError) -> None:
+        self._track("u", job.tenant, "admission.record_reject")
         state = self.tenant(job.tenant)
         state.rejected += 1
         code = str(error.code)
         state.rejections_by_code[code] = state.rejections_by_code.get(code, 0) + 1
 
     def record_dispatch(self, job: QueryJob) -> None:
+        self._track("u", job.tenant, "admission.record_dispatch")
         self.tenant(job.tenant).running += 1
 
     def release(self, job: QueryJob, now: float) -> None:
         """Return the job's admission holdings at its terminal transition."""
+        self._track("u", job.tenant, "admission.release")
         state = self.tenant(job.tenant)
         state.inflight -= 1
         state.memory_admitted -= job.memory_bytes

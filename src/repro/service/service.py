@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis.runtime import strict_sanitize_enabled
 from repro.bench.env import Environment, RunConfig
 from repro.config import ServiceSpec
 from repro.engine.cluster import Cluster
@@ -97,6 +98,16 @@ class QueryService:
         self._poll_scheduled = False
         #: Deterministic connector cache: config key -> catalog name.
         self._catalogs: Dict[tuple, str] = {}
+        #: SimTSan over the shared cluster, when strict_sanitize resolves
+        #: on (explicitly via ``base_config`` or the process default).
+        #: One tracker per service so clocks persist across drains, but
+        #: *installed* only around :meth:`wait_for`/:meth:`drain` — the
+        #: process-wide handle must not leak into other clusters' runs.
+        self.sanitizer = None
+        if strict_sanitize_enabled(self.base_config.strict_sanitize):
+            from repro.analysis.sanitizer import SimTSan
+
+            self.sanitizer = SimTSan(self.sim)
 
     # -- submission ------------------------------------------------------------
 
@@ -159,11 +170,19 @@ class QueryService:
 
     # -- admission -------------------------------------------------------------
 
+    # Same-instant submissions are processed in kernel dispatch order —
+    # under the default FIFO tie-break, that is submission (arrival_seq)
+    # order, and replays fix the policy, so the serialization is
+    # deterministic *by design* even though no causal edge orders one
+    # arrival's ledger update before the next one's check.  SimTSan
+    # would flag every burst workload for it, so the admission calls
+    # below carry targeted suppressions; any ledger access that does
+    # not go through these serialized transitions is still checked.
     def _admit(self, job: QueryJob) -> None:
         now = self.sim.now
         tracer = self.cluster.tracer
         job.submitted = now
-        self.admission.record_submit(job, now)
+        self.admission.record_submit(job, now)  # simtsan: ignore[admission.record_submit]
         # Lifecycle spans deliberately outlive this function: the root
         # closes at the job's terminal transition, the queue span at
         # dispatch (or timeout/rejection).
@@ -182,11 +201,13 @@ class QueryService:
             and not self._queue
             and not self._backpressured()
         )
-        error = self.admission.check(job, len(self._queue) if would_wait else -1)
+        error = self.admission.check(  # simtsan: ignore[admission.check]
+            job, len(self._queue) if would_wait else -1
+        )
         if error is not None:
             self._reject(job, error)
             return
-        self.admission.admit(job)
+        self.admission.admit(job)  # simtsan: ignore[admission.admit]
         job.status = JobStatus.QUEUED
         job.queue_span = tracer.start("queue", parent=job.span)  # simlint: ignore[span-pair]
         self._queue.append(job)
@@ -200,7 +221,7 @@ class QueryService:
         job.status = JobStatus.REJECTED
         job.error = error
         job.finished = self.sim.now
-        self.admission.record_reject(job, error)
+        self.admission.record_reject(job, error)  # simtsan: ignore[admission.record_reject]
         span = job.span
         span.record_error(str(error.code))
         span.set("status", str(job.status))
@@ -219,7 +240,7 @@ class QueryService:
             f"{self.spec.queue_timeout_s}s in the run queue"
         )
         job.finished = self.sim.now
-        self.admission.release(job, self.sim.now)
+        self.admission.release(job, self.sim.now)  # simtsan: ignore[admission.release]
         tracer = self.cluster.tracer
         if job.queue_span is not None:
             tracer.end(job.queue_span)
@@ -292,7 +313,7 @@ class QueryService:
     def _dispatch(self, job: QueryJob) -> None:
         job.status = JobStatus.RUNNING
         job.dispatched = self.sim.now
-        self.admission.record_dispatch(job)
+        self.admission.record_dispatch(job)  # simtsan: ignore[admission.record_dispatch]
         self._active += 1
         if job.queue_span is not None:
             self.cluster.tracer.end(job.queue_span)
@@ -323,7 +344,7 @@ class QueryService:
         job.finished = self.sim.now
         job.span.set("status", str(job.status))
         self._active -= 1
-        self.admission.release(job, self.sim.now)
+        self.admission.release(job, self.sim.now)  # simtsan: ignore[admission.release]
         tracer.end(job.span)
         job.completion.succeed(None)
         self._pump()
@@ -350,19 +371,42 @@ class QueryService:
 
     # -- driving ---------------------------------------------------------------
 
+    def _run_sanitized(self, until) -> None:
+        """Advance the kernel with this service's SimTSan installed.
+
+        Install/uninstall brackets every advance so the process-wide
+        sanitizer handle never leaks into some other cluster's run; the
+        tracker itself persists, so causality spans multiple drains.
+        """
+        sanitizer = self.sanitizer
+        if sanitizer is None:
+            self.sim.run(until)
+            return
+        sanitizer.install()
+        try:
+            self.sim.run(until)
+        finally:
+            sanitizer.uninstall()
+
     def wait_for(self, job: QueryJob) -> None:
         """Advance simulated time until ``job`` reaches a terminal state."""
         if not job.completion.processed:
-            self.sim.run(until=job.completion)
+            self._run_sanitized(job.completion)
 
     def drain(self) -> "QueryService":
-        """Run the simulation until every submitted query is terminal."""
-        self.sim.run(None)
+        """Run the simulation until every submitted query is terminal.
+
+        Under SimTSan, any same-instant race collected during the run
+        surfaces here as :class:`~repro.errors.SanitizerError`.
+        """
+        self._run_sanitized(None)
         stuck = [job.query_id for job in self.jobs if not job.terminal]
         if stuck:
             raise ServiceError(
                 f"event queue drained with non-terminal queries: {stuck}"
             )
+        if self.sanitizer is not None:
+            self.sanitizer.raise_if_races()
         return self
 
     # -- reporting -------------------------------------------------------------

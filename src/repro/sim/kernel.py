@@ -21,6 +21,7 @@ from repro.errors import SimDeadlockError, SimulationError
 __all__ = [
     "Event",
     "Timeout",
+    "Barrier",
     "Process",
     "Interrupt",
     "AllOf",
@@ -114,6 +115,29 @@ class Timeout(Event):
         sim._enqueue(delay, self)
 
 
+class Barrier(Event):
+    """Fires at the current instant, *after* every other event queued for it.
+
+    Ordinary same-instant events dispatch in tie-break order (FIFO or
+    LIFO); a barrier sorts into a later tier of the heap key, so it
+    dispatches only once no non-barrier event remains at its instant —
+    under *either* policy, including events scheduled at the instant
+    after the barrier was created.  This is the sanctioned way to make a
+    same-timestamp decision tie-break-insensitive: wait on the barrier,
+    then read whatever same-instant outcomes you were racing against
+    (see ``run_splits``'s first-result-wins settlement).  Barriers among
+    themselves fire in creation order regardless of policy.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator") -> None:
+        super().__init__(sim)
+        self.triggered = True
+        self._value = None
+        sim._enqueue(0.0, self, tier=1)
+
+
 ProcessGenerator = Generator[Event, Any, Any]
 
 
@@ -167,6 +191,9 @@ class Process(Event):
             # and its dispatch); a stale callback must not re-drive the
             # generator.
             return
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_resume(self, event)
         self._waiting_on = None
         try:
             if event._exception is not None:
@@ -265,6 +292,13 @@ class Simulator:
     ``observer`` is an optional hook called as ``observer(time, seq,
     event)`` after each event's callbacks run; the digest harness hangs a
     state recorder here.  It must not schedule events.
+
+    ``sanitizer`` is an optional duck-typed hook object (SimTSan,
+    :mod:`repro.analysis.sanitizer`) receiving ``on_schedule(event)``,
+    ``on_dispatch(time, seq, event)``, ``on_resume(process, event)`` and
+    ``on_step_end()``.  Like the observer it must never schedule events,
+    which keeps sanitized and unsanitized runs byte-identical in event
+    digests and simulated time.
     """
 
     def __init__(
@@ -278,8 +312,13 @@ class Simulator:
         self.now: float = 0.0
         self.tie_break = tie_break
         self.observer = observer
+        self.sanitizer: Optional[Any] = None
         self._tie_sign = 1 if tie_break == "fifo" else -1
-        self._queue: list[tuple[float, int, Event]] = []
+        # Heap entries are (time, tier, key, event): tier 0 for ordinary
+        # events in tie-break order, tier 1 for barriers in creation
+        # order, so barriers sort after every same-instant event under
+        # both policies.
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._dispatched = 0
         self._last_dispatch_time: Optional[float] = None
@@ -303,15 +342,22 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    def barrier(self) -> Barrier:
+        """An event firing after every other event at the current instant."""
+        return Barrier(self)
+
     # -- core loop -----------------------------------------------------------
 
-    def _enqueue(self, delay: float, event: Event) -> None:
+    def _enqueue(self, delay: float, event: Event, tier: int = 0) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self.now + delay, self._tie_sign * self._eid, event))
+        key = self._eid if tier else self._tie_sign * self._eid
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(event)
+        heapq.heappush(self._queue, (self.now + delay, tier, key, event))
 
     def step(self) -> None:
         """Dispatch the single next event."""
-        time, key, event = heapq.heappop(self._queue)
+        time, _tier, key, event = heapq.heappop(self._queue)
         if time < self.now:
             raise SimulationError("time went backwards")
         # Same-instant events are where ordering hazards live: track the
@@ -329,12 +375,17 @@ class Simulator:
                 self._max_tie_run = 1
         self.now = time
         self._dispatched += 1
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_dispatch(time, abs(key), event)
         event.processed = True
         callbacks, event.callbacks = event.callbacks, []
         for callback in callbacks:
             callback(event)
         if self.observer is not None:
             self.observer(time, abs(key), event)
+        if sanitizer is not None:
+            sanitizer.on_step_end()
 
     def run(self, until: Optional[Event | float] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.

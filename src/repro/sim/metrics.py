@@ -5,6 +5,12 @@ analysis, Substrait IR generation, pushdown & result transfer, post-scan
 Presto execution, others).  :class:`StageTimer` accumulates simulated
 seconds into named stages so the Table 3 bench can print the same rows;
 :class:`Counter` tracks scalar totals (rows scanned, bytes moved, splits).
+
+Counters and stage timers are shared mutable state across every
+concurrent process in a query, so they are instrumented for SimTSan
+(:mod:`repro.analysis.sanitizer`): mutators record commutative
+``update`` accesses, readers record ``read`` accesses.  When no
+sanitizer is installed the instrumentation is one ``None`` check.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
+
+from repro.sim import santrack
 
 __all__ = ["Counter", "StageTimer", "StageAccountant", "MetricsRegistry"]
 
@@ -24,6 +32,9 @@ class Counter:
     value: float = 0.0
 
     def add(self, amount: float) -> None:
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            sanitizer.record_update(("counter", id(self), self.name), "metrics.counter.add")
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
         self.value += amount
@@ -48,13 +59,26 @@ class StageTimer:
         self._depth: Dict[str, int] = {}
         self._opened_at: Dict[str, float] = {}
 
+    def _track(self, kind: str, site: str) -> None:
+        """SimTSan hook: window edges and charges commute at one instant
+        (union depth and additive totals reach the same final state in
+        any order), so mutators are ``update``; readers are ``read``."""
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            if kind == "u":
+                sanitizer.record_update(("stage-timer", id(self)), site, depth=1)
+            else:
+                sanitizer.record_read(("stage-timer", id(self)), site, depth=1)
+
     def charge(self, stage: str, seconds: float) -> None:
+        self._track("u", "metrics.stages.charge")
         if seconds < 0:
             raise ValueError(f"negative stage time for {stage!r}: {seconds}")
         self._stages[stage] = self._stages.get(stage, 0.0) + seconds
 
     def begin(self, stage: str, now: float) -> None:
         """Open one window of ``stage`` at simulated time ``now``."""
+        self._track("u", "metrics.stages.begin")
         depth = self._depth.get(stage, 0)
         if depth == 0:
             self._opened_at[stage] = now
@@ -66,20 +90,26 @@ class StageTimer:
         An unmatched ``end`` is tolerated as a no-op so error-path
         unwinding can close windows unconditionally.
         """
+        self._track("u", "metrics.stages.end")
         depth = self._depth.get(stage, 0)
         if depth == 0:
             return
         self._depth[stage] = depth - 1
         if depth == 1:
-            self.charge(stage, max(0.0, now - self._opened_at.pop(stage)))
+            self._stages[stage] = self._stages.get(stage, 0.0) + max(
+                0.0, now - self._opened_at.pop(stage)
+            )
 
     def open_depth(self, stage: str) -> int:
+        self._track("r", "metrics.stages.open_depth")
         return self._depth.get(stage, 0)
 
     def seconds(self, stage: str) -> float:
+        self._track("r", "metrics.stages.seconds")
         return self._stages.get(stage, 0.0)
 
     def total(self) -> float:
+        self._track("r", "metrics.stages.total")
         return sum(self._stages.values())
 
     def shares(self) -> Dict[str, float]:
@@ -90,6 +120,7 @@ class StageTimer:
         return {stage: seconds / total for stage, seconds in self._stages.items()}
 
     def items(self) -> Iterator[Tuple[str, float]]:
+        self._track("r", "metrics.stages.items")
         return iter(sorted(self._stages.items()))
 
 
@@ -188,7 +219,16 @@ class MetricsRegistry:
 
     def value(self, name: str) -> float:
         counter = self._counters.get(name)
-        return counter.value if counter is not None else 0.0
+        if counter is None:
+            return 0.0
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            sanitizer.record_read(("counter", id(counter), name), "metrics.registry.value")
+        return counter.value
 
     def snapshot(self) -> Dict[str, float]:
+        sanitizer = santrack.active()
+        if sanitizer is not None:
+            for name, counter in self._counters.items():
+                sanitizer.record_read(("counter", id(counter), name), "metrics.registry.snapshot")
         return {name: c.value for name, c in sorted(self._counters.items())}

@@ -6,7 +6,7 @@ query run builds its own fresh cluster, so tests stay independent.
 
 import pytest
 
-from repro.analysis.runtime import set_strict_verify
+from repro.analysis.runtime import set_strict_sanitize, set_strict_verify
 from repro.bench import Environment
 from repro.workloads import (
     DatasetSpec,
@@ -39,6 +39,20 @@ def _strict_verify():
     previous = set_strict_verify(True)
     yield
     set_strict_verify(previous)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _strict_sanitize():
+    """Every simulated run in the suite executes under SimTSan.
+
+    Benchmarks keep the default (off — the off path is zero-cost); tests
+    get the happens-before race detector so any same-instant access to
+    shared simulated state whose outcome rides the kernel tie-break
+    fails loudly with both access sites.
+    """
+    previous = set_strict_sanitize(True)
+    yield
+    set_strict_sanitize(previous)
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,9 @@ from repro.analysis.determinism import (
     DigestRecorder,
     canonical_result_digest,
     check_determinism,
+    check_service_determinism,
     run_recorded,
+    run_service_recorded,
 )
 from repro.arrowsim.record_batch import RecordBatch
 from repro.bench import RunConfig
@@ -126,4 +128,37 @@ class TestHarness:
         )
         assert replay.events == len(replay.event_digests) > 0
         assert replay.result_digest
+        assert replay.execution_seconds > 0
+
+
+# -- bench suites -------------------------------------------------------------
+
+
+class TestBenchSuites:
+    def test_dag_suite_digest_identity(self):
+        # One straggler trial, speculation on: FIFO replays must be
+        # event-digest identical and the LIFO replay result-identical —
+        # the scheduler's tie settlement is exactly what this exercises.
+        from repro.analysis.determinism import check_dag_determinism
+
+        report = check_dag_determinism(seed=0)
+        assert report.replay_identical
+        assert not report.ordering_hazard
+        # Speculation really produced same-instant event runs to break.
+        assert report.baseline.max_simultaneous > 1
+
+    def test_service_suite_full_slo_digest_identity(self):
+        # The service claim is stronger than result parity: the SLO
+        # digest folds in per-query latencies and queue waits, so a
+        # tie-break-dependent admission or dispatch order would register.
+        report = check_service_determinism(queries=6, seed=0)
+        assert report.replay_identical
+        assert not report.ordering_hazard
+        assert report.adversarial.result_digest == report.baseline.result_digest
+        assert report.baseline.events > 0
+        report.raise_if_failed()
+
+    def test_service_recorder_snapshot_after_drain(self):
+        replay = run_service_recorded(queries=3, seed=1)
+        assert replay.events == len(replay.event_digests) > 0
         assert replay.execution_seconds > 0

@@ -142,6 +142,29 @@ class TestRulePositives:
         source = "def build():\n    registry = {}\n    return registry\n"
         assert _lint_source(tmp_path, source) == []
 
+    def test_unordered_iter_for_loop(self, tmp_path):
+        source = "def f(reg):\n    for k in {1, 2, 3}:\n        reg[k] = k\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["unordered-iter"]
+
+    def test_unordered_iter_set_call_in_comprehension(self, tmp_path):
+        source = "def f(reg, xs):\n    return [reg[k] for k in set(xs)]\n"
+        assert _rules(_lint_source(tmp_path, source)) == ["unordered-iter"]
+
+    def test_unordered_iter_sorted_allowed(self, tmp_path):
+        source = "def f(reg, xs):\n    for k in sorted(set(xs)):\n        reg[k] = k\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_zero_timeout(self, tmp_path):
+        source = "def f(sim):\n    yield sim.timeout(0)\n    yield sim.timeout(0.0)\n"
+        assert _rules(_lint_source(tmp_path, source)) == [
+            "zero-timeout",
+            "zero-timeout",
+        ]
+
+    def test_positive_timeout_allowed(self, tmp_path):
+        source = "def f(sim, delay):\n    yield sim.timeout(0.5)\n    yield sim.timeout(delay)\n"
+        assert _lint_source(tmp_path, source) == []
+
 
 class TestSuppression:
     def test_targeted_suppression(self, tmp_path):
@@ -194,6 +217,8 @@ class TestRepoClean:
             "span-pair",
             "bare-except",
             "module-state",
+            "unordered-iter",
+            "zero-timeout",
         }
 
     def test_src_and_tests_lint_clean(self):

@@ -546,3 +546,90 @@ class TestStageRestart:
         )
         with pytest.raises(ExchangeFaultError):
             env.run(TPCH_Q12, config, "tpch")
+
+
+class TestSpeculationTieBreak:
+    """A primary/backup tie at one instant settles for the primary under
+    *either* kernel tie-break policy.
+
+    Regression: the wake that collected completions used to see a
+    policy-dependent completion set — under FIFO the primary's
+    same-instant completion had already dispatched (primary wins), under
+    LIFO the wake dispatched first (backup wins, ``speculative_wins``
+    diverged).  ``run_splits`` now defers the verdict past a kernel
+    barrier, after which any completed primary wins the tie.
+
+    Timings are binary-exact on purpose: split 0 finishes at 0.25, so
+    the straggler threshold freezes at 1.5 * 0.25 = 0.375; the backup
+    launched at 0.375 runs 0.625s and completes at exactly 1.0 —
+    the very instant split 1's primary finishes.
+    """
+
+    PRIMARY_SECONDS = {0: 0.25, 1: 1.0}
+    BACKUP_SECONDS = 0.625
+
+    def _run(self, tie_break):
+        from repro.engine.dag import StageContext
+        from repro.engine.scheduler import run_splits
+        from repro.sim.kernel import Simulator
+        from repro.sim.metrics import MetricsRegistry, StageAccountant
+
+        sim = Simulator(tie_break=tie_break)
+        metrics = MetricsRegistry()
+        ctx = StageContext(
+            sim=sim,
+            metrics=metrics,
+            accountant=StageAccountant(sim, metrics.stages),
+        )
+
+        def body(seconds, tag):
+            yield sim.timeout(seconds)
+            return tag
+
+        def launch_primary(i):
+            return sim.process(
+                body(self.PRIMARY_SECONDS[i], f"primary-{i}"), name=f"primary-{i}"
+            )
+
+        def launch_backup(i):
+            return sim.process(
+                body(self.BACKUP_SECONDS, f"backup-{i}"), name=f"backup-{i}"
+            )
+
+        spec = SchedulerSpec(
+            speculation=True,
+            speculation_quorum=0.5,
+            speculation_multiplier=1.5,
+        )
+
+        def driver():
+            outs = yield from run_splits(
+                ctx, spec, [0, 1], launch_primary, launch_backup
+            )
+            return outs
+
+        proc = sim.process(driver(), name="driver")
+        sim.run()
+        return proc.value, metrics.snapshot(), sim.now
+
+    def test_tie_settles_for_primary_under_both_policies(self):
+        fifo_outs, fifo_metrics, fifo_now = self._run("fifo")
+        lifo_outs, lifo_metrics, lifo_now = self._run("lifo")
+        # The backup genuinely launched and genuinely tied.
+        assert fifo_metrics["speculative_backups"] == 1.0
+        assert fifo_now == lifo_now == 1.0
+        # Primary wins the tie under both policies; no speculative win.
+        assert fifo_outs == ["primary-0", "primary-1"]
+        assert lifo_outs == fifo_outs
+        assert fifo_metrics.get("speculative_wins", 0.0) == 0.0
+        assert lifo_metrics == fifo_metrics
+
+    def test_backup_still_wins_a_genuine_straggle(self):
+        # Sanity: deferring the verdict must not rob real backup wins.
+        self.PRIMARY_SECONDS = {0: 0.25, 1: 10.0}
+        try:
+            outs, metrics, _ = self._run("fifo")
+            assert outs == ["primary-0", "backup-1"]
+            assert metrics["speculative_wins"] == 1.0
+        finally:
+            del self.PRIMARY_SECONDS  # restore the class attribute

@@ -428,6 +428,32 @@ class TestExchangeFabric:
         with pytest.raises(ExchangeFaultError):
             sim.run(until=sim.process(sender()))
 
+    def test_put_after_drain_is_a_counted_zombie_not_residue(self):
+        """A put landing after the consumer drained must not leave residue.
+
+        Regression: a deadline-abandoned server handler that finished
+        *after* ``drain()`` used to insert its page into the emptied
+        buffer, so a re-drain double-counted the rows and page metrics
+        inflated.  The partition is now tombstoned at drain time and the
+        late put is acked as a duplicate.
+        """
+        sim, fabric, client = _fabric()
+        ex = fabric.create(1)
+
+        def sender(seq):
+            yield from fabric.put(client, ex, 0, 0, seq, [_page(seq)], RetryPolicy())
+            return None
+
+        sim.run(until=sim.process(sender(0)))
+        assert fabric.drain(ex, 0).pages == 1
+
+        # The zombie: a put completing after the partition was consumed.
+        sim.run(until=sim.process(sender(1)))
+        assert fabric.duplicate_pages == 1
+        assert fabric.pages_received == 1  # the zombie never counted
+        late = fabric.drain(ex, 0)
+        assert late.pages == 0 and late.rows == 0
+
 
 # --------------------------------------------------------------------------
 # End to end on the standing environment
