@@ -8,8 +8,8 @@
    :class:`~repro.analysis.sanitizer.SimTSan`.  The sanitizer *must*
    report both races with the planted access sites; a detector that
    stays silent here is broken, so the harness fails closed.
-2. **Bench sweep** — the table3, join, dag, and service smoke benches
-   run with ``strict_sanitize`` on.  These are the repo's own
+2. **Bench sweep** — the table3, join, dag, cache, and service smoke
+   benches run with ``strict_sanitize`` on.  These are the repo's own
    workloads; any report means a same-instant access to shared
    simulated state whose outcome rides the kernel tie-break policy.
 
@@ -140,6 +140,13 @@ def _suite_dag(seed: int) -> None:
     env.run(dag.SQL, config, "tpch")
 
 
+def _suite_cache(seed: int) -> None:
+    """The cache tier drill: fills and hits on every shared cache tier."""
+    from repro.bench.cache import run_tier_drill
+
+    run_tier_drill("smoke", seed)
+
+
 def _suite_service(seed: int) -> None:
     from repro.bench.service import build_environment
     from repro.config import ServiceSpec
@@ -173,6 +180,7 @@ def run_bench_suites(rows: int = 8192, seed: int = 0) -> List[SuiteRow]:
         _sanitized("table3", lambda: _suite_table3(rows)),
         _sanitized("join", _suite_join),
         _sanitized("dag", lambda: _suite_dag(seed)),
+        _sanitized("cache", lambda: _suite_cache(seed)),
         _sanitized("service", lambda: _suite_service(seed)),
     ]
 

@@ -921,6 +921,12 @@ def verify_stage_graph(graph: Any) -> None:
     Untyped edges (either side ``None``/undeclared) are allowed — some
     payloads are not batch streams (a dynamic-filter handshake, an
     exchange's drained partition list keeps the producer's schema).
+
+    ``cache-union`` stages (the hybrid reassembly of a partially cached
+    scan) carry extra rules: at least one input, every input a ``scan``
+    stage (the cached-local and pushed-remote branches), and all
+    declared input schemas mutually identical — both fractions of one
+    scan must emit the same split schema or the union is meaningless.
     """
     stages = {stage.stage_id: stage for stage in graph}
     if not stages:
@@ -951,4 +957,31 @@ def verify_stage_graph(graph: Any) -> None:
                     f"edge {dep!r} -> {stage.stage_id!r} schema mismatch: "
                     f"producer emits {produced.names()} but consumer "
                     f"expects {expected.names()}"
+                )
+    for stage in stages.values():
+        if stage.kind != "cache-union":
+            continue
+        if not stage.inputs:
+            raise VerificationError(
+                f"cache-union stage {stage.stage_id!r} has no inputs; it "
+                f"must union at least one scan branch"
+            )
+        bad = [dep for dep in stage.inputs if stages[dep].kind != "scan"]
+        if bad:
+            raise VerificationError(
+                f"cache-union stage {stage.stage_id!r} unions non-scan "
+                f"stages {sorted(bad)}; only the cached-local and "
+                f"pushed-remote fractions of one scan may feed it"
+            )
+        declared = [
+            schema
+            for schema in (stage.input_schemas.get(dep) for dep in stage.inputs)
+            if schema is not None
+        ]
+        for other in declared[1:]:
+            if not _schemas_agree(declared[0], other):
+                raise VerificationError(
+                    f"cache-union stage {stage.stage_id!r} unions branches "
+                    f"with mismatched schemas {declared[0].names()} vs "
+                    f"{other.names()}"
                 )

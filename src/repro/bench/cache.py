@@ -1,0 +1,342 @@
+"""Cache benchmark: hit-rate sweep over the hybrid result/page cache.
+
+Real BI traffic repeats itself — dashboards refresh, analysts re-run the
+same slice.  This bench replays that shape deterministically: at each
+*reuse level* r, the same number of query executions is drawn from a
+template pool sized so a fraction ~r of executions repeat an earlier
+query.  The cache (docs/CACHE.md) turns those repeats into coordinator
+result-tier hits, so bytes moved across the storage/compute boundary and
+tail latency must both fall as reuse rises — while every template's
+result digest stays identical whether it was computed or served.
+
+Template pools nest (a lower level's pool is a prefix of a higher
+level's) and templates are ordered cheap-first, so the gates compare
+like with like:
+
+* **digests** — each template's canonical result digest is identical
+  across repeats and across reuse levels (a cache must never change an
+  answer);
+* **bytes** — total storage→compute bytes strictly decrease as reuse
+  rises (served results move no table data);
+* **p99** — tail latency at the highest reuse level beats zero reuse.
+
+A second section drills the tier cascade with three runs on a fresh
+environment: a cold query (fills every tier), an exact repeat (result
+tier serves it), and a same-scan/different-aggregate variant (result and
+split tiers miss, the OCS page tier serves the pushed subplan without a
+disk read).
+
+Output is deterministic for a fixed ``--seed`` (simulated time only), so
+two reruns diff clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.determinism import canonical_result_digest
+from repro.bench.env import Environment, RunConfig
+from repro.bench.report import format_table
+from repro.config import CacheSpec
+from repro.core import PushdownPolicy
+from repro.engine import QueryResult
+from repro.workloads import DatasetSpec, generate_lineitem
+
+__all__ = [
+    "CacheBenchResult",
+    "LevelRow",
+    "REUSE_LEVELS",
+    "SCALES",
+    "TierRow",
+    "build_environment",
+    "format_cache_table",
+    "run_cache_bench",
+    "run_tier_drill",
+]
+
+#: scale -> (lineitem files, rows/file, executions per reuse level).
+SCALES: Dict[str, Tuple[int, int, int]] = {
+    "smoke": (6, 20_000, 20),
+    "sf0.1": (12, 75_000, 20),
+}
+
+#: Swept reuse levels.  Pool sizes must divide the execution count so
+#: every template repeats the same number of times within a level.
+REUSE_LEVELS: Tuple[float, ...] = (0.0, 0.5, 0.9)
+
+#: One parameterized template: the paper's pushdown-friendly scan shape
+#: (selective filter + small group-by).  Thresholds are ordered
+#: *descending*, so template 0 keeps the fewest rows (cheapest) and the
+#: nested pools put the expensive templates only in the low-reuse runs —
+#: the p99 gate then compares a cheap cold run against an expensive one.
+SQL_TEMPLATE = (
+    "SELECT returnflag, SUM(extendedprice) AS s, COUNT(*) AS n "
+    "FROM lineitem WHERE discount > {threshold:.3f} "
+    "GROUP BY returnflag ORDER BY returnflag"
+)
+
+#: Tier-drill queries: same pushed subplan (filter + identical column
+#: set), different residual aggregate — so the OCS page tier hits where
+#: the coordinator tiers cannot.
+DRILL_COLD = (
+    "SELECT returnflag, SUM(extendedprice) AS s, COUNT(*) AS n "
+    "FROM lineitem WHERE discount > 0.05 "
+    "GROUP BY returnflag ORDER BY returnflag"
+)
+DRILL_VARIANT = (
+    "SELECT returnflag, MAX(extendedprice) AS m, COUNT(*) AS n "
+    "FROM lineitem WHERE discount > 0.05 "
+    "GROUP BY returnflag ORDER BY returnflag"
+)
+
+
+@dataclass(frozen=True)
+class LevelRow:
+    """One reuse level: aggregate counters over its executions."""
+
+    reuse: float
+    queries: int
+    distinct: int
+    result_hits: int
+    split_hits: int
+    page_hits: int
+    bytes_moved: int
+    p50_s: float
+    p99_s: float
+
+
+@dataclass(frozen=True)
+class TierRow:
+    """One tier-drill run and which tier ended up serving it."""
+
+    label: str
+    served_by: str
+    seconds: float
+    bytes_moved: int
+
+
+@dataclass(frozen=True)
+class CacheBenchResult:
+    levels: List[LevelRow]
+    tiers: List[TierRow]
+    #: Template 0's digest (present at every level; snapshot-gated).
+    digest: str
+    #: Every template's digest matched across repeats and reuse levels.
+    digests_identical: bool
+
+    @property
+    def bytes_strictly_decreasing(self) -> bool:
+        moved = [level.bytes_moved for level in self.levels]
+        return all(b < a for a, b in zip(moved, moved[1:]))
+
+    @property
+    def p99_improves(self) -> bool:
+        return self.levels[-1].p99_s < self.levels[0].p99_s
+
+
+def build_environment(scale: str, seed: int) -> Environment:
+    files, rows, _ = SCALES[scale]
+    env = Environment()
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="lineitem",
+            bucket="data",
+            file_count=files,
+            generator=lambda i: generate_lineitem(
+                rows, seed=23 + seed, start_row=i * rows
+            ),
+            row_group_rows=8192,
+        )
+    )
+    return env
+
+
+def _config(cache: Optional[CacheSpec]) -> RunConfig:
+    return RunConfig(
+        label="cache",
+        mode="ocs",
+        policy=PushdownPolicy.filter_only(),
+        split_granularity="file",
+        cache=cache,
+    )
+
+
+def _template_sql(index: int) -> str:
+    # 0.080 (keeps ~18% of rows) down to 0.004 (keeps ~91%).
+    return SQL_TEMPLATE.format(threshold=0.08 - index * 0.004)
+
+
+def _percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ranked = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ranked)))
+    return ranked[rank - 1]
+
+
+def _run_level(
+    scale: str, seed: int, level_index: int, reuse: float,
+    digests: Dict[int, str],
+) -> Tuple[LevelRow, bool]:
+    """One reuse level on a fresh environment (and a fresh cache).
+
+    ``digests`` accumulates template -> canonical digest across levels;
+    the returned flag is False if any execution here disagreed with it.
+    """
+    _, _, executions = SCALES[scale]
+    distinct = max(1, round(executions * (1.0 - reuse)))
+    env = build_environment(scale, seed)
+    config = _config(CacheSpec())
+    rng = np.random.default_rng(500 + 31 * seed + level_index)
+    sequence = rng.permutation(
+        np.repeat(np.arange(distinct), executions // distinct)
+    )
+    identical = True
+    seconds: List[float] = []
+    bytes_moved = 0
+    hits = {"result_cache_hits": 0, "split_cache_hits": 0, "ocs_page_cache_hits": 0}
+    for template in sequence:
+        result = env.run(_template_sql(int(template)), config, "tpch")
+        seconds.append(result.execution_seconds)
+        bytes_moved += result.data_moved_bytes
+        for name in hits:
+            hits[name] += int(result.metrics.value(name))
+        digest = canonical_result_digest(result.batch)
+        expected = digests.setdefault(int(template), digest)
+        identical = identical and digest == expected
+    row = LevelRow(
+        reuse=reuse,
+        queries=executions,
+        distinct=distinct,
+        result_hits=hits["result_cache_hits"],
+        split_hits=hits["split_cache_hits"],
+        page_hits=hits["ocs_page_cache_hits"],
+        bytes_moved=bytes_moved,
+        p50_s=_percentile(seconds, 50),
+        p99_s=_percentile(seconds, 99),
+    )
+    return row, identical
+
+
+def _served_by(result: QueryResult) -> str:
+    if result.metrics.value("result_cache_hits"):
+        return "result"
+    if result.metrics.value("split_cache_hits"):
+        return "split"
+    if result.metrics.value("ocs_page_cache_hits"):
+        return "page"
+    return "storage-scan"
+
+
+def run_tier_drill(scale: str, seed: int) -> List[TierRow]:
+    """Three runs walking the tier cascade on one shared cache.
+
+    Also the sanitized race suite's cache workload: it touches every
+    tier's shared state (fills, hits, and the coordinator's hybrid
+    lowering) in a handful of runs.
+    """
+    env = build_environment(scale, seed)
+    config = _config(CacheSpec())
+    runs = [
+        ("cold", DRILL_COLD),
+        ("repeat", DRILL_COLD),
+        ("variant", DRILL_VARIANT),
+    ]
+    rows: List[TierRow] = []
+    for label, sql in runs:
+        result = env.run(sql, config, "tpch")
+        rows.append(
+            TierRow(
+                label=label,
+                served_by=_served_by(result),
+                seconds=result.execution_seconds,
+                bytes_moved=result.data_moved_bytes,
+            )
+        )
+    return rows
+
+
+def run_cache_bench(scale: str, seed: int) -> CacheBenchResult:
+    """Run the reuse sweep plus the tier drill."""
+    digests: Dict[int, str] = {}
+    levels: List[LevelRow] = []
+    identical = True
+    for level_index, reuse in enumerate(REUSE_LEVELS):
+        row, level_identical = _run_level(scale, seed, level_index, reuse, digests)
+        levels.append(row)
+        identical = identical and level_identical
+    return CacheBenchResult(
+        levels=levels,
+        tiers=run_tier_drill(scale, seed),
+        digest=digests.get(0, ""),
+        digests_identical=identical,
+    )
+
+
+def format_cache_table(scale: str, result: CacheBenchResult) -> str:
+    body = [
+        [
+            f"{level.reuse:.1f}",
+            str(level.queries),
+            str(level.distinct),
+            str(level.result_hits),
+            str(level.split_hits),
+            str(level.page_hits),
+            f"{level.bytes_moved:,}",
+            f"{level.p50_s:.4f}",
+            f"{level.p99_s:.4f}",
+        ]
+        for level in result.levels
+    ]
+    sweep = format_table(
+        [
+            "reuse",
+            "queries",
+            "distinct",
+            "result hits",
+            "split hits",
+            "page hits",
+            "bytes moved",
+            "p50 s",
+            "p99 s",
+        ],
+        body,
+    )
+    drill = format_table(
+        ["run", "served by", "seconds", "bytes moved"],
+        [
+            [t.label, t.served_by, f"{t.seconds:.4f}", f"{t.bytes_moved:,}"]
+            for t in result.tiers
+        ],
+    )
+    return (
+        f"Cache benchmark ({scale}): reuse sweep over the hybrid cache\n"
+        f"{sweep}\n"
+        f"digests identical across repeats and reuse levels: "
+        f"{'yes' if result.digests_identical else 'NO'}\n"
+        f"bytes moved strictly decreasing with reuse: "
+        f"{'yes' if result.bytes_strictly_decreasing else 'NO'}\n"
+        f"p99 at reuse {result.levels[-1].reuse:.1f} beats reuse "
+        f"{result.levels[0].reuse:.1f}: "
+        f"{'yes' if result.p99_improves else 'NO'}\n"
+        f"\nTier drill: cold fill -> result hit -> page hit\n"
+        f"{drill}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=list(SCALES), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = run_cache_bench(args.scale, args.seed)
+    print(format_cache_table(args.scale, result))
+
+
+if __name__ == "__main__":
+    main()

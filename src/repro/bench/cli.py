@@ -13,7 +13,9 @@
     python -m repro.bench kernels        # fused vs tree-walk kernel bench
     python -m repro.bench dag --seed 0   # straggler bench: speculative
                                          # split re-execution on/off
-    python -m repro.bench snapshot --check BENCH_7.json
+    python -m repro.bench cache --seed 0 # hybrid-cache reuse sweep:
+                                         # hit rate vs bytes moved / p99
+    python -m repro.bench snapshot --check BENCH_9.json
                                          # per-PR perf-regression gate
 """
 
@@ -50,6 +52,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.bench import dag as dag_bench
 
         dag_bench.main(argv[1:])
+        return
+    if argv and argv[0] == "cache":
+        # Same: the cache bench takes --scale/--seed.
+        from repro.bench import cache as cache_bench
+
+        cache_bench.main(argv[1:])
         return
     if argv and argv[0] == "kernels":
         # Same: the kernel bench takes --scale/--json.

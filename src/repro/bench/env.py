@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.config import DEFAULT_TESTBED, FaultSpec, TestbedSpec
+from repro.cache.manager import CacheManager
+from repro.config import DEFAULT_TESTBED, CacheSpec, FaultSpec, TestbedSpec
 from repro.connectors.hive import HiveConnector
 from repro.core import OcsConnector, PushdownMonitor, PushdownPolicy
 from repro.engine import Cluster, Coordinator, QueryResult, SchedulerSpec, Session
@@ -76,6 +77,12 @@ class RunConfig:
     #: docs/SCHEDULER.md).  ``None`` keeps the defaults: speculation off,
     #: restart on exchange faults.
     scheduler: Optional["SchedulerSpec"] = None
+    #: Hybrid result/page caching (see docs/CACHE.md).  ``None`` (the
+    #: default) disables every tier; runs sharing one
+    #: :class:`Environment` and an equal spec share one
+    #: :class:`~repro.cache.manager.CacheManager`, so cached state
+    #: survives the per-query cluster rebuild.
+    cache: Optional[CacheSpec] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -126,6 +133,20 @@ class Environment:
     metastore: HiveMetastore = field(default_factory=HiveMetastore)
     #: Shared across runs so the sliding-window history accumulates.
     monitor: PushdownMonitor = field(default_factory=PushdownMonitor)
+    #: Cache managers memoized per :meth:`CacheSpec.key` — the manager
+    #: must outlive the per-query clusters or nothing ever hits.
+    _cache_managers: dict = field(default_factory=dict)
+
+    def cache_manager(self, spec: Optional[CacheSpec]) -> Optional[CacheManager]:
+        """The environment's shared manager for ``spec`` (None disables)."""
+        if spec is None:
+            return None
+        key = spec.key()
+        manager = self._cache_managers.get(key)
+        if manager is None:
+            manager = CacheManager(spec)
+            self._cache_managers[key] = manager
+        return manager
 
     def add_dataset(self, spec: DatasetSpec) -> TableDescriptor:
         return build_dataset(spec, self.store, self.metastore)
@@ -166,6 +187,7 @@ class Environment:
             tracing=config.tracing,
             tie_break=tie_break,
             sim_observer=observer,
+            cache=self.cache_manager(config.cache),
         )
         connector = self.build_connector(cluster, config)
         coordinator = Coordinator(
@@ -200,6 +222,7 @@ class Environment:
             strict_s3_types=config.strict_s3_types,
             faults=config.faults if analyze else None,
             tracing=config.tracing,
+            cache=self.cache_manager(config.cache),
         )
         connector = self.build_connector(cluster, config)
         coordinator = Coordinator(

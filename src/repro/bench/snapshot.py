@@ -1,9 +1,9 @@
 """Per-PR benchmark snapshot (``BENCH_<n>.json``) + regression gate.
 
-``collect`` runs the kernel, Table-3, join, service, and DAG-straggler
-benches at CI scale and folds their headline numbers into one JSON
-document.  The committed snapshot (``BENCH_7.json`` at the repo root)
-is the previous PR's baseline; CI regenerates the snapshot and
+``collect`` runs the kernel, Table-3, join, service, DAG-straggler, and
+cache benches at CI scale and folds their headline numbers into one
+JSON document.  The committed snapshot (``BENCH_9.json`` at the repo
+root) is the previous PR's baseline; CI regenerates the snapshot and
 ``compare``s it against the committed file, failing on:
 
 * any *simulated* metric (seconds / bytes) more than 10% worse —
@@ -17,9 +17,12 @@ is the previous PR's baseline; CI regenerates the snapshot and
   not ratcheted: best-of-N jitter between reruns exceeds 10%);
 * the DAG scheduler's speculative execution failing to beat
   no-speculation on p99 latency, changing a result digest, or losing
-  seeded-replay byte-identity.
+  seeded-replay byte-identity;
+* the cache reuse sweep changing any result digest, failing to move
+  strictly fewer bytes as reuse rises, or failing to beat the
+  zero-reuse p99 at the highest reuse level.
 
-Regenerate with ``python -m repro.bench snapshot --out BENCH_7.json``.
+Regenerate with ``python -m repro.bench snapshot --out BENCH_9.json``.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.bench import cache as cache_bench
 from repro.bench import dag as dag_bench
 from repro.bench import join as join_bench
 from repro.bench import table3 as table3_bench
@@ -36,7 +40,7 @@ from repro.bench.kernels import run_kernel_bench
 
 __all__ = ["SNAPSHOT_VERSION", "collect", "compare", "main"]
 
-SNAPSHOT_VERSION = 7
+SNAPSHOT_VERSION = 9
 
 #: Relative worsening tolerated on lower-is-better simulated metrics.
 TOLERANCE = 0.10
@@ -52,6 +56,8 @@ _JOIN_QUERY = "q3"
 _SERVICE_QUERIES = 8
 _DAG_SCALE = "smoke"
 _DAG_SEED = 0
+_CACHE_SCALE = "smoke"
+_CACHE_SEED = 0
 
 
 def _collect_service() -> Dict[str, object]:
@@ -126,6 +132,26 @@ def collect() -> Dict[str, object]:
         "digest": dag_result.digest,
     }
 
+    cache_result = cache_bench.run_cache_bench(_CACHE_SCALE, _CACHE_SEED)
+    cache_doc: Dict[str, object] = {
+        "scale": _CACHE_SCALE,
+        "levels": {
+            f"r{level.reuse:.1f}": {
+                "queries": level.queries,
+                "distinct": level.distinct,
+                "result_hits": level.result_hits,
+                "moved_bytes": level.bytes_moved,
+                "p50_s": level.p50_s,
+                "p99_s": level.p99_s,
+            }
+            for level in cache_result.levels
+        },
+        "digest": cache_result.digest,
+        "digests_identical": cache_result.digests_identical,
+        "bytes_strictly_decreasing": cache_result.bytes_strictly_decreasing,
+        "p99_improves": cache_result.p99_improves,
+    }
+
     return {
         "snapshot": SNAPSHOT_VERSION,
         "kernels": kernels.to_json_dict(),
@@ -133,6 +159,7 @@ def collect() -> Dict[str, object]:
         "join": join_doc,
         "service": _collect_service(),
         "dag": dag_doc,
+        "cache": cache_doc,
     }
 
 
@@ -218,6 +245,19 @@ def compare(baseline: Dict[str, object], current: Dict[str, object]) -> List[str
         if not dag.get("replay_identical", False):
             violations.append(
                 "dag: seeded speculation reruns were not byte-identical"
+            )
+
+    cache = current.get("cache")
+    if isinstance(cache, dict):
+        if not cache.get("digests_identical", False):
+            violations.append("cache: a served result's digest changed")
+        if not cache.get("bytes_strictly_decreasing", False):
+            violations.append(
+                "cache: bytes moved did not strictly decrease as reuse rose"
+            )
+        if not cache.get("p99_improves", False):
+            violations.append(
+                "cache: p99 at the highest reuse level did not beat zero reuse"
             )
     return violations
 

@@ -1,0 +1,278 @@
+"""Deterministic byte-budgeted cache with tenant reservation floors.
+
+:class:`ByteBudgetCache` is the storage engine behind every cache tier
+(coordinator results, coordinator split pages, per-OCS-node storage
+pages).  It is a pure data structure — simulated *cost* of serving or
+filling is charged by the caller — but its *state* is shared across
+concurrently simulated queries, so every transition polls
+:mod:`repro.sim.santrack` exactly like the admission ledgers do.
+
+Determinism: recency is a logical sequence counter bumped per access
+(never wall clock, never simulated time — two accesses at the same
+simulated instant still order by arrival), and eviction scans are full
+sorts with the sequence number as the final tie-break, so a given access
+sequence always evicts the same victims.
+
+Eviction policies:
+
+* ``lru`` — oldest recency first.
+* ``cost`` — cheapest to recompute first: lowest ``cost / nbytes``
+  density, then oldest recency.
+
+Tenant reservations are eviction *floors*: a fill by tenant A skips any
+victim whose owner B ≠ A would drop below B's reserved resident bytes.
+A fill that cannot clear enough space against the floors (or is larger
+than the whole budget) is refused and counted — fills are best-effort,
+never query failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.sim import santrack
+
+__all__ = ["CacheEntry", "CacheStats", "ByteBudgetCache"]
+
+#: version signature: ((label, counter), ...) in a fixed caller-chosen order.
+VersionSignature = Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class CacheEntry:
+    """One resident value plus the bookkeeping eviction needs."""
+
+    key: Hashable
+    value: object
+    nbytes: int
+    tenant: str
+    #: Recorded version signature of everything the value derives from.
+    versions: VersionSignature
+    #: Estimated recompute cost (simulated cycles) for the "cost" policy.
+    cost: float
+    #: Logical recency (bumped on every hit).
+    seq: int
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Deterministic counters surfaced by benches and the SLO report."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    stale_drops: int = 0
+    quota_refusals: int = 0
+    bytes_served: int = 0
+    bytes_filled: int = 0
+    bytes_evicted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "stale_drops": self.stale_drops,
+            "quota_refusals": self.quota_refusals,
+            "bytes_served": self.bytes_served,
+            "bytes_filled": self.bytes_filled,
+            "bytes_evicted": self.bytes_evicted,
+        }
+
+
+class ByteBudgetCache:
+    """Keyed byte-budgeted cache; see module docstring for semantics."""
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        *,
+        policy: str = "lru",
+        reservations: Optional[Mapping[str, int]] = None,
+        name: str = "cache",
+    ) -> None:
+        self.budget_bytes = budget_bytes
+        self.policy = policy
+        self.reservations = dict(reservations or {})
+        self.name = name
+        self.stats = CacheStats()
+        self._entries: Dict[Hashable, CacheEntry] = {}
+        self._tenant_bytes: Dict[str, int] = {}
+        self._seq = 0
+
+    # -- SimTSan -----------------------------------------------------------
+
+    def _track(self, kind: str, site: str) -> None:
+        """One shared surface per tier.  Every transition (including a
+        lookup, which bumps recency) mutates eviction order, so all are
+        recorded as updates; pure size probes record reads."""
+        sanitizer = santrack.active()
+        if sanitizer is None:
+            return
+        key = ("cache", id(self), self.name)
+        if kind == "u":
+            sanitizer.record_update(key, site, depth=2)
+        else:
+            sanitizer.record_read(key, site, depth=2)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    def tenant_bytes(self, tenant: str) -> int:
+        return self._tenant_bytes.get(tenant, 0)
+
+    def entry(self, key: Hashable) -> Optional[CacheEntry]:
+        """Peek without touching recency or stats (tests, EXPLAIN)."""
+        return self._entries.get(key)
+
+    # -- the cache protocol ------------------------------------------------
+
+    def get(
+        self,
+        key: Hashable,
+        *,
+        tenant: str = "default",
+        versions: Optional[VersionSignature] = None,
+    ) -> Optional[object]:
+        """The cached value, or None on miss.
+
+        When ``versions`` is given, an entry whose recorded signature
+        differs is *stale*: it is dropped (both the entry and its bytes)
+        and the lookup counts as a miss — soft invalidation, no error.
+        """
+        self._track("u", f"cache.get:{self.name}")
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if versions is not None and entry.versions != versions:
+            self._drop(entry)
+            self.stats.stale_drops += 1
+            self.stats.misses += 1
+            return None
+        self._seq += 1
+        entry.seq = self._seq
+        entry.hits += 1
+        self.stats.hits += 1
+        self.stats.bytes_served += entry.nbytes
+        return entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value: object,
+        *,
+        nbytes: int,
+        tenant: str = "default",
+        versions: VersionSignature = (),
+        cost: float = 0.0,
+    ) -> bool:
+        """Insert (replacing any same-key entry); True when resident.
+
+        Returns False — and counts a quota refusal — when the entry
+        exceeds the whole budget or eviction cannot clear space without
+        violating another tenant's reservation floor.
+        """
+        self._track("u", f"cache.put:{self.name}")
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._drop(existing)
+        if nbytes > self.budget_bytes:
+            self.stats.quota_refusals += 1
+            return False
+        if not self._make_room(nbytes, tenant):
+            self.stats.quota_refusals += 1
+            return False
+        self._seq += 1
+        self._entries[key] = CacheEntry(
+            key=key,
+            value=value,
+            nbytes=nbytes,
+            tenant=tenant,
+            versions=versions,
+            cost=cost,
+            seq=self._seq,
+        )
+        self._tenant_bytes[tenant] = self._tenant_bytes.get(tenant, 0) + nbytes
+        self.stats.fills += 1
+        self.stats.bytes_filled += nbytes
+        return True
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True when it was resident."""
+        self._track("u", f"cache.invalidate:{self.name}")
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        self._drop(entry)
+        self.stats.stale_drops += 1
+        return True
+
+    def clear(self) -> None:
+        self._track("u", f"cache.clear:{self.name}")
+        self._entries.clear()
+        self._tenant_bytes.clear()
+
+    # -- eviction ----------------------------------------------------------
+
+    def _drop(self, entry: CacheEntry) -> None:
+        del self._entries[entry.key]
+        remaining = self._tenant_bytes.get(entry.tenant, 0) - entry.nbytes
+        if remaining > 0:
+            self._tenant_bytes[entry.tenant] = remaining
+        else:
+            self._tenant_bytes.pop(entry.tenant, None)
+
+    def _victim_order(self, entry: CacheEntry) -> Tuple[float, int]:
+        if self.policy == "cost":
+            density = entry.cost / entry.nbytes if entry.nbytes else 0.0
+            return (density, entry.seq)
+        return (0.0, entry.seq)
+
+    def _make_room(self, nbytes: int, requester: str) -> bool:
+        """Evict until ``nbytes`` fit; False if the floors make that
+        impossible (no state is mutated on refusal — candidate victims
+        are only dropped once the plan is known to clear enough)."""
+        need = self.resident_bytes + nbytes - self.budget_bytes
+        if need <= 0:
+            return True
+        candidates: List[CacheEntry] = sorted(
+            self._entries.values(), key=self._victim_order
+        )
+        planned: List[CacheEntry] = []
+        planned_by_tenant: Dict[str, int] = {}
+        freed = 0
+        for victim in candidates:
+            if freed >= need:
+                break
+            if victim.tenant != requester:
+                floor = self.reservations.get(victim.tenant, 0)
+                already = planned_by_tenant.get(victim.tenant, 0)
+                after = self._tenant_bytes.get(victim.tenant, 0) - already - victim.nbytes
+                if after < floor:
+                    continue
+            planned.append(victim)
+            planned_by_tenant[victim.tenant] = (
+                planned_by_tenant.get(victim.tenant, 0) + victim.nbytes
+            )
+            freed += victim.nbytes
+        if freed < need:
+            return False
+        for victim in planned:
+            self._drop(victim)
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += victim.nbytes
+        return True

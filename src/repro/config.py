@@ -230,6 +230,73 @@ class ServiceSpec:
 
 
 @dataclass(frozen=True, kw_only=True)
+class CacheSpec:
+    """Knobs of the hybrid result/page cache (:mod:`repro.cache`).
+
+    Two tiers share this one spec: the coordinator-tier result cache
+    (whole-query results plus per-split pushed-subplan pages, keyed by
+    canonical Substrait fingerprint + object versions) and the
+    storage-tier page cache on each OCS node (pushed-subplan Arrow
+    result pages keyed by object/row-group/fingerprint).  Budgets are
+    byte ceilings enforced by deterministic eviction; per-tenant
+    reservations are eviction *floors* — no tenant's resident bytes can
+    be evicted below its reservation by another tenant's fills.
+    """
+
+    #: Coordinator-tier budget over whole-query result entries.
+    result_budget_bytes: int = 64 * MB
+    #: Coordinator-tier budget over per-split page entries.
+    split_budget_bytes: int = 128 * MB
+    #: Per-OCS-node budget over storage-tier page entries.
+    storage_budget_bytes: int = 64 * MB
+    #: Eviction policy: "lru" (least-recently-used first) or "cost"
+    #: (cheapest-to-recompute first: lowest cost density, then LRU).
+    policy: str = "lru"
+    #: tenant name -> bytes of coordinator-tier residency that other
+    #: tenants' fills may never evict.
+    tenant_reservations: Mapping[str, int] = field(default_factory=dict)
+    #: Serve whole-query results from the coordinator tier.
+    enable_results: bool = True
+    #: Serve/fill per-split pages at the coordinator tier (the tier
+    #: behind partial-hit hybrid plans).
+    enable_splits: bool = True
+    #: Serve/fill pushed-subplan pages at the OCS storage tier.
+    enable_storage: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for label, value in (
+            ("result_budget_bytes", self.result_budget_bytes),
+            ("split_budget_bytes", self.split_budget_bytes),
+            ("storage_budget_bytes", self.storage_budget_bytes),
+        ):
+            if value < 0:
+                raise ConfigError(f"{label} cannot be negative, got {value}")
+        if self.policy not in ("lru", "cost"):
+            raise ConfigError(f"cache policy must be 'lru' or 'cost', got {self.policy!r}")
+        for tenant, reserved in self.tenant_reservations.items():
+            if reserved < 0:
+                raise ConfigError(
+                    f"tenant {tenant!r} reservation cannot be negative, got {reserved}"
+                )
+
+    def key(self) -> tuple:
+        """Hashable identity (used to memoize shared cache managers)."""
+        return (
+            self.result_budget_bytes,
+            self.split_budget_bytes,
+            self.storage_budget_bytes,
+            self.policy,
+            tuple(sorted(self.tenant_reservations.items())),
+            self.enable_results,
+            self.enable_splits,
+            self.enable_storage,
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
 class TestbedSpec:
     """The full three-node testbed of Table 1."""
 

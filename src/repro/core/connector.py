@@ -230,6 +230,9 @@ class OcsConnector(Connector):
         if report.dynamic_rows_pruned:
             pushdown_span.set("dynamic_rows_pruned", report.dynamic_rows_pruned)
             metrics.add("ocs_dynamic_rows_pruned", report.dynamic_rows_pruned)
+        if report.page_cache_hits:
+            pushdown_span.set("page_cache_hits", report.page_cache_hits)
+            metrics.add("ocs_page_cache_hits", report.page_cache_hits)
         self.monitor.record(
             PushdownEvent(
                 table=handle.descriptor.qualified_name,

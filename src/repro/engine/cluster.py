@@ -46,10 +46,16 @@ class Cluster:
         tracing: bool = False,
         tie_break: str = "fifo",
         sim_observer=None,
+        cache=None,
     ) -> None:
         self.testbed = testbed
         self.costs = costs
         self.store = store
+        #: Optional :class:`~repro.cache.manager.CacheManager`.  The manager
+        #: outlives the cluster (clusters are per-query); each storage node
+        #: borrows its per-node page-cache tier from it, and the
+        #: coordinator reads the result/split tiers off this handle.
+        self.cache = cache
         #: tie_break/sim_observer feed the determinism harness
         #: (repro.analysis.determinism); production runs use the defaults.
         self.sim = Simulator(tie_break=tie_break, observer=sim_observer)
@@ -85,7 +91,10 @@ class Cluster:
                 )
             )
             self.storage_nodes.append(
-                OcsStorageNode(self.sim, node, store, costs, i, tracer=self.tracer)
+                OcsStorageNode(
+                    self.sim, node, store, costs, i, tracer=self.tracer,
+                    page_cache=cache.storage_tier(i) if cache is not None else None,
+                )
             )
 
         self.ocs_frontend = OcsFrontend(

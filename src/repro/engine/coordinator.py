@@ -33,12 +33,14 @@ timings are bit-identical with tracing on or off.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.analysis.runtime import strict_verify_enabled
 from repro.arrowsim.record_batch import RecordBatch, concat_batches
 from repro.arrowsim.schema import Schema
+from repro.cache.manager import CacheManager, object_version_signature
 from repro.engine.cluster import Cluster
 from repro.engine.costing import choose_join_distribution, presto_pipeline_cycles
 from repro.engine.dag import Stage, StageContext, StageGraph
@@ -120,6 +122,22 @@ class _Branch:
 
 
 @dataclass
+class _SplitProbe:
+    """Split-cache keys for one branch plus the lowering-time hit set.
+
+    Computed by :meth:`Coordinator._split_probe` with pure peeks (no
+    recency or stats mutation) so EXPLAIN can lower without executing.
+    The *shape* of the graph is fixed here; the cached stage re-checks
+    each entry with a real versioned lookup at run time and falls back
+    to the pushdown path for anything evicted or invalidated in between.
+    """
+
+    keys: List[Hashable]
+    hits: List[int]
+    misses: List[int]
+
+
+@dataclass
 class _Lowered:
     """Everything :meth:`Coordinator._lower` produced for one query."""
 
@@ -178,6 +196,7 @@ class Coordinator:
         metrics: Optional[MetricsRegistry] = None,
         parent=None,
         query_id: Optional[str] = None,
+        tenant: str = "default",
     ):
         """The query as a schedulable DES generator (re-entrant form).
 
@@ -185,10 +204,14 @@ class Coordinator:
         idle cluster; the multi-tenant query service instead spawns many
         of these concurrently on one shared cluster.  Each call gets its
         own metrics registry and span root (parented under ``parent``
-        when given, so a service-level trace nests the query), and
-        ``query_id`` tags resource claims for per-query accounting.
+        when given, so a service-level trace nests the query),
+        ``query_id`` tags resource claims for per-query accounting, and
+        ``tenant`` owns the query's cache fills for quota accounting.
         """
-        return self._run_query(sql, session, metrics=metrics, parent=parent, query_id=query_id)
+        return self._run_query(
+            sql, session, metrics=metrics, parent=parent, query_id=query_id,
+            tenant=tenant,
+        )
 
     def explain(self, sql: str, session: Session, analyze: bool = False) -> str:
         """Plan (without executing) and describe what would happen.
@@ -373,6 +396,7 @@ class Coordinator:
         metrics: Optional[MetricsRegistry] = None,
         parent=None,
         query_id: Optional[str] = None,
+        tenant: str = "default",
     ):
         cluster = self.cluster
         sim = cluster.sim
@@ -411,13 +435,74 @@ class Coordinator:
         # the traversal cost it reports is charged here.
         local_opt = tracer.start("optimize.local", parent=root, stage=STAGE_ANALYSIS)
         with accountant.charged(STAGE_ANALYSIS):
-            lowered = self._lower(plan, connector, metrics)
+            lowered = self._lower(plan, connector, metrics, tenant=tenant)
             if lowered.analysis_nodes:
                 yield cluster.compute.execute(
                     lowered.analysis_nodes * costs.plan_analysis_cycles_per_node,
                     name="local-opt",
                 )
         tracer.end(local_opt)
+
+        # (4b) Coordinator-tier result cache.  The key is the canonical
+        # fingerprint of every pushed subplan plus the residual logical
+        # plan; the version signature covers every object (and catalog
+        # descriptor) any branch reads, so a write or stats refresh
+        # anywhere in the query's footprint turns the entry stale.
+        cache = cluster.cache
+        result_probe = (
+            self._result_probe(lowered)
+            if cache is not None and cache.results.budget_bytes > 0
+            else None
+        )
+        if result_probe is not None:
+            result_key, result_versions = result_probe
+            lookup = tracer.start(
+                "cache-lookup", parent=root, stage=STAGE_OTHERS,
+                attributes={"tier": "result"},
+            )
+            resident = cache.results.entry(result_key) is not None
+            hit = cache.results.get(
+                result_key, tenant=tenant, versions=result_versions
+            )
+            lookup.set("hit", hit is not None)
+            with accountant.charged(STAGE_OTHERS):
+                yield cluster.compute.execute(
+                    costs.cache_lookup_cycles, name="cache-lookup"
+                )
+                if hit is not None:
+                    yield cluster.compute.execute(
+                        hit.nbytes * costs.cache_serve_cycles_per_byte,
+                        name="cache-serve",
+                    )
+            tracer.end(lookup)
+            if hit is not None:
+                cache.account("hit", tenant, hit.nbytes)
+                metrics.add("result_cache_hits", 1)
+                elapsed = sim.now - query_start
+                utilization = {
+                    "compute_cores": cluster.compute.core_utilization(),
+                    "frontend_cores": cluster.frontend.core_utilization(),
+                    "link": cluster.link_cf.utilization(),
+                    "scan_drivers": cluster.scan_drivers.utilization(),
+                }
+                for i, node in enumerate(cluster.storage):
+                    utilization[f"storage_cores[{i}]"] = node.core_utilization()
+                stage_seconds = accountant.partitioned(elapsed)
+                tracer.end(root)
+                return QueryResult(
+                    batch=hit,
+                    execution_seconds=elapsed,
+                    data_moved_bytes=cluster.bytes_to_compute() - bytes_start,
+                    splits=0,
+                    plan_before=plan_before,
+                    plan_after=lowered.plan_after,
+                    metrics=metrics,
+                    stage_seconds=stage_seconds,
+                    utilization=utilization,
+                    trace=tracer.trace(root=root) if tracer.recording else None,
+                    stage_graph=lowered.graph,
+                )
+            cache.account("stale" if resident else "miss", tenant, 0)
 
         # (5) Split scheduling cost ("others").
         schedule = tracer.start("schedule", parent=root, stage=STAGE_OTHERS)
@@ -475,6 +560,20 @@ class Coordinator:
         # partitions; serial runs are untouched (total <= elapsed there).
         elapsed = sim.now - query_start
         stage_seconds = accountant.partitioned(elapsed)
+        if result_probe is not None:
+            fill_span = tracer.start(
+                "cache-fill", parent=root, attributes={"tier": "result"}
+            )
+            filled = cache.results.put(
+                result_key, batch, nbytes=batch.nbytes, tenant=tenant,
+                versions=result_versions, cost=float(elapsed),
+            )
+            fill_span.set("bytes", batch.nbytes)
+            fill_span.set("accepted", filled)
+            tracer.end(fill_span)
+            cache.account("fill" if filled else "quota", tenant, batch.nbytes)
+            if filled:
+                metrics.add("result_cache_fills", 1)
         tracer.end(root)
         return QueryResult(
             batch=batch,
@@ -496,7 +595,13 @@ class Coordinator:
 
     # -- lowering: logical plan -> stage graph ----------------------------------
 
-    def _lower(self, plan: PlanNode, connector: Connector, metrics: MetricsRegistry) -> _Lowered:
+    def _lower(
+        self,
+        plan: PlanNode,
+        connector: Connector,
+        metrics: MetricsRegistry,
+        tenant: str = "default",
+    ) -> _Lowered:
         """Lower an optimized logical plan to a typed stage graph.
 
         Pure — no simulated time passes — so EXPLAIN can lower without
@@ -511,6 +616,16 @@ class Coordinator:
         this join and the next, an optional ``dynamic-filter`` stage
         gating the base scan on the first build side, and the shared
         ``aggregate``/``merge`` tail.
+
+        When the cluster carries a split cache and some (or all) of a
+        branch's splits are resident, the branch lowers *hybrid*: a
+        cached-local stage serving the resident splits and a
+        pushed-remote residual stage over the rest, reassembled in
+        original split order by a ``cache-union`` stage — the
+        FlexPushdownDB separable-operator shape.  A branch gated by a
+        dynamic join filter is never split this way: its pushed plan
+        mutates after lowering with bits derived from *another* table's
+        data, which the branch's own version signature does not cover.
         """
         costs = self.cluster.costs
         graph = StageGraph()
@@ -535,17 +650,11 @@ class Coordinator:
                 handle=handle,
                 splits=splits,
             )
-            graph.add(
-                Stage(
-                    stage_id=branch.stage_id,
-                    kind="scan",
-                    run=self._scan_stage(connector, branch, finish=False),
-                    output_schema=physical.split_schema,
-                    attributes={"table": branch.table, "splits": len(splits)},
-                )
+            source_id = self._add_branch_stages(
+                graph, connector, branch, finish=False, tenant=tenant
             )
             result_stage = self._add_tail_stages(
-                graph, physical, source=branch.stage_id,
+                graph, physical, source=source_id,
                 output_schema=plan.output_schema(),
             )
             lowered = _Lowered(
@@ -604,35 +713,49 @@ class Coordinator:
             and joins[0].kind == "inner"
         ):
             dynamic_filter_stage = "dynamic-filter:0"
-            graph.add(
-                Stage(
-                    stage_id=dynamic_filter_stage,
-                    kind="filter",
-                    run=self._dynamic_filter_stage(joins[0], base, first_build),
-                    inputs=(first_build.stage_id,),
-                    input_schemas={
-                        first_build.stage_id: first_build.plan.output_schema()
-                    },
-                    output_schema=first_build.plan.output_schema(),
-                    attributes={"target": base.stage_id},
-                )
-            )
 
+        # Scan branches.  The dynamic-filter-gated base scan stays a
+        # single uncached stage (see docstring); every other branch may
+        # lower hybrid, so downstream edges read from ``source_ids``.
+        source_ids: Dict[str, str] = {}
         for index, branch in enumerate(branches):
-            inputs = ()
             if index == 0 and dynamic_filter_stage is not None:
                 # The handshake edge: the base scan may not start before
                 # the filter lands in its pushed plan.  Untyped — the
                 # payload is a signal, not a batch stream.
-                inputs = (dynamic_filter_stage,)
+                graph.add(
+                    Stage(
+                        stage_id=branch.stage_id,
+                        kind="scan",
+                        run=self._scan_stage(connector, branch, finish=True),
+                        inputs=(dynamic_filter_stage,),
+                        output_schema=branch.plan.output_schema(),
+                        attributes={
+                            "table": branch.table, "splits": len(branch.splits),
+                        },
+                    )
+                )
+                source_ids[branch.stage_id] = branch.stage_id
+            else:
+                source_ids[branch.stage_id] = self._add_branch_stages(
+                    graph, connector, branch, finish=True, tenant=tenant
+                )
+
+        if dynamic_filter_stage is not None:
+            build_source = source_ids[first_build.stage_id]
             graph.add(
                 Stage(
-                    stage_id=branch.stage_id,
-                    kind="scan",
-                    run=self._scan_stage(connector, branch, finish=True),
-                    inputs=inputs,
-                    output_schema=branch.plan.output_schema(),
-                    attributes={"table": branch.table, "splits": len(branch.splits)},
+                    stage_id=dynamic_filter_stage,
+                    kind="filter",
+                    run=self._dynamic_filter_stage(
+                        joins[0], base, build_source
+                    ),
+                    inputs=(build_source,),
+                    input_schemas={
+                        build_source: first_build.plan.output_schema()
+                    },
+                    output_schema=first_build.plan.output_schema(),
+                    attributes={"target": base.stage_id},
                 )
             )
 
@@ -641,11 +764,12 @@ class Coordinator:
         # and the next (residual filters), or — at the top — the
         # split-operator half of the fragment above the whole chain.
         above_physical, segment_physicals = self._fragment_above(plan, joins)
-        probe_source = branches[0].stage_id
+        probe_source = source_ids[branches[0].stage_id]
         probe_schema = branches[0].plan.output_schema()
         retry = getattr(connector, "retry_policy", None) or RetryPolicy()
         for index, join in enumerate(joins):
             build_branch = branches[index + 1]
+            build_source_id = source_ids[build_branch.stage_id]
             build_schema = build_branch.plan.output_schema()
             distribution = join.distribution
             if distribution == "auto":
@@ -662,7 +786,7 @@ class Coordinator:
                     stage_id=build_ex,
                     kind="exchange",
                     run=self._exchange_stage(
-                        source=build_branch.stage_id,
+                        source=build_source_id,
                         keys=list(join.right_keys),
                         workers=workers,
                         distribution=distribution,
@@ -670,8 +794,8 @@ class Coordinator:
                         index=index,
                         side="build",
                     ),
-                    inputs=(build_branch.stage_id,),
-                    input_schemas={build_branch.stage_id: build_schema},
+                    inputs=(build_source_id,),
+                    input_schemas={build_source_id: build_schema},
                     output_schema=build_schema,
                     attributes={"distribution": distribution, "partitions": workers},
                 )
@@ -852,58 +976,82 @@ class Coordinator:
 
     # -- stage bodies ----------------------------------------------------------
 
-    def _scan_stage(self, connector: Connector, branch: _Branch, finish: bool):
+    def _scan_splits(
+        self,
+        ctx: StageContext,
+        connector: Connector,
+        branch: _Branch,
+        splits: List[ConnectorSplit],
+    ):
+        """Fan ``splits`` out through scan drivers; returns per-split outs."""
+        sim = ctx.sim
+        speculative = _has_speculative_source(connector)
+        # Stamped by each split when it acquires a scan driver, so
+        # the scheduler's straggler clock measures service time, not
+        # driver-queue wait.
+        service_starts: List[Optional[float]] = [None] * len(splits)
+
+        def launch_primary(i: int):
+            split = splits[i]
+
+            def note_start(now: float, index: int = i) -> None:
+                service_starts[index] = now
+
+            return sim.process(
+                self._run_split(
+                    connector, branch.handle, split, branch.physical,
+                    ctx.metrics, ctx.span, owner=ctx.query_id,
+                    on_service_start=note_start,
+                ),
+                name=f"split-{split.split_id}",
+            )
+
+        def launch_backup(i: int):
+            if not speculative:
+                return None
+            split = splits[i]
+            return sim.process(
+                self._run_split(
+                    connector, branch.handle, split, branch.physical,
+                    ctx.metrics, ctx.span, owner=ctx.query_id,
+                    source_factory=connector.speculative_page_source,
+                    label=f"split-{split.split_id}:speculative",
+                    queued=False,
+                ),
+                name=f"split-{split.split_id}:speculative",
+            )
+
+        outs = yield from run_splits(
+            ctx, self.scheduler_spec, splits, launch_primary, launch_backup,
+            service_starts=service_starts,
+        )
+        return outs
+
+    def _scan_stage(
+        self,
+        connector: Connector,
+        branch: _Branch,
+        finish: bool,
+        fill: Optional[_SplitProbe] = None,
+        tenant: str = "default",
+    ):
         """Build the scan-stage body: split fan-out + branch final ops.
 
         ``finish`` runs the branch plan's final operators (the
         OutputNode projection of a join branch) inside the stage; the
         single-table scan leaves its final operators to the
-        aggregate/merge tail instead.
+        aggregate/merge tail instead.  ``fill`` feeds every split's
+        post-operator batches into the coordinator split cache so later
+        runs of the same branch can lower hybrid.
         """
 
         def run(ctx: StageContext, inputs: Dict[str, Any]):
             cluster = self.cluster
-            sim = ctx.sim
-            speculative = _has_speculative_source(connector)
-            # Stamped by each split when it acquires a scan driver, so
-            # the scheduler's straggler clock measures service time, not
-            # driver-queue wait.
-            service_starts: List[Optional[float]] = [None] * len(branch.splits)
-
-            def launch_primary(i: int):
-                split = branch.splits[i]
-
-                def note_start(now: float, index: int = i) -> None:
-                    service_starts[index] = now
-
-                return sim.process(
-                    self._run_split(
-                        connector, branch.handle, split, branch.physical,
-                        ctx.metrics, ctx.span, owner=ctx.query_id,
-                        on_service_start=note_start,
-                    ),
-                    name=f"split-{split.split_id}",
+            outs = yield from self._scan_splits(ctx, connector, branch, branch.splits)
+            if fill is not None:
+                self._fill_split_cache(
+                    ctx, branch, fill, list(range(len(branch.splits))), outs, tenant
                 )
-
-            def launch_backup(i: int):
-                if not speculative:
-                    return None
-                split = branch.splits[i]
-                return sim.process(
-                    self._run_split(
-                        connector, branch.handle, split, branch.physical,
-                        ctx.metrics, ctx.span, owner=ctx.query_id,
-                        source_factory=connector.speculative_page_source,
-                        label=f"split-{split.split_id}:speculative",
-                        queued=False,
-                    ),
-                    name=f"split-{split.split_id}:speculative",
-                )
-
-            outs = yield from run_splits(
-                ctx, self.scheduler_spec, branch.splits, launch_primary, launch_backup,
-                service_starts=service_starts,
-            )
             batches = [b for out in outs for b in out]
             if not finish:
                 return batches
@@ -925,11 +1073,352 @@ class Coordinator:
 
         return run
 
-    def _dynamic_filter_stage(self, join: JoinNode, base: _Branch, build: _Branch):
+    def _cached_splits_stage(
+        self, connector: Connector, branch: _Branch, probe: _SplitProbe, tenant: str
+    ):
+        """Serve the lowering-time-resident splits from the split cache.
+
+        Each hit is re-checked against the objects' *current* version
+        counters; an entry evicted or invalidated between lowering and
+        launch falls back to the normal pushdown path for that split.
+        Returns ``{original split index: batches}``.
+        """
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            cache = cluster.cache
+            costs = cluster.costs
+            out: Dict[int, List[RecordBatch]] = {}
+            fallback: List[int] = []
+            served = 0
+            hits = 0
+            with ctx.accountant.window(STAGE_TRANSFER):
+                span = cluster.tracer.start(
+                    "cache-lookup", parent=ctx.span, stage=STAGE_TRANSFER,
+                    attributes={"tier": "split", "splits": len(probe.hits)},
+                )
+                try:
+                    for index in probe.hits:
+                        key = probe.keys[index]
+                        resident = cache.splits.entry(key) is not None
+                        value = cache.splits.get(
+                            key, tenant=tenant,
+                            versions=self._split_versions(branch, branch.splits[index]),
+                        )
+                        if value is None:
+                            cache.account("stale" if resident else "miss", tenant, 0)
+                            fallback.append(index)
+                            continue
+                        nbytes = sum(b.nbytes for b in value)
+                        cache.account("hit", tenant, nbytes)
+                        out[index] = list(value)
+                        served += nbytes
+                        hits += 1
+                    cycles = (
+                        len(probe.hits) * costs.cache_lookup_cycles
+                        + served * costs.cache_serve_cycles_per_byte
+                    )
+                    if cycles:
+                        yield cluster.compute.execute(cycles, name="cache-serve")
+                    span.set("hits", hits)
+                    span.set("bytes", served)
+                finally:
+                    cluster.tracer.end(span)
+            if hits:
+                ctx.metrics.add("split_cache_hits", hits)
+                ctx.metrics.add("split_cache_bytes_served", served)
+            for index in fallback:
+                out[index] = yield from self._run_split(
+                    connector, branch.handle, branch.splits[index],
+                    branch.physical, ctx.metrics, ctx.span, owner=ctx.query_id,
+                )
+            return out
+
+        return run
+
+    def _residual_scan_stage(
+        self, connector: Connector, branch: _Branch, probe: _SplitProbe, tenant: str
+    ):
+        """Push the non-resident splits to storage and fill the cache.
+
+        Returns ``{original split index: batches}`` so the cache-union
+        stage can restore the branch's original split order.
+        """
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            splits = [branch.splits[i] for i in probe.misses]
+            outs = yield from self._scan_splits(ctx, connector, branch, splits)
+            self._fill_split_cache(ctx, branch, probe, probe.misses, outs, tenant)
+            return {index: outs[slot] for slot, index in enumerate(probe.misses)}
+
+        return run
+
+    def _cache_union_stage(
+        self,
+        branch: _Branch,
+        cached_id: str,
+        residual_id: Optional[str],
+        finish: bool,
+    ):
+        """Reassemble a partially cached scan in original split order.
+
+        Both inputs map original split index -> batches; the union
+        concatenates over sorted indices, so the stream is byte-identical
+        to the unsplit scan's regardless of which fraction was cached.
+        """
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            merged: Dict[int, List[RecordBatch]] = dict(inputs[cached_id])
+            if residual_id is not None:
+                merged.update(inputs[residual_id])
+            batches = [b for index in sorted(merged) for b in merged[index]]
+            if not finish:
+                return batches
+            final_ops = self.backend.compile(branch.physical.final_operators())
+            if not final_ops:
+                return batches
+            with ctx.accountant.window(STAGE_EXECUTION):
+                span = cluster.tracer.start(
+                    "cache-union-final", parent=ctx.span, stage=STAGE_EXECUTION
+                )
+                try:
+                    batches = run_operators(batches, final_ops)
+                    cycles = presto_pipeline_cycles(final_ops, cluster.costs)
+                    if cycles:
+                        yield cluster.compute.execute_spread(
+                            cycles, name="cache-union-final"
+                        )
+                finally:
+                    cluster.tracer.end(span)
+            return batches
+            yield  # pragma: no cover - marks this body as a generator
+
+        return run
+
+    # -- cache probes ------------------------------------------------------------
+
+    def _add_branch_stages(
+        self,
+        graph: StageGraph,
+        connector: Connector,
+        branch: _Branch,
+        finish: bool,
+        tenant: str,
+    ) -> str:
+        """Add the stage(s) realizing one scan branch; returns its source id.
+
+        With no split cache (or no resident splits) this is the classic
+        single scan stage — which then *fills* the cache as it runs.
+        With resident splits the branch lowers hybrid:
+        ``cached + residual -> cache-union``.
+        """
+        probe = self._split_probe(branch)
+        split_schema = branch.physical.split_schema
+        out_schema = branch.plan.output_schema() if finish else split_schema
+        if probe is None or not probe.hits:
+            graph.add(
+                Stage(
+                    stage_id=branch.stage_id,
+                    kind="scan",
+                    run=self._scan_stage(
+                        connector, branch, finish=finish, fill=probe, tenant=tenant
+                    ),
+                    output_schema=out_schema,
+                    attributes={"table": branch.table, "splits": len(branch.splits)},
+                )
+            )
+            return branch.stage_id
+        suffix = branch.stage_id.split(":", 1)[1]  # "{index}:{table}"
+        cached_id = f"{branch.stage_id}:cached"
+        union_inputs: List[str] = [cached_id]
+        union_schemas: Dict[str, Schema] = {cached_id: split_schema}
+        graph.add(
+            Stage(
+                stage_id=cached_id,
+                kind="scan",
+                run=self._cached_splits_stage(connector, branch, probe, tenant),
+                output_schema=split_schema,
+                attributes={
+                    "table": branch.table,
+                    "splits": len(probe.hits),
+                    "source": "cache",
+                },
+            )
+        )
+        residual_id: Optional[str] = None
+        if probe.misses:
+            residual_id = f"{branch.stage_id}:residual"
+            graph.add(
+                Stage(
+                    stage_id=residual_id,
+                    kind="scan",
+                    run=self._residual_scan_stage(connector, branch, probe, tenant),
+                    output_schema=split_schema,
+                    attributes={
+                        "table": branch.table,
+                        "splits": len(probe.misses),
+                        "source": "pushdown",
+                    },
+                )
+            )
+            union_inputs.append(residual_id)
+            union_schemas[residual_id] = split_schema
+        union_id = f"cache-union:{suffix}"
+        graph.add(
+            Stage(
+                stage_id=union_id,
+                kind="cache-union",
+                run=self._cache_union_stage(branch, cached_id, residual_id, finish),
+                inputs=tuple(union_inputs),
+                input_schemas=union_schemas,
+                output_schema=out_schema,
+                attributes={
+                    "table": branch.table,
+                    "cached_splits": len(probe.hits),
+                    "residual_splits": len(probe.misses),
+                },
+            )
+        )
+        return union_id
+
+    def _split_probe(self, branch: _Branch) -> Optional[_SplitProbe]:
+        """Split-cache keys + lowering-time hit set for one branch.
+
+        ``None`` (branch not split-cacheable) without a cache, with the
+        tier disabled, or when the handle has no catalog descriptor to
+        version the splits against.  Uses pure peeks so EXPLAIN stays
+        side-effect free.
+        """
+        cache = self.cluster.cache
+        if cache is None or cache.splits.budget_bytes <= 0:
+            return None
+        descriptor = getattr(branch.handle, "descriptor", None)
+        if descriptor is None or not branch.splits:
+            return None
+        pushed_fp = self._pushed_fingerprint(branch)
+        plan_sig = hashlib.sha256(
+            format_plan(branch.plan).encode("utf-8")
+        ).hexdigest()
+        keys = [
+            CacheManager.split_key(branch.table, pushed_fp, plan_sig, split.keys)
+            for split in branch.splits
+        ]
+        hits = [i for i, key in enumerate(keys) if cache.splits.entry(key) is not None]
+        misses = [i for i, key in enumerate(keys) if cache.splits.entry(key) is None]
+        return _SplitProbe(keys=keys, hits=hits, misses=misses)
+
+    @staticmethod
+    def _pushed_fingerprint(branch: _Branch) -> str:
+        """Canonical fingerprint of the branch's pushed subplan ("-" when
+        nothing is pushed — the residual plan signature still keys the
+        entry)."""
+        pushed = getattr(branch.handle, "pushed", None)
+        descriptor = getattr(branch.handle, "descriptor", None)
+        if pushed is None or descriptor is None:
+            return "-"
+        from repro.core.translator import build_pushdown_plan
+        from repro.substrait.fingerprint import fingerprint_plan
+
+        return fingerprint_plan(build_pushdown_plan(descriptor, pushed))
+
+    def _split_versions(self, branch: _Branch, split: ConnectorSplit):
+        """Version signature of everything one split's value derives from:
+        the catalog descriptor (bumped by stats refreshes) plus the write
+        counter of every object the split covers."""
+        descriptor = branch.handle.descriptor
+        meta = (f"meta:{descriptor.qualified_name}", descriptor.version)
+        return (meta,) + object_version_signature(
+            self.cluster.store, descriptor.bucket, split.keys
+        )
+
+    def _result_probe(
+        self, lowered: _Lowered
+    ) -> Optional[Tuple[Hashable, Tuple[Tuple[str, int], ...]]]:
+        """(key, version signature) for the whole-query result cache.
+
+        ``None`` when any branch lacks a catalog descriptor — with no
+        way to version what the query read, serving a cached result
+        could silently survive a write.
+        """
+        store = self.cluster.store
+        parts: List[str] = []
+        versions: List[Tuple[str, int]] = []
+        for branch in lowered.branches:
+            descriptor = getattr(branch.handle, "descriptor", None)
+            if descriptor is None:
+                return None
+            parts.append(f"{branch.table}={self._pushed_fingerprint(branch)}")
+            meta = (f"meta:{descriptor.qualified_name}", descriptor.version)
+            versions.append(meta)
+            versions.extend(
+                object_version_signature(store, descriptor.bucket, descriptor.files)
+            )
+        body = "\n".join(
+            parts + [lowered.plan_after, ",".join(lowered.output_schema.names())]
+        )
+        key = CacheManager.result_key(
+            hashlib.sha256(body.encode("utf-8")).hexdigest()
+        )
+        seen = set()
+        signature: List[Tuple[str, int]] = []
+        for item in versions:
+            if item not in seen:
+                seen.add(item)
+                signature.append(item)
+        return key, tuple(signature)
+
+    def _fill_split_cache(
+        self,
+        ctx: StageContext,
+        branch: _Branch,
+        probe: _SplitProbe,
+        indices: List[int],
+        outs: List[List[RecordBatch]],
+        tenant: str,
+    ) -> None:
+        """Offer each scanned split's post-operator batches to the cache.
+
+        Fills are best-effort: a refusal (budget or another tenant's
+        reservation floor) is accounted, never raised.  Pure bookkeeping
+        — no simulated time passes.
+        """
+        cache = self.cluster.cache
+        if cache is None:
+            return
+        span = self.cluster.tracer.start(
+            "cache-fill", parent=ctx.span, attributes={"tier": "split"}
+        )
+        filled = 0
+        filled_bytes = 0
+        try:
+            for slot, index in enumerate(indices):
+                batches = outs[slot]
+                nbytes = sum(b.nbytes for b in batches)
+                ok = cache.splits.put(
+                    probe.keys[index],
+                    list(batches),
+                    nbytes=nbytes,
+                    tenant=tenant,
+                    versions=self._split_versions(branch, branch.splits[index]),
+                    cost=float(sum(b.num_rows for b in batches)),
+                )
+                cache.account("fill" if ok else "quota", tenant, nbytes)
+                if ok:
+                    filled += 1
+                    filled_bytes += nbytes
+            span.set("splits", filled)
+            span.set("bytes", filled_bytes)
+        finally:
+            self.cluster.tracer.end(span)
+        if filled:
+            ctx.metrics.add("split_cache_fills", filled)
+
+    def _dynamic_filter_stage(self, join: JoinNode, base: _Branch, build_source: str):
         """Fold the finished build side's key summary into the base scan."""
 
         def run(ctx: StageContext, inputs: Dict[str, Any]):
-            build_batches = inputs[build.stage_id]
+            build_batches = inputs[build_source]
             pushed = getattr(base.handle, "pushed", None)
             if pushed is not None and build_batches:
                 probe_key = join.left_keys[0]

@@ -46,8 +46,11 @@ __all__ = [
 #: from a finished build side into a not-yet-started probe scan,
 #: ``exchange`` shuffles pages through the fabric, ``join`` runs the
 #: parallel hash-join tasks of one join level, ``aggregate`` runs the
-#: merge-side aggregation, and ``merge`` produces the query's final
-#: batch (post-aggregation operators + output projection).
+#: merge-side aggregation, ``merge`` produces the query's final batch
+#: (post-aggregation operators + output projection), and
+#: ``cache-union`` reassembles a partially cached scan — a cached-local
+#: branch served from the coordinator's split cache unioned, in
+#: original split order, with the pushed-remote residual branch.
 STAGE_KINDS: Tuple[str, ...] = (
     "scan",
     "filter",
@@ -55,6 +58,7 @@ STAGE_KINDS: Tuple[str, ...] = (
     "join",
     "aggregate",
     "merge",
+    "cache-union",
 )
 
 

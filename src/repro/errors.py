@@ -371,6 +371,41 @@ class QueueTimeoutError(AdmissionError):
 
 
 # --------------------------------------------------------------------------
+# Cache errors
+# --------------------------------------------------------------------------
+
+
+class CacheError(ReproError):
+    """Base class for result/page cache failures."""
+
+    code = "CACHE"
+
+
+class CacheQuotaError(CacheError):
+    """A cache fill was refused because it would violate tenant quotas.
+
+    Either the filling tenant is over its own share and every candidate
+    eviction victim belongs to a tenant still inside its byte
+    reservation, or the entry is larger than the whole budget.  Fills
+    are best-effort, so this surfaces in accounting (and tests) rather
+    than failing queries.
+    """
+
+    code = "CACHE_QUOTA"
+
+
+class CacheStaleError(CacheError):
+    """A cache entry's recorded object versions no longer match storage.
+
+    Lookups treat staleness as a miss and drop the entry; this error
+    exists for callers that *assert* freshness (tests, invariants)
+    rather than for the soft-invalidation path.
+    """
+
+    code = "CACHE_STALE"
+
+
+# --------------------------------------------------------------------------
 # Simulation errors
 # --------------------------------------------------------------------------
 

@@ -34,10 +34,21 @@ class TableDescriptor:
     column_histograms: Dict[str, IntervalHistogram] = field(default_factory=dict)
     row_count: int = 0
     total_bytes: int = 0
+    #: Monotonic metadata version: bumped on registration and on every
+    #: statistics refresh.  Cached plans record it alongside per-object
+    #: versions so a stats refresh (which can change pushdown pruning
+    #: decisions) invalidates derived results even when data bytes
+    #: did not move.
+    version: int = 1
 
     @property
     def qualified_name(self) -> str:
         return f"{self.schema_name}.{self.table_name}"
+
+    def bump_version(self) -> int:
+        """Advance the metadata version; returns the new value."""
+        self.version += 1
+        return self.version
 
     def stats_for(self, column: str) -> Optional[ColumnStats]:
         return self.column_statistics.get(column)

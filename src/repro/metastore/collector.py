@@ -57,3 +57,6 @@ def collect_table_statistics(descriptor: TableDescriptor, store: ObjectStore) ->
     }
     descriptor.row_count = row_count
     descriptor.total_bytes = total_bytes
+    # A stats refresh can flip pushdown pruning decisions, so cached
+    # results derived under the old statistics must not be served.
+    descriptor.bump_version()

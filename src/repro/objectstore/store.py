@@ -23,11 +23,20 @@ __all__ = ["StoredObject", "Bucket", "ObjectStore"]
 
 @dataclass
 class StoredObject:
-    """One object: payload bytes plus user metadata."""
+    """One object: payload bytes plus user metadata.
+
+    ``version`` is a monotonic write counter: each PUT to the same key
+    produces a StoredObject with the predecessor's version + 1.  Cache
+    entries record the versions of every object they derive from and
+    treat any mismatch as an invalidation — rewriting an object with
+    identical bytes still bumps the version (like an S3 ETag rollover),
+    which is exactly the conservative behavior the cache wants.
+    """
 
     key: str
     data: bytes
     metadata: Dict[str, str] = field(default_factory=dict)
+    version: int = 1
 
     @property
     def size(self) -> int:
@@ -42,9 +51,20 @@ class Bucket:
         self._objects: Dict[str, StoredObject] = {}
 
     def put(self, key: str, data: bytes, metadata: Optional[Dict[str, str]] = None) -> StoredObject:
-        obj = StoredObject(key=key, data=bytes(data), metadata=dict(metadata or {}))
+        previous = self._objects.get(key)
+        obj = StoredObject(
+            key=key,
+            data=bytes(data),
+            metadata=dict(metadata or {}),
+            version=(previous.version + 1) if previous is not None else 1,
+        )
         self._objects[key] = obj
         return obj
+
+    def version(self, key: str) -> int:
+        """Current write-counter version of ``key`` (0 if absent)."""
+        obj = self._objects.get(key)
+        return obj.version if obj is not None else 0
 
     def get(self, key: str) -> StoredObject:
         try:
@@ -115,7 +135,16 @@ class ObjectStore:
 
     def head_object(self, bucket: str, key: str) -> Dict[str, object]:
         obj = self.bucket(bucket).get(key)
-        return {"key": obj.key, "size": obj.size, "metadata": dict(obj.metadata)}
+        return {
+            "key": obj.key,
+            "size": obj.size,
+            "metadata": dict(obj.metadata),
+            "version": obj.version,
+        }
+
+    def object_version(self, bucket: str, key: str) -> int:
+        """Write-counter version of an object; 0 when it does not exist."""
+        return self.bucket(bucket).version(key)
 
     def list_objects(self, bucket: str, prefix: str = "") -> List[str]:
         return self.bucket(bucket).list(prefix)

@@ -70,6 +70,9 @@ class OcsCostReport:
     row_groups_read: int = 0
     #: Rows eliminated by dynamic-filter (Bloom) predicates at the store.
     dynamic_rows_pruned: int = 0
+    #: Requests served from the storage node's page cache (no disk read,
+    #: no engine CPU — only the cache-serve charge).
+    page_cache_hits: int = 0
 
     @property
     def total_cpu_cycles(self) -> float:
@@ -86,6 +89,7 @@ class OcsCostReport:
         self.row_groups_pruned += other.row_groups_pruned
         self.row_groups_read += other.row_groups_read
         self.dynamic_rows_pruned += other.dynamic_rows_pruned
+        self.page_cache_hits += other.page_cache_hits
 
 
 def _positional(batch: RecordBatch) -> RecordBatch:

@@ -119,6 +119,7 @@ def encode_response(arrow: bytes, report: OcsCostReport) -> bytes:
         report.row_groups_read,
         report.dynamic_rows_pruned,
         int(report.total_cpu_cycles),
+        report.page_cache_hits,
     ):
         out += encode_varint(int(value))
     return bytes(out)
@@ -131,7 +132,7 @@ def decode_response(buf: bytes) -> Tuple[bytes, OcsCostReport]:
     arrow_len, pos = _read_varint(buf, pos)
     arrow, pos = _take(buf, pos, arrow_len)
     values = []
-    for _ in range(8):
+    for _ in range(9):
         value, pos = _read_varint(buf, pos)
         values.append(value)
     report = OcsCostReport(
@@ -143,6 +144,7 @@ def decode_response(buf: bytes) -> Tuple[bytes, OcsCostReport]:
         row_groups_read=values[5],
         dynamic_rows_pruned=values[6],
         compute_cycles=float(values[7]),
+        page_cache_hits=values[8],
     )
     return arrow, report
 

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.arrowsim.ipc import serialize_batches
 from repro.objectstore.store import ObjectStore
-from repro.ocs.embedded_engine import EmbeddedEngine
+from repro.ocs.embedded_engine import EmbeddedEngine, OcsCostReport
 from repro.sim.costmodel import CostParams
 from repro.sim.kernel import Process, Simulator
 from repro.sim.node import SimNode
@@ -17,7 +18,17 @@ __all__ = ["OcsStorageNode"]
 
 
 class OcsStorageNode:
-    """One storage node of the OCS hierarchy (paper Section 5.1)."""
+    """One storage node of the OCS hierarchy (paper Section 5.1).
+
+    When wired with a ``page_cache`` (one
+    :class:`~repro.cache.budget.ByteBudgetCache` tier per node), repeated
+    pushed subplans over unchanged objects are served from memory: the
+    hit skips the disk read and the engine's scan/compute cycles, paying
+    only a per-byte serve charge.  Entries are keyed by
+    ``(bucket, object keys, canonical plan fingerprint)`` and carry the
+    objects' write-counter versions, so any PUT invalidates lazily on
+    the next lookup.
+    """
 
     def __init__(
         self,
@@ -27,6 +38,7 @@ class OcsStorageNode:
         costs: CostParams,
         index: int = 0,
         tracer: Tracer = NOOP_TRACER,
+        page_cache=None,
     ) -> None:
         self.sim = sim
         self.node = node
@@ -34,6 +46,7 @@ class OcsStorageNode:
         self.costs = costs
         self.index = index
         self.tracer = tracer
+        self.page_cache = page_cache
         self.engine = EmbeddedEngine(store, costs)
         self.plans_executed = 0
 
@@ -49,6 +62,36 @@ class OcsStorageNode:
             self._execute(plan, bucket, keys, trace), name=f"ocs-exec[{self.index}]"
         )
 
+    def _cache_probe(self, plan: SubstraitPlan, bucket: str, keys: Sequence[str]):
+        """(key, versions) for the page cache, or None when uncacheable.
+
+        Plans carrying a dynamic join filter are never cached: the
+        filter's bits derive from *another* table's data, which the
+        key's version signature does not cover.
+        """
+        if self.page_cache is None:
+            return None
+        from repro.cache.manager import CacheManager, object_version_signature
+        from repro.substrait.expressions import SBloomProbe, SInList
+
+        def has_dynamic(expr) -> bool:
+            if isinstance(expr, (SBloomProbe, SInList)):
+                return True
+            return any(has_dynamic(c) for c in expr.children())
+
+        rel = plan.root
+        seen = [rel]
+        while seen:
+            node = seen.pop()
+            if any(has_dynamic(e) for e in node.expressions()):
+                return None
+            seen.extend(node.inputs())
+        from repro.substrait.fingerprint import fingerprint_plan
+
+        key = CacheManager.storage_key(bucket, tuple(keys), fingerprint_plan(plan))
+        versions = object_version_signature(self.store, bucket, list(keys))
+        return key, versions
+
     def _execute(
         self,
         plan: SubstraitPlan,
@@ -56,6 +99,38 @@ class OcsStorageNode:
         keys: Sequence[str],
         trace: Optional[SpanContext] = None,
     ):
+        probe = self._cache_probe(plan, bucket, keys)
+        if probe is not None:
+            key, versions = probe
+            hit = self.page_cache.get(key, versions=versions)
+            if hit is not None:
+                arrow, stored_report = hit
+                report: OcsCostReport = replace(
+                    stored_report,
+                    stored_bytes_read=0,
+                    decompress_cycles=0.0,
+                    scan_cycles=0.0,
+                    compute_cycles=0.0,
+                    rows_scanned=0,
+                    row_groups_pruned=0,
+                    row_groups_read=0,
+                    page_cache_hits=1,
+                )
+                span = self.tracer.start(
+                    f"ocs.cache-hit[{self.index}]",
+                    parent=trace,
+                    attributes={"node": self.node.name, "bytes": len(arrow)},
+                )
+                try:
+                    yield self.node.execute_spread(
+                        self.costs.cache_lookup_cycles
+                        + len(arrow) * self.costs.ocs_cache_serve_cycles_per_byte,
+                        name="cache-serve",
+                    )
+                finally:
+                    self.tracer.end(span)
+                return arrow, report
+
         # Real execution first (instantaneous in simulated time)...
         batches, report = self.engine.execute(plan, bucket, keys)
         arrow = serialize_batches(batches)
@@ -88,4 +163,13 @@ class OcsStorageNode:
         )
         self.tracer.end(encode)
         self.plans_executed += 1
+        if probe is not None:
+            key, versions = probe
+            self.page_cache.put(
+                key,
+                (arrow, replace(report)),
+                nbytes=len(arrow),
+                versions=versions,
+                cost=report.total_cpu_cycles,
+            )
         return arrow, report

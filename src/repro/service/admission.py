@@ -58,6 +58,15 @@ class TenantState:
     first_submit: Optional[float] = None
     last_finish: Optional[float] = None
     rejections_by_code: Dict[str, int] = field(default_factory=dict)
+    #: Cache-quota ledger (fed by :meth:`AdmissionController.record_cache`
+    #: through the cache manager's accountant seam).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_fills: int = 0
+    cache_stale_drops: int = 0
+    cache_quota_refusals: int = 0
+    cache_bytes_served: int = 0
+    cache_bytes_filled: int = 0
 
 
 class AdmissionController:
@@ -148,6 +157,28 @@ class AdmissionController:
         state.rejected += 1
         code = str(error.code)
         state.rejections_by_code[code] = state.rejections_by_code.get(code, 0) + 1
+
+    def record_cache(self, event: str, tenant: str, nbytes: int) -> None:
+        """Cache-quota accounting (the cache manager's accountant seam).
+
+        ``event`` is one of hit/miss/fill/stale/quota; bytes accumulate
+        for hits (served) and fills so the SLO report can show how much
+        of a tenant's traffic the cache absorbed.
+        """
+        self._track("u", tenant, "admission.record_cache")
+        state = self.tenant(tenant)
+        if event == "hit":
+            state.cache_hits += 1
+            state.cache_bytes_served += nbytes
+        elif event == "miss":
+            state.cache_misses += 1
+        elif event == "fill":
+            state.cache_fills += 1
+            state.cache_bytes_filled += nbytes
+        elif event == "stale":
+            state.cache_stale_drops += 1
+        elif event == "quota":
+            state.cache_quota_refusals += 1
 
     def record_dispatch(self, job: QueryJob) -> None:
         self._track("u", job.tenant, "admission.record_dispatch")

@@ -75,6 +75,10 @@ class QueryService:
             if base_config is not None
             else RunConfig(label=_DEFAULT_CONFIG_LABEL, mode="ocs")
         )
+        #: Hybrid result/page cache (docs/CACHE.md), shared through the
+        #: environment so cached state is visible to later services built
+        #: on the same datasets with an equal spec.
+        self.cache = environment.cache_manager(self.base_config.cache)
         self.cluster = Cluster(
             environment.store,
             environment.testbed,
@@ -84,6 +88,7 @@ class QueryService:
             tracing=self.spec.tracing,
             tie_break=tie_break,
             sim_observer=observer,
+            cache=self.cache,
         )
         self.sim = self.cluster.sim
         self.coordinator = Coordinator(
@@ -91,6 +96,10 @@ class QueryService:
             scheduler=self.base_config.scheduler,
         )
         self.admission = AdmissionController(self.spec)
+        if self.cache is not None:
+            # Per-tenant quota accounting: hit/miss/fill/refusal counters
+            # land in the same ledgers the SLO report reads.
+            self.cache.accountant = self.admission.record_cache
         self.jobs: List[QueryJob] = []
         self._queue: List[QueryJob] = []
         self._active = 0
@@ -330,6 +339,7 @@ class QueryService:
                     metrics=MetricsRegistry(),
                     parent=job.span,
                     query_id=job.query_id,
+                    tenant=job.tenant,
                 ),
                 name=f"run-{job.query_id}",
             )
@@ -458,4 +468,5 @@ def _config_key(config: RunConfig) -> tuple:
         config.strict_verify,
         policy_key,
         retry_key,
+        config.cache.key() if config.cache is not None else None,
     )

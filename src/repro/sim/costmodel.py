@@ -159,6 +159,16 @@ class CostParams:
     #: build table under broadcast).
     exchange_partition_count: int = 4
 
+    # -- Result / page cache ----------------------------------------------------
+    #: Fixed cost of one cache lookup (key hash + version recheck) on
+    #: whichever node hosts the tier.
+    cache_lookup_cycles: float = 50_000.0
+    #: Copy-out cost per byte served from a coordinator-tier cache hit.
+    cache_serve_cycles_per_byte: float = 0.5
+    #: Copy-out cost per byte served from an OCS node's page cache (the
+    #: hit skips the disk read and the engine's scan/compute cycles).
+    ocs_cache_serve_cycles_per_byte: float = 0.5
+
     # -- helpers -------------------------------------------------------------------
 
     def sort_cycles(self, rows: int) -> float:

@@ -1,0 +1,237 @@
+"""Canonical structural fingerprints for Substrait plans.
+
+The cache subsystem keys entries by *what a plan computes*, not how it
+happens to be spelled, so two spellings of the same pushdown must hash
+identically and two semantically different plans must not.  The
+canonicalizer normalizes exactly the equivalences the front end is known
+to produce:
+
+- **Read column ordering.** A ``ReadRel`` projection is sorted into
+  base-ordinal order and every downstream field reference is remapped,
+  so plans that read the same columns in different orders (and
+  compensate upstream) collide.  The *root* output order is semantic —
+  it is re-appended as an explicit emit permutation — so ``SELECT a, b``
+  and ``SELECT b, a`` still differ.
+- **Literal formatting.** Literals are encoded per target dtype
+  (``1`` and ``1.0`` against a float column collide; int-valued floats
+  against an int column collide).
+- **Commutativity.** ``and``/``or`` chains are flattened and their
+  operands sorted by canonical encoding; ``equal``/``not_equal``/
+  ``add``/``multiply`` sort their two operands; ``lt``/``gt``/``lte``/
+  ``gte`` pick the lexicographically smaller of the two flip
+  orientations (``a < b`` ≡ ``b > a``).
+- **Aliases.** ``root_names`` (output labels) are excluded — consumers
+  relabel cached pages on hit.  Physical column names inside
+  ``base_schema`` stay: they identify storage bytes.
+
+Function anchors are resolved through the plan's registry to their
+fully-qualified signatures, so fingerprints do not depend on anchor
+assignment order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+from repro.errors import SubstraitError
+from repro.substrait.expressions import (
+    SBloomProbe,
+    SCAST,
+    SExpression,
+    SFieldRef,
+    SFunctionCall,
+    SInList,
+    SLiteral,
+)
+from repro.substrait.plan import SubstraitPlan
+from repro.substrait.relations import (
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    NamedStruct,
+    ProjectRel,
+    ReadRel,
+    Relation,
+    SortRel,
+)
+
+__all__ = ["canonical_encoding", "fingerprint_plan"]
+
+#: Binary functions whose operands may be freely swapped.
+_COMMUTATIVE = ("equal", "not_equal", "add", "multiply")
+
+#: Comparison pairs where swapping operands flips the operator.
+_FLIP = {"lt": "gt", "gt": "lt", "lte": "gte", "gte": "lte"}
+
+#: Variadic boolean connectives: flatten chains, sort operands.
+_ASSOCIATIVE = ("and", "or")
+
+
+def _canon_literal(value: object, dtype_name: str) -> str:
+    """Dtype-directed literal spelling (``1`` vs ``1.0`` collide on floats)."""
+    if value is None:
+        return "null"
+    if dtype_name in ("float32", "float64"):
+        return repr(float(value))  # type: ignore[arg-type]
+    if dtype_name in ("int32", "int64", "date32"):
+        try:
+            as_int = int(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return repr(value)
+        # Only collapse exact integers (1.0 -> 1), never truncate.
+        if isinstance(value, float) and value != as_int:
+            return repr(value)
+        return str(as_int)
+    if dtype_name == "bool":
+        return "t" if value else "f"
+    return repr(value)
+
+
+def _bare_name(signature: str) -> str:
+    parts = signature.split(":")
+    if len(parts) < 2:
+        raise SubstraitError(f"malformed function signature {signature!r}")
+    return parts[1]
+
+
+def _canon_expr(expr: SExpression, plan: SubstraitPlan, remap: Sequence[int]) -> str:
+    """Canonical s-expression encoding of ``expr`` under an ordinal remap."""
+    if isinstance(expr, SFieldRef):
+        ordinal = expr.ordinal
+        if 0 <= ordinal < len(remap):
+            ordinal = remap[ordinal]
+        return f"(ref {ordinal} {expr.dtype.name})"
+    if isinstance(expr, SLiteral):
+        return f"(lit {_canon_literal(expr.value, expr.dtype.name)} {expr.dtype.name})"
+    if isinstance(expr, SCAST):
+        return f"(cast {_canon_expr(expr.operand, plan, remap)} {expr.dtype.name})"
+    if isinstance(expr, SInList):
+        options = sorted(_canon_literal(v, expr.option_dtype.name) for v in expr.options)
+        neg = "not-in" if expr.negated else "in"
+        operand = _canon_expr(expr.operand, plan, remap)
+        return f"({neg} {operand} [{','.join(options)}] {expr.option_dtype.name})"
+    if isinstance(expr, SBloomProbe):
+        bits = hashlib.sha256(expr.bits).hexdigest()[:16]
+        operand = _canon_expr(expr.operand, plan, remap)
+        return f"(bloom {operand} {bits} {expr.num_bits} {expr.hashes})"
+    if isinstance(expr, SFunctionCall):
+        signature = plan.registry.signature_of(expr.anchor)
+        name = _bare_name(signature)
+        if name in _ASSOCIATIVE:
+            operands = sorted(_flatten_connective(expr, name, plan, remap))
+            return f"({signature} {' '.join(operands)})"
+        args = [_canon_expr(a, plan, remap) for a in expr.args]
+        if name in _COMMUTATIVE and len(args) == 2:
+            args = sorted(args)
+        elif name in _FLIP and len(args) == 2:
+            flipped_sig = signature.replace(f":{name}:", f":{_FLIP[name]}:", 1)
+            forward = f"({signature} {args[0]} {args[1]})"
+            backward = f"({flipped_sig} {args[1]} {args[0]})"
+            return min(forward, backward)
+        return f"({signature} {' '.join(args)})"
+    raise SubstraitError(f"cannot fingerprint expression {type(expr).__name__}")
+
+
+def _flatten_connective(
+    expr: SFunctionCall, name: str, plan: SubstraitPlan, remap: Sequence[int]
+) -> List[str]:
+    """Operand encodings of an and/or chain, flattened through same-op children."""
+    out: List[str] = []
+    for arg in expr.args:
+        if isinstance(arg, SFunctionCall):
+            sig = plan.registry.signature_of(arg.anchor)
+            if _bare_name(sig) == name:
+                out.extend(_flatten_connective(arg, name, plan, remap))
+                continue
+        out.append(_canon_expr(arg, plan, remap))
+    return out
+
+
+def _canon_struct(struct: NamedStruct) -> str:
+    cols = ",".join(
+        f"{n}:{t.name}:{'n' if u else 'r'}"
+        for n, t, u in zip(struct.names, struct.types, struct.nullability)
+    )
+    return f"[{cols}]"
+
+
+def _canon_relation(
+    rel: Relation, plan: SubstraitPlan
+) -> Tuple[str, List[int]]:
+    """Encode a relation; returns ``(encoding, remap)``.
+
+    ``remap`` maps the relation's *declared* output ordinals to canonical
+    ordinals — parents rewrite their field references through it so read
+    column ordering is erased everywhere except the final emit.
+    """
+    if isinstance(rel, ReadRel):
+        order = sorted(range(len(rel.projection)), key=lambda i: rel.projection[i])
+        remap = [0] * len(rel.projection)
+        for canonical, declared in enumerate(order):
+            remap[declared] = canonical
+        projection = ",".join(str(rel.projection[i]) for i in order)
+        # The best-effort filter references *base* ordinals, not output
+        # positions, so it canonicalizes under the identity remap.
+        identity = list(range(len(rel.base_schema)))
+        filt = (
+            _canon_expr(rel.best_effort_filter, plan, identity)
+            if rel.best_effort_filter is not None
+            else "-"
+        )
+        enc = f"(read {rel.table} {_canon_struct(rel.base_schema)} ({projection}) {filt})"
+        return enc, remap
+    if isinstance(rel, FilterRel):
+        child, remap = _canon_relation(rel.input, plan)
+        cond = _canon_expr(rel.condition, plan, remap)
+        return f"(filter {child} {cond})", remap
+    if isinstance(rel, ProjectRel):
+        child, remap = _canon_relation(rel.input, plan)
+        exprs = " ".join(_canon_expr(e, plan, remap) for e in rel.expressions_)
+        # Emit-replace: the projection defines a fresh ordinal space.
+        return f"(project {child} {exprs})", list(range(len(rel.expressions_)))
+    if isinstance(rel, AggregateRel):
+        child, remap = _canon_relation(rel.input, plan)
+        grouping = ",".join(str(remap[g] if 0 <= g < len(remap) else g) for g in rel.grouping)
+        measures = " ".join(
+            "({} {} {} {} {})".format(
+                m.function,
+                " ".join(_canon_expr(a, plan, remap) for a in m.args) or "-",
+                m.output_dtype.name,
+                "d" if m.distinct else "a",
+                m.phase,
+            )
+            for m in rel.measures
+        )
+        enc = f"(aggregate {child} ({grouping}) {measures})"
+        return enc, list(range(len(rel.output_types())))
+    if isinstance(rel, SortRel):
+        child, remap = _canon_relation(rel.input, plan)
+        fields = ",".join(
+            f"{remap[f.ordinal] if 0 <= f.ordinal < len(remap) else f.ordinal}"
+            f"{'d' if f.descending else 'a'}"
+            for f in rel.sort_fields
+        )
+        return f"(sort {child} ({fields}))", remap
+    if isinstance(rel, FetchRel):
+        child, remap = _canon_relation(rel.input, plan)
+        return f"(fetch {child} {rel.offset} {rel.count})", remap
+    raise SubstraitError(f"cannot fingerprint relation {type(rel).__name__}")
+
+
+def canonical_encoding(plan: SubstraitPlan) -> str:
+    """The canonical text form a fingerprint hashes (exposed for tests)."""
+    body, remap = _canon_relation(plan.root, plan)
+    emit = ",".join(str(o) for o in remap)
+    return f"(plan v{plan.version[0]}.{plan.version[1]} {body} emit({emit}))"
+
+
+def fingerprint_plan(plan: SubstraitPlan) -> str:
+    """Stable sha256 hex digest of the plan's canonical structure.
+
+    Invariant to ``root_names`` aliases, read column ordering, literal
+    formatting, conjunct order, and registry anchor assignment; distinct
+    for any change to tables, columns, predicates, aggregates, limits,
+    or the root output permutation.
+    """
+    return hashlib.sha256(canonical_encoding(plan).encode()).hexdigest()

@@ -94,3 +94,20 @@ class TestRpcStatusError:
         exc = RpcStatusError("WEIRD", "x")
         assert exc.code == "WEIRD"
         assert "[WEIRD]" in str(exc)
+
+
+class TestCacheErrors:
+    def test_codes(self):
+        assert errors.CacheError.code == "CACHE"
+        assert errors.CacheQuotaError.code == "CACHE_QUOTA"
+        assert errors.CacheStaleError.code == "CACHE_STALE"
+
+    def test_hierarchy(self):
+        assert issubclass(errors.CacheQuotaError, errors.CacheError)
+        assert issubclass(errors.CacheStaleError, errors.CacheError)
+        assert issubclass(errors.CacheError, ReproError)
+
+    def test_catching_the_cache_base_catches_both_leaves(self):
+        for leaf in (errors.CacheQuotaError, errors.CacheStaleError):
+            with pytest.raises(errors.CacheError):
+                raise leaf("cache trouble")

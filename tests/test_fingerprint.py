@@ -1,0 +1,186 @@
+"""Canonical Substrait fingerprints: equivalent spellings collide,
+different plans do not, and digests are stable across seeded rebuilds."""
+
+import random
+
+from repro.arrowsim import BOOL, FLOAT64, INT64, STRING
+from repro.substrait import (
+    AggregateMeasure,
+    AggregateRel,
+    FetchRel,
+    FilterRel,
+    FunctionRegistry,
+    NamedStruct,
+    ProjectRel,
+    ReadRel,
+    SFieldRef,
+    SFunctionCall,
+    SLiteral,
+    SortField,
+    SortRel,
+    SubstraitPlan,
+)
+from repro.substrait.fingerprint import canonical_encoding, fingerprint_plan
+
+BASE = NamedStruct(
+    names=("id", "x", "tag"),
+    types=(INT64, FLOAT64, STRING),
+    nullability=(False, True, True),
+)
+
+
+def _filter_plan(
+    *,
+    threshold: object = 0.5,
+    id_bound: object = 10,
+    conjunct_order: str = "xy",
+    projection=(0, 1),
+    root_names=("id", "x"),
+    warm_registry: bool = False,
+    flip: bool = False,
+):
+    """``SELECT <projection> WHERE x > threshold AND id < id_bound``.
+
+    The knobs cover every front-end spelling the canonicalizer erases:
+    conjunct order, comparison orientation, literal formatting, read
+    column order (with compensating refs), output aliases, and registry
+    anchor assignment order.
+    """
+    registry = FunctionRegistry()
+    if warm_registry:
+        # Burn anchors so every function lands on different numbers.
+        registry.anchor_for("add", [INT64, INT64])
+        registry.anchor_for("sum", [FLOAT64])
+    x_ref = SFieldRef(projection.index(1), FLOAT64)
+    id_ref = SFieldRef(projection.index(0), INT64)
+    if flip:
+        gt = registry.anchor_for("lt", [FLOAT64, FLOAT64])
+        x_cond = SFunctionCall(gt, (SLiteral(threshold, FLOAT64), x_ref), BOOL)
+    else:
+        gt = registry.anchor_for("gt", [FLOAT64, FLOAT64])
+        x_cond = SFunctionCall(gt, (x_ref, SLiteral(threshold, FLOAT64)), BOOL)
+    lt = registry.anchor_for("lt", [INT64, INT64])
+    id_cond = SFunctionCall(lt, (id_ref, SLiteral(id_bound, INT64)), BOOL)
+    land = registry.anchor_for("and", [BOOL, BOOL])
+    pair = (x_cond, id_cond) if conjunct_order == "xy" else (id_cond, x_cond)
+    cond = SFunctionCall(land, pair, BOOL)
+    read = ReadRel("tpch.lineitem", BASE, tuple(projection))
+    project = ProjectRel(
+        FilterRel(read, cond),
+        (SFieldRef(projection.index(0), INT64), SFieldRef(projection.index(1), FLOAT64)),
+    )
+    return SubstraitPlan(root=project, registry=registry, root_names=list(root_names))
+
+
+class TestEquivalentSpellingsCollide:
+    def test_identity(self):
+        assert fingerprint_plan(_filter_plan()) == fingerprint_plan(_filter_plan())
+
+    def test_commuted_conjuncts(self):
+        a = _filter_plan(conjunct_order="xy")
+        b = _filter_plan(conjunct_order="yx")
+        assert fingerprint_plan(a) == fingerprint_plan(b)
+
+    def test_flipped_comparison_orientation(self):
+        # x > 0.5 spelled as 0.5 < x.
+        assert fingerprint_plan(_filter_plan()) == fingerprint_plan(
+            _filter_plan(flip=True)
+        )
+
+    def test_renamed_output_aliases(self):
+        a = _filter_plan(root_names=("id", "x"))
+        b = _filter_plan(root_names=("key", "value"))
+        assert fingerprint_plan(a) == fingerprint_plan(b)
+
+    def test_literal_formatting(self):
+        # 1 vs 1.0 against a float column; 10.0 vs 10 against an int one.
+        a = _filter_plan(threshold=1, id_bound=10)
+        b = _filter_plan(threshold=1.0, id_bound=10.0)
+        assert fingerprint_plan(a) == fingerprint_plan(b)
+
+    def test_reordered_read_projection(self):
+        # Reads (id, x) vs (x, id) with compensating refs upstream; the
+        # final projection restores the same output order.
+        a = _filter_plan(projection=(0, 1))
+        b = _filter_plan(projection=(1, 0))
+        assert fingerprint_plan(a) == fingerprint_plan(b)
+
+    def test_registry_anchor_order(self):
+        a = _filter_plan(warm_registry=False)
+        b = _filter_plan(warm_registry=True)
+        assert fingerprint_plan(a) == fingerprint_plan(b)
+
+
+class TestDifferentPlansDiffer:
+    def test_different_literal(self):
+        assert fingerprint_plan(_filter_plan(threshold=0.5)) != fingerprint_plan(
+            _filter_plan(threshold=0.6)
+        )
+
+    def test_inexact_float_literal_not_collapsed(self):
+        # 10.5 on an int comparison must not hash like 10.
+        assert fingerprint_plan(_filter_plan(id_bound=10)) != fingerprint_plan(
+            _filter_plan(id_bound=10.5)
+        )
+
+    def test_different_table(self):
+        registry = FunctionRegistry()
+        a = SubstraitPlan(root=ReadRel("t1", BASE, (0, 1)), registry=registry)
+        b = SubstraitPlan(root=ReadRel("t2", BASE, (0, 1)), registry=registry)
+        assert fingerprint_plan(a) != fingerprint_plan(b)
+
+    def test_different_columns_read(self):
+        a = SubstraitPlan(root=ReadRel("t", BASE, (0, 1)))
+        b = SubstraitPlan(root=ReadRel("t", BASE, (0, 2)))
+        assert fingerprint_plan(a) != fingerprint_plan(b)
+
+    def test_root_output_order_is_semantic(self):
+        # SELECT a, b vs SELECT b, a differ even though both read (a, b).
+        read = ReadRel("t", BASE, (0, 1))
+        ab = ProjectRel(read, (SFieldRef(0, INT64), SFieldRef(1, FLOAT64)))
+        ba = ProjectRel(read, (SFieldRef(1, FLOAT64), SFieldRef(0, INT64)))
+        assert fingerprint_plan(SubstraitPlan(root=ab)) != fingerprint_plan(
+            SubstraitPlan(root=ba)
+        )
+
+    def test_aggregate_vs_scan(self):
+        registry = FunctionRegistry()
+        s = registry.anchor_for("sum", [FLOAT64])
+        read = ReadRel("t", BASE, (0, 1))
+        agg = AggregateRel(
+            read,
+            grouping=(0,),
+            measures=(AggregateMeasure(s, "sum", (SFieldRef(1, FLOAT64),), FLOAT64),),
+        )
+        assert fingerprint_plan(SubstraitPlan(root=read)) != fingerprint_plan(
+            SubstraitPlan(root=agg, registry=registry)
+        )
+
+    def test_fetch_count_is_semantic(self):
+        read = ReadRel("t", BASE, (0,))
+        sort = SortRel(read, (SortField(0, False),))
+        a = SubstraitPlan(root=FetchRel(sort, 0, 10))
+        b = SubstraitPlan(root=FetchRel(sort, 0, 11))
+        assert fingerprint_plan(a) != fingerprint_plan(b)
+
+
+class TestStability:
+    def test_stable_across_seeded_rebuilds(self):
+        """Rebuilding the same plan under seeded spelling shuffles never
+        moves the fingerprint — the property the cache key rests on."""
+        reference = fingerprint_plan(_filter_plan())
+        rng = random.Random(1234)
+        for _ in range(20):
+            plan = _filter_plan(
+                conjunct_order=rng.choice(["xy", "yx"]),
+                projection=rng.choice([(0, 1), (1, 0)]),
+                root_names=rng.choice([("id", "x"), ("a", "b")]),
+                warm_registry=rng.choice([False, True]),
+                flip=rng.choice([False, True]),
+            )
+            assert fingerprint_plan(plan) == reference
+
+    def test_canonical_encoding_is_plain_text(self):
+        encoding = canonical_encoding(_filter_plan())
+        assert encoding.startswith("(plan v")
+        assert "tpch.lineitem" in encoding
