@@ -344,12 +344,23 @@ def verify_logical_plan(plan: PlanNode) -> Schema:
     raise VerificationError(f"unknown plan node {type(plan).__name__}")
 
 
+#: Join kinds whose build side may legally publish a dynamic filter back
+#: to the probe scan.  Inner and semi joins only *select* probe rows that
+#: match a build key, so pre-filtering the probe to candidate keys is
+#: sound.  Anti joins keep exactly the NON-matching probe rows — a
+#: build-key filter would delete the entire answer; left joins keep
+#: non-matching probe rows too.  The coordinator consults this before
+#: inserting a dynamic-filter stage, and tests pin it.
+DYNAMIC_FILTER_JOIN_KINDS = ("inner", "semi")
+
+
 def _check_join(plan: JoinNode) -> Schema:
     """Join invariants: paired equi-keys with equal dtypes, and an output
-    schema that is exactly left ⊕ (renamed, collision-free) right."""
+    schema that is exactly left ⊕ (renamed, collision-free) right — or,
+    for the filtering kinds (semi/anti), exactly the left schema."""
     left = verify_logical_plan(plan.left)
     right = verify_logical_plan(plan.right)
-    if plan.kind not in ("inner", "left"):
+    if plan.kind not in ("inner", "left", "semi", "anti"):
         raise VerificationError(f"unknown join kind {plan.kind!r}")
     if plan.distribution not in ("auto", "broadcast", "partitioned"):
         raise VerificationError(
@@ -375,6 +386,17 @@ def _check_join(plan: JoinNode) -> Schema:
             raise VerificationError(
                 f"join key dtype mismatch: {lk} is {ldt}, {rk} is {rdt}"
             )
+    if plan.kind in ("semi", "anti"):
+        # Filtering joins pass probe rows through untouched: the output
+        # schema must be the left input, bit for bit, and no right
+        # column may leak.
+        declared = plan.output_schema()
+        if not _schemas_agree(left, declared):
+            raise VerificationError(
+                f"{plan.kind} join must publish its probe schema "
+                f"{left.names()}, declared {declared.names()}"
+            )
+        return left
     fields = list(left.fields)
     seen = set(left.names())
     force_nullable = plan.kind == "left"
@@ -870,6 +892,81 @@ def verify_optimized_plan(
 
 
 # --------------------------------------------------------------------------
+# Rewrite equivalence
+# --------------------------------------------------------------------------
+
+
+def _contains_subquery(expr: Any) -> bool:
+    """True when an AST expression embeds a subquery node at any depth."""
+    import dataclasses
+
+    from repro.sql.ast_nodes import (
+        ExistsExpr,
+        Expression,
+        InSubquery,
+        ScalarSubquery,
+    )
+
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ExistsExpr, InSubquery, ScalarSubquery)):
+            return True
+        if dataclasses.is_dataclass(node):
+            for f in dataclasses.fields(node):
+                value = getattr(node, f.name)
+                for child in value if isinstance(value, tuple) else (value,):
+                    if isinstance(child, Expression):
+                        stack.append(child)
+    return False
+
+
+def verify_rewrite(original: Any, plan: PlanNode) -> Schema:
+    """Equivalence obligation for the logical rewriter.
+
+    The rewritten statement's plan must (1) re-type-check bottom-up and
+    (2) still produce the output shape the *pre-rewrite* statement
+    declared: one column per original select item, in order, under the
+    original output names.  Rules may reshape joins, predicates, and
+    CTEs at will, but the user-visible result schema is inviolable.
+
+    ``original`` is the parsed pre-rewrite :class:`SelectStatement`;
+    ``plan`` is the logical plan built from the rewritten statement.
+    Raises :class:`VerificationError` on any mismatch and returns the
+    verified output schema.
+    """
+    from repro.sql.ast_nodes import Star
+
+    out = verify_logical_plan(plan)
+    items = list(original.select_items)
+    if any(isinstance(item.expr, Star) for item in items):
+        # ``SELECT *`` expands against catalog schemas the verifier does
+        # not hold; the bottom-up type check above still applies.
+        return out
+    expected = [item.output_name for item in items]
+    names = out.names()
+    if len(names) != len(expected):
+        raise VerificationError(
+            f"rewrite changed the output arity: statement declares "
+            f"{len(expected)} column(s) {expected}, plan produces "
+            f"{len(names)} {names}"
+        )
+    for got, want, item in zip(names, expected, items):
+        if item.alias is None and _contains_subquery(item.expr):
+            # An unaliased select item containing a subquery derives its
+            # output name from the subquery's SQL text; the rewriter
+            # legitimately renames it when materializing the value.
+            continue
+        # The analyzer uniquifies duplicate output names with ``_N``.
+        if got != want and not got.startswith(f"{want}_"):
+            raise VerificationError(
+                f"rewrite changed an output column name: statement "
+                f"declares {want!r}, plan produces {got!r}"
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
 # Exchange boundaries
 # --------------------------------------------------------------------------
 
@@ -958,6 +1055,20 @@ def verify_stage_graph(graph: Any) -> None:
                     f"producer emits {produced.names()} but consumer "
                     f"expects {expected.names()}"
                 )
+    for stage in stages.values():
+        # Dynamic-filter stages record which join kind they serve; only
+        # the selective kinds (inner/semi) may prune the probe scan.
+        join_kind = (stage.attributes or {}).get("join_kind")
+        if (
+            stage.kind == "filter"
+            and join_kind is not None
+            and join_kind not in DYNAMIC_FILTER_JOIN_KINDS
+        ):
+            raise VerificationError(
+                f"stage {stage.stage_id!r} publishes a dynamic filter for "
+                f"a {join_kind!r} join; only {DYNAMIC_FILTER_JOIN_KINDS} "
+                f"may prune the probe side"
+            )
     for stage in stages.values():
         if stage.kind != "cache-union":
             continue

@@ -15,7 +15,10 @@
                                          # split re-execution on/off
     python -m repro.bench cache --seed 0 # hybrid-cache reuse sweep:
                                          # hit rate vs bytes moved / p99
-    python -m repro.bench snapshot --check BENCH_9.json
+    python -m repro.bench rewrite --seed 0
+                                         # rewriter parity + semi-join
+                                         # dynamic-filter movement
+    python -m repro.bench snapshot --check BENCH_10.json
                                          # per-PR perf-regression gate
 """
 
@@ -58,6 +61,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.bench import cache as cache_bench
 
         cache_bench.main(argv[1:])
+        return
+    if argv and argv[0] == "rewrite":
+        # Same: the rewrite bench takes --scale/--seed.
+        from repro.bench import rewrite as rewrite_bench
+
+        rewrite_bench.main(argv[1:])
         return
     if argv and argv[0] == "kernels":
         # Same: the kernel bench takes --scale/--json.

@@ -83,6 +83,10 @@ class RunConfig:
     #: :class:`~repro.cache.manager.CacheManager`, so cached state
     #: survives the per-query cluster rebuild.
     cache: Optional[CacheSpec] = None
+    #: Rule-driven logical rewriter (see docs/REWRITER.md).  On by
+    #: default; off, subquery expressions and WITH clauses reach the
+    #: analyzer unrewritten and fail there with a clear diagnostic.
+    rewrite: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -192,7 +196,7 @@ class Environment:
         connector = self.build_connector(cluster, config)
         coordinator = Coordinator(
             cluster, {catalog: connector}, exec_backend=config.exec_backend,
-            scheduler=config.scheduler,
+            scheduler=config.scheduler, rewrite=config.rewrite,
         )
         session = Session(catalog=catalog, schema=schema)
         if not strict_sanitize_enabled(config.strict_sanitize):
@@ -227,7 +231,7 @@ class Environment:
         connector = self.build_connector(cluster, config)
         coordinator = Coordinator(
             cluster, {catalog: connector}, exec_backend=config.exec_backend,
-            scheduler=config.scheduler,
+            scheduler=config.scheduler, rewrite=config.rewrite,
         )
         session = Session(catalog=catalog, schema=schema)
         return coordinator.explain(sql, session, analyze=analyze)

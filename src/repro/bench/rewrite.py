@@ -1,0 +1,269 @@
+"""Rewrite benchmark: the logical rewriter's two promises, gated.
+
+The rule-driven rewriter (docs/REWRITER.md) claims to be *semantically
+invisible* and *pushdown-enabling*.  This bench checks both, at CI
+scale, deterministically:
+
+* **Parity** — subquery-free queries run twice, with the rewriter off
+  and on; every canonical result digest must be identical.  Rules like
+  OR→IN and transitive-predicate derivation may restructure the plan,
+  but never the answer.
+* **Semi-join movement** — the subquery workloads (TPC-H Q4's EXISTS
+  and Q18's IN-over-aggregation, both lowered to semi joins by the
+  rewriter) run under static pushdown and under dynamic-filter
+  pushdown.  Semi joins are Bloom-eligible — the build side's key
+  summary prunes probe rows at storage — so the dynamic-filter mode
+  must move *strictly fewer* bytes while producing the identical
+  digest.
+
+Output is deterministic for a fixed ``--seed`` (simulated time only),
+so two reruns diff clean — CI runs the bench twice and byte-compares.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.determinism import canonical_result_digest
+from repro.bench.env import Environment, RunConfig
+from repro.bench.report import format_table
+from repro.core import PushdownPolicy
+from repro.workloads import (
+    DatasetSpec,
+    TPCH_Q4,
+    TPCH_Q18,
+    generate_lineitem,
+    generate_orders,
+)
+
+__all__ = [
+    "ParityRow",
+    "RewriteBenchResult",
+    "SCALES",
+    "SemiRow",
+    "build_environment",
+    "format_rewrite_table",
+    "run_rewrite_bench",
+]
+
+#: scale -> (files per table, rows per file).
+SCALES: Dict[str, Tuple[int, int]] = {
+    "smoke": (2, 20_000),
+    "sf0.1": (4, 75_000),
+}
+
+#: Subquery-free parity queries: each exercises a rewrite rule that can
+#: fire without changing the answer (OR→IN, transitive derivation) plus
+#: a control that no rule touches.
+PARITY_QUERIES: Tuple[Tuple[str, str], ...] = (
+    (
+        "or-to-in",
+        "SELECT orderpriority, COUNT(*) AS n FROM orders "
+        "WHERE orderpriority = '1-URGENT' OR orderpriority = '2-HIGH' "
+        "GROUP BY orderpriority ORDER BY orderpriority",
+    ),
+    (
+        "transitive",
+        "SELECT COUNT(*) AS n FROM orders "
+        "JOIN lineitem ON orders.orderkey = lineitem.orderkey "
+        "WHERE orders.orderkey < 5000",
+    ),
+    (
+        "control",
+        "SELECT returnflag, SUM(extendedprice) AS s FROM lineitem "
+        "WHERE quantity < 25.0 GROUP BY returnflag ORDER BY returnflag",
+    ),
+)
+
+#: Semi-join workloads: rewriter-lowered subquery queries.
+SEMI_QUERIES: Tuple[Tuple[str, str], ...] = (
+    ("q4-exists", TPCH_Q4),
+    ("q18-in", TPCH_Q18),
+)
+
+
+@dataclass(frozen=True)
+class ParityRow:
+    label: str
+    rows: int
+    seconds_on: float
+    digest_identical: bool
+
+
+@dataclass(frozen=True)
+class SemiRow:
+    label: str
+    rows: int
+    static_bytes: int
+    dynamic_bytes: int
+    pruned_rows: int
+    digest_identical: bool
+
+    @property
+    def fewer_bytes(self) -> bool:
+        return self.dynamic_bytes < self.static_bytes
+
+
+@dataclass(frozen=True)
+class RewriteBenchResult:
+    parity: List[ParityRow]
+    semi: List[SemiRow]
+    #: Q4's rewrite-on digest (snapshot-gated).
+    digest: str
+
+    @property
+    def parity_identical(self) -> bool:
+        return all(row.digest_identical for row in self.parity)
+
+    @property
+    def semi_digests_identical(self) -> bool:
+        return all(row.digest_identical for row in self.semi)
+
+    @property
+    def semi_moves_fewer_bytes(self) -> bool:
+        return all(row.fewer_bytes for row in self.semi)
+
+
+def build_environment(scale: str, seed: int) -> Environment:
+    files, rows = SCALES[scale]
+    env = Environment()
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="lineitem",
+            bucket="data",
+            file_count=files,
+            generator=lambda i: generate_lineitem(
+                rows, seed=17 + seed, start_row=i * rows
+            ),
+            row_group_rows=8192,
+        )
+    )
+    env.add_dataset(
+        DatasetSpec(
+            schema_name="tpch",
+            table_name="orders",
+            bucket="data",
+            file_count=files,
+            generator=lambda i: generate_orders(
+                rows, seed=19 + seed, start_key=i * rows
+            ),
+            row_group_rows=8192,
+        )
+    )
+    return env
+
+
+def _config(label: str, *, rewrite: bool = True, dynamic: bool = False) -> RunConfig:
+    policy = (
+        PushdownPolicy(enabled=frozenset({"filter"}), dynamic_filters=True)
+        if dynamic
+        else PushdownPolicy.filter_only()
+    )
+    return RunConfig(label=label, mode="ocs", policy=policy, rewrite=rewrite)
+
+
+def run_rewrite_bench(scale: str, seed: int) -> RewriteBenchResult:
+    """Run the parity and semi-join sections on one environment."""
+    env = build_environment(scale, seed)
+
+    parity: List[ParityRow] = []
+    for label, sql in PARITY_QUERIES:
+        off = env.run(sql, _config("rewrite-off", rewrite=False), "tpch")
+        on = env.run(sql, _config("rewrite-on"), "tpch")
+        parity.append(
+            ParityRow(
+                label=label,
+                rows=on.rows,
+                seconds_on=on.execution_seconds,
+                digest_identical=(
+                    canonical_result_digest(off.batch)
+                    == canonical_result_digest(on.batch)
+                ),
+            )
+        )
+
+    semi: List[SemiRow] = []
+    digest = ""
+    for label, sql in SEMI_QUERIES:
+        static = env.run(sql, _config("semi-static"), "tpch")
+        dynamic = env.run(sql, _config("semi-dynamic", dynamic=True), "tpch")
+        static_digest = canonical_result_digest(static.batch)
+        if not digest:
+            digest = static_digest
+        semi.append(
+            SemiRow(
+                label=label,
+                rows=static.rows,
+                static_bytes=static.data_moved_bytes,
+                dynamic_bytes=dynamic.data_moved_bytes,
+                pruned_rows=int(dynamic.metrics.value("ocs_dynamic_rows_pruned")),
+                digest_identical=(
+                    static_digest == canonical_result_digest(dynamic.batch)
+                ),
+            )
+        )
+    return RewriteBenchResult(parity=parity, semi=semi, digest=digest)
+
+
+def format_rewrite_table(scale: str, result: RewriteBenchResult) -> str:
+    parity = format_table(
+        ["query", "rows", "seconds (on)", "digest off == on"],
+        [
+            [
+                row.label,
+                str(row.rows),
+                f"{row.seconds_on:.4f}",
+                "yes" if row.digest_identical else "NO",
+            ]
+            for row in result.parity
+        ],
+    )
+    semi = format_table(
+        [
+            "query",
+            "rows",
+            "static bytes",
+            "dynamic bytes",
+            "probe rows pruned",
+            "digest identical",
+        ],
+        [
+            [
+                row.label,
+                str(row.rows),
+                f"{row.static_bytes:,}",
+                f"{row.dynamic_bytes:,}",
+                f"{row.pruned_rows:,}",
+                "yes" if row.digest_identical else "NO",
+            ]
+            for row in result.semi
+        ],
+    )
+    return (
+        f"Rewrite benchmark ({scale}): rewriter parity + semi-join movement\n"
+        f"{parity}\n"
+        f"rewrite-off/on digests identical: "
+        f"{'yes' if result.parity_identical else 'NO'}\n"
+        f"\nSemi-join workloads (rewriter-lowered Q4 / Q18):\n"
+        f"{semi}\n"
+        f"semi digests identical across pushdown modes: "
+        f"{'yes' if result.semi_digests_identical else 'NO'}\n"
+        f"dynamic filters move strictly fewer bytes: "
+        f"{'yes' if result.semi_moves_fewer_bytes else 'NO'}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=list(SCALES), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = run_rewrite_bench(args.scale, args.seed)
+    print(format_rewrite_table(args.scale, result))
+
+
+if __name__ == "__main__":
+    main()

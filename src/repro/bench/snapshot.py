@@ -1,9 +1,10 @@
 """Per-PR benchmark snapshot (``BENCH_<n>.json``) + regression gate.
 
-``collect`` runs the kernel, Table-3, join, service, DAG-straggler, and
-cache benches at CI scale and folds their headline numbers into one
-JSON document.  The committed snapshot (``BENCH_9.json`` at the repo
-root) is the previous PR's baseline; CI regenerates the snapshot and
+``collect`` runs the kernel, Table-3, join, service, DAG-straggler,
+cache, and rewrite benches at CI scale and folds their headline numbers
+into one JSON document.  The committed snapshot (``BENCH_10.json`` at
+the repo root) is the previous PR's baseline; CI regenerates the
+snapshot and
 ``compare``s it against the committed file, failing on:
 
 * any *simulated* metric (seconds / bytes) more than 10% worse —
@@ -20,9 +21,13 @@ root) is the previous PR's baseline; CI regenerates the snapshot and
   seeded-replay byte-identity;
 * the cache reuse sweep changing any result digest, failing to move
   strictly fewer bytes as reuse rises, or failing to beat the
-  zero-reuse p99 at the highest reuse level.
+  zero-reuse p99 at the highest reuse level;
+* the rewrite bench losing rewrite-off/on digest parity, a semi-join
+  workload's digest drifting between pushdown modes, or the semi-join
+  dynamic filter failing to move strictly fewer bytes than static
+  pushdown.
 
-Regenerate with ``python -m repro.bench snapshot --out BENCH_9.json``.
+Regenerate with ``python -m repro.bench snapshot --out BENCH_10.json``.
 """
 
 from __future__ import annotations
@@ -35,12 +40,13 @@ from typing import Dict, List, Optional
 from repro.bench import cache as cache_bench
 from repro.bench import dag as dag_bench
 from repro.bench import join as join_bench
+from repro.bench import rewrite as rewrite_bench
 from repro.bench import table3 as table3_bench
 from repro.bench.kernels import run_kernel_bench
 
 __all__ = ["SNAPSHOT_VERSION", "collect", "compare", "main"]
 
-SNAPSHOT_VERSION = 9
+SNAPSHOT_VERSION = 10
 
 #: Relative worsening tolerated on lower-is-better simulated metrics.
 TOLERANCE = 0.10
@@ -58,6 +64,8 @@ _DAG_SCALE = "smoke"
 _DAG_SEED = 0
 _CACHE_SCALE = "smoke"
 _CACHE_SEED = 0
+_REWRITE_SCALE = "smoke"
+_REWRITE_SEED = 0
 
 
 def _collect_service() -> Dict[str, object]:
@@ -152,6 +160,24 @@ def collect() -> Dict[str, object]:
         "p99_improves": cache_result.p99_improves,
     }
 
+    rewrite_result = rewrite_bench.run_rewrite_bench(_REWRITE_SCALE, _REWRITE_SEED)
+    rewrite_doc: Dict[str, object] = {
+        "scale": _REWRITE_SCALE,
+        "semi": {
+            row.label: {
+                "rows": row.rows,
+                "static_moved_bytes": row.static_bytes,
+                "dynamic_moved_bytes": row.dynamic_bytes,
+                "pruned": row.pruned_rows,
+            }
+            for row in rewrite_result.semi
+        },
+        "digest": rewrite_result.digest,
+        "parity_identical": rewrite_result.parity_identical,
+        "semi_digests_identical": rewrite_result.semi_digests_identical,
+        "semi_moves_fewer_bytes": rewrite_result.semi_moves_fewer_bytes,
+    }
+
     return {
         "snapshot": SNAPSHOT_VERSION,
         "kernels": kernels.to_json_dict(),
@@ -160,6 +186,7 @@ def collect() -> Dict[str, object]:
         "service": _collect_service(),
         "dag": dag_doc,
         "cache": cache_doc,
+        "rewrite": rewrite_doc,
     }
 
 
@@ -258,6 +285,22 @@ def compare(baseline: Dict[str, object], current: Dict[str, object]) -> List[str
         if not cache.get("p99_improves", False):
             violations.append(
                 "cache: p99 at the highest reuse level did not beat zero reuse"
+            )
+
+    rewrite = current.get("rewrite")
+    if isinstance(rewrite, dict):
+        if not rewrite.get("parity_identical", False):
+            violations.append(
+                "rewrite: a rewrite-off/on digest pair disagreed"
+            )
+        if not rewrite.get("semi_digests_identical", False):
+            violations.append(
+                "rewrite: a semi-join digest drifted between pushdown modes"
+            )
+        if not rewrite.get("semi_moves_fewer_bytes", False):
+            violations.append(
+                "rewrite: semi-join dynamic filters did not move strictly "
+                "fewer bytes than static pushdown"
             )
     return violations
 

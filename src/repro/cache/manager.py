@@ -82,6 +82,11 @@ class CacheManager:
         )
         self._storage: Dict[int, ByteBudgetCache] = {}
         self.accountant: Optional[Accountant] = None
+        #: Per-table lookup ledger (table -> [lookups, hits]), fed by the
+        #: coordinator's run path only (EXPLAIN probes are pure peeks).
+        #: The adaptive controller reads it to bias pushdown decisions
+        #: for hot-cached tables — see repro.core.adaptive.
+        self._tables: Dict[str, list] = {}
 
     # -- tiers -------------------------------------------------------------
 
@@ -120,10 +125,28 @@ class CacheManager:
         if self.accountant is not None:
             self.accountant(event, tenant, nbytes)
 
+    def record_table_lookup(self, table: str, *, hits: int, misses: int) -> None:
+        """Fold one run's cache outcomes for ``table`` into the ledger."""
+        entry = self._tables.setdefault(table, [0, 0])
+        entry[0] += hits + misses
+        entry[1] += hits
+
     # -- reporting ---------------------------------------------------------
 
-    def stats(self) -> Dict[str, Dict[str, int]]:
-        """Deterministic per-tier counters (storage tiers merged)."""
+    def table_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-table lookup counters with derived hit rates."""
+        return {
+            table: {
+                "lookups": lookups,
+                "hits": hits,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            }
+            for table, (lookups, hits) in sorted(self._tables.items())
+        }
+
+    def stats(self) -> Dict[str, Dict]:
+        """Deterministic per-tier counters (storage tiers merged) plus
+        the per-table lookup ledger under ``"tables"``."""
         storage = {
             "hits": 0,
             "misses": 0,
@@ -142,6 +165,7 @@ class CacheManager:
             "result": self.results.stats.as_dict(),
             "split": self.splits.stats.as_dict(),
             "storage": storage,
+            "tables": self.table_stats(),
         }
 
     def clear(self) -> None:
@@ -149,3 +173,4 @@ class CacheManager:
         self.splits.clear()
         for tier in self._storage.values():
             tier.clear()
+        self._tables.clear()

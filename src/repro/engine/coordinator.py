@@ -34,7 +34,7 @@ timings are bit-identical with tracing on or off.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.analysis.runtime import strict_verify_enabled
@@ -48,7 +48,7 @@ from repro.engine.physical import PhysicalPlan, fragment_plan
 from repro.engine.scheduler import DagScheduler, SchedulerSpec, run_splits
 from repro.engine.session import Session
 from repro.engine.spi import Connector, ConnectorSplit, PageSourceResult
-from repro.errors import NoSuchCatalogError, PlanError
+from repro.errors import AnalysisError, EngineError, NoSuchCatalogError, PlanError
 from repro.exchange.filters import build_dynamic_filter
 from repro.exchange.partition import hash_partition
 from repro.exec.backend import ExecBackend, get_backend
@@ -62,15 +62,28 @@ from repro.plan.nodes import (
 )
 from repro.plan.optimizer import GlobalOptimizer
 from repro.plan.planner import plan_query
+from repro.rewrite import (
+    RewriteContext,
+    RuleFiring,
+    derived_schema,
+    rewrite_statement,
+)
 from repro.rpc.retry import RetryPolicy
 from repro.sim.kernel import AllOf
 from repro.sim.metrics import MetricsRegistry, StageAccountant
 from repro.sql.analyzer import analyze as analyze_statement
-from repro.sql.ast_nodes import TableName
+from repro.sql.ast_nodes import (
+    CommonTableExpr,
+    DateLiteral,
+    Expression,
+    Literal,
+    SelectStatement,
+    TableName,
+)
 from repro.sql.parser import parse
 from repro.trace import Trace, render_tree, stage_totals
 
-__all__ = ["Coordinator", "QueryResult"]
+__all__ = ["Coordinator", "MaterializedHandle", "QueryResult"]
 
 STAGE_ANALYSIS = "logical_plan_analysis"
 STAGE_SUBSTRAIT = "substrait_generation"
@@ -153,6 +166,42 @@ class _Lowered:
     has_exchange: bool
 
 
+@dataclass
+class MaterializedHandle:
+    """Connector-handle stand-in for a rewriter-materialized CTE.
+
+    The coordinator executes the CTE body once and parks the result
+    here; every reference then scans ``batches`` locally instead of
+    pushing to storage.  The handle deliberately has no ``descriptor``
+    and no ``pushed`` plan, so split/result caching and pushdown both
+    disable themselves for materialized branches (there is no object
+    version signature to invalidate against).
+    """
+
+    name: str
+    table_schema: Schema
+    batches: List[RecordBatch] = field(default_factory=list)
+
+
+@dataclass
+class _Prepared:
+    """parse -> rewrite output for one statement.
+
+    ``statement`` is the rewritten form with the WITH clause stripped
+    (every surviving CTE is listed in ``cte_jobs`` for one-shot
+    materialization); ``scalar_jobs`` are the uncorrelated scalar
+    subqueries the run path must execute before the deterministic
+    second rewrite pass substitutes their values.
+    """
+
+    original: SelectStatement
+    statement: SelectStatement
+    firings: List[RuleFiring]
+    scalar_jobs: List[SelectStatement]
+    cte_jobs: List[CommonTableExpr]
+    cte_schemas: Dict[str, Schema]
+
+
 class Coordinator:
     """Plans and runs queries against registered catalogs on one cluster."""
 
@@ -162,6 +211,8 @@ class Coordinator:
         catalogs: Dict[str, Connector],
         exec_backend: Union[str, ExecBackend] = "tree",
         scheduler: Optional[SchedulerSpec] = None,
+        rewrite: bool = True,
+        rewrite_budget: int = 32,
     ) -> None:
         self.cluster = cluster
         self.catalogs = dict(catalogs)
@@ -170,6 +221,12 @@ class Coordinator:
         self.backend = get_backend(exec_backend)
         #: Restart/speculation policy handed to every query's scheduler.
         self.scheduler_spec = scheduler if scheduler is not None else SchedulerSpec()
+        #: Run the rule-driven logical rewriter between parse and
+        #: analysis.  Off, subquery expressions and WITH clauses reach
+        #: the analyzer unrewritten and fail with a clear diagnostic.
+        self.rewrite = rewrite
+        #: Fixpoint budget: max rule applications per statement.
+        self.rewrite_budget = rewrite_budget
 
     def connector_for(self, name: str) -> Connector:
         try:
@@ -229,12 +286,18 @@ class Coordinator:
         """
         if analyze:
             return self._explain_analyze(sql, session)
-        plan, plan_before, connector = self._plan_statement(sql, session)
+        plan, plan_before, connector, prepared = self._plan_statement(sql, session)
         lowered = self._lower(plan, connector, MetricsRegistry())
 
-        lines = [
-            f"EXPLAIN {' '.join(sql.split())}",
-            "",
+        lines = [f"EXPLAIN {' '.join(sql.split())}", ""]
+        if prepared.firings:
+            # Omitted entirely when no rule fired: the section only
+            # exists to explain a statement that actually changed.
+            lines.append("Rewrite (rules fired):")
+            for i, firing in enumerate(prepared.firings, start=1):
+                lines.append(f"  {i}. {firing.rule}: {firing.detail}")
+            lines.append("")
+        lines += [
             "Logical plan (after global optimization):",
             plan_before,
         ]
@@ -333,36 +396,190 @@ class Coordinator:
 
     # -- planning --------------------------------------------------------------
 
-    def _plan_statement(self, sql: str, session: Session, tracer=None, startup=None):
-        """parse -> analyze -> logical plan -> global optimize.
+    def _schema_resolver(self, session: Session) -> Callable[[TableName], Schema]:
+        """Catalog schema lookup for rewrite-rule guards."""
 
-        Shared by :meth:`explain` (no tracer) and the query process
-        (spans parented under ``startup``).  Returns the optimized
-        plan, its rendering, and the resolved connector.
+        def resolve(name: TableName) -> Schema:
+            # Unknown catalogs/tables surface as SqlError so rules decline
+            # and the planning path owns the real diagnostic (including
+            # the cross-catalog-join rejection).
+            try:
+                connector = self.connector_for(name.catalog or session.catalog)
+                handle = connector.get_table_handle(
+                    name.schema or session.schema, name.table
+                )
+            except EngineError as exc:
+                raise AnalysisError(str(exc)) from exc
+            return handle.table_schema
+
+        return resolve
+
+    def _prepare_statement(
+        self,
+        sql: str,
+        session: Session,
+        tracer,
+        startup,
+        scalar_results: Optional[Dict[str, Expression]] = None,
+    ) -> _Prepared:
+        """parse -> rewrite (rule fixpoint).
+
+        ``scalar_results`` maps a scalar subquery's SQL to its computed
+        literal; absent entries get a typed placeholder and are recorded
+        in ``scalar_jobs`` so the run path can execute them and re-run
+        this (deterministic) pass with the real values.
         """
-        from repro.trace.tracer import NOOP_TRACER
-
-        tracer = tracer if tracer is not None else NOOP_TRACER
         with tracer.span("parse", parent=startup):
-            statement = parse(sql)
+            original = parse(sql)
+        if not self.rewrite:
+            return _Prepared(original, original, [], [], [], {})
+
+        scalar_jobs: List[SelectStatement] = []
+
+        def scalar_value(sub: SelectStatement) -> Expression:
+            key = sub.to_sql()
+            if scalar_results is not None and key in scalar_results:
+                return scalar_results[key]
+            scalar_jobs.append(sub)
+            return self._placeholder_literal(sub, ctx)
+
+        ctx = RewriteContext(
+            resolve=self._schema_resolver(session), scalar_value=scalar_value
+        )
+        result = rewrite_statement(
+            original, ctx, budget=self.rewrite_budget, tracer=tracer, parent=startup
+        )
+        statement = result.statement
+        cte_jobs = [cte for cte in statement.ctes if cte.materialized]
+        if statement.ctes and all(c.materialized for c in statement.ctes):
+            # Every binding is pinned for one-shot materialization; the
+            # analyzer never sees the WITH clause.  (A residual
+            # non-materialized CTE stays put so the analyzer reports it.)
+            statement = replace(statement, ctes=())
+        cte_schemas = {
+            cte.name: derived_schema(cte.query, ctx) for cte in cte_jobs
+        }
+        return _Prepared(
+            original=original,
+            statement=statement,
+            firings=list(result.firings),
+            scalar_jobs=scalar_jobs,
+            cte_jobs=cte_jobs,
+            cte_schemas=cte_schemas,
+        )
+
+    def _placeholder_literal(
+        self, sub: SelectStatement, ctx: RewriteContext
+    ) -> Expression:
+        """Typed stand-in for a scalar subquery on the pure (EXPLAIN) path."""
+        dtype = derived_schema(sub, ctx).fields[0].dtype
+        name = dtype.name
+        if name == "date32":
+            return DateLiteral("1970-01-01")
+        if name in ("float32", "float64"):
+            return Literal(0.0)
+        if name == "bool":
+            return Literal(False)
+        if name == "string":
+            return Literal("")
+        return Literal(0)
+
+    @staticmethod
+    def _scalar_literal(batch: RecordBatch) -> Expression:
+        """Literal AST node for an executed scalar subquery's result."""
+        if batch.num_rows != 1:
+            raise PlanError(
+                f"scalar subquery returned {batch.num_rows} rows "
+                f"(must return exactly 1)"
+            )
+        field_ = batch.schema.fields[0]
+        value = batch.columns[0].to_pylist()[0]
+        if value is None:
+            raise PlanError("scalar subquery returned NULL")
+        if field_.dtype.name == "date32":
+            import datetime
+
+            iso = (
+                datetime.date(1970, 1, 1) + datetime.timedelta(days=int(value))
+            ).isoformat()
+            return DateLiteral(iso)
+        return Literal(value)
+
+    def _resolve_handle(
+        self,
+        table: TableName,
+        session: Session,
+        materialized: Dict[str, MaterializedHandle],
+    ) -> Any:
+        """Table handle: rewriter-materialized CTEs first, then the catalog."""
+        if (
+            table.catalog is None
+            and table.schema is None
+            and table.table in materialized
+        ):
+            return materialized[table.table]
+        connector = self.connector_for(table.catalog or session.catalog)
+        return connector.get_table_handle(
+            table.schema or session.schema, table.table
+        )
+
+    def _plan_prepared(
+        self,
+        prepared: _Prepared,
+        session: Session,
+        tracer,
+        startup,
+        materialized: Dict[str, MaterializedHandle],
+    ):
+        """analyze -> logical plan -> global optimize (post-rewrite).
+
+        Returns the optimized plan, its rendering, and the resolved
+        connector.  A semi/anti join clause contributes the schema of
+        its *subquery's* FROM table (the analyzer plans the derived
+        table itself); handles key by scanned-table name, which covers
+        both catalog tables and materialized CTE temporaries.
+        """
+        statement = prepared.statement
         catalog_name = statement.from_table.catalog or session.catalog
-        schema_name = statement.from_table.schema or session.schema
         connector = self.connector_for(catalog_name)
-        handle = connector.get_table_handle(schema_name, statement.from_table.table)
-        join_handles = self._join_handles(statement, session, catalog_name, connector)
+        handle = self._resolve_handle(statement.from_table, session, materialized)
+        join_handles: List[Any] = []
+        join_schemas: List[Schema] = []
+        handle_keys: List[str] = []
+        for clause in statement.joins:
+            source = (
+                clause.subquery.from_table
+                if clause.subquery is not None
+                else clause.table
+            )
+            is_materialized = (
+                source.catalog is None
+                and source.schema is None
+                and source.table in materialized
+            )
+            if not is_materialized:
+                join_catalog = source.catalog or session.catalog
+                if join_catalog != catalog_name:
+                    raise PlanError(
+                        f"cross-catalog joins are not supported "
+                        f"({catalog_name} vs {join_catalog})"
+                    )
+            join_handle = self._resolve_handle(source, session, materialized)
+            join_handles.append(join_handle)
+            join_schemas.append(join_handle.table_schema)
+            handle_keys.append(source.table)
         with tracer.span("analyze", parent=startup):
             if join_handles:
                 query = analyze_statement(
-                    statement, handle.table_schema,
-                    join_schemas=[h.table_schema for h in join_handles],
+                    statement, handle.table_schema, join_schemas=join_schemas
                 )
             else:
                 query = analyze_statement(statement, handle.table_schema)
         with tracer.span("plan.logical", parent=startup):
             plan: PlanNode = plan_query(query)
             handles_by_table = {statement.from_table.table: handle}
-            for clause, join_handle in zip(statement.joins, join_handles):
-                handles_by_table[clause.table.table] = join_handle
+            for key, join_handle in zip(handle_keys, join_handles):
+                handles_by_table[key] = join_handle
             self._attach_handles(plan, handles_by_table)
         with tracer.span("optimize.global", parent=startup):
             if strict_verify_enabled():
@@ -384,7 +601,37 @@ class Coordinator:
                     )
             else:
                 plan = GlobalOptimizer().optimize(plan)
+        if strict_verify_enabled() and prepared.firings:
+            # The rewritten plan must still produce the output shape the
+            # pre-rewrite statement declared.
+            from repro.analysis.verifier import verify_rewrite
+
+            verify_rewrite(prepared.original, plan)
         return plan, format_plan(plan), connector
+
+    def _plan_statement(self, sql: str, session: Session, tracer=None, startup=None):
+        """parse -> rewrite -> analyze -> logical plan -> global optimize.
+
+        The pure planning path shared by :meth:`explain` (no tracer) and
+        the no-subexecution fast path of the query process.  Scalar
+        subqueries keep their typed placeholders and materialized CTEs
+        lower against schema-only (batch-less) handles, so no simulated
+        time passes.  Returns the plan, its rendering, the connector,
+        and the :class:`_Prepared` record (for EXPLAIN's Rewrite
+        section).
+        """
+        from repro.trace.tracer import NOOP_TRACER
+
+        tracer = tracer if tracer is not None else NOOP_TRACER
+        prepared = self._prepare_statement(sql, session, tracer, startup)
+        materialized = {
+            name: MaterializedHandle(name=name, table_schema=schema)
+            for name, schema in prepared.cte_schemas.items()
+        }
+        plan, plan_after, connector = self._plan_prepared(
+            prepared, session, tracer, startup, materialized
+        )
+        return plan, plan_after, connector, prepared
 
     # -- the query process ----------------------------------------------------------
 
@@ -422,13 +669,59 @@ class Coordinator:
                 costs.coordinator_fixed_cycles, name="coordinate"
             )
 
-            # (1-3) Parse, analyze, logical plan, global optimization.
-            # These run inline (instantaneous in simulated time) — their
-            # spans are zero-width markers recording pipeline structure.
-            plan, plan_before, connector = self._plan_statement(
+            # (1-3) Parse, rewrite, analyze, logical plan, global
+            # optimization.  These run inline (instantaneous in
+            # simulated time) — their spans are zero-width markers
+            # recording pipeline structure.
+            prepared = self._prepare_statement(
                 sql, session, tracer=tracer, startup=startup
             )
+            if not prepared.scalar_jobs and not prepared.cte_jobs:
+                plan, plan_before, connector = self._plan_prepared(
+                    prepared, session, tracer, startup, materialized={}
+                )
         tracer.end(startup)
+
+        if prepared.scalar_jobs or prepared.cte_jobs:
+            # (1b) Rewriter-requested sub-executions.  Uncorrelated
+            # scalar subqueries and materialized CTE bodies run as
+            # nested queries on this same cluster; their transfers and
+            # stage time accrue to this query's wall clock and ledger.
+            if prepared.scalar_jobs:
+                scalar_results: Dict[str, Expression] = {}
+                for sub in prepared.scalar_jobs:
+                    sub_result = yield from self._run_query(
+                        sub.to_sql(), session, metrics=MetricsRegistry(),
+                        parent=root, tenant=tenant,
+                    )
+                    scalar_results[sub.to_sql()] = self._scalar_literal(
+                        sub_result.batch
+                    )
+                # Deterministic second pass: the same rules fire in the
+                # same order, now substituting the computed values.
+                from repro.trace.tracer import NOOP_TRACER
+
+                prepared = self._prepare_statement(
+                    sql, session, tracer=NOOP_TRACER, startup=None,
+                    scalar_results=scalar_results,
+                )
+            materialized: Dict[str, MaterializedHandle] = {}
+            for cte in prepared.cte_jobs:
+                sub_result = yield from self._run_query(
+                    cte.query.to_sql(), session, metrics=MetricsRegistry(),
+                    parent=root, tenant=tenant,
+                )
+                materialized[cte.name] = MaterializedHandle(
+                    name=cte.name,
+                    table_schema=prepared.cte_schemas[cte.name],
+                    batches=[sub_result.batch],
+                )
+            planning = tracer.start("planning", parent=root, stage=STAGE_OTHERS)
+            with accountant.charged(STAGE_OTHERS):
+                plan, plan_before, connector = self._plan_prepared(
+                    prepared, session, tracer, planning, materialized=materialized
+                )
+            tracer.end(planning)
 
         # (4) Connector-specific (local) optimization + lowering to the
         # stage graph.  The lowering itself is pure (no simulated time);
@@ -449,6 +742,16 @@ class Coordinator:
         # descriptor) any branch reads, so a write or stats refresh
         # anywhere in the query's footprint turns the entry stale.
         cache = cluster.cache
+        if cache is not None:
+            # Per-table lookup ledger for the adaptive controller.  The
+            # probe is a pure peek, so recording here (run path only)
+            # keeps EXPLAIN side-effect free.
+            for branch in lowered.branches:
+                probe = self._split_probe(branch)
+                if probe is not None:
+                    cache.record_table_lookup(
+                        branch.table, hits=len(probe.hits), misses=len(probe.misses)
+                    )
         result_probe = (
             self._result_probe(lowered)
             if cache is not None and cache.results.budget_bytes > 0
@@ -477,6 +780,8 @@ class Coordinator:
             tracer.end(lookup)
             if hit is not None:
                 cache.account("hit", tenant, hit.nbytes)
+                for branch in lowered.branches:
+                    cache.record_table_lookup(branch.table, hits=1, misses=0)
                 metrics.add("result_cache_hits", 1)
                 elapsed = sim.now - query_start
                 utilization = {
@@ -503,6 +808,8 @@ class Coordinator:
                     stage_graph=lowered.graph,
                 )
             cache.account("stale" if resident else "miss", tenant, 0)
+            for branch in lowered.branches:
+                cache.record_table_lookup(branch.table, hits=0, misses=1)
 
         # (5) Split scheduling cost ("others").
         schedule = tracer.start("schedule", parent=root, stage=STAGE_OTHERS)
@@ -635,13 +942,16 @@ class Coordinator:
 
         if not joins:
             optimizer = optimizer_factory()
-            if optimizer is not None:
+            material = isinstance(
+                _leftmost_scan(plan).connector_handle, MaterializedHandle
+            )
+            if optimizer is not None and not material:
                 analysis_nodes = _count_nodes(plan)
                 plan = optimizer.optimize(plan, metrics)
             plan_after = format_plan(plan)
             physical = fragment_plan(plan)
             handle = physical.scan.connector_handle
-            splits = connector.get_splits(handle)
+            splits = [] if material else connector.get_splits(handle)
             branch = _Branch(
                 stage_id=f"scan:0:{physical.scan.table.table}",
                 table=physical.scan.table.table,
@@ -682,7 +992,10 @@ class Coordinator:
         for index, source in enumerate(branch_sources):
             branch_plan: PlanNode = OutputNode(source, source.output_schema().names())
             optimizer = optimizer_factory()
-            if optimizer is not None:
+            material = isinstance(
+                _leftmost_scan(branch_plan).connector_handle, MaterializedHandle
+            )
+            if optimizer is not None and not material:
                 analysis_nodes += _count_nodes(branch_plan)
                 branch_plan = optimizer.optimize(branch_plan, metrics)
             physical = fragment_plan(branch_plan)
@@ -694,7 +1007,7 @@ class Coordinator:
                     plan=branch_plan,
                     physical=physical,
                     handle=handle,
-                    splits=connector.get_splits(handle),
+                    splits=[] if material else connector.get_splits(handle),
                 )
             )
 
@@ -703,6 +1016,8 @@ class Coordinator:
         # preserves the probe side, so pushed pruning would drop rows
         # that must surface NULL-extended) and only when the base scan
         # has a pushed plan to fold the filter into.
+        from repro.analysis.verifier import DYNAMIC_FILTER_JOIN_KINDS
+
         policy = getattr(connector, "policy", None)
         base, first_build = branches[0], branches[1]
         dynamic_filter_stage: Optional[str] = None
@@ -710,7 +1025,7 @@ class Coordinator:
             policy is not None
             and getattr(policy, "dynamic_filters", False)
             and getattr(base.handle, "pushed", None) is not None
-            and joins[0].kind == "inner"
+            and joins[0].kind in DYNAMIC_FILTER_JOIN_KINDS
         ):
             dynamic_filter_stage = "dynamic-filter:0"
 
@@ -755,7 +1070,13 @@ class Coordinator:
                         build_source: first_build.plan.output_schema()
                     },
                     output_schema=first_build.plan.output_schema(),
-                    attributes={"target": base.stage_id},
+                    attributes={
+                        "target": base.stage_id,
+                        # Verified against DYNAMIC_FILTER_JOIN_KINDS by
+                        # verify_stage_graph: anti/left joins must never
+                        # publish pushed probe pruning.
+                        "join_kind": joins[0].kind,
+                    },
                 )
             )
 
@@ -1073,6 +1394,40 @@ class Coordinator:
 
         return run
 
+    def _materialized_stage(self, branch: _Branch, finish: bool):
+        """Scan a rewriter-materialized CTE's stored batches.
+
+        The branch plan's operators (split + final when ``finish``) run
+        locally over the handle's batches — there is no storage round
+        trip, no splits, and nothing to push down.
+        """
+
+        def run(ctx: StageContext, inputs: Dict[str, Any]):
+            cluster = self.cluster
+            handle: MaterializedHandle = branch.handle
+            batches = list(handle.batches)
+            operators = branch.physical.split_operators()
+            if finish:
+                operators += branch.physical.final_operators()
+            ops = self.backend.compile(operators)
+            with ctx.accountant.window(STAGE_EXECUTION):
+                span = cluster.tracer.start(
+                    "materialized-scan", parent=ctx.span, stage=STAGE_EXECUTION,
+                    attributes={"table": branch.table},
+                )
+                try:
+                    batches = run_operators(batches, ops)
+                    cycles = presto_pipeline_cycles(ops, cluster.costs)
+                    if cycles:
+                        yield cluster.compute.execute_spread(
+                            cycles, name="materialized-scan"
+                        )
+                finally:
+                    cluster.tracer.end(span)
+            return batches
+
+        return run
+
     def _cached_splits_stage(
         self, connector: Connector, branch: _Branch, probe: _SplitProbe, tenant: str
     ):
@@ -1213,9 +1568,24 @@ class Coordinator:
         With resident splits the branch lowers hybrid:
         ``cached + residual -> cache-union``.
         """
-        probe = self._split_probe(branch)
         split_schema = branch.physical.split_schema
         out_schema = branch.plan.output_schema() if finish else split_schema
+        if isinstance(branch.handle, MaterializedHandle):
+            graph.add(
+                Stage(
+                    stage_id=branch.stage_id,
+                    kind="scan",
+                    run=self._materialized_stage(branch, finish),
+                    output_schema=out_schema,
+                    attributes={
+                        "table": branch.table,
+                        "splits": 0,
+                        "source": "materialized",
+                    },
+                )
+            )
+            return branch.stage_id
+        probe = self._split_probe(branch)
         if probe is None or not probe.hits:
             graph.add(
                 Stage(
@@ -1777,24 +2147,6 @@ class Coordinator:
 
     # -- handle resolution -------------------------------------------------------
 
-    def _join_handles(
-        self, statement, session: Session, catalog_name: str, connector: Connector
-    ) -> List[Any]:
-        """Resolve each JOIN clause's table handle (empty without joins)."""
-        handles = []
-        for join_clause in statement.joins:
-            join_catalog = join_clause.table.catalog or session.catalog
-            if join_catalog != catalog_name:
-                raise PlanError(
-                    f"cross-catalog joins are not supported "
-                    f"({catalog_name} vs {join_catalog})"
-                )
-            join_schema_name = join_clause.table.schema or session.schema
-            handles.append(
-                connector.get_table_handle(join_schema_name, join_clause.table.table)
-            )
-        return handles
-
     @staticmethod
     def _attach_handles(plan: PlanNode, handles_by_table: Dict[str, Any]) -> None:
         """Bind each scan to its table's handle (keyed by table name —
@@ -1819,6 +2171,14 @@ class Coordinator:
         visit(plan)
         if not attached:
             raise NoSuchCatalogError("plan has no table scan to attach a handle to")
+
+
+def _leftmost_scan(plan: PlanNode) -> TableScanNode:
+    """The scan at the bottom of a branch's (join-free) operator chain."""
+    node: PlanNode = plan
+    while not isinstance(node, TableScanNode):
+        node = node.children()[0]
+    return node
 
 
 def _count_nodes(plan: PlanNode) -> int:

@@ -199,6 +199,12 @@ class HashJoinOperator(Operator):
     semantics); a LEFT join emits unmatched probe rows with NULL-extended
     build columns.  Output rows stay in probe order (build duplicates in
     build order), which keeps multi-stage replays byte-identical.
+
+    ``"semi"`` emits each probe row at most once when a build match
+    exists; ``"anti"`` emits exactly the probe rows with *no* build match
+    (NOT EXISTS semantics: a NULL probe key never matches, so it *is*
+    emitted by anti).  Both publish the probe schema unchanged — no
+    build column is materialized.
     """
 
     name = "hashjoin"
@@ -212,7 +218,7 @@ class HashJoinOperator(Operator):
         right_renames: Optional[Dict[str, str]] = None,
     ) -> None:
         super().__init__()
-        if kind not in ("inner", "left"):
+        if kind not in ("inner", "left", "semi", "anti"):
             raise ExecutionError(f"unsupported join kind {kind!r}")
         if not left_keys or len(left_keys) != len(right_keys):
             raise ExecutionError("join needs positionally paired key columns")
@@ -301,6 +307,8 @@ class HashJoinOperator(Operator):
         return build_codes, probe_codes
 
     def output_schema(self, probe_schema: Schema) -> Schema:
+        if self.kind in ("semi", "anti"):
+            return probe_schema
         fields = list(probe_schema.fields)
         force_nullable = self.kind == "left"
         for f in self.right_schema.fields:
@@ -329,6 +337,9 @@ class HashJoinOperator(Operator):
         hi = np.searchsorted(sorted_codes, probe_codes, side="right")
         counts = (hi - lo).astype(np.int64)
         counts[probe_codes < 0] = 0
+        if self.kind in ("semi", "anti"):
+            mask = counts > 0 if self.kind == "semi" else counts == 0
+            return batch.take(np.flatnonzero(mask))
         if self.kind == "left":
             emit = np.maximum(counts, 1)
         else:

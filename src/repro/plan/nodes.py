@@ -100,7 +100,18 @@ class ProjectNode(PlanNode):
     projections: List[Tuple[str, Expr]]
 
     def output_schema(self) -> Schema:
-        return Schema([Field(name, expr.dtype) for name, expr in self.projections])
+        from repro.exec.expressions import ColumnExpr
+
+        source = self.source.output_schema()
+        fields = []
+        for name, expr in self.projections:
+            # A forwarded column keeps its nullability; computed
+            # expressions are conservatively nullable.
+            nullable = True
+            if isinstance(expr, ColumnExpr) and expr.name in source:
+                nullable = source.field(expr.name).nullable
+            fields.append(Field(name, expr.dtype, nullable=nullable))
+        return Schema(fields)
 
     def describe(self) -> str:
         inner = ", ".join(f"{n} := {e!r}" for n, e in self.projections)
@@ -155,14 +166,17 @@ class JoinNode(PlanNode):
     *right table's own* column names while ``right_renames`` maps them
     into the joined scope (collisions become ``table$column``).  The
     output schema is left ⊕ renamed right; a LEFT join makes every right
-    column nullable.  ``distribution`` starts as ``"auto"`` and is fixed
-    to ``"broadcast"`` or ``"partitioned"`` by the engine's cost-based
+    column nullable.  ``"semi"`` and ``"anti"`` joins filter the probe
+    side by build-key membership (presence / absence) and publish the
+    *left* schema unchanged — no right column survives the join.
+    ``distribution`` starts as ``"auto"`` and is fixed to
+    ``"broadcast"`` or ``"partitioned"`` by the engine's cost-based
     chooser once table row counts are known.
     """
 
     left: PlanNode
     right: PlanNode
-    kind: str  # "inner" | "left"
+    kind: str  # "inner" | "left" | "semi" | "anti"
     left_keys: List[str]
     right_keys: List[str]
     right_renames: Dict[str, str] = field(default_factory=dict)
@@ -172,6 +186,8 @@ class JoinNode(PlanNode):
         return (self.left, self.right)
 
     def output_schema(self) -> Schema:
+        if self.kind in ("semi", "anti"):
+            return self.left.output_schema()
         fields = list(self.left.output_schema().fields)
         force_nullable = self.kind == "left"
         for f in self.right.output_schema().fields:

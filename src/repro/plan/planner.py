@@ -117,8 +117,15 @@ class LogicalPlanner:
             {n: n for n in joins[0].left_schema.names()}
         ]
         for join in joins:
-            scope_names.append(set(join.right_renames.values()))
-            to_original.append({v: k for k, v in join.right_renames.items()})
+            if join.kind in ("semi", "anti"):
+                # Filtering joins publish no columns: WHERE conjuncts can
+                # never land on their scope (the analyzer keeps it private
+                # to the ON clause).
+                scope_names.append(set())
+                to_original.append({})
+            else:
+                scope_names.append(set(join.right_renames.values()))
+                to_original.append({v: k for k, v in join.right_renames.items()})
 
         def scope_of(name: str) -> int:
             for s, names in enumerate(scope_names):
@@ -178,12 +185,18 @@ class LogicalPlanner:
             branch_preds[0],
         )
         for index, join in enumerate(joins):
-            right_node = branch(
-                join.right_table,
-                join.right_schema,
-                branch_columns(index + 1, join.right_schema),
-                branch_preds[index + 1],
-            )
+            if join.subquery is not None:
+                # Derived-table (semi/anti) build side: plan the analyzed
+                # subquery in full — it is already a complete query whose
+                # OutputNode emits exactly the build schema.
+                right_node: PlanNode = LogicalPlanner(join.subquery).plan()
+            else:
+                right_node = branch(
+                    join.right_table,
+                    join.right_schema,
+                    branch_columns(index + 1, join.right_schema),
+                    branch_preds[index + 1],
+                )
             node = JoinNode(
                 left=node,
                 right=right_node,

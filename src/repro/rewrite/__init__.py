@@ -1,0 +1,30 @@
+"""Rule-driven logical rewriter (DuckDB-style subquery decorrelation).
+
+Sits between the parser and the analyzer: rules pattern-match the SQL
+AST (``match``), check legality (``guard``), and produce an equivalent
+statement (``apply``).  The engine drives the catalog to a fixpoint
+under a rule-application budget and records every firing so EXPLAIN can
+show a ``Rewrite`` section and the verifier can re-check equivalence.
+"""
+
+from repro.rewrite.engine import (
+    RewriteContext,
+    RewriteResult,
+    RewriteRule,
+    RuleFiring,
+    derived_schema,
+    rewrite_statement,
+    table_schema,
+)
+from repro.rewrite.rules import DEFAULT_RULES
+
+__all__ = [
+    "RewriteContext",
+    "RewriteResult",
+    "RewriteRule",
+    "RuleFiring",
+    "DEFAULT_RULES",
+    "derived_schema",
+    "rewrite_statement",
+    "table_schema",
+]

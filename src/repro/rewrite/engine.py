@@ -1,0 +1,196 @@
+"""Rewrite engine: typed rules, fixpoint driver, firing trace.
+
+A :class:`RewriteRule` is a three-phase object, after DuckDB's subquery
+decision tree: ``match`` yields candidate sites, ``guard`` vetoes the
+illegal ones (returning a human-readable reason), ``apply`` produces an
+equivalent statement plus a detail string for EXPLAIN.  Statements are
+frozen dataclasses, so every application builds a new AST — rules never
+mutate in place.
+
+:func:`rewrite_statement` drives the catalog to a fixpoint: it sweeps
+the rule list in order, re-firing each rule until it no longer matches,
+and repeats the sweep until a full pass changes nothing.  A budget
+bounds total applications so a buggy rule pair cannot ping-pong
+forever; hitting it flags the result instead of raising, because a
+partially rewritten statement is still a valid (if unoptimized) query.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.arrowsim.schema import Schema
+from repro.errors import SqlError
+from repro.sql.ast_nodes import SelectStatement, TableName
+
+__all__ = [
+    "RewriteContext",
+    "RewriteResult",
+    "RewriteRule",
+    "RuleFiring",
+    "derived_schema",
+    "rewrite_statement",
+    "table_schema",
+]
+
+
+@dataclass
+class RewriteContext:
+    """What rules may ask of the engine hosting the rewrite.
+
+    ``resolve`` maps a (possibly session-qualified) table name to its
+    catalog schema; it raises :class:`~repro.errors.SqlError` for
+    unknown tables, which the engine treats as "rule does not fire" so
+    the analyzer reports the real error.  ``scalar_value`` turns an
+    uncorrelated scalar subquery into a literal expression — the
+    coordinator executes the subquery on the run path and substitutes a
+    typed placeholder on the EXPLAIN path.
+    """
+
+    resolve: Callable[[TableName], Schema]
+    scalar_value: Optional[Callable[[SelectStatement], Any]] = None
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One recorded rule application (rendered in EXPLAIN's Rewrite section)."""
+
+    rule: str
+    detail: str
+
+
+@dataclass
+class RewriteResult:
+    statement: SelectStatement
+    firings: List[RuleFiring] = field(default_factory=list)
+    budget_exhausted: bool = False
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.firings)
+
+
+class RewriteRule(abc.ABC):
+    """match → guard → apply.  Rules are stateless and deterministic."""
+
+    name: str = "rule"
+
+    @abc.abstractmethod
+    def match(
+        self, statement: SelectStatement, ctx: RewriteContext
+    ) -> Iterator[Any]:
+        """Yield candidate sites (rule-specific descriptors)."""
+
+    def guard(
+        self, statement: SelectStatement, candidate: Any, ctx: RewriteContext
+    ) -> Optional[str]:
+        """Return a veto reason, or ``None`` when the rewrite is legal."""
+        return None
+
+    @abc.abstractmethod
+    def apply(
+        self, statement: SelectStatement, candidate: Any, ctx: RewriteContext
+    ) -> Tuple[SelectStatement, str]:
+        """Rewrite at ``candidate``; returns (new statement, firing detail)."""
+
+
+def rewrite_statement(
+    statement: SelectStatement,
+    ctx: RewriteContext,
+    rules: Optional[Sequence[RewriteRule]] = None,
+    *,
+    budget: int = 32,
+    tracer: Any = None,
+    parent: Any = None,
+) -> RewriteResult:
+    """Drive ``rules`` over ``statement`` to a fixpoint (or budget)."""
+    if rules is None:
+        from repro.rewrite.rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    result = RewriteResult(statement)
+    sweep_changed = True
+    while sweep_changed:
+        sweep_changed = False
+        for rule in rules:
+            while True:
+                if len(result.firings) >= budget:
+                    result.budget_exhausted = True
+                    return result
+                fired = _fire_once(rule, result, ctx, tracer, parent)
+                if not fired:
+                    break
+                sweep_changed = True
+    return result
+
+
+def _fire_once(
+    rule: RewriteRule,
+    result: RewriteResult,
+    ctx: RewriteContext,
+    tracer: Any,
+    parent: Any,
+) -> bool:
+    """Apply ``rule`` at its first guarded candidate; False when none fire.
+
+    Schema-resolution failures inside match/guard mean the statement
+    references something the analyzer will reject anyway — the rule
+    simply declines so the analyzer owns the diagnostic.
+    """
+    statement = result.statement
+    try:
+        for candidate in rule.match(statement, ctx):
+            if rule.guard(statement, candidate, ctx) is not None:
+                continue
+            if tracer is not None:
+                with tracer.span(f"rewrite.{rule.name}", parent=parent):
+                    statement, detail = rule.apply(statement, candidate, ctx)
+            else:
+                statement, detail = rule.apply(statement, candidate, ctx)
+            result.statement = statement
+            result.firings.append(RuleFiring(rule.name, detail))
+            return True
+    except SqlError:
+        return False
+    return False
+
+
+# --------------------------------------------------------------------------
+# Schema derivation for guards
+# --------------------------------------------------------------------------
+
+
+def derived_schema(statement: SelectStatement, ctx: RewriteContext) -> Schema:
+    """Exact output schema (names, dtypes, *nullability*) of a statement.
+
+    Runs the real analyzer + planner over the statement so guards (the
+    NOT IN null-safety check above all) see precisely what execution
+    will produce, instead of a reimplemented approximation.
+    """
+    from repro.plan.planner import plan_query
+    from repro.sql.analyzer import analyze
+
+    base = table_schema(statement.from_table, statement, ctx)
+    join_schemas = [
+        table_schema(
+            join.subquery.from_table if join.subquery is not None else join.table,
+            statement,
+            ctx,
+        )
+        for join in statement.joins
+    ] or None
+    analyzed = analyze(statement, base, join_schemas=join_schemas)
+    return plan_query(analyzed).output_schema()
+
+
+def table_schema(
+    name: TableName, statement: SelectStatement, ctx: RewriteContext
+) -> Schema:
+    """Resolve a FROM/JOIN table: CTE bindings first, then the catalog."""
+    if name.schema is None and name.catalog is None:
+        for cte in statement.ctes:
+            if cte.name == name.table:
+                return derived_schema(cte.query, ctx)
+    return ctx.resolve(name)

@@ -99,9 +99,15 @@ class AnalyzedJoin:
     of join *i* is the accumulated scope of the FROM table and every
     earlier join, so ``left_keys`` may name renamed columns introduced by
     an earlier join step.
+
+    Semi/anti joins (produced by the rewriter) filter the probe side
+    without publishing right columns: their scope is visible only to
+    their own ON clause, the joined scope is unchanged, and ``subquery``
+    carries the analyzed derived table standing in for ``right_table``
+    (a synthetic ``$semiN`` alias).
     """
 
-    kind: str  # "inner" | "left"
+    kind: str  # "inner" | "left" | "semi" | "anti"
     left_table: ast.TableName
     right_table: ast.TableName
     left_schema: Schema
@@ -111,6 +117,8 @@ class AnalyzedJoin:
     left_keys: Tuple[str, ...] = ()
     right_keys: Tuple[str, ...] = ()
     right_renames: Dict[str, str] = field(default_factory=dict)
+    #: Analyzed derived table for subquery-backed (semi/anti) joins.
+    subquery: Optional["AnalyzedQuery"] = None
 
 
 @dataclass
@@ -175,12 +183,15 @@ class _Scope:
 
     ``renames`` maps the table's original column names to their names in
     the accumulated joined scope (identity for the FROM table and for
-    non-colliding joined columns).
+    non-colliding joined columns).  Semi/anti join scopes are
+    ``visible=False``: only their own ON clause may name them — they
+    contribute nothing to the output scope.
     """
 
     table: str
     schema: Schema
     renames: Dict[str, str]
+    visible: bool = True
 
 
 class Analyzer:
@@ -198,7 +209,7 @@ class Analyzer:
         table_schema: Schema,
         right_schema: Optional[Schema] = None,
         *,
-        join_schemas: Optional[Sequence[Schema]] = None,
+        join_schemas: Optional[Sequence[Optional[Schema]]] = None,
     ) -> None:
         self.statement = statement
         self.schema = table_schema
@@ -221,9 +232,47 @@ class Analyzer:
                     f"for each of the {len(statement.joins)} JOIN clause(s)"
                 )
             for clause, schema in zip(statement.joins, join_schemas):
-                self._joins.append(self._build_join_scope(clause, schema))
+                if clause.subquery is not None:
+                    self._joins.append(self._build_subquery_join(clause, schema))
+                else:
+                    if schema is None:
+                        raise AnalysisError(
+                            f"JOIN {clause.table.table} requires the joined "
+                            f"table's schema"
+                        )
+                    self._joins.append(self._build_join_scope(clause, schema))
         elif right_schema is not None or join_schemas:
             raise AnalysisError("join schema given but the query has no JOIN")
+
+    def _build_subquery_join(
+        self, join: ast.JoinClause, base_schema: Optional[Schema]
+    ) -> AnalyzedJoin:
+        """Analyze a derived-table (semi/anti) join's subquery, then
+        extend the scope chain with its *planned* output schema.
+
+        ``base_schema`` is the subquery's FROM-table schema (the caller
+        resolves it through the catalog; the subquery has no joins of
+        its own by rewrite-rule construction).
+        """
+        assert join.subquery is not None
+        if join.kind not in ("semi", "anti"):
+            raise AnalysisError(
+                f"derived-table joins must be semi or anti, got {join.kind!r}"
+            )
+        if base_schema is None:
+            raise AnalysisError(
+                f"join subquery {join.table.table} requires its FROM "
+                f"table's schema"
+            )
+        sub_analyzed = Analyzer(join.subquery, base_schema).analyze()
+        # Planning the subquery yields its exact output schema (names,
+        # dtypes, nullability) — the build side the join will see.
+        from repro.plan.planner import plan_query
+
+        sub_schema = plan_query(sub_analyzed).output_schema()
+        analyzed = self._build_join_scope(join, sub_schema)
+        analyzed.subquery = sub_analyzed
+        return analyzed
 
     def _build_join_scope(
         self, join: ast.JoinClause, right_schema: Schema
@@ -237,6 +286,9 @@ class Analyzer:
         left_schema = self.schema
         left_names = set(left_schema.names())
         fields = list(left_schema.fields)
+        # Semi/anti joins filter the probe side: their columns exist only
+        # for the ON clause, never in the downstream scope.
+        filtering = join.kind in ("semi", "anti")
         renames: Dict[str, str] = {}
         for f in right_schema:
             name = f.name
@@ -248,12 +300,20 @@ class Analyzer:
                         f"table {join.table.table!r}"
                     )
             renames[f.name] = name
-            # A probe-preserving LEFT join makes every right column nullable.
-            nullable = f.nullable or join.kind == "left"
-            fields.append(Field(name, f.dtype, nullable))
-        self.schema = Schema(fields)
+            if not filtering:
+                # A probe-preserving LEFT join makes every right column
+                # nullable.
+                nullable = f.nullable or join.kind == "left"
+                fields.append(Field(name, f.dtype, nullable))
+        if not filtering:
+            self.schema = Schema(fields)
         self._scopes.append(
-            _Scope(table=join.table.table, schema=right_schema, renames=renames)
+            _Scope(
+                table=join.table.table,
+                schema=right_schema,
+                renames=renames,
+                visible=not filtering,
+            )
         )
         return AnalyzedJoin(
             kind=join.kind,
@@ -282,8 +342,11 @@ class Analyzer:
                 stack.extend((node.right, node.left))
             else:
                 conjuncts.append(node)
-        # Scopes visible to this ON clause: FROM + joins 0..index.
-        visible = self._scopes[: index + 2]
+        # Scopes visible to this ON clause: the FROM table plus the
+        # *visible* scopes of joins 0..index-1 (earlier semi/anti scopes
+        # are private to their own ON), plus this join's own scope.
+        visible = [s for s in self._scopes[: index + 1] if s.visible]
+        visible.append(self._scopes[index + 1])
         right_scope = visible[-1]
         left_keys: List[str] = []
         right_keys: List[str] = []
@@ -328,6 +391,11 @@ class Analyzer:
 
     def analyze(self) -> AnalyzedQuery:
         stmt = self.statement
+        if stmt.ctes:
+            raise AnalysisError(
+                "WITH/CTE bindings must be inlined or materialized by the "
+                "rewriter before analysis"
+            )
         for index in range(len(self._joins)):
             self._analyze_join_condition(index)
         where = None
@@ -577,6 +645,12 @@ class Analyzer:
                     node.name, operand, scalar_function_dtype(node.name, operand.dtype)
                 )
             raise AnalysisError(f"unknown function {node.name!r}")
+        if isinstance(node, (ast.ExistsExpr, ast.InSubquery, ast.ScalarSubquery)):
+            raise AnalysisError(
+                f"subquery expression was not rewritten to a join or "
+                f"literal (rewrite guard vetoed it, or the rewriter is "
+                f"disabled): {node.to_sql()}"
+            )
         raise AnalysisError(f"cannot analyze expression {node!r}")
 
     def _binary(self, node: ast.BinaryOp, scope: str) -> Expr:
@@ -645,7 +719,7 @@ class Analyzer:
         cannot see tables joined later in the chain).
         """
         if scopes is None:
-            scopes = self._scopes
+            scopes = [s for s in self._scopes if s.visible]
         if len(scopes) == 1:
             if node.qualifier and node.qualifier != self.statement.from_table.table:
                 raise AnalysisError(
@@ -740,6 +814,10 @@ class Analyzer:
             children = [node.expr]
         elif isinstance(node, ast.FunctionCall):
             children = list(node.args)
+        elif isinstance(node, ast.InSubquery):
+            # The subquery body has its own scope; only the probe
+            # expression lives in this one.
+            children = [node.expr]
         return any(Analyzer._contains_aggregate(c) for c in children)
 
     @staticmethod

@@ -25,10 +25,14 @@ __all__ = [
     "IsNull",
     "FunctionCall",
     "Cast",
+    "ExistsExpr",
+    "InSubquery",
+    "ScalarSubquery",
     "SelectItem",
     "OrderItem",
     "TableName",
     "JoinClause",
+    "CommonTableExpr",
     "SelectStatement",
     "AGGREGATE_FUNCTIONS",
 ]
@@ -197,6 +201,46 @@ class Cast(Expression):
         return f"CAST({self.expr.to_sql()} AS {self.type_name})"
 
 
+@dataclass(frozen=True)
+class ExistsExpr(Expression):
+    """``[NOT] EXISTS (SELECT ...)`` — rewritten to a semi/anti join
+    before planning; the analyzer rejects any instance that survives."""
+
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{neg}EXISTS ({self.subquery.to_sql()})"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``expr [NOT] IN (SELECT ...)`` — subquery form of :class:`InList`."""
+
+    expr: Expression
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{_paren(self.expr)} {neg}IN ({self.subquery.to_sql()})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """``(SELECT ...)`` used as a scalar value inside an expression.
+
+    Only uncorrelated single-column subqueries are supported; the
+    rewriter materializes the value into a :class:`Literal` before
+    analysis (``scalar-materialize``)."""
+
+    subquery: "SelectStatement"
+
+    def to_sql(self) -> str:
+        return f"({self.subquery.to_sql()})"
+
+
 # -- statement-level nodes ----------------------------------------------------
 
 
@@ -246,15 +290,46 @@ class JoinClause:
     """``[INNER|LEFT [OUTER]] JOIN table ON condition``.
 
     ``kind`` is normalized to ``"inner"`` or ``"left"`` by the parser.
+    The rewriter additionally produces ``"semi"`` and ``"anti"`` joins
+    whose right side is a derived table (``subquery`` is set and
+    ``table`` carries its synthetic ``$semiN`` alias).  Semi/anti joins
+    have no SQL-surface syntax here, so ``to_sql`` renders them with the
+    alias quoted — round-trippable for diagnostics, not re-parseable
+    back into a subquery.
     """
 
     kind: str
     table: TableName
     condition: Expression
+    #: Derived-table right side (set by the rewriter for semi/anti
+    #: joins; ``table.table`` is then the synthetic alias).
+    subquery: Optional["SelectStatement"] = None
 
     def to_sql(self) -> str:
-        keyword = "LEFT JOIN" if self.kind == "left" else "JOIN"
-        return f"{keyword} {self.table.to_sql()} ON {self.condition.to_sql()}"
+        keywords = {"left": "LEFT JOIN", "semi": "SEMI JOIN", "anti": "ANTI JOIN"}
+        keyword = keywords.get(self.kind, "JOIN")
+        if self.subquery is not None:
+            right = f"({self.subquery.to_sql()}) AS \"{self.table.to_sql()}\""
+        else:
+            right = self.table.to_sql()
+        return f"{keyword} {right} ON {self.condition.to_sql()}"
+
+
+@dataclass(frozen=True)
+class CommonTableExpr:
+    """One ``name AS (SELECT ...)`` binding in a WITH clause.
+
+    ``materialized`` is an internal annotation stamped by the rewriter's
+    ``cte-materialize`` rule (execute-once, scan the stored result); it
+    has no SQL surface and is not rendered by ``to_sql``.
+    """
+
+    name: str
+    query: "SelectStatement"
+    materialized: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.name} AS ({self.query.to_sql()})"
 
 
 @dataclass(frozen=True)
@@ -268,9 +343,13 @@ class SelectStatement:
     limit: Optional[int] = None
     distinct: bool = False
     joins: Tuple[JoinClause, ...] = field(default_factory=tuple)
+    ctes: Tuple[CommonTableExpr, ...] = field(default_factory=tuple)
 
     def to_sql(self) -> str:
-        parts = ["SELECT"]
+        parts = []
+        if self.ctes:
+            parts.append("WITH " + ", ".join(c.to_sql() for c in self.ctes))
+        parts.append("SELECT")
         if self.distinct:
             parts.append("DISTINCT")
         parts.append(", ".join(i.to_sql() for i in self.select_items))

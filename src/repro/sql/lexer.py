@@ -30,6 +30,7 @@ KEYWORDS = frozenset(
     CAST DATE INTERVAL DAY MONTH YEAR
     COUNT SUM AVG MIN MAX
     JOIN INNER LEFT OUTER ON
+    WITH EXISTS
     """.split()
 )
 

@@ -2,7 +2,8 @@
 
 Grammar (precedence low to high)::
 
-    select    := SELECT [DISTINCT] item (, item)* FROM qualified
+    select    := [WITH ident AS ( select ) (, ident AS ( select ))*]
+                 SELECT [DISTINCT] item (, item)* FROM qualified
                  (join)* [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
                  [ORDER BY order (, order)*] [LIMIT int]
     join      := (JOIN | INNER JOIN | LEFT [OUTER] JOIN) qualified ON expr
@@ -12,13 +13,15 @@ Grammar (precedence low to high)::
     not       := NOT not | predicate
     predicate := additive ([NOT] BETWEEN additive AND additive
                           | [NOT] IN ( expr (, expr)* )
+                          | [NOT] IN ( select )
                           | IS [NOT] NULL
                           | cmp-op additive)?
     additive  := multiplicative ((+|-) multiplicative)*
     mult      := unary ((*|/|%) unary)*
     unary     := - unary | primary
     primary   := literal | DATE str | INTERVAL str unit | CAST ( expr AS ident )
-               | func ( [DISTINCT] args ) | ident | ( expr ) | *
+               | func ( [DISTINCT] args ) | [NOT] EXISTS ( select )
+               | ident | ( expr ) | ( select ) | *
 """
 
 from __future__ import annotations
@@ -92,6 +95,11 @@ class Parser:
     # -- statement -------------------------------------------------------------------
 
     def _select(self) -> ast.SelectStatement:
+        ctes: List[ast.CommonTableExpr] = []
+        if self._keyword("WITH"):
+            ctes.append(self._cte())
+            while self._accept(TokenKind.PUNCT, ","):
+                ctes.append(self._cte())
         self._expect(TokenKind.KEYWORD, "SELECT")
         distinct = self._keyword("DISTINCT")
         items = [self._select_item()]
@@ -133,7 +141,16 @@ class Parser:
             limit=limit,
             distinct=distinct,
             joins=tuple(joins),
+            ctes=tuple(ctes),
         )
+
+    def _cte(self) -> ast.CommonTableExpr:
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.KEYWORD, "AS")
+        self._expect(TokenKind.PUNCT, "(")
+        query = self._select()
+        self._expect(TokenKind.PUNCT, ")")
+        return ast.CommonTableExpr(name=name, query=query)
 
     def _join_clause(self) -> Optional[ast.JoinClause]:
         if self._keyword("INNER"):
@@ -204,7 +221,12 @@ class Parser:
 
     def _not(self) -> ast.Expression:
         if self._keyword("NOT"):
-            return ast.UnaryOp("NOT", self._not())
+            inner = self._not()
+            # Keep [NOT] EXISTS canonical: the negation lives on the node
+            # itself so rewrite rules match one shape, not two.
+            if isinstance(inner, ast.ExistsExpr):
+                return ast.ExistsExpr(inner.subquery, negated=not inner.negated)
+            return ast.UnaryOp("NOT", inner)
         return self._predicate()
 
     def _predicate(self) -> ast.Expression:
@@ -217,6 +239,12 @@ class Parser:
             return ast.Between(left, low, high, negated=negated)
         if self._keyword("IN"):
             self._expect(TokenKind.PUNCT, "(")
+            if self._check(TokenKind.KEYWORD, "SELECT") or self._check(
+                TokenKind.KEYWORD, "WITH"
+            ):
+                subquery = self._select()
+                self._expect(TokenKind.PUNCT, ")")
+                return ast.InSubquery(left, subquery, negated=negated)
             items = [self._expression()]
             while self._accept(TokenKind.PUNCT, ","):
                 items.append(self._expression())
@@ -325,6 +353,12 @@ class Parser:
                     )
                 self._expect(TokenKind.PUNCT, ")")
                 return ast.Cast(expr, _canonical_type(type_name))
+            if word == "EXISTS":
+                self._advance()
+                self._expect(TokenKind.PUNCT, "(")
+                subquery = self._select()
+                self._expect(TokenKind.PUNCT, ")")
+                return ast.ExistsExpr(subquery)
             if word in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
                 self._advance()
                 return self._function_call(word.lower())
@@ -345,6 +379,12 @@ class Parser:
 
         if token.matches(TokenKind.PUNCT, "("):
             self._advance()
+            if self._check(TokenKind.KEYWORD, "SELECT") or self._check(
+                TokenKind.KEYWORD, "WITH"
+            ):
+                subquery = self._select()
+                self._expect(TokenKind.PUNCT, ")")
+                return ast.ScalarSubquery(subquery)
             expr = self._expression()
             self._expect(TokenKind.PUNCT, ")")
             return expr

@@ -37,8 +37,10 @@ from repro.workloads.tpch import (
     TPCH_Q1,
     TPCH_Q3,
     TPCH_Q3_FULL,
+    TPCH_Q4,
     TPCH_Q6,
     TPCH_Q12,
+    TPCH_Q18,
     customer_schema,
     generate_customer,
     generate_lineitem,
@@ -55,8 +57,10 @@ __all__ = [
     "LAGHOS_QUERY_ORIGINAL",
     "TPCH_Q1",
     "TPCH_Q12",
+    "TPCH_Q18",
     "TPCH_Q3",
     "TPCH_Q3_FULL",
+    "TPCH_Q4",
     "TPCH_Q6",
     "build_dataset",
     "customer_schema",

@@ -54,8 +54,10 @@ __all__ = [
     "TPCH_Q1",
     "TPCH_Q3",
     "TPCH_Q3_FULL",
+    "TPCH_Q4",
     "TPCH_Q6",
     "TPCH_Q12",
+    "TPCH_Q18",
     "SF1_ROWS",
     "SF1_ORDERS",
     "SF1_CUSTOMERS",
@@ -136,6 +138,39 @@ WHERE shipmode IN ('MAIL', 'SHIP')
   AND orderpriority IN ('1-URGENT', '2-HIGH')
 GROUP BY shipmode
 ORDER BY shipmode
+"""
+
+#: TPC-H Query 4 (order priority checking): a correlated EXISTS over
+#: late line items.  The rewriter turns it into a semi join — orders
+#: probes a commitdate-filtered lineitem build — so it exercises the
+#: subquery surface end to end (parse → rewrite → stage DAG → exchange
+#: semi join).  ``SELECT 1`` replaces the spec's ``SELECT *`` (the build
+#: side only proves existence).
+TPCH_Q4 = """
+SELECT orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE orderdate >= DATE '1993-07-01' AND orderdate < DATE '1993-10-01'
+  AND EXISTS (SELECT 1 FROM lineitem
+              WHERE lineitem.orderkey = orders.orderkey
+                AND commitdate < receiptdate)
+GROUP BY orderpriority
+ORDER BY orderpriority
+"""
+
+#: TPC-H Query 18 class (large volume customers), two-table form like
+#: :data:`TPCH_Q3`: the ``customer`` dimension is dropped, keeping the
+#: defining shape — an IN subquery whose build side is itself an
+#: aggregation with HAVING.  The quantity threshold is scaled to the
+#: repo's dataset sizes (the spec's 300 at SF1 leaves the conftest-scale
+#: build empty).
+TPCH_Q18 = """
+SELECT orderkey, orderdate, totalprice
+FROM orders
+WHERE orderkey IN (SELECT orderkey FROM lineitem
+                   GROUP BY orderkey
+                   HAVING SUM(quantity) > 250.0)
+ORDER BY totalprice DESC, orderdate
+LIMIT 100
 """
 
 _EPOCH = datetime.date(1970, 1, 1)
